@@ -1,0 +1,91 @@
+// Ablation bench: the design choices DESIGN.md calls out.
+//
+//  1. query_reach_aware  — lossless inflated join-between bounds (ours) vs
+//     the paper's pure member circles (can silently drop matches).
+//  2. probe_theta_d_disk — clustering probe over all cells within Theta_D vs
+//     the paper's own-cell probe (affects cluster count / quality).
+//  3. grid_sync_padding  — lazy padded ClusterGrid registration vs the
+//     paper's literal re-registration on every bounds change.
+//
+// Each variant runs the standard workload; rows show what the knob buys.
+
+#include "bench/bench_common.h"
+#include "baseline/naive_join_engine.h"
+#include "eval/accuracy.h"
+#include "stream/pipeline.h"
+
+namespace scuba::bench {
+namespace {
+
+struct AblationRow {
+  const char* name;
+  ScubaOptions options;
+};
+
+void Run() {
+  PrintBanner("Ablation", "SCUBA design-choice ablations");
+  ExperimentData data = BuildOrDie(DefaultConfig(/*skew=*/100));
+
+  // Ground truth for the completeness column.
+  NaiveJoinEngine naive;
+  std::vector<ResultSet> truth;
+  SCUBA_CHECK(ReplayTrace(data.trace, &naive, 2,
+                          [&](Timestamp, const ResultSet& r) {
+                            truth.push_back(r);
+                          })
+                  .ok());
+
+  ScubaOptions defaults;
+  ScubaOptions paper_bounds = defaults;
+  paper_bounds.query_reach_aware = false;
+  ScubaOptions disk_probe = defaults;
+  disk_probe.probe_theta_d_disk = true;
+  ScubaOptions no_padding = defaults;
+  no_padding.grid_sync_padding = 0.0;
+  ScubaOptions splitting = defaults;
+  splitting.enable_cluster_splitting = true;
+  splitting.split_radius_factor = 0.6;
+
+  const AblationRow rows[] = {
+      {"default", defaults},
+      {"paper-pure-bounds", paper_bounds},
+      {"theta_d-disk-probe", disk_probe},
+      {"no-grid-padding", no_padding},
+      {"cluster-splitting", splitting},
+  };
+
+  std::printf("%-20s %10s %10s %10s %10s %10s\n", "variant", "join(s)",
+              "maint(s)", "clusters", "recall", "results");
+  for (const AblationRow& row : rows) {
+    ScubaOptions options = row.options;
+    options.region = data.region;
+    Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(options);
+    SCUBA_CHECK(engine.ok());
+    std::vector<ResultSet> rounds;
+    SCUBA_CHECK(ReplayTrace(data.trace, engine->get(), 2,
+                            [&](Timestamp, const ResultSet& r) {
+                              rounds.push_back(r);
+                            })
+                    .ok());
+    AccuracyAccumulator acc;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      acc.Add(CompareResults(truth[i], rounds[i]));
+    }
+    std::printf("%-20s %10.4f %10.4f %10zu %10.4f %10llu\n", row.name,
+                (*engine)->stats().total_join_seconds,
+                (*engine)->stats().total_maintenance_seconds,
+                (*engine)->ClusterCount(), acc.total().Recall(),
+                static_cast<unsigned long long>(
+                    (*engine)->stats().total_results));
+  }
+  std::printf("\n(recall vs the naive oracle; the default variant must be "
+              "1.0 — paper-pure bounds may drop matches)\n");
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() {
+  scuba::bench::Run();
+  return 0;
+}

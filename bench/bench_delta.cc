@@ -1,0 +1,61 @@
+// Evaluation-interval sweep (supplementary): the paper fixes Delta = 2 time
+// units (§6.1). Sweeping Delta shows the trade SCUBA makes between evaluation
+// frequency and per-round cost: fewer, larger rounds amortize cluster
+// maintenance but deliver staler answers (more churn per round).
+
+#include "bench/bench_common.h"
+#include "core/result_delta.h"
+#include "stream/pipeline.h"
+
+namespace scuba::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Delta sweep", "evaluation interval Delta in ticks");
+  ExperimentData data = BuildOrDie(DefaultConfig(/*skew=*/100));
+
+  std::printf("%-8s %8s %12s %12s %14s %16s\n", "delta", "rounds", "join(s)",
+              "maint(s)", "avg matches", "avg churn/round");
+  for (Timestamp delta : {1, 2, 4, 6}) {
+    ScubaOptions opt;
+    opt.region = data.region;
+    opt.delta = delta;
+    Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+    SCUBA_CHECK(engine.ok());
+
+    IncrementalResultTracker tracker;
+    uint64_t rounds = 0;
+    uint64_t total_matches = 0;
+    uint64_t total_churn = 0;
+    Status s = ReplayTrace(data.trace, engine->get(), delta,
+                           [&](Timestamp, const ResultSet& r) {
+                             ResultDelta d = tracker.Observe(r);
+                             ++rounds;
+                             total_matches += r.size();
+                             if (rounds > 1) total_churn += d.size();
+                           });
+    SCUBA_CHECK_MSG(s.ok(), s.ToString().c_str());
+    double avg_matches =
+        rounds ? static_cast<double>(total_matches) / static_cast<double>(rounds)
+               : 0.0;
+    double avg_churn = rounds > 1 ? static_cast<double>(total_churn) /
+                                        static_cast<double>(rounds - 1)
+                                  : 0.0;
+    std::printf("%-8lld %8llu %12.4f %12.4f %14.0f %16.0f\n",
+                static_cast<long long>(delta),
+                static_cast<unsigned long long>(rounds),
+                (*engine)->stats().total_join_seconds,
+                (*engine)->stats().total_maintenance_seconds, avg_matches,
+                avg_churn);
+  }
+  std::printf("\n(churn = |added| + |removed| matches between consecutive "
+              "rounds — larger Delta means staler, choppier answers)\n");
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() {
+  scuba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12 (paper §6.5): cluster maintenance cost.
+//
+// Varies the skew factor to land on ~500 / 1000 / 2000 / 5000 moving clusters
+// (entity counts fixed) and reports SCUBA's cluster maintenance time (pre- +
+// post-join upkeep) alongside the SCUBA and REGULAR join times. Expected
+// shape: maintenance grows with the cluster count, but maintenance + SCUBA
+// join stays competitive with (paper: below) the regular operator's join.
+
+#include "bench/bench_common.h"
+
+namespace scuba::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 12", "cluster maintenance cost vs cluster count");
+  BenchScale scale = ReadScale();
+  const uint32_t total = scale.objects + scale.queries;
+
+  std::printf("%-10s %10s %14s %14s %14s %14s %14s\n", "target", "clusters",
+              "SCUBA maint(s)", "SCUBA join(s)", "SCUBA total", "REGULAR join",
+              "REGULAR total");
+  for (uint32_t target : {500u, 1000u, 2000u, 5000u}) {
+    uint32_t skew = std::max(1u, total / target);
+    ExperimentData data = BuildOrDie(DefaultConfig(skew));
+    BenchOutcome scuba = RunScuba(data, /*delta=*/2);
+    BenchOutcome regular = RunRegular(data, /*delta=*/2);
+    char label[32];
+    std::snprintf(label, sizeof(label), "~%u", target);
+    std::printf("%-10s %10zu %14.4f %14.4f %14.4f %14.4f %14.4f\n", label,
+                scuba.clusters, scuba.maintenance_seconds, scuba.join_seconds,
+                scuba.maintenance_seconds + scuba.join_seconds,
+                regular.join_seconds,
+                regular.maintenance_seconds + regular.join_seconds);
+  }
+  std::printf("\n(maintenance = ingest-side clustering + post-join upkeep, "
+              "cumulative over the run)\n");
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() {
+  scuba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 13 (paper §6.6): moving-cluster-driven load shedding.
+//
+// Sweeps the nucleus-to-cluster fraction eta over {0, 25, 50, 75, 100}% and
+// reports (a) the cumulative join time and (b) the answer accuracy measured
+// against SCUBA's own eta=0 output (exactly the paper's methodology: "we
+// compare the results outputted by SCUBA when eta = 0% to the ones output
+// when eta > 0%, calculating the number of false-negative and false-positive
+// results"). Expected shape: join time falls as eta grows; accuracy degrades
+// gracefully (paper: ~79% at eta = 50%).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/memory_usage.h"
+#include "eval/accuracy.h"
+#include "stream/pipeline.h"
+
+namespace scuba::bench {
+namespace {
+
+struct SheddingRun {
+  std::vector<ResultSet> rounds;
+  double join_seconds = 0.0;
+  uint64_t comparisons = 0;
+  size_t store_memory = 0;
+  uint64_t members_shed = 0;
+};
+
+SheddingRun RunWithEta(const ExperimentData& data, double eta) {
+  ScubaOptions options;
+  options.region = data.region;
+  if (eta > 0.0) {
+    options.shedding.mode = LoadSheddingMode::kFixed;
+    options.shedding.eta = eta;
+  }
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(options);
+  SCUBA_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+  SheddingRun run;
+  Status s = ReplayTrace(data.trace, engine->get(), /*delta=*/2,
+                         [&](Timestamp, const ResultSet& r) {
+                           run.rounds.push_back(r);
+                         });
+  SCUBA_CHECK_MSG(s.ok(), s.ToString().c_str());
+  run.join_seconds = (*engine)->stats().total_join_seconds;
+  run.comparisons = (*engine)->stats().comparisons;
+  run.store_memory = (*engine)->store().EstimateMemoryUsage();
+  run.members_shed = (*engine)->clusterer_stats().members_shed +
+                     (*engine)->phase_stats().members_shed_maintenance;
+  return run;
+}
+
+void Run() {
+  PrintBanner("Figure 13", "load shedding: join time & accuracy vs eta");
+  ExperimentConfig config = DefaultConfig(/*skew=*/100);
+  // Tracking-style query sizes: shedding's join-work savings show up when
+  // candidate tests dominate result emission.
+  config.workload.min_range = 25.0;
+  config.workload.max_range = 100.0;
+  ExperimentData data = BuildOrDie(config);
+  SheddingRun baseline = RunWithEta(data, 0.0);
+
+  std::printf("%-8s %12s %14s %12s %12s %12s %14s\n", "eta", "join(s)",
+              "comparisons", "accuracy", "precision", "recall", "store memory");
+  for (double eta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    SheddingRun run = (eta == 0.0) ? baseline : RunWithEta(data, eta);
+    AccuracyAccumulator acc;
+    SCUBA_CHECK(run.rounds.size() == baseline.rounds.size());
+    for (size_t i = 0; i < run.rounds.size(); ++i) {
+      acc.Add(CompareResults(baseline.rounds[i], run.rounds[i]));
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f%%", eta * 100.0);
+    std::printf("%-8s %12.4f %14llu %12.4f %12.4f %12.4f %14s\n", label,
+                run.join_seconds,
+                static_cast<unsigned long long>(run.comparisons),
+                acc.total().Accuracy(), acc.total().Precision(),
+                acc.total().Recall(), FormatBytes(run.store_memory).c_str());
+  }
+  std::printf("\n(accuracy per the paper: SCUBA eta=0 output is the reference; "
+              "eta = nucleus size / Theta_D)\n");
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() {
+  scuba::bench::Run();
+  return 0;
+}

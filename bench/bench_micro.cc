@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) of SCUBA's hot-path primitives:
+// geometry predicates, polar transforms, grid-index operations, cluster
+// absorb/refresh, Leader-Follower update routing, and the join-between test.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/leader_follower.h"
+#include "cluster/moving_cluster.h"
+#include "common/rng.h"
+#include "geometry/polar.h"
+#include "geometry/rect.h"
+#include "index/grid_index.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate MakeObj(ObjectId oid, Point p, double speed = 10.0,
+                       NodeId dest = 1) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = speed;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  return u;
+}
+
+void BM_PolarRoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  Point pole{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)};
+  Point p{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)};
+  for (auto _ : state) {
+    PolarCoord pc = ToPolar(p, pole);
+    benchmark::DoNotOptimize(FromPolar(pc, pole));
+  }
+}
+BENCHMARK(BM_PolarRoundTrip);
+
+void BM_CircleOverlap(benchmark::State& state) {
+  Circle a{{100, 100}, 50};
+  Circle b{{180, 100}, 40};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Overlaps(a, b));
+  }
+}
+BENCHMARK(BM_CircleOverlap);
+
+void BM_RectCircleIntersect(benchmark::State& state) {
+  Rect r{0, 0, 100, 100};
+  Circle c{{120, 50}, 30};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Intersects(r, c));
+  }
+}
+BENCHMARK(BM_RectCircleIntersect);
+
+void BM_GridInsertRemove(benchmark::State& state) {
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+  Rng rng(2);
+  uint32_t key = 0;
+  for (auto _ : state) {
+    Point p{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    benchmark::DoNotOptimize(grid.Insert(key, p));
+    benchmark::DoNotOptimize(grid.Remove(key));
+    ++key;
+  }
+}
+BENCHMARK(BM_GridInsertRemove);
+
+void BM_GridUpdateCircle(benchmark::State& state) {
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+  (void)grid.Insert(1, Circle{{5000, 5000}, static_cast<double>(state.range(0))});
+  Rng rng(3);
+  for (auto _ : state) {
+    Point c{rng.NextDouble(1000, 9000), rng.NextDouble(1000, 9000)};
+    benchmark::DoNotOptimize(
+        grid.Update(1, Circle{c, static_cast<double>(state.range(0))}));
+  }
+}
+BENCHMARK(BM_GridUpdateCircle)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_ClusterAbsorb(benchmark::State& state) {
+  Rng rng(4);
+  int64_t n = 0;
+  MovingCluster cluster = MovingCluster::FromObject(0, MakeObj(0, {500, 500}));
+  for (auto _ : state) {
+    if (n >= state.range(0)) {
+      state.PauseTiming();
+      cluster = MovingCluster::FromObject(0, MakeObj(0, {500, 500}));
+      n = 0;
+      state.ResumeTiming();
+    }
+    Point p{500 + rng.NextDouble(-80, 80), 500 + rng.NextDouble(-80, 80)};
+    cluster.AbsorbObject(MakeObj(static_cast<ObjectId>(++n), p));
+  }
+}
+BENCHMARK(BM_ClusterAbsorb)->Arg(64)->Arg(256);
+
+void BM_ClusterMemberRefresh(benchmark::State& state) {
+  Rng rng(5);
+  MovingCluster cluster = MovingCluster::FromObject(0, MakeObj(0, {500, 500}));
+  for (uint32_t i = 1; i < 100; ++i) {
+    Point p{500 + rng.NextDouble(-80, 80), 500 + rng.NextDouble(-80, 80)};
+    cluster.AbsorbObject(MakeObj(i, p));
+  }
+  uint32_t id = 0;
+  for (auto _ : state) {
+    Point p{500 + rng.NextDouble(-80, 80), 500 + rng.NextDouble(-80, 80)};
+    benchmark::DoNotOptimize(cluster.UpdateObjectMember(MakeObj(id, p)));
+    id = (id + 1) % 100;
+  }
+}
+BENCHMARK(BM_ClusterMemberRefresh);
+
+void BM_LeaderFollowerIngest(benchmark::State& state) {
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+  LeaderFollowerClusterer clusterer(ClustererOptions{}, &store, &grid);
+  Rng rng(6);
+  // Pre-populate 64 groups of co-travelling objects.
+  const uint32_t kEntities = 2048;
+  std::vector<LocationUpdate> updates;
+  for (uint32_t i = 0; i < kEntities; ++i) {
+    uint32_t group = i / 32;
+    Point base{(group % 8) * 1200.0 + 600.0, (group / 8) * 1200.0 + 600.0};
+    Point p{base.x + rng.NextDouble(-60, 60), base.y + rng.NextDouble(-60, 60)};
+    updates.push_back(MakeObj(i, p, 10.0, group));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    LocationUpdate u = updates[i % updates.size()];
+    // Drift so refreshes do real work.
+    u.position.x += rng.NextDouble(-5, 5);
+    benchmark::DoNotOptimize(clusterer.ProcessObjectUpdate(u));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LeaderFollowerIngest);
+
+void BM_RectContainsPoint(benchmark::State& state) {
+  Rect r{0, 0, 125, 125};
+  Point p{60, 60};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Contains(p));
+    p.x = p.x < 124 ? p.x + 0.001 : 0.0;
+  }
+}
+BENCHMARK(BM_RectContainsPoint);
+
+}  // namespace
+}  // namespace scuba
+
+BENCHMARK_MAIN();

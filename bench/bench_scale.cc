@@ -1,0 +1,52 @@
+// Scalability sweep (the paper's title claim): entity-count scaling at fixed
+// skew. Reports per-engine join time, ingest throughput and memory as the
+// population grows from 2,000 to 50,000 entities. Expected: SCUBA's join
+// scales with the number of *clusters* (population / skew), not entities,
+// while per-entity structures grow linearly everywhere.
+
+#include <cinttypes>
+
+#include "bench/bench_common.h"
+#include "common/memory_usage.h"
+
+namespace scuba::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Scalability", "entity-count sweep at skew 100");
+  std::printf("%-12s %10s %14s %14s %16s %14s %14s\n", "entities", "clusters",
+              "SCUBA join(s)", "REGULAR join(s)", "SCUBA ingest/s",
+              "SCUBA memory", "REGULAR memory");
+  const bool fast = ReadScale().objects <= 1000;
+  for (uint32_t half : fast ? std::vector<uint32_t>{500, 1000, 2000}
+                            : std::vector<uint32_t>{1000, 5000, 10000, 25000}) {
+    ExperimentConfig config = DefaultConfig(/*skew=*/100);
+    config.workload.num_objects = half;
+    config.workload.num_queries = half;
+    ExperimentData data = BuildOrDie(config);
+
+    BenchOutcome scuba = RunScuba(data, /*delta=*/2);
+    BenchOutcome regular = RunRegular(data, /*delta=*/2);
+    double ingest_rate =
+        scuba.maintenance_seconds > 0.0
+            ? static_cast<double>(data.trace.TotalUpdates()) /
+                  scuba.maintenance_seconds
+            : 0.0;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u", 2 * half);
+    std::printf("%-12s %10zu %14.4f %14.4f %16.0f %14s %14s\n", label,
+                scuba.clusters, scuba.join_seconds, regular.join_seconds,
+                ingest_rate, FormatBytes(scuba.peak_memory).c_str(),
+                FormatBytes(regular.peak_memory).c_str());
+  }
+  std::printf("\n(ingest/s = update tuples through the full clustering path "
+              "per maintenance second)\n");
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() {
+  scuba::bench::Run();
+  return 0;
+}

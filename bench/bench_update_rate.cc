@@ -1,0 +1,80 @@
+// Update-rate sweep (supplementary; the paper's §6.1 fixes the rate at 100%
+// "unless mentioned otherwise"). When only a fraction of entities report per
+// tick, SCUBA extrapolates silent members by cluster motion (the velocity
+// relocation of §4.2's post-join maintenance), while stateless engines reuse
+// each entity's last known position. Ground truth is the naive oracle on the
+// FULL trace of the identical simulation (motion is deterministic; the update
+// fraction only selects who reports), so the table shows how both policies
+// track the entities' true positions as updates get sparser.
+
+#include "baseline/naive_join_engine.h"
+#include "bench/bench_common.h"
+#include "eval/accuracy.h"
+#include "stream/pipeline.h"
+
+namespace scuba::bench {
+namespace {
+
+/// Per-round accuracy of `engine` (fed the partial trace) vs `truth`.
+AccuracyReport RunAgainstTruth(QueryProcessor* engine, const Trace& partial,
+                               const std::vector<ResultSet>& truth) {
+  AccuracyAccumulator acc;
+  size_t round = 0;
+  SCUBA_CHECK(ReplayTrace(partial, engine, 2,
+                          [&](Timestamp, const ResultSet& r) {
+                            acc.Add(CompareResults(truth[round++], r));
+                          })
+                  .ok());
+  SCUBA_CHECK(round == truth.size());
+  return acc.total();
+}
+
+void Run() {
+  PrintBanner("Update rate", "partial per-tick update fractions");
+  std::printf("%-10s | %10s %10s | %10s %10s | %12s\n", "fraction",
+              "SCUBA acc", "recall", "last-known", "recall", "SCUBA join(s)");
+  for (double fraction : {1.0, 0.75, 0.5, 0.25}) {
+    // Identical simulation; only who reports differs.
+    ExperimentConfig full_config = DefaultConfig(/*skew=*/100);
+    full_config.update_fraction = 1.0;
+    ExperimentData full = BuildOrDie(full_config);
+    ExperimentConfig partial_config = full_config;
+    partial_config.update_fraction = fraction;
+    ExperimentData partial = BuildOrDie(partial_config);
+
+    // Ground truth: true positions each round.
+    NaiveJoinEngine truth_engine;
+    std::vector<ResultSet> truth;
+    SCUBA_CHECK(ReplayTrace(full.trace, &truth_engine, 2,
+                            [&](Timestamp, const ResultSet& r) {
+                              truth.push_back(r);
+                            })
+                    .ok());
+
+    ScubaOptions opt;
+    opt.region = full.region;
+    Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+    SCUBA_CHECK(engine.ok());
+    AccuracyReport scuba_acc =
+        RunAgainstTruth(engine->get(), partial.trace, truth);
+
+    NaiveJoinEngine last_known;
+    AccuracyReport lk_acc = RunAgainstTruth(&last_known, partial.trace, truth);
+
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f%%", fraction * 100.0);
+    std::printf("%-10s | %10.4f %10.4f | %10.4f %10.4f | %12.4f\n", label,
+                scuba_acc.Accuracy(), scuba_acc.Recall(), lk_acc.Accuracy(),
+                lk_acc.Recall(), (*engine)->stats().total_join_seconds);
+  }
+  std::printf("\n(ground truth = naive oracle on the full trace; last-known = "
+              "naive oracle fed only the partial trace)\n");
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() {
+  scuba::bench::Run();
+  return 0;
+}

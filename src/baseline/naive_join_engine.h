@@ -1,0 +1,39 @@
+// NaiveJoinEngine: nested-loop oracle.
+//
+// Keeps only the latest update per entity and evaluates every query against
+// every object with the exact point-in-rectangle predicate. O(|O| x |Q|) per
+// round — far too slow for the paper's workloads, but it defines ground truth
+// for correctness and accuracy comparisons.
+
+#ifndef SCUBA_BASELINE_NAIVE_JOIN_ENGINE_H_
+#define SCUBA_BASELINE_NAIVE_JOIN_ENGINE_H_
+
+#include <unordered_map>
+
+#include "core/query_processor.h"
+
+namespace scuba {
+
+class NaiveJoinEngine : public QueryProcessor {
+ public:
+  NaiveJoinEngine() = default;
+
+  std::string_view name() const override { return "naive"; }
+  Status IngestObjectUpdate(const LocationUpdate& update) override;
+  Status IngestQueryUpdate(const QueryUpdate& update) override;
+  Status Evaluate(Timestamp now, ResultSet* results) override;
+  size_t EstimateMemoryUsage() const override;
+  const EvalStats& stats() const override { return stats_; }
+
+  size_t ObjectCount() const { return objects_.size(); }
+  size_t QueryCount() const { return queries_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, LocationUpdate> objects_;
+  std::unordered_map<QueryId, QueryUpdate> queries_;
+  EvalStats stats_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_BASELINE_NAIVE_JOIN_ENGINE_H_

@@ -1,0 +1,54 @@
+// QueryIndexEngine: the "Query Indexing" comparator from the paper's related
+// work ([29], Prabhakar et al.): index the *queries* in an R-tree and probe it
+// with each moving object's position.
+//
+// Our periodic variant rebuilds the STR-packed tree from the latest query
+// rectangles at every evaluation round (queries move, so the index cannot be
+// static); every object then probes the tree once. This keeps the comparison
+// honest under the paper's workload where queries are as mobile as objects.
+
+#ifndef SCUBA_BASELINE_QUERY_INDEX_ENGINE_H_
+#define SCUBA_BASELINE_QUERY_INDEX_ENGINE_H_
+
+#include <unordered_map>
+
+#include "core/query_processor.h"
+#include "index/rtree.h"
+
+namespace scuba {
+
+struct QueryIndexOptions {
+  /// R-tree node fan-out.
+  uint32_t max_node_entries = 16;
+
+  Status Validate() const;
+};
+
+class QueryIndexEngine : public QueryProcessor {
+ public:
+  explicit QueryIndexEngine(const QueryIndexOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "query-index"; }
+  Status IngestObjectUpdate(const LocationUpdate& update) override;
+  Status IngestQueryUpdate(const QueryUpdate& update) override;
+  Status Evaluate(Timestamp now, ResultSet* results) override;
+  size_t EstimateMemoryUsage() const override;
+  const EvalStats& stats() const override { return stats_; }
+
+  size_t ObjectCount() const { return objects_.size(); }
+  size_t QueryCount() const { return queries_.size(); }
+  /// Height of the query R-tree after the last Evaluate (observability).
+  uint32_t LastTreeHeight() const { return tree_.height(); }
+
+ private:
+  QueryIndexOptions options_;
+  std::unordered_map<ObjectId, LocationUpdate> objects_;
+  std::unordered_map<QueryId, QueryUpdate> queries_;
+  RTree tree_;
+  EvalStats stats_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_BASELINE_QUERY_INDEX_ENGINE_H_

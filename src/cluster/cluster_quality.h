@@ -1,0 +1,35 @@
+// Cluster-quality metrics for the incremental-vs-offline comparison (§6.4):
+// compactness (mean squared member-to-centroid distance), radii and
+// population statistics over a ClusterStore.
+
+#ifndef SCUBA_CLUSTER_CLUSTER_QUALITY_H_
+#define SCUBA_CLUSTER_CLUSTER_QUALITY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "cluster/cluster_store.h"
+
+namespace scuba {
+
+struct ClusterQuality {
+  size_t cluster_count = 0;
+  size_t member_count = 0;
+  size_t singleton_count = 0;   ///< Single-member clusters.
+  size_t mixed_count = 0;       ///< Clusters holding both objects and queries.
+  double avg_members = 0.0;
+  double avg_radius = 0.0;
+  double max_radius = 0.0;
+  /// Mean squared member-to-centroid distance (k-means inertia / member):
+  /// lower = more compact clustering.
+  double mean_squared_distance = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes quality metrics over every cluster in `store`.
+ClusterQuality EvaluateClusterQuality(const ClusterStore& store);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_CLUSTER_QUALITY_H_

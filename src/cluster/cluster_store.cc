@@ -1,0 +1,137 @@
+#include "cluster/cluster_store.h"
+
+#include <string>
+
+#include "common/memory_usage.h"
+
+namespace scuba {
+
+Status ClusterStore::AddCluster(MovingCluster cluster) {
+  ClusterId cid = cluster.cid();
+  if (clusters_.contains(cid)) {
+    return Status::AlreadyExists("cluster " + std::to_string(cid) +
+                                 " already stored");
+  }
+  for (const ClusterMember& m : cluster.members()) {
+    if (home_.contains(m.Ref())) {
+      return Status::AlreadyExists("member already belongs to another cluster");
+    }
+  }
+  for (const ClusterMember& m : cluster.members()) {
+    home_.emplace(m.Ref(), cid);
+  }
+  clusters_.emplace(cid, std::move(cluster));
+  return Status::OK();
+}
+
+MovingCluster* ClusterStore::GetCluster(ClusterId cid) {
+  auto it = clusters_.find(cid);
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+const MovingCluster* ClusterStore::GetCluster(ClusterId cid) const {
+  auto it = clusters_.find(cid);
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+Status ClusterStore::RemoveCluster(ClusterId cid) {
+  auto it = clusters_.find(cid);
+  if (it == clusters_.end()) {
+    return Status::NotFound("cluster " + std::to_string(cid) + " not stored");
+  }
+  for (const ClusterMember& m : it->second.members()) {
+    home_.erase(m.Ref());
+  }
+  clusters_.erase(it);
+  return Status::OK();
+}
+
+ClusterId ClusterStore::HomeOf(EntityRef ref) const {
+  auto it = home_.find(ref);
+  return it == home_.end() ? kInvalidClusterId : it->second;
+}
+
+Status ClusterStore::SetHome(EntityRef ref, ClusterId cid) {
+  if (!clusters_.contains(cid)) {
+    return Status::NotFound("cluster " + std::to_string(cid) + " not stored");
+  }
+  auto [it, inserted] = home_.emplace(ref, cid);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("entity already has a home cluster");
+  }
+  return Status::OK();
+}
+
+Status ClusterStore::ClearHome(EntityRef ref) {
+  if (home_.erase(ref) == 0) {
+    return Status::NotFound("entity has no home cluster");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ClusterStore::ObjectAttrs(ObjectId oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(oid) +
+                            " not in ObjectsTable");
+  }
+  return it->second;
+}
+
+Result<uint64_t> ClusterStore::QueryAttrs(QueryId qid) const {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(qid) +
+                            " not in QueriesTable");
+  }
+  return it->second;
+}
+
+void ClusterStore::Clear() {
+  clusters_.clear();
+  home_.clear();
+  objects_.clear();
+  queries_.clear();
+}
+
+Status ClusterStore::ValidateConsistency() const {
+  size_t member_total = 0;
+  for (const auto& [cid, cluster] : clusters_) {
+    if (cluster.cid() != cid) {
+      return Status::Internal("cluster stored under wrong id");
+    }
+    if (cluster.size() == 0) {
+      return Status::Internal("empty cluster " + std::to_string(cid) +
+                              " should have been dissolved");
+    }
+    member_total += cluster.size();
+    for (const ClusterMember& m : cluster.members()) {
+      auto it = home_.find(m.Ref());
+      if (it == home_.end()) {
+        return Status::Internal("member has no ClusterHome entry");
+      }
+      if (it->second != cid) {
+        return Status::Internal("member's ClusterHome points elsewhere");
+      }
+    }
+  }
+  if (member_total != home_.size()) {
+    return Status::Internal("ClusterHome has entries for non-members");
+  }
+  return Status::OK();
+}
+
+size_t ClusterStore::EstimateMemoryUsage() const {
+  size_t bytes = UnorderedMapMemoryUsage(clusters_) +
+                 UnorderedMapMemoryUsage(home_) +
+                 UnorderedMapMemoryUsage(objects_) +
+                 UnorderedMapMemoryUsage(queries_);
+  for (const auto& [cid, cluster] : clusters_) {
+    (void)cid;
+    bytes += cluster.EstimateMemoryUsage();
+  }
+  return bytes;
+}
+
+}  // namespace scuba

@@ -1,0 +1,86 @@
+// ClusterStore: SCUBA's in-memory tables (paper §4.1, Fig. 5).
+//
+// Bundles four of the paper's five data structures — ObjectsTable,
+// QueriesTable, ClusterHome (entity -> cluster map) and ClusterStorage
+// (cid -> MovingCluster) — behind one consistent API. The fifth structure,
+// ClusterGrid, is a GridIndex owned by the engine/clusterer.
+//
+// Membership invariant (checked by ValidateConsistency): entity e has
+// HomeOf(e) == cid  <=>  cluster cid contains a member with e's reference.
+
+#ifndef SCUBA_CLUSTER_CLUSTER_STORE_H_
+#define SCUBA_CLUSTER_CLUSTER_STORE_H_
+
+#include <unordered_map>
+
+#include "cluster/moving_cluster.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace scuba {
+
+class ClusterStore {
+ public:
+  /// Allocates a fresh cluster id (monotonic, never reused).
+  ClusterId NextClusterId() { return next_cid_++; }
+
+  /// Registers a cluster and home entries for all its members. Fails
+  /// (AlreadyExists) on a duplicate cid or if any member already has a home.
+  Status AddCluster(MovingCluster cluster);
+
+  /// Looks up a cluster; nullptr if absent.
+  MovingCluster* GetCluster(ClusterId cid);
+  const MovingCluster* GetCluster(ClusterId cid) const;
+
+  /// Drops a cluster and clears its members' home entries. NotFound if absent.
+  Status RemoveCluster(ClusterId cid);
+
+  /// Current cluster of an entity, or kInvalidClusterId.
+  ClusterId HomeOf(EntityRef ref) const;
+
+  /// Points `ref`'s home at `cid` (cluster must exist). AlreadyExists if the
+  /// entity already has a home — remove it first.
+  Status SetHome(EntityRef ref, ClusterId cid);
+
+  /// Clears an entity's home entry. NotFound if it had none.
+  Status ClearHome(EntityRef ref);
+
+  /// ObjectsTable / QueriesTable: descriptive attributes per entity.
+  void UpsertObjectAttrs(ObjectId oid, uint64_t attrs) { objects_[oid] = attrs; }
+  void UpsertQueryAttrs(QueryId qid, uint64_t attrs) { queries_[qid] = attrs; }
+  Result<uint64_t> ObjectAttrs(ObjectId oid) const;
+  Result<uint64_t> QueryAttrs(QueryId qid) const;
+  size_t ObjectsTableSize() const { return objects_.size(); }
+  size_t QueriesTableSize() const { return queries_.size(); }
+
+  size_t ClusterCount() const { return clusters_.size(); }
+  size_t HomeCount() const { return home_.size(); }
+
+  const std::unordered_map<ClusterId, MovingCluster>& clusters() const {
+    return clusters_;
+  }
+  std::unordered_map<ClusterId, MovingCluster>& mutable_clusters() {
+    return clusters_;
+  }
+
+  /// Removes everything.
+  void Clear();
+
+  /// Verifies the membership invariant; Internal status describing the first
+  /// violation, OK otherwise. Test/debug aid.
+  Status ValidateConsistency() const;
+
+  /// Analytic heap bytes across all four tables.
+  size_t EstimateMemoryUsage() const;
+
+ private:
+  ClusterId next_cid_ = 0;
+  std::unordered_map<ClusterId, MovingCluster> clusters_;
+  std::unordered_map<EntityRef, ClusterId, EntityRefHash> home_;
+  std::unordered_map<ObjectId, uint64_t> objects_;
+  std::unordered_map<QueryId, uint64_t> queries_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_CLUSTER_STORE_H_

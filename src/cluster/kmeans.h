@@ -1,0 +1,58 @@
+// K-means clustering: the paper's non-incremental baseline (§6.4).
+//
+// The paper compares SCUBA's incremental Leader–Follower clustering against
+// offline K-means run over the full snapshot of location updates, with k
+// estimated by a tracking counter over the number of unique destinations and
+// 1..10 Lloyd iterations. This module reproduces that baseline and can
+// populate a ClusterStore/ClusterGrid from the result so the identical SCUBA
+// join phase runs on K-means clusters.
+
+#ifndef SCUBA_CLUSTER_KMEANS_H_
+#define SCUBA_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_store.h"
+#include "common/status.h"
+#include "gen/update.h"
+#include "index/grid_index.h"
+
+namespace scuba {
+
+struct KMeansOptions {
+  /// Lloyd iterations to run (>= 1).
+  uint32_t iterations = 5;
+  /// Number of clusters; 0 derives k from the number of unique destination
+  /// nodes in the input (the paper's estimate).
+  uint32_t k = 0;
+};
+
+struct KMeansResult {
+  uint32_t k = 0;
+  uint32_t iterations_run = 0;
+  /// assignment[i] = cluster of input point i (objects first, then queries).
+  std::vector<uint32_t> assignment;
+  std::vector<Point> centroids;
+  /// Sum of squared point-to-centroid distances (clustering quality).
+  double inertia = 0.0;
+};
+
+/// Runs Lloyd's algorithm over the snapshot. Points are the update positions;
+/// initial centroids are the first update seen for each distinct destination
+/// node (deterministic). Fails on an empty snapshot or zero iterations.
+Result<KMeansResult> KMeansCluster(
+    const std::vector<LocationUpdate>& object_updates,
+    const std::vector<QueryUpdate>& query_updates, const KMeansOptions& options);
+
+/// Materializes the K-means output as MovingClusters in `store` + `grid`
+/// (store/grid must be empty) so the SCUBA join phase can run unchanged on
+/// non-incremental clusters.
+Status PopulateFromKMeans(const std::vector<LocationUpdate>& object_updates,
+                          const std::vector<QueryUpdate>& query_updates,
+                          const KMeansResult& result, ClusterStore* store,
+                          GridIndex* grid);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_KMEANS_H_

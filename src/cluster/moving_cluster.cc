@@ -1,0 +1,352 @@
+#include "cluster/moving_cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace scuba {
+
+namespace {
+
+/// Expiry horizon used when a cluster's average speed is ~0 (it would never
+/// reach its destination; keep it alive until members move again).
+constexpr Timestamp kFarFuture = 1'000'000'000;
+
+}  // namespace
+
+MovingCluster::MovingCluster(ClusterId cid, Point centroid, double speed,
+                             NodeId dest_node, Point dest_position)
+    : cid_(cid),
+      centroid_(centroid),
+      position_sum_(centroid),
+      speed_sum_(speed),
+      dest_node_(dest_node),
+      dest_position_(dest_position) {}
+
+MovingCluster MovingCluster::FromObject(ClusterId cid, const LocationUpdate& u) {
+  MovingCluster c(cid, u.position, u.speed, u.dest_node, u.dest_position);
+  ClusterMember m;
+  m.kind = EntityKind::kObject;
+  m.id = u.oid;
+  m.rel = PolarCoord{0.0, 0.0};
+  m.anchor = u.position;
+  m.speed = u.speed;
+  m.attrs = u.attrs;
+  m.update_time = u.time;
+  c.members_.push_back(m);
+  c.object_count_ = 1;
+  return c;
+}
+
+MovingCluster MovingCluster::FromQuery(ClusterId cid, const QueryUpdate& u) {
+  MovingCluster c(cid, u.position, u.speed, u.dest_node, u.dest_position);
+  ClusterMember m;
+  m.kind = EntityKind::kQuery;
+  m.id = u.qid;
+  m.rel = PolarCoord{0.0, 0.0};
+  m.anchor = u.position;
+  m.speed = u.speed;
+  m.attrs = u.attrs;
+  m.range_width = u.range_width;
+  m.range_height = u.range_height;
+  m.required_attrs = u.required_attrs;
+  m.update_time = u.time;
+  c.members_.push_back(m);
+  c.query_count_ = 1;
+  c.query_reach_ = MemberReach(m);
+  return c;
+}
+
+bool MovingCluster::SatisfiesJoinConditions(Point position, double speed,
+                                            NodeId dest, double theta_d,
+                                            double theta_s) const {
+  if (dest != dest_node_) return false;
+  if (SquaredDistance(position, centroid_) > theta_d * theta_d) return false;
+  double dv = speed - average_speed();
+  return dv >= -theta_s && dv <= theta_s;
+}
+
+double MovingCluster::MemberReach(const ClusterMember& m) {
+  if (m.kind != EntityKind::kQuery) return 0.0;
+  // A shed query's rectangle is approximated *at the nucleus center* with its
+  // original extent (paper semantics: accuracy loss includes false negatives),
+  // so shedding does not inflate the reach.
+  return std::hypot(m.range_width / 2.0, m.range_height / 2.0);
+}
+
+void MovingCluster::SetCentroid(Point c) {
+  // Existing members keep their anchors, so moving the centroid towards the
+  // new mean can strand them slightly outside the stored radius; grow it by
+  // the shift so the join-between filter stays conservative. Post-join
+  // maintenance tightens it again (RecomputeTightBounds).
+  radius_ += Distance(centroid_, c);
+  centroid_ = c;
+}
+
+void MovingCluster::AbsorbCommon(ClusterMember m, Point position) {
+  const double n_new = static_cast<double>(members_.size() + 1);
+  position_sum_.x += position.x;
+  position_sum_.y += position.y;
+  Point new_centroid{position_sum_.x / n_new, position_sum_.y / n_new};
+
+  // Anchor the member so reconstruction returns `position` exactly.
+  m.anchor = new_centroid - translation_;
+  m.rel = ToPolar(position, new_centroid);
+
+  speed_sum_ += m.speed;
+  if (m.kind == EntityKind::kObject) {
+    ++object_count_;
+  } else {
+    ++query_count_;
+  }
+  members_.push_back(m);
+  query_reach_ = std::max(query_reach_, MemberReach(members_.back()));
+  SetCentroid(new_centroid);
+  radius_ = std::max(radius_, Distance(new_centroid, position));
+}
+
+void MovingCluster::AbsorbObject(const LocationUpdate& u) {
+  ClusterMember m;
+  m.kind = EntityKind::kObject;
+  m.id = u.oid;
+  m.speed = u.speed;
+  m.attrs = u.attrs;
+  m.update_time = u.time;
+  AbsorbCommon(m, u.position);
+}
+
+void MovingCluster::AbsorbQuery(const QueryUpdate& u) {
+  ClusterMember m;
+  m.kind = EntityKind::kQuery;
+  m.id = u.qid;
+  m.speed = u.speed;
+  m.attrs = u.attrs;
+  m.range_width = u.range_width;
+  m.range_height = u.range_height;
+  m.required_attrs = u.required_attrs;
+  m.update_time = u.time;
+  AbsorbCommon(m, u.position);
+}
+
+Status MovingCluster::UpdateCommon(EntityRef ref, Point position, double speed,
+                                   uint64_t attrs, Timestamp time,
+                                   double range_w, double range_h,
+                                   uint64_t required_attrs) {
+  auto it = std::find_if(members_.begin(), members_.end(),
+                         [&](const ClusterMember& m) { return m.Ref() == ref; });
+  if (it == members_.end()) {
+    return Status::NotFound("entity is not a member of this cluster");
+  }
+  Point old_pos = MemberPosition(*it);
+  position_sum_.x += position.x - old_pos.x;
+  position_sum_.y += position.y - old_pos.y;
+  const double n = static_cast<double>(members_.size());
+  Point new_centroid{position_sum_.x / n, position_sum_.y / n};
+
+  speed_sum_ += speed - it->speed;
+  it->speed = speed;
+  it->attrs = attrs;
+  it->update_time = time;
+  it->range_width = range_w;
+  it->range_height = range_h;
+  it->required_attrs = required_attrs;
+  it->anchor = new_centroid - translation_;
+  it->rel = ToPolar(position, new_centroid);
+  it->shed = false;
+  it->approx_radius = 0.0;
+  query_reach_ = std::max(query_reach_, MemberReach(*it));
+
+  SetCentroid(new_centroid);
+  radius_ = std::max(radius_, Distance(new_centroid, position));
+  return Status::OK();
+}
+
+Status MovingCluster::UpdateObjectMember(const LocationUpdate& u) {
+  return UpdateCommon(EntityRef{EntityKind::kObject, u.oid}, u.position,
+                      u.speed, u.attrs, u.time, 0.0, 0.0, 0);
+}
+
+Status MovingCluster::UpdateQueryMember(const QueryUpdate& u) {
+  return UpdateCommon(EntityRef{EntityKind::kQuery, u.qid}, u.position, u.speed,
+                      u.attrs, u.time, u.range_width, u.range_height,
+                      u.required_attrs);
+}
+
+Status MovingCluster::RemoveMember(EntityRef ref) {
+  auto it = std::find_if(members_.begin(), members_.end(),
+                         [&](const ClusterMember& m) { return m.Ref() == ref; });
+  if (it == members_.end()) {
+    return Status::NotFound("entity is not a member of this cluster");
+  }
+  Point pos = MemberPosition(*it);
+  position_sum_.x -= pos.x;
+  position_sum_.y -= pos.y;
+  speed_sum_ -= it->speed;
+  if (it->kind == EntityKind::kObject) {
+    --object_count_;
+  } else {
+    --query_count_;
+  }
+  *it = members_.back();
+  members_.pop_back();
+  if (!members_.empty()) {
+    const double n = static_cast<double>(members_.size());
+    SetCentroid(Point{position_sum_.x / n, position_sum_.y / n});
+  }
+  return Status::OK();
+}
+
+const ClusterMember* MovingCluster::FindMember(EntityRef ref) const {
+  auto it = std::find_if(members_.begin(), members_.end(),
+                         [&](const ClusterMember& m) { return m.Ref() == ref; });
+  return it == members_.end() ? nullptr : &*it;
+}
+
+Vec2 MovingCluster::Velocity() const {
+  Vec2 dir = (dest_position_ - centroid_).Normalized();
+  return dir * average_speed();
+}
+
+Timestamp MovingCluster::ComputeExpiryTime(Timestamp now) const {
+  double speed = average_speed();
+  if (speed <= 1e-9) return now + kFarFuture;
+  double ticks = Distance(centroid_, dest_position_) / speed;
+  if (ticks >= static_cast<double>(kFarFuture)) return now + kFarFuture;
+  return now + static_cast<Timestamp>(ticks) + 1;
+}
+
+void MovingCluster::Translate(Vec2 delta) {
+  translation_ += delta;
+  centroid_ += delta;
+  position_sum_.x += delta.x * static_cast<double>(members_.size());
+  position_sum_.y += delta.y * static_cast<double>(members_.size());
+}
+
+void MovingCluster::RecomputeTightBounds() {
+  if (members_.empty()) {
+    radius_ = 0.0;
+    query_reach_ = 0.0;
+    has_nucleus_ = false;
+    nucleus_radius_ = 0.0;
+    return;
+  }
+  // Exact members anchor themselves; shed members are defined to sit at the
+  // nucleus, which we re-anchor to the new centroid so it travels with the
+  // cluster. The centroid fixed point is then the mean of the exact members.
+  Point exact_sum{0.0, 0.0};
+  size_t exact_count = 0;
+  for (const ClusterMember& m : members_) {
+    if (m.shed) continue;
+    Point p = MemberPosition(m);
+    exact_sum.x += p.x;
+    exact_sum.y += p.y;
+    ++exact_count;
+  }
+  const size_t shed_count = members_.size() - exact_count;
+  if (exact_count > 0) {
+    centroid_ = Point{exact_sum.x / static_cast<double>(exact_count),
+                      exact_sum.y / static_cast<double>(exact_count)};
+  } else {
+    // Every member is shed: the cluster collapses onto its nucleus center.
+    centroid_ = NucleusCenter();
+  }
+  if (shed_count > 0) {
+    nucleus_anchor_ = centroid_ - translation_;
+    for (ClusterMember& m : members_) {
+      if (m.shed) m.anchor = nucleus_anchor_;
+    }
+    has_nucleus_ = true;
+  } else {
+    has_nucleus_ = false;
+    nucleus_radius_ = 0.0;
+  }
+  position_sum_ =
+      Point{exact_sum.x + static_cast<double>(shed_count) * centroid_.x,
+            exact_sum.y + static_cast<double>(shed_count) * centroid_.y};
+
+  double max_d = 0.0;
+  double reach = 0.0;
+  for (const ClusterMember& m : members_) {
+    // Radius covers the members' *reconstructed* positions. A shed member's
+    // true position may lie up to Theta_N further out; covering that
+    // uncertainty would only preserve approximation-induced false positives
+    // at the cost of a much coarser join-between filter, so we accept the
+    // (paper-sanctioned) extra false negatives instead.
+    max_d = std::max(max_d, Distance(centroid_, MemberPosition(m)));
+    reach = std::max(reach, MemberReach(m));
+  }
+  radius_ = max_d;
+  query_reach_ = reach;
+}
+
+void MovingCluster::EnsureNucleus(double nucleus_radius) {
+  if (!has_nucleus_) {
+    has_nucleus_ = true;
+    nucleus_anchor_ = centroid_ - translation_;
+    nucleus_radius_ = nucleus_radius;
+  } else {
+    nucleus_radius_ = std::max(nucleus_radius_, nucleus_radius);
+  }
+}
+
+void MovingCluster::ShedMemberAt(size_t index, Point nucleus_center) {
+  ClusterMember& m = members_[index];
+  Point pos = MemberPosition(m);
+  position_sum_.x += nucleus_center.x - pos.x;
+  position_sum_.y += nucleus_center.y - pos.y;
+  m.rel = PolarCoord{0.0, 0.0};
+  m.anchor = nucleus_anchor_;
+  m.shed = true;
+  m.approx_radius = nucleus_radius_;
+}
+
+size_t MovingCluster::ShedPositions(double nucleus_radius) {
+  if (nucleus_radius <= 0.0 || members_.empty()) return 0;
+  EnsureNucleus(nucleus_radius);
+  const Point nc = NucleusCenter();
+  const double r2 = nucleus_radius_ * nucleus_radius_;
+  size_t shed_count = 0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].shed) continue;
+    if (SquaredDistance(MemberPosition(members_[i]), nc) > r2) continue;
+    ShedMemberAt(i, nc);
+    ++shed_count;
+  }
+  if (shed_count > 0) {
+    const double n = static_cast<double>(members_.size());
+    SetCentroid(Point{position_sum_.x / n, position_sum_.y / n});
+  }
+  return shed_count;
+}
+
+bool MovingCluster::ShedMemberIfInNucleus(EntityRef ref, double nucleus_radius) {
+  if (nucleus_radius <= 0.0) return false;
+  auto it = std::find_if(members_.begin(), members_.end(),
+                         [&](const ClusterMember& m) { return m.Ref() == ref; });
+  if (it == members_.end() || it->shed) return false;
+  EnsureNucleus(nucleus_radius);
+  const Point nc = NucleusCenter();
+  if (SquaredDistance(MemberPosition(*it), nc) >
+      nucleus_radius_ * nucleus_radius_) {
+    return false;
+  }
+  ShedMemberAt(static_cast<size_t>(it - members_.begin()), nc);
+  const double n = static_cast<double>(members_.size());
+  SetCentroid(Point{position_sum_.x / n, position_sum_.y / n});
+  return true;
+}
+
+size_t MovingCluster::EstimateMemoryUsage() const {
+  // A maintained member pays for its full record; a shed member's position
+  // state (polar coordinate + anchor) is discarded (paper §5).
+  constexpr size_t kPositionBytes = sizeof(PolarCoord) + sizeof(Point);
+  size_t bytes = sizeof(MovingCluster);
+  for (const ClusterMember& m : members_) {
+    bytes += sizeof(ClusterMember);
+    if (m.shed) bytes -= kPositionBytes;
+  }
+  return bytes;
+}
+
+}  // namespace scuba

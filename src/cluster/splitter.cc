@@ -1,0 +1,160 @@
+#include "cluster/splitter.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace scuba {
+
+namespace {
+
+struct MemberAt {
+  const ClusterMember* member;
+  Point position;
+};
+
+LocationUpdate ObjectUpdateFrom(const ClusterMember& m, Point position,
+                                const MovingCluster& cluster) {
+  LocationUpdate u;
+  u.oid = m.id;
+  u.position = position;
+  u.time = m.update_time;
+  u.speed = m.speed;
+  u.dest_node = cluster.dest_node();
+  u.dest_position = cluster.dest_position();
+  u.attrs = m.attrs;
+  return u;
+}
+
+QueryUpdate QueryUpdateFrom(const ClusterMember& m, Point position,
+                            const MovingCluster& cluster) {
+  QueryUpdate u;
+  u.qid = m.id;
+  u.position = position;
+  u.time = m.update_time;
+  u.speed = m.speed;
+  u.dest_node = cluster.dest_node();
+  u.dest_position = cluster.dest_position();
+  u.range_width = m.range_width;
+  u.range_height = m.range_height;
+  u.attrs = m.attrs;
+  u.required_attrs = m.required_attrs;
+  return u;
+}
+
+/// Builds a new cluster with id `cid` from the given members of `source`.
+MovingCluster BuildFrom(const std::vector<MemberAt>& members, ClusterId cid,
+                        const MovingCluster& source) {
+  SCUBA_CHECK(!members.empty());
+  const MemberAt& first = members[0];
+  MovingCluster cluster =
+      first.member->kind == EntityKind::kObject
+          ? MovingCluster::FromObject(
+                cid, ObjectUpdateFrom(*first.member, first.position, source))
+          : MovingCluster::FromQuery(
+                cid, QueryUpdateFrom(*first.member, first.position, source));
+  for (size_t i = 1; i < members.size(); ++i) {
+    const MemberAt& ma = members[i];
+    if (ma.member->kind == EntityKind::kObject) {
+      cluster.AbsorbObject(ObjectUpdateFrom(*ma.member, ma.position, source));
+    } else {
+      cluster.AbsorbQuery(QueryUpdateFrom(*ma.member, ma.position, source));
+    }
+  }
+  cluster.RecomputeTightBounds();
+  return cluster;
+}
+
+}  // namespace
+
+bool ShouldSplit(const MovingCluster& cluster, double max_radius) {
+  return cluster.size() >= 2 && cluster.radius() > max_radius;
+}
+
+Result<SplitResult> SplitCluster(const MovingCluster& cluster,
+                                 ClusterId left_cid, ClusterId right_cid) {
+  if (cluster.size() < 2) {
+    return Status::FailedPrecondition("cannot split a cluster of fewer than 2");
+  }
+  std::vector<MemberAt> members;
+  members.reserve(cluster.size());
+  for (const ClusterMember& m : cluster.members()) {
+    members.push_back(MemberAt{&m, cluster.MemberPosition(m)});
+  }
+
+  // Seed with the two mutually farthest points (greedy 2-sweep).
+  size_t a = 0;
+  for (size_t i = 1; i < members.size(); ++i) {
+    if (SquaredDistance(members[0].position, members[i].position) >
+        SquaredDistance(members[0].position, members[a].position)) {
+      a = i;
+    }
+  }
+  size_t b = a == 0 ? 1 : 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i == a) continue;
+    if (SquaredDistance(members[a].position, members[i].position) >
+        SquaredDistance(members[a].position, members[b].position)) {
+      b = i;
+    }
+  }
+  if (members[a].position == members[b].position) {
+    return Status::FailedPrecondition("all members are co-located");
+  }
+
+  Point seed_left = members[a].position;
+  Point seed_right = members[b].position;
+  std::vector<bool> goes_left(members.size(), false);
+
+  // Deterministic 2-means (few iterations converge on these sizes).
+  for (int iter = 0; iter < 8; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < members.size(); ++i) {
+      bool left = SquaredDistance(members[i].position, seed_left) <=
+                  SquaredDistance(members[i].position, seed_right);
+      if (left != goes_left[i]) {
+        goes_left[i] = left;
+        changed = true;
+      }
+    }
+    Point sum_l{0, 0};
+    Point sum_r{0, 0};
+    size_t n_l = 0;
+    size_t n_r = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (goes_left[i]) {
+        sum_l.x += members[i].position.x;
+        sum_l.y += members[i].position.y;
+        ++n_l;
+      } else {
+        sum_r.x += members[i].position.x;
+        sum_r.y += members[i].position.y;
+        ++n_r;
+      }
+    }
+    if (n_l == 0 || n_r == 0) {
+      // Degenerate assignment; force the seeds apart.
+      goes_left.assign(members.size(), false);
+      goes_left[a] = true;
+      break;
+    }
+    seed_left = Point{sum_l.x / static_cast<double>(n_l),
+                      sum_l.y / static_cast<double>(n_l)};
+    seed_right = Point{sum_r.x / static_cast<double>(n_r),
+                       sum_r.y / static_cast<double>(n_r)};
+    if (!changed) break;
+  }
+
+  std::vector<MemberAt> left_members;
+  std::vector<MemberAt> right_members;
+  for (size_t i = 0; i < members.size(); ++i) {
+    (goes_left[i] ? left_members : right_members).push_back(members[i]);
+  }
+  SCUBA_CHECK(!left_members.empty() && !right_members.empty());
+
+  SplitResult result{BuildFrom(left_members, left_cid, cluster),
+                     BuildFrom(right_members, right_cid, cluster)};
+  return result;
+}
+
+}  // namespace scuba

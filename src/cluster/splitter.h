@@ -1,0 +1,44 @@
+// Cluster splitting: quality maintenance for deteriorating clusters.
+//
+// The paper (§3.1) dissolves a cluster when it reaches its destination and
+// explicitly defers alternatives: "Alternate options are possible here (e.g.,
+// splitting a moving cluster). We plan to explore this as part of our future
+// work." This module implements that option: when a cluster's covering radius
+// deteriorates past a threshold, its members are re-partitioned into two
+// clusters by a deterministic 2-means pass, restoring compactness without
+// waiting for the destination (tighter clusters = a sharper join-between
+// filter; see the clustering quality discussion in §3.1).
+
+#ifndef SCUBA_CLUSTER_SPLITTER_H_
+#define SCUBA_CLUSTER_SPLITTER_H_
+
+#include <utility>
+
+#include "cluster/moving_cluster.h"
+#include "common/status.h"
+
+namespace scuba {
+
+/// Outcome of splitting one cluster into two.
+struct SplitResult {
+  MovingCluster left;
+  MovingCluster right;
+};
+
+/// True iff `cluster` is a splitting candidate: at least two members and a
+/// covering radius above `max_radius`.
+bool ShouldSplit(const MovingCluster& cluster, double max_radius);
+
+/// Partitions `cluster`'s members into two new clusters (ids `left_cid` /
+/// `right_cid`) via deterministic 2-means on reconstructed positions, seeded
+/// with the two mutually farthest of the first members. Shed members
+/// participate at their nucleus position and come out un-shed (their best
+/// estimate becomes their position; the shedder re-sheds them next round).
+/// Fails (FailedPrecondition) when the cluster has fewer than two members or
+/// all members are co-located (nothing to split).
+Result<SplitResult> SplitCluster(const MovingCluster& cluster,
+                                 ClusterId left_cid, ClusterId right_cid);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_SPLITTER_H_

@@ -1,0 +1,31 @@
+// SCUBA_CHECK: internal invariant assertions.
+//
+// These fire on programming errors (broken invariants), not on bad user input;
+// user-facing validation returns Status instead. Checks are always on — the
+// cost is negligible relative to the joins they guard.
+
+#ifndef SCUBA_COMMON_CHECK_H_
+#define SCUBA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SCUBA_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SCUBA_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define SCUBA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SCUBA_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#endif  // SCUBA_COMMON_CHECK_H_

@@ -1,0 +1,48 @@
+// Histogram: streaming summary statistics (count/mean/min/max/stddev and
+// approximate percentiles) used by the experiment harness to report per-phase
+// timings the way the paper reports join times.
+
+#ifndef SCUBA_COMMON_HISTOGRAM_H_
+#define SCUBA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scuba {
+
+/// Accumulates double-valued samples. Percentiles are exact (samples are
+/// retained); this is an experiment-harness tool, not a hot-path structure.
+class Histogram {
+ public:
+  void Add(double value);
+
+  /// Merges all samples of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Population standard deviation; 0 for fewer than 2 samples.
+  double StdDev() const;
+  /// Exact percentile via nearest-rank on sorted samples; p in [0,100].
+  /// Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// One-line summary: "count=.. mean=.. min=.. p50=.. p99=.. max=..".
+  std::string ToString() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  mutable std::vector<double> sorted_;   // cache for percentile queries
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_COMMON_HISTOGRAM_H_

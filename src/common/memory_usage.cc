@@ -1,0 +1,28 @@
+#include "common/memory_usage.h"
+
+#include <cstdio>
+
+namespace scuba {
+
+size_t StringMemoryUsage(const std::string& s) {
+  // libstdc++ SSO buffer is 15 chars; longer strings heap-allocate capacity+1.
+  if (s.capacity() <= 15) return 0;
+  return s.capacity() + 1;
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace scuba

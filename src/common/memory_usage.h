@@ -1,0 +1,51 @@
+// Analytic memory accounting.
+//
+// Figure 9b of the paper compares memory consumption of the regular grid-based
+// operator (one grid entry per object/query) against SCUBA (one grid entry per
+// cluster). We reproduce that comparison with deterministic byte accounting:
+// every container-bearing structure exposes EstimateMemoryUsage() built from
+// the helpers here, instead of sampling process RSS (which is allocator- and
+// platform-dependent and non-reproducible).
+
+#ifndef SCUBA_COMMON_MEMORY_USAGE_H_
+#define SCUBA_COMMON_MEMORY_USAGE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace scuba {
+
+/// Heap bytes held by a vector's buffer (capacity, not size — that is what the
+/// process actually pays for).
+template <typename T>
+size_t VectorMemoryUsage(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Approximate heap bytes of an unordered_map: bucket array plus one node per
+/// element (node = value_type + next pointer + cached hash, as in libstdc++).
+template <typename K, typename V, typename H, typename E, typename A>
+size_t UnorderedMapMemoryUsage(const std::unordered_map<K, V, H, E, A>& m) {
+  const size_t node_bytes = sizeof(std::pair<const K, V>) + 2 * sizeof(void*);
+  return m.bucket_count() * sizeof(void*) + m.size() * node_bytes;
+}
+
+/// Approximate heap bytes of an unordered_set (same node model as the map).
+template <typename K, typename H, typename E, typename A>
+size_t UnorderedSetMemoryUsage(const std::unordered_set<K, H, E, A>& s) {
+  const size_t node_bytes = sizeof(K) + 2 * sizeof(void*);
+  return s.bucket_count() * sizeof(void*) + s.size() * node_bytes;
+}
+
+/// Heap bytes of a string (0 when the small-string optimization applies).
+size_t StringMemoryUsage(const std::string& s);
+
+/// Formats a byte count as "12.3 MB" / "4.5 KB" / "123 B".
+std::string FormatBytes(size_t bytes);
+
+}  // namespace scuba
+
+#endif  // SCUBA_COMMON_MEMORY_USAGE_H_

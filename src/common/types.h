@@ -1,0 +1,57 @@
+// Core identifier and time types shared across SCUBA modules.
+//
+// The paper's motion model (§2) is discrete-time: location updates arrive each
+// time unit and queries are evaluated every Δ time units. Timestamp is an
+// integer tick; speeds are spatial-units per tick.
+
+#ifndef SCUBA_COMMON_TYPES_H_
+#define SCUBA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace scuba {
+
+/// Discrete simulation time, in ticks.
+using Timestamp = int64_t;
+
+/// Identifier of a moving object (o.oid in the paper).
+using ObjectId = uint32_t;
+
+/// Identifier of a continuous query (q.qid).
+using QueryId = uint32_t;
+
+/// Identifier of a moving cluster (m.cid).
+using ClusterId = uint32_t;
+
+/// Identifier of a road-network connection node.
+using NodeId = uint32_t;
+
+/// Identifier of a road segment (directed edge) in the road network.
+using EdgeId = uint32_t;
+
+inline constexpr ClusterId kInvalidClusterId = UINT32_MAX;
+inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
+inline constexpr EdgeId kInvalidEdgeId = UINT32_MAX;
+
+/// Kind of a moving entity; the paper clusters both objects and queries.
+enum class EntityKind : uint8_t { kObject = 0, kQuery = 1 };
+
+/// Uniquely names a moving entity of either kind (the ClusterHome key).
+struct EntityRef {
+  EntityKind kind = EntityKind::kObject;
+  uint32_t id = 0;
+
+  friend bool operator==(const EntityRef&, const EntityRef&) = default;
+};
+
+struct EntityRefHash {
+  size_t operator()(const EntityRef& e) const {
+    // Kind occupies one high bit; ids are 32-bit.
+    return std::hash<uint64_t>()((static_cast<uint64_t>(e.kind) << 32) | e.id);
+  }
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_COMMON_TYPES_H_

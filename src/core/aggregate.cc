@@ -1,0 +1,88 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace scuba {
+
+namespace {
+
+/// Cluster ids whose registered cells overlap `region`.
+std::vector<uint32_t> CandidateClusters(const GridIndex& grid,
+                                        const Rect& region) {
+  std::vector<uint32_t> out;
+  grid.CollectInRect(region, &out);
+  return out;
+}
+
+}  // namespace
+
+double DiskFractionInRect(const Circle& c, const Rect& region) {
+  if (c.radius <= 0.0) {
+    return region.Contains(c.center) ? 1.0 : 0.0;
+  }
+  // Quick outs.
+  Rect disk_box{c.center.x - c.radius, c.center.y - c.radius,
+                c.center.x + c.radius, c.center.y + c.radius};
+  if (!Intersects(region, c)) return 0.0;
+  if (region.Contains(disk_box)) return 1.0;
+
+  // Midpoint rule over horizontal slices of the disk clipped to the rect.
+  constexpr int kSlices = 64;
+  const double dy = 2.0 * c.radius / kSlices;
+  double covered = 0.0;
+  double total = 0.0;
+  for (int i = 0; i < kSlices; ++i) {
+    double y = c.center.y - c.radius + (i + 0.5) * dy;
+    double half_w_sq = c.radius * c.radius - (y - c.center.y) * (y - c.center.y);
+    if (half_w_sq <= 0.0) continue;
+    double half_w = std::sqrt(half_w_sq);
+    double x0 = c.center.x - half_w;
+    double x1 = c.center.x + half_w;
+    total += (x1 - x0) * dy;
+    if (y < region.min_y || y > region.max_y) continue;
+    double cx0 = std::max(x0, region.min_x);
+    double cx1 = std::min(x1, region.max_x);
+    if (cx1 > cx0) covered += (cx1 - cx0) * dy;
+  }
+  if (total <= 0.0) return 0.0;
+  return std::clamp(covered / total, 0.0, 1.0);
+}
+
+Result<size_t> ExactObjectCount(const ClusterStore& store,
+                                const GridIndex& cluster_grid,
+                                const Rect& region) {
+  if (region.Empty()) {
+    return Status::InvalidArgument("aggregate region is empty");
+  }
+  size_t count = 0;
+  for (uint32_t cid : CandidateClusters(cluster_grid, region)) {
+    const MovingCluster* cluster = store.GetCluster(cid);
+    if (cluster == nullptr) continue;
+    if (cluster->object_count() == 0) continue;
+    for (const ClusterMember& m : cluster->members()) {
+      if (m.kind != EntityKind::kObject) continue;
+      if (region.Contains(cluster->MemberPosition(m))) ++count;
+    }
+  }
+  return count;
+}
+
+Result<double> EstimateObjectCount(const ClusterStore& store,
+                                   const GridIndex& cluster_grid,
+                                   const Rect& region) {
+  if (region.Empty()) {
+    return Status::InvalidArgument("aggregate region is empty");
+  }
+  double estimate = 0.0;
+  for (uint32_t cid : CandidateClusters(cluster_grid, region)) {
+    const MovingCluster* cluster = store.GetCluster(cid);
+    if (cluster == nullptr || cluster->object_count() == 0) continue;
+    double fraction = DiskFractionInRect(cluster->Bounds(), region);
+    estimate += fraction * static_cast<double>(cluster->object_count());
+  }
+  return estimate;
+}
+
+}  // namespace scuba

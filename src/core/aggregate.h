@@ -1,0 +1,43 @@
+// Cluster-based aggregate queries (paper §1): "clusters themselves serve as
+// summaries of the objects they contain (i.e., aggregate) ... This can
+// facilitate in answering some of the aggregate queries."
+//
+// Two evaluation modes over a region:
+//  * ExactObjectCount — reconstructs member positions of the clusters whose
+//    bounds overlap the region (grid-pruned, still exact);
+//  * EstimateObjectCount — touches only cluster summaries (centroid, radius,
+//    object count): each overlapping cluster contributes its object count
+//    scaled by the fraction of its disk inside the region. O(#clusters in
+//    region) instead of O(#members), with accuracy tied to cluster
+//    compactness — exactly the summary trade-off the paper sketches.
+
+#ifndef SCUBA_CORE_AGGREGATE_H_
+#define SCUBA_CORE_AGGREGATE_H_
+
+#include "cluster/cluster_store.h"
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "index/grid_index.h"
+
+namespace scuba {
+
+/// Exact number of (non-shed-exact or nucleus-reconstructed) object positions
+/// inside `region`. Uses the cluster grid to prune. Fails on an empty region.
+Result<size_t> ExactObjectCount(const ClusterStore& store,
+                                const GridIndex& cluster_grid,
+                                const Rect& region);
+
+/// Summary-only estimate of the object count inside `region` (see file
+/// comment). Fails on an empty region.
+Result<double> EstimateObjectCount(const ClusterStore& store,
+                                   const GridIndex& cluster_grid,
+                                   const Rect& region);
+
+/// Fraction of disk `c` lying inside `region`, estimated deterministically by
+/// integrating the circle's horizontal slices clipped to the rectangle
+/// (64-slice midpoint rule; exact for the full-overlap and no-overlap cases).
+double DiskFractionInRect(const Circle& c, const Rect& region);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_AGGREGATE_H_

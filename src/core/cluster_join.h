@@ -1,0 +1,106 @@
+// ClusterJoinExecutor: the cluster-based joining phase (paper §4, Algorithms
+// 1-3), decoupled from the engine so it can run over any populated
+// ClusterStore/ClusterGrid — the engine's incrementally maintained clusters,
+// or clusters built offline by K-means (the §6.4 comparison).
+//
+// Per grid cell, every kind-complementary cluster pair goes through the cheap
+// circle-overlap join-between; overlapping pairs (and mixed clusters, against
+// themselves) proceed to the member-level join-within. Shed members are
+// grouped per nucleus so one predicate covers the whole group (§5).
+
+#ifndef SCUBA_CORE_CLUSTER_JOIN_H_
+#define SCUBA_CORE_CLUSTER_JOIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster_store.h"
+#include "common/status.h"
+#include "core/result_set.h"
+#include "index/grid_index.h"
+
+namespace scuba {
+
+class ClusterJoinExecutor {
+ public:
+  /// Cumulative counters across Execute() calls.
+  struct Counters {
+    uint64_t comparisons = 0;           ///< Individual predicate evaluations.
+    uint64_t pairs_tested = 0;          ///< Join-between tests.
+    uint64_t pairs_overlapping = 0;     ///< Join-between positives.
+    uint64_t within_joins_single = 0;   ///< Same-cluster join-within runs.
+    uint64_t within_joins_pair = 0;     ///< Cross-cluster join-within runs.
+  };
+
+  /// query_reach_aware selects the lossless inflated join-between bounds
+  /// (default) versus the paper's pure member circles (ablation).
+  explicit ClusterJoinExecutor(bool query_reach_aware = true)
+      : query_reach_aware_(query_reach_aware) {}
+
+  /// Runs one full joining phase: every cluster in `grid` must exist in
+  /// `store`. Results are normalized.
+  Status Execute(const ClusterStore& store, const GridIndex& grid,
+                 ResultSet* results);
+
+  const Counters& counters() const { return counters_; }
+
+  /// Scratch-space heap footprint (pair-dedup set + view cache).
+  size_t EstimateMemoryUsage() const;
+
+ private:
+  /// An exact (non-shed) object member, position precomputed.
+  struct ExactObject {
+    Point position;
+    ObjectId oid;
+    uint64_t attrs;  ///< For query attribute predicates.
+  };
+  /// An exact (non-shed) query member, position precomputed.
+  struct ExactQuery {
+    Point position;
+    double width;
+    double height;
+    QueryId qid;
+    uint64_t required_attrs;  ///< 0 = unfiltered.
+  };
+  /// A shed object: reconstructs at the nucleus center.
+  struct NucleusObject {
+    ObjectId oid;
+    uint64_t attrs;
+  };
+  /// Members shed into one nucleus: they reconstruct to the same center with
+  /// the same approximation radius, so one predicate covers the group.
+  struct NucleusGroup {
+    Point center;
+    double radius = 0.0;
+    std::vector<NucleusObject> objects;
+    std::vector<ExactQuery> queries;  ///< Shed queries (center = nucleus).
+  };
+  /// Per-cluster join-side view, built once per Execute().
+  struct JoinView {
+    /// The cluster's member circle (covers every member position including
+    /// nucleus disks); used as a per-query fine filter: a query whose
+    /// rectangle misses this circle cannot match any member, even when the
+    /// coarse cluster-pair bounds overlapped.
+    Circle bounds;
+    std::vector<ExactObject> objects;
+    std::vector<ExactQuery> queries;
+    std::vector<NucleusGroup> nuclei;
+  };
+
+  bool DoBetweenClusterJoin(const MovingCluster& left,
+                            const MovingCluster& right);
+  const JoinView& ViewOf(const MovingCluster& cluster);
+  void JoinObjectsToQueries(const JoinView& objects_view,
+                            const JoinView& queries_view, ResultSet* results);
+
+  bool query_reach_aware_;
+  Counters counters_;
+  std::unordered_set<uint64_t> seen_pairs_;
+  std::unordered_map<ClusterId, JoinView> view_cache_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_CLUSTER_JOIN_H_

@@ -1,0 +1,44 @@
+// Cluster-based k-nearest-neighbour search (extension).
+//
+// The paper (§1) notes SCUBA's structures extend beyond range queries: "for
+// kNN queries, moving clusters that are not intersecting with other moving
+// clusters and contain at least k members can be assumed to contain nearest
+// members of the query object". This module implements that idea over the
+// engine's ClusterStore/ClusterGrid: an expanding ring search over grid cells
+// gathers candidate clusters until the k-th best distance is certainly
+// covered, then ranks candidate objects by exact reconstructed distance.
+// (Distances of shed members are approximated by their nucleus, so results
+// under load shedding are approximate — as intended.)
+
+#ifndef SCUBA_CORE_KNN_H_
+#define SCUBA_CORE_KNN_H_
+
+#include <vector>
+
+#include "cluster/cluster_store.h"
+#include "common/status.h"
+#include "core/result_set.h"
+#include "index/grid_index.h"
+
+namespace scuba {
+
+struct KnnNeighbor {
+  ObjectId oid = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const KnnNeighbor&, const KnnNeighbor&) = default;
+};
+
+/// k nearest moving objects to `query` using the cluster grid to prune.
+/// Returns fewer than k neighbours when fewer objects exist. Fails on k == 0.
+Result<std::vector<KnnNeighbor>> ClusterKnn(const ClusterStore& store,
+                                            const GridIndex& cluster_grid,
+                                            Point query, size_t k);
+
+/// Exact oracle: scans every object member in the store.
+Result<std::vector<KnnNeighbor>> BruteForceKnn(const ClusterStore& store,
+                                               Point query, size_t k);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_KNN_H_

@@ -1,0 +1,45 @@
+#include "core/knn_monitor.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/memory_usage.h"
+
+namespace scuba {
+
+Status KnnMonitor::Upsert(const KnnQuery& query) {
+  if (query.k == 0) {
+    return Status::InvalidArgument("knn query needs k >= 1");
+  }
+  queries_[query.qid] = query;
+  return Status::OK();
+}
+
+Status KnnMonitor::Remove(QueryId qid) {
+  if (queries_.erase(qid) == 0) {
+    return Status::NotFound("knn query " + std::to_string(qid) +
+                            " is not registered");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<KnnAnswer>> KnnMonitor::EvaluateAll(
+    const ClusterStore& store, const GridIndex& cluster_grid) const {
+  std::vector<KnnAnswer> answers;
+  answers.reserve(queries_.size());
+  for (const auto& [qid, query] : queries_) {
+    Result<std::vector<KnnNeighbor>> neighbors =
+        ClusterKnn(store, cluster_grid, query.position, query.k);
+    if (!neighbors.ok()) return neighbors.status();
+    answers.push_back(KnnAnswer{qid, std::move(neighbors).value()});
+  }
+  std::sort(answers.begin(), answers.end(),
+            [](const KnnAnswer& a, const KnnAnswer& b) { return a.qid < b.qid; });
+  return answers;
+}
+
+size_t KnnMonitor::EstimateMemoryUsage() const {
+  return UnorderedMapMemoryUsage(queries_);
+}
+
+}  // namespace scuba

@@ -1,0 +1,60 @@
+// KnnMonitor: continuous k-nearest-neighbour queries over moving clusters.
+//
+// The paper (§1) sketches kNN applicability: "for kNN queries, moving
+// clusters that are not intersecting with other moving clusters and contain
+// at least k members can be assumed to contain nearest members of the query
+// object". This monitor registers standing kNN queries (a focal point that
+// may be re-positioned by updates, plus k) and answers all of them each
+// evaluation round from the engine's ClusterStore/ClusterGrid via the
+// cluster-pruned search in core/knn.h.
+
+#ifndef SCUBA_CORE_KNN_MONITOR_H_
+#define SCUBA_CORE_KNN_MONITOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_store.h"
+#include "common/status.h"
+#include "core/knn.h"
+#include "index/grid_index.h"
+
+namespace scuba {
+
+/// A standing kNN query: "continuously report the k objects nearest to me".
+struct KnnQuery {
+  QueryId qid = 0;
+  Point position;
+  size_t k = 1;
+};
+
+/// One round's answer for one standing query.
+struct KnnAnswer {
+  QueryId qid = 0;
+  std::vector<KnnNeighbor> neighbors;  ///< Sorted by distance, at most k.
+};
+
+class KnnMonitor {
+ public:
+  /// Registers or re-positions a standing query. Fails on k == 0.
+  Status Upsert(const KnnQuery& query);
+
+  /// Removes a standing query. NotFound if absent.
+  Status Remove(QueryId qid);
+
+  size_t QueryCount() const { return queries_.size(); }
+
+  /// Answers every registered query against the current cluster state.
+  /// Answers are ordered by qid for determinism.
+  Result<std::vector<KnnAnswer>> EvaluateAll(const ClusterStore& store,
+                                             const GridIndex& cluster_grid) const;
+
+  size_t EstimateMemoryUsage() const;
+
+ private:
+  std::unordered_map<QueryId, KnnQuery> queries_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_KNN_MONITOR_H_

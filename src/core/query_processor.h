@@ -1,0 +1,65 @@
+// QueryProcessor: the interface shared by every continuous-query engine in
+// this repository (SCUBA, the regular grid operator, the naive oracle).
+//
+// Contract: updates stream in via Ingest*Update (the paper's pre-join phase);
+// every Delta ticks the driver calls Evaluate, which computes the current
+// (query, object) matches and performs any engine-internal maintenance.
+
+#ifndef SCUBA_CORE_QUERY_PROCESSOR_H_
+#define SCUBA_CORE_QUERY_PROCESSOR_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/result_set.h"
+#include "gen/update.h"
+
+namespace scuba {
+
+/// Uniform per-engine counters the harness reads after a run. Engines fill
+/// what applies; cluster-specific fields stay zero elsewhere.
+struct EvalStats {
+  uint64_t evaluations = 0;
+  double total_join_seconds = 0.0;         ///< Time inside the join phase.
+  double total_maintenance_seconds = 0.0;  ///< Pre/post-join cluster upkeep.
+  double last_join_seconds = 0.0;
+  double last_maintenance_seconds = 0.0;
+  uint64_t total_results = 0;
+  uint64_t last_result_count = 0;
+  /// Individual object x query predicate evaluations (join-within work).
+  uint64_t comparisons = 0;
+  /// SCUBA only: join-between tests and how many reported overlap.
+  uint64_t cluster_pairs_tested = 0;
+  uint64_t cluster_pairs_overlapping = 0;
+};
+
+class QueryProcessor {
+ public:
+  virtual ~QueryProcessor() = default;
+
+  QueryProcessor() = default;
+  QueryProcessor(const QueryProcessor&) = delete;
+  QueryProcessor& operator=(const QueryProcessor&) = delete;
+
+  /// Short engine name for reports ("scuba", "regular-grid", "naive").
+  virtual std::string_view name() const = 0;
+
+  /// Absorbs one location update from a moving object / query.
+  virtual Status IngestObjectUpdate(const LocationUpdate& update) = 0;
+  virtual Status IngestQueryUpdate(const QueryUpdate& update) = 0;
+
+  /// Runs one evaluation round at time `now`: fills `results` with the current
+  /// matches (normalized) and performs post-round maintenance.
+  virtual Status Evaluate(Timestamp now, ResultSet* results) = 0;
+
+  /// Analytic heap footprint of all engine state.
+  virtual size_t EstimateMemoryUsage() const = 0;
+
+  virtual const EvalStats& stats() const = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_QUERY_PROCESSOR_H_

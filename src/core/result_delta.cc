@@ -1,0 +1,61 @@
+#include "core/result_delta.h"
+
+#include <algorithm>
+
+namespace scuba {
+
+ResultDelta DiffResults(const ResultSet& previous, const ResultSet& current) {
+  ResultDelta delta;
+  const std::vector<Match>& p = previous.matches();
+  const std::vector<Match>& c = current.matches();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < p.size() && j < c.size()) {
+    if (p[i] == c[j]) {
+      ++i;
+      ++j;
+    } else if (p[i] < c[j]) {
+      delta.removed.push_back(p[i++]);
+    } else {
+      delta.added.push_back(c[j++]);
+    }
+  }
+  delta.removed.insert(delta.removed.end(), p.begin() + static_cast<ptrdiff_t>(i),
+                       p.end());
+  delta.added.insert(delta.added.end(), c.begin() + static_cast<ptrdiff_t>(j),
+                     c.end());
+  return delta;
+}
+
+ResultSet ApplyDelta(const ResultSet& base, const ResultDelta& delta) {
+  // Both inputs are sorted; removed ⊆ base and added ∩ base = ∅, so a single
+  // merge produces the (sorted) result.
+  ResultSet out;
+  const std::vector<Match>& b = base.matches();
+  size_t ri = 0;  // removed cursor
+  size_t ai = 0;  // added cursor
+  for (const Match& m : b) {
+    if (ri < delta.removed.size() && delta.removed[ri] == m) {
+      ++ri;
+      continue;
+    }
+    while (ai < delta.added.size() && delta.added[ai] < m) {
+      out.Add(delta.added[ai].qid, delta.added[ai].oid);
+      ++ai;
+    }
+    out.Add(m.qid, m.oid);
+  }
+  for (; ai < delta.added.size(); ++ai) {
+    out.Add(delta.added[ai].qid, delta.added[ai].oid);
+  }
+  return out;
+}
+
+ResultDelta IncrementalResultTracker::Observe(const ResultSet& current) {
+  ResultDelta delta = DiffResults(previous_, current);
+  previous_ = current;
+  ++rounds_;
+  return delta;
+}
+
+}  // namespace scuba

@@ -1,0 +1,52 @@
+// Incremental result computation (paper future work, §8: "enhance SCUBA to
+// produce results incrementally").
+//
+// Continuous-query consumers usually care about *changes* to the answer, not
+// the full answer every Delta. DiffResults computes the (added, removed)
+// match sets between consecutive rounds in one merge pass over the normalized
+// sets; IncrementalResultTracker packages the previous-round state.
+
+#ifndef SCUBA_CORE_RESULT_DELTA_H_
+#define SCUBA_CORE_RESULT_DELTA_H_
+
+#include <vector>
+
+#include "core/result_set.h"
+
+namespace scuba {
+
+/// Changes between two evaluation rounds.
+struct ResultDelta {
+  std::vector<Match> added;    ///< In current but not previous.
+  std::vector<Match> removed;  ///< In previous but not current.
+
+  bool Empty() const { return added.empty() && removed.empty(); }
+  size_t size() const { return added.size() + removed.size(); }
+};
+
+/// One-pass merge diff; both sets must be normalized (engines normalize
+/// before returning).
+ResultDelta DiffResults(const ResultSet& previous, const ResultSet& current);
+
+/// Applies `delta` to `base` (the previous round's set), reconstructing the
+/// current round — the consumer-side inverse of DiffResults.
+ResultSet ApplyDelta(const ResultSet& base, const ResultDelta& delta);
+
+/// Stateful helper: feed each round's full result; get the delta against the
+/// previous round. The first round reports everything as added.
+class IncrementalResultTracker {
+ public:
+  /// Computes the delta vs the previous Observe() and retains `current`.
+  ResultDelta Observe(const ResultSet& current);
+
+  const ResultSet& previous() const { return previous_; }
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  ResultSet previous_;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_RESULT_DELTA_H_

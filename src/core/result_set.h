@@ -1,0 +1,61 @@
+// Join results: (query, object) match pairs produced by an evaluation round.
+
+#ifndef SCUBA_CORE_RESULT_SET_H_
+#define SCUBA_CORE_RESULT_SET_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/memory_usage.h"
+#include "common/types.h"
+
+namespace scuba {
+
+/// One answer tuple: object `oid` currently satisfies range query `qid`.
+struct Match {
+  QueryId qid = 0;
+  ObjectId oid = 0;
+
+  friend bool operator==(const Match&, const Match&) = default;
+  friend auto operator<=>(const Match&, const Match&) = default;
+};
+
+/// The answer set of one evaluation round. Duplicates may be added (e.g. the
+/// same pair discovered through two cluster pairs); Normalize() sorts and
+/// dedups, and is called by engines before returning.
+class ResultSet {
+ public:
+  void Add(QueryId qid, ObjectId oid) { matches_.push_back(Match{qid, oid}); }
+
+  void Clear() { matches_.clear(); }
+
+  /// Sorts matches and removes duplicates.
+  void Normalize() {
+    std::sort(matches_.begin(), matches_.end());
+    matches_.erase(std::unique(matches_.begin(), matches_.end()),
+                   matches_.end());
+  }
+
+  size_t size() const { return matches_.size(); }
+  bool empty() const { return matches_.empty(); }
+  const std::vector<Match>& matches() const { return matches_; }
+
+  /// Binary search; requires Normalize() first.
+  bool Contains(QueryId qid, ObjectId oid) const {
+    return std::binary_search(matches_.begin(), matches_.end(),
+                              Match{qid, oid});
+  }
+
+  friend bool operator==(const ResultSet& a, const ResultSet& b) {
+    return a.matches_ == b.matches_;
+  }
+
+  size_t EstimateMemoryUsage() const { return VectorMemoryUsage(matches_); }
+
+ private:
+  std::vector<Match> matches_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_RESULT_SET_H_

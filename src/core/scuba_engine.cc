@@ -1,0 +1,160 @@
+#include "core/scuba_engine.h"
+
+#include <vector>
+
+#include "cluster/splitter.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace scuba {
+
+Result<std::unique_ptr<ScubaEngine>> ScubaEngine::Create(
+    const ScubaOptions& options) {
+  SCUBA_RETURN_IF_ERROR(options.Validate());
+  Result<GridIndex> grid = GridIndex::Create(options.region, options.grid_cells);
+  if (!grid.ok()) return grid.status();
+  // Not make_unique: the constructor is private.
+  return std::unique_ptr<ScubaEngine>(
+      new ScubaEngine(options, std::move(grid).value()));
+}
+
+ScubaEngine::ScubaEngine(const ScubaOptions& options, GridIndex grid)
+    : options_(options),
+      grid_(std::move(grid)),
+      clusterer_(
+          ClustererOptions{options.theta_d, options.theta_s,
+                           options.probe_theta_d_disk,
+                           options.query_reach_aware,
+                           options.grid_sync_padding},
+          &store_, &grid_),
+      shedder_(options.shedding, options.theta_d),
+      join_executor_(options.query_reach_aware) {
+  clusterer_.set_nucleus_radius(shedder_.nucleus_radius());
+}
+
+Status ScubaEngine::IngestObjectUpdate(const LocationUpdate& update) {
+  SCUBA_RETURN_IF_ERROR(ValidateUpdate(update));
+  Stopwatch sw;
+  Status s = clusterer_.ProcessObjectUpdate(update);
+  pending_prejoin_seconds_ += sw.ElapsedSeconds();
+  return s;
+}
+
+Status ScubaEngine::IngestQueryUpdate(const QueryUpdate& update) {
+  SCUBA_RETURN_IF_ERROR(ValidateUpdate(update));
+  Stopwatch sw;
+  Status s = clusterer_.ProcessQueryUpdate(update);
+  pending_prejoin_seconds_ += sw.ElapsedSeconds();
+  return s;
+}
+
+Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
+  if (results == nullptr) {
+    return Status::InvalidArgument("results must be non-null");
+  }
+
+  // *** Phase 2: cluster-based joining (Algorithm 1, lines 8-21). ***
+  Stopwatch join_sw;
+  SCUBA_RETURN_IF_ERROR(join_executor_.Execute(store_, grid_, results));
+  stats_.last_join_seconds = join_sw.ElapsedSeconds();
+  stats_.total_join_seconds += stats_.last_join_seconds;
+  stats_.last_result_count = results->size();
+  stats_.total_results += results->size();
+  ++stats_.evaluations;
+  const ClusterJoinExecutor::Counters& ctr = join_executor_.counters();
+  stats_.comparisons = ctr.comparisons;
+  stats_.cluster_pairs_tested = ctr.pairs_tested;
+  stats_.cluster_pairs_overlapping = ctr.pairs_overlapping;
+
+  // *** Phase 3: cluster post-join maintenance. ***
+  Stopwatch maint_sw;
+  Status s = PostJoinMaintenance(now);
+  stats_.last_maintenance_seconds =
+      pending_prejoin_seconds_ + maint_sw.ElapsedSeconds();
+  stats_.total_maintenance_seconds += stats_.last_maintenance_seconds;
+  pending_prejoin_seconds_ = 0.0;
+  return s;
+}
+
+Status ScubaEngine::SplitOversizedClusters() {
+  const double max_radius = options_.split_radius_factor * options_.theta_d;
+  std::vector<ClusterId> cids;
+  cids.reserve(store_.ClusterCount());
+  for (const auto& [cid, cluster] : store_.clusters()) {
+    (void)cluster;
+    cids.push_back(cid);
+  }
+  for (ClusterId cid : cids) {
+    MovingCluster* cluster = store_.GetCluster(cid);
+    SCUBA_CHECK(cluster != nullptr);
+    cluster->RecomputeTightBounds();
+    if (!ShouldSplit(*cluster, max_radius)) continue;
+    Result<SplitResult> split = SplitCluster(*cluster, store_.NextClusterId(),
+                                             store_.NextClusterId());
+    if (!split.ok()) continue;  // co-located members etc.: keep as-is
+    SCUBA_RETURN_IF_ERROR(grid_.Remove(cid));
+    SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cid));
+    SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, &split->left,
+                                          options_.query_reach_aware,
+                                          options_.grid_sync_padding));
+    SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, &split->right,
+                                          options_.query_reach_aware,
+                                          options_.grid_sync_padding));
+    SCUBA_RETURN_IF_ERROR(store_.AddCluster(std::move(split->left)));
+    SCUBA_RETURN_IF_ERROR(store_.AddCluster(std::move(split->right)));
+    ++phase_stats_.clusters_split;
+  }
+  return Status::OK();
+}
+
+Status ScubaEngine::PostJoinMaintenance(Timestamp now) {
+  if (options_.enable_cluster_splitting) {
+    SCUBA_RETURN_IF_ERROR(SplitOversizedClusters());
+  }
+  // Collect ids first; dissolution mutates the store.
+  std::vector<ClusterId> cids;
+  cids.reserve(store_.ClusterCount());
+  for (const auto& [cid, cluster] : store_.clusters()) {
+    (void)cluster;
+    cids.push_back(cid);
+  }
+
+  const double nucleus = shedder_.nucleus_radius();
+  for (ClusterId cid : cids) {
+    MovingCluster* cluster = store_.GetCluster(cid);
+    SCUBA_CHECK(cluster != nullptr);
+    cluster->RecomputeTightBounds();
+    if (nucleus > 0.0) {
+      phase_stats_.members_shed_maintenance += cluster->ShedPositions(nucleus);
+    }
+    // Dissolve clusters that pass their destination before the next round
+    // (paper: "If at time T + Delta the cluster passes its destination node,
+    // the cluster gets dissolved."). Members re-cluster with their next
+    // updates.
+    Timestamp expiry = cluster->ComputeExpiryTime(now);
+    if (expiry <= now + options_.delta) {
+      SCUBA_RETURN_IF_ERROR(grid_.Remove(cid));
+      SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cid));
+      ++phase_stats_.clusters_dissolved_expired;
+      continue;
+    }
+    // Relocate to the expected position at the next evaluation time.
+    cluster->Translate(cluster->Velocity() * static_cast<double>(options_.delta));
+    SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, cluster,
+                                          options_.query_reach_aware,
+                                          options_.grid_sync_padding));
+  }
+
+  // Feed the shedder and propagate the (possibly new) nucleus radius to the
+  // ingest path for the next interval.
+  shedder_.ObserveMemoryUsage(EstimateMemoryUsage());
+  clusterer_.set_nucleus_radius(shedder_.nucleus_radius());
+  return Status::OK();
+}
+
+size_t ScubaEngine::EstimateMemoryUsage() const {
+  return sizeof(ScubaEngine) + store_.EstimateMemoryUsage() +
+         grid_.EstimateMemoryUsage() + join_executor_.EstimateMemoryUsage();
+}
+
+}  // namespace scuba

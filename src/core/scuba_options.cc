@@ -1,0 +1,45 @@
+#include "core/scuba_options.h"
+
+namespace scuba {
+
+Status ScubaOptions::Validate() const {
+  if (theta_d < 0.0) {
+    return Status::InvalidArgument("theta_d must be non-negative");
+  }
+  if (theta_s < 0.0) {
+    return Status::InvalidArgument("theta_s must be non-negative");
+  }
+  if (grid_cells == 0) {
+    return Status::InvalidArgument("grid_cells must be positive");
+  }
+  if (region.Empty() || region.Width() <= 0.0 || region.Height() <= 0.0) {
+    return Status::InvalidArgument("region must have positive area");
+  }
+  if (delta <= 0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  if (grid_sync_padding < 0.0) {
+    return Status::InvalidArgument("grid_sync_padding must be non-negative");
+  }
+  if (enable_cluster_splitting && split_radius_factor <= 0.0) {
+    return Status::InvalidArgument("split_radius_factor must be positive");
+  }
+  if (shedding.eta < 0.0 || shedding.eta > 1.0) {
+    return Status::InvalidArgument("shedding eta must be in [0, 1]");
+  }
+  if (shedding.mode == LoadSheddingMode::kAdaptive) {
+    if (shedding.memory_budget_bytes == 0) {
+      return Status::InvalidArgument(
+          "adaptive shedding needs a memory budget");
+    }
+    if (shedding.eta_step <= 0.0 || shedding.eta_step > 1.0) {
+      return Status::InvalidArgument("eta_step must be in (0, 1]");
+    }
+    if (shedding.relax_fraction <= 0.0 || shedding.relax_fraction >= 1.0) {
+      return Status::InvalidArgument("relax_fraction must be in (0, 1)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scuba

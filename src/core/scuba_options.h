@@ -1,0 +1,76 @@
+// Configuration of the SCUBA engine. Defaults mirror the paper's experimental
+// settings (§6.1): Theta_D = 100 spatial units, Theta_S = 10 units/tick,
+// a 100x100 ClusterGrid, Delta = 2 time units, no load shedding.
+
+#ifndef SCUBA_CORE_SCUBA_OPTIONS_H_
+#define SCUBA_CORE_SCUBA_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "geometry/rect.h"
+
+namespace scuba {
+
+enum class LoadSheddingMode : uint8_t {
+  kNone = 0,   ///< Keep every member position (eta = 0).
+  kFixed,      ///< Shed with a fixed nucleus fraction eta.
+  kAdaptive,   ///< Adjust eta against a memory budget each maintenance round.
+};
+
+struct LoadSheddingOptions {
+  LoadSheddingMode mode = LoadSheddingMode::kNone;
+  /// Nucleus size as a fraction of Theta_D: eta = Theta_N / Theta_D in [0, 1].
+  /// eta = 1 is full shedding (the cluster alone represents its members).
+  double eta = 0.0;
+  /// kAdaptive: shed harder while estimated memory exceeds this budget.
+  size_t memory_budget_bytes = 0;
+  /// kAdaptive: eta adjustment per maintenance round.
+  double eta_step = 0.25;
+  /// kAdaptive: relax shedding when memory falls below this fraction of the
+  /// budget.
+  double relax_fraction = 0.7;
+};
+
+struct ScubaOptions {
+  /// Clustering distance threshold Theta_D (spatial units).
+  double theta_d = 100.0;
+  /// Clustering speed threshold Theta_S (spatial units / tick).
+  double theta_s = 10.0;
+  /// ClusterGrid granularity: cells per side (paper default 100x100).
+  uint32_t grid_cells = 100;
+  /// Data space covered by the ClusterGrid.
+  Rect region{0.0, 0.0, 10000.0, 10000.0};
+  /// Evaluation period Delta, in ticks; used to relocate clusters to their
+  /// expected position at the next evaluation (post-join maintenance).
+  Timestamp delta = 2;
+  /// Ablation: probe all cells within Theta_D when clustering (see
+  /// ClustererOptions::probe_theta_d_disk).
+  bool probe_theta_d_disk = false;
+  /// When true (default), the join-between filter and grid registration use
+  /// query-reach-inflated cluster bounds, making the two-step join lossless.
+  /// False reproduces the paper's pure member-circle pruning, which can drop
+  /// matches whose query rectangle extends past the cluster circle (ablation;
+  /// DESIGN.md deviation 4).
+  bool query_reach_aware = true;
+  /// Padding (spatial units) for lazy ClusterGrid registration: clusters are
+  /// registered under padded bounds and re-registered only when they outgrow
+  /// them, cutting grid churn on the ingest hot path. 0 re-registers on every
+  /// bounds change (the paper's literal behaviour; ablation).
+  double grid_sync_padding = 100.0;
+  /// Extension (paper future work, §3.1): split clusters whose covering
+  /// radius deteriorates past split_radius_factor * theta_d during post-join
+  /// maintenance, restoring compactness without waiting for dissolution.
+  bool enable_cluster_splitting = false;
+  double split_radius_factor = 1.5;
+
+  LoadSheddingOptions shedding;
+
+  /// InvalidArgument when any field is out of range.
+  Status Validate() const;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_SCUBA_OPTIONS_H_

@@ -1,0 +1,78 @@
+#include "eval/accuracy.h"
+
+#include <cstdio>
+
+namespace scuba {
+
+double AccuracyReport::Precision() const {
+  if (reported_size == 0) return 1.0;
+  return static_cast<double>(true_positives) /
+         static_cast<double>(reported_size);
+}
+
+double AccuracyReport::Recall() const {
+  if (truth_size == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(truth_size);
+}
+
+double AccuracyReport::Accuracy() const {
+  size_t denom = true_positives + false_positives + false_negatives;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double AccuracyReport::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string AccuracyReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "truth=%zu reported=%zu tp=%zu fp=%zu fn=%zu "
+                "precision=%.4f recall=%.4f accuracy=%.4f",
+                truth_size, reported_size, true_positives, false_positives,
+                false_negatives, Precision(), Recall(), Accuracy());
+  return buf;
+}
+
+AccuracyReport CompareResults(const ResultSet& truth,
+                              const ResultSet& reported) {
+  AccuracyReport r;
+  r.truth_size = truth.size();
+  r.reported_size = reported.size();
+  // Both match vectors are sorted (normalized): one merge pass.
+  const auto& t = truth.matches();
+  const auto& p = reported.matches();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < t.size() && j < p.size()) {
+    if (t[i] == p[j]) {
+      ++r.true_positives;
+      ++i;
+      ++j;
+    } else if (t[i] < p[j]) {
+      ++r.false_negatives;
+      ++i;
+    } else {
+      ++r.false_positives;
+      ++j;
+    }
+  }
+  r.false_negatives += t.size() - i;
+  r.false_positives += p.size() - j;
+  return r;
+}
+
+void AccuracyAccumulator::Add(const AccuracyReport& report) {
+  total_.truth_size += report.truth_size;
+  total_.reported_size += report.reported_size;
+  total_.true_positives += report.true_positives;
+  total_.false_positives += report.false_positives;
+  total_.false_negatives += report.false_negatives;
+  ++rounds_;
+}
+
+}  // namespace scuba

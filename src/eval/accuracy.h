@@ -1,0 +1,50 @@
+// Accuracy measurement for load shedding (paper §6.6): compares a reported
+// result set against ground truth, counting false positives and negatives.
+
+#ifndef SCUBA_EVAL_ACCURACY_H_
+#define SCUBA_EVAL_ACCURACY_H_
+
+#include <string>
+
+#include "core/result_set.h"
+
+namespace scuba {
+
+struct AccuracyReport {
+  size_t truth_size = 0;
+  size_t reported_size = 0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;   ///< Reported but not true.
+  size_t false_negatives = 0;   ///< True but not reported.
+
+  /// tp / reported (1 when nothing reported).
+  double Precision() const;
+  /// tp / truth (1 when truth empty).
+  double Recall() const;
+  /// Jaccard accuracy tp / (tp + fp + fn) — the headline §6.6 number:
+  /// penalizes both error kinds, 1.0 iff the sets are identical.
+  double Accuracy() const;
+  /// Harmonic mean of precision and recall.
+  double F1() const;
+
+  std::string ToString() const;
+};
+
+/// Both sets must be normalized (engines normalize before returning).
+AccuracyReport CompareResults(const ResultSet& truth, const ResultSet& reported);
+
+/// Accumulates reports across evaluation rounds (micro-average).
+class AccuracyAccumulator {
+ public:
+  void Add(const AccuracyReport& report);
+  const AccuracyReport& total() const { return total_; }
+  size_t rounds() const { return rounds_; }
+
+ private:
+  AccuracyReport total_;
+  size_t rounds_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_EVAL_ACCURACY_H_

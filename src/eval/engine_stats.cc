@@ -1,0 +1,39 @@
+#include "eval/engine_stats.h"
+
+#include <cstdio>
+
+namespace scuba {
+
+std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%-14.*s evals=%llu join=%.4fs maint=%.4fs results=%llu "
+                "comparisons=%llu pairs=%llu/%llu",
+                static_cast<int>(engine_name.size()), engine_name.data(),
+                static_cast<unsigned long long>(stats.evaluations),
+                stats.total_join_seconds, stats.total_maintenance_seconds,
+                static_cast<unsigned long long>(stats.total_results),
+                static_cast<unsigned long long>(stats.comparisons),
+                static_cast<unsigned long long>(stats.cluster_pairs_overlapping),
+                static_cast<unsigned long long>(stats.cluster_pairs_tested));
+  return buf;
+}
+
+double AvgJoinSeconds(const EvalStats& stats) {
+  if (stats.evaluations == 0) return 0.0;
+  return stats.total_join_seconds / static_cast<double>(stats.evaluations);
+}
+
+double AvgMaintenanceSeconds(const EvalStats& stats) {
+  if (stats.evaluations == 0) return 0.0;
+  return stats.total_maintenance_seconds /
+         static_cast<double>(stats.evaluations);
+}
+
+double JoinBetweenSelectivity(const EvalStats& stats) {
+  if (stats.cluster_pairs_tested == 0) return 0.0;
+  return static_cast<double>(stats.cluster_pairs_overlapping) /
+         static_cast<double>(stats.cluster_pairs_tested);
+}
+
+}  // namespace scuba

@@ -1,0 +1,28 @@
+// Reporting helpers over EvalStats: human-readable summaries and the
+// fixed-width table rows the benchmark binaries print.
+
+#ifndef SCUBA_EVAL_ENGINE_STATS_H_
+#define SCUBA_EVAL_ENGINE_STATS_H_
+
+#include <string>
+
+#include "core/query_processor.h"
+
+namespace scuba {
+
+/// One-line summary: join/maintenance seconds, results, comparisons.
+std::string FormatStats(std::string_view engine_name, const EvalStats& stats);
+
+/// Average join seconds per evaluation round (0 when no rounds ran).
+double AvgJoinSeconds(const EvalStats& stats);
+
+/// Average maintenance seconds per evaluation round.
+double AvgMaintenanceSeconds(const EvalStats& stats);
+
+/// Join-between selectivity: fraction of tested cluster pairs that
+/// overlapped (SCUBA only; 0 when none tested).
+double JoinBetweenSelectivity(const EvalStats& stats);
+
+}  // namespace scuba
+
+#endif  // SCUBA_EVAL_ENGINE_STATS_H_

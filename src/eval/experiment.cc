@@ -1,0 +1,66 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "stream/pipeline.h"
+
+namespace scuba {
+
+Rect DataRegion(const RoadNetwork& network, double margin) {
+  Rect box = network.BoundingBox();
+  return Rect{box.min_x - margin, box.min_y - margin, box.max_x + margin,
+              box.max_y + margin};
+}
+
+Result<ExperimentData> BuildExperimentData(const ExperimentConfig& config) {
+  if (config.ticks <= 0) {
+    return Status::InvalidArgument("experiment needs at least one tick");
+  }
+  if (config.delta <= 0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  Result<RoadNetwork> network = GenerateGridCity(config.city);
+  if (!network.ok()) return network.status();
+
+  ExperimentData data;
+  data.network = std::move(network).value();
+  data.region = DataRegion(data.network);
+
+  Result<ObjectSimulator> sim =
+      GenerateWorkload(&data.network, config.workload);
+  if (!sim.ok()) return sim.status();
+  ObjectSimulator simulator = std::move(sim).value();
+  data.trace = RecordTrace(&simulator, config.ticks, config.update_fraction);
+  return data;
+}
+
+Result<EngineRunResult> RunOnTrace(QueryProcessor* engine, const Trace& trace,
+                                   Timestamp delta) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  EngineRunResult result;
+  Stopwatch wall;
+  Status s = ReplayTrace(trace, engine, delta,
+                         [&](Timestamp now, const ResultSet& results) {
+                           (void)now;
+                           result.final_results = results;
+                           result.peak_memory_bytes =
+                               std::max(result.peak_memory_bytes,
+                                        engine->EstimateMemoryUsage());
+                           const EvalStats& stats = engine->stats();
+                           result.join_ms_per_round.Add(
+                               stats.last_join_seconds * 1e3);
+                           result.maintenance_ms_per_round.Add(
+                               stats.last_maintenance_seconds * 1e3);
+                           result.results_per_round.Add(
+                               static_cast<double>(results.size()));
+                         });
+  if (!s.ok()) return s;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.stats = engine->stats();
+  return result;
+}
+
+}  // namespace scuba

@@ -1,0 +1,70 @@
+// Experiment driver shared by the benchmark binaries and integration tests.
+//
+// The paper's methodology (§6.1): generate a road-network workload, stream
+// updates into an engine, evaluate every Delta time units, report join time,
+// maintenance time and memory. BuildExperimentData materializes the workload
+// ONCE as a Trace; RunOnTrace replays the identical tuples into each engine
+// under comparison.
+
+#ifndef SCUBA_EVAL_EXPERIMENT_H_
+#define SCUBA_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "core/query_processor.h"
+#include "gen/trace.h"
+#include "gen/workload_generator.h"
+#include "network/grid_city.h"
+#include "network/road_network.h"
+
+namespace scuba {
+
+struct ExperimentConfig {
+  GridCityOptions city;
+  WorkloadOptions workload;
+  /// Evaluation interval Delta in ticks (paper default: 2).
+  Timestamp delta = 2;
+  /// Ticks recorded into the trace (evaluations happen every delta-th tick).
+  int ticks = 10;
+  /// Fraction of entities reporting per tick (paper default: 100%).
+  double update_fraction = 1.0;
+};
+
+/// Everything engines need to run one experiment.
+struct ExperimentData {
+  RoadNetwork network;
+  Rect region;  ///< Data space for engine grids (network bounds + margin).
+  Trace trace;
+};
+
+/// Generates the city, the workload and the recorded update trace.
+Result<ExperimentData> BuildExperimentData(const ExperimentConfig& config);
+
+/// Network bounding box inflated by a small margin, so border jitter and
+/// query ranges never fall outside engine grids.
+Rect DataRegion(const RoadNetwork& network, double margin = 250.0);
+
+/// Outcome of replaying a trace into one engine.
+struct EngineRunResult {
+  EvalStats stats;
+  /// Highest EstimateMemoryUsage() observed right after an evaluation.
+  size_t peak_memory_bytes = 0;
+  /// Results of the final evaluation round (normalized).
+  ResultSet final_results;
+  /// End-to-end wall time of the replay (ingest + evaluate).
+  double wall_seconds = 0.0;
+  /// Per-round phase latency distributions (milliseconds), for percentile
+  /// reporting in benches.
+  Histogram join_ms_per_round;
+  Histogram maintenance_ms_per_round;
+  Histogram results_per_round;
+};
+
+/// Replays `trace` into `engine`, evaluating every `delta` batches.
+Result<EngineRunResult> RunOnTrace(QueryProcessor* engine, const Trace& trace,
+                                   Timestamp delta);
+
+}  // namespace scuba
+
+#endif  // SCUBA_EVAL_EXPERIMENT_H_

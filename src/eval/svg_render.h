@@ -1,0 +1,35 @@
+// SVG snapshots of engine state: moving clusters (circles + nuclei), object
+// positions (dots) and query ranges (rectangles). Invaluable for eyeballing
+// clustering quality and debugging join behaviour; the CLI exposes it as
+// `scuba_cli render`.
+
+#ifndef SCUBA_EVAL_SVG_RENDER_H_
+#define SCUBA_EVAL_SVG_RENDER_H_
+
+#include <string>
+
+#include "cluster/cluster_store.h"
+#include "common/status.h"
+#include "geometry/rect.h"
+
+namespace scuba {
+
+struct SvgRenderOptions {
+  /// Output image width in pixels; height follows the region's aspect ratio.
+  double image_width = 1000.0;
+  /// Draw cluster circles / nuclei / member positions / query rectangles.
+  bool draw_clusters = true;
+  bool draw_nuclei = true;
+  bool draw_members = true;
+  bool draw_query_ranges = true;
+};
+
+/// Renders the clusters of `store` within `region` to an SVG document.
+/// Fails on an empty region or non-positive image width.
+Result<std::string> RenderClustersSvg(const ClusterStore& store,
+                                      const Rect& region,
+                                      const SvgRenderOptions& options = {});
+
+}  // namespace scuba
+
+#endif  // SCUBA_EVAL_SVG_RENDER_H_

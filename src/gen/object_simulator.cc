@@ -1,0 +1,150 @@
+#include "gen/object_simulator.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace scuba {
+
+ObjectSimulator::ObjectSimulator(const RoadNetwork* network, uint64_t seed)
+    : network_(network), seed_(seed), emit_rng_(seed ^ 0xE417u) {
+  SCUBA_CHECK(network != nullptr);
+}
+
+Status ObjectSimulator::AddEntity(SimEntity entity) {
+  if (entity.route.size() < 2) {
+    return Status::InvalidArgument("entity route needs at least 2 nodes");
+  }
+  if (entity.leg + 1 >= entity.route.size()) {
+    return Status::InvalidArgument("entity leg is past the end of its route");
+  }
+  for (size_t i = 0; i + 1 < entity.route.size(); ++i) {
+    if (network_->FindEdge(entity.route[i], entity.route[i + 1]) ==
+        kInvalidEdgeId) {
+      return Status::InvalidArgument(
+          "route hop " + std::to_string(entity.route[i]) + " -> " +
+          std::to_string(entity.route[i + 1]) + " is not a road segment");
+    }
+  }
+  if (entity.speed_factor <= 0.0) {
+    return Status::InvalidArgument("speed_factor must be positive");
+  }
+  RefreshDerivedState(&entity);
+  entities_.push_back(std::move(entity));
+  return Status::OK();
+}
+
+NodeId ObjectSimulator::GroupDestination(uint32_t group,
+                                         uint32_t generation) const {
+  // Deterministic per (seed, group, generation): every member of a group picks
+  // the same next destination, which is what keeps groups clusterable.
+  uint64_t sm = seed_ ^ (0x9E3779B97F4A7C15ULL * (group + 1)) ^
+                (0xC2B2AE3D27D4EB4FULL * (generation + 1));
+  return static_cast<NodeId>(SplitMix64(&sm) % network_->NodeCount());
+}
+
+void ObjectSimulator::PlanNewRoute(SimEntity* e, NodeId start) {
+  // Try successive generations until a reachable, distinct destination comes
+  // up. On a connected network the first try almost always succeeds.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    e->route_generation++;
+    NodeId dest = GroupDestination(e->group, e->route_generation);
+    if (dest == start) continue;
+    Result<Route> r = ShortestPath(*network_, start, dest);
+    if (!r.ok()) continue;
+    e->route = std::move(r->nodes);
+    e->leg = 0;
+    e->offset = 0.0;
+    return;
+  }
+  // Degenerate fallback (e.g. a 2-node network): shuttle along any out-edge.
+  const std::vector<EdgeId>& out = network_->OutEdges(start);
+  SCUBA_CHECK_MSG(!out.empty(), "node with no outgoing edges");
+  e->route = {start, network_->edge(out[0]).to};
+  e->leg = 0;
+  e->offset = 0.0;
+}
+
+void ObjectSimulator::RefreshDerivedState(SimEntity* e) const {
+  EdgeId eid = network_->FindEdge(e->route[e->leg], e->route[e->leg + 1]);
+  SCUBA_CHECK(eid != kInvalidEdgeId);
+  const RoadSegment& edge = network_->edge(eid);
+  e->speed = edge.speed_limit * e->speed_factor;
+  double t = e->offset / edge.length;
+  e->position = Lerp(network_->node(edge.from).position,
+                     network_->node(edge.to).position, t);
+}
+
+void ObjectSimulator::Step() {
+  ++now_;
+  for (SimEntity& e : entities_) {
+    double remaining = e.speed;
+    // Advance across as many legs as this tick's distance covers.
+    int guard = 0;
+    while (remaining > 0.0) {
+      SCUBA_CHECK_MSG(++guard < 10000, "entity advanced through too many legs");
+      EdgeId eid = network_->FindEdge(e.route[e.leg], e.route[e.leg + 1]);
+      const RoadSegment& edge = network_->edge(eid);
+      double to_end = edge.length - e.offset;
+      if (remaining < to_end) {
+        e.offset += remaining;
+        remaining = 0.0;
+      } else {
+        remaining -= to_end;
+        e.leg++;
+        e.offset = 0.0;
+        if (e.leg + 1 >= e.route.size()) {
+          // Reached the final destination: plan the group's next trip.
+          PlanNewRoute(&e, e.route.back());
+        }
+        // Speed changes with the new leg's road class.
+        EdgeId next = network_->FindEdge(e.route[e.leg], e.route[e.leg + 1]);
+        remaining = std::min(
+            remaining, network_->edge(next).speed_limit * e.speed_factor);
+      }
+    }
+    RefreshDerivedState(&e);
+  }
+}
+
+NodeId ObjectSimulator::CurrentDestination(size_t i) const {
+  const SimEntity& e = entities_[i];
+  return e.route[e.leg + 1];
+}
+
+void ObjectSimulator::EmitUpdates(double update_fraction,
+                                  std::vector<LocationUpdate>* object_updates,
+                                  std::vector<QueryUpdate>* query_updates) {
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    const SimEntity& e = entities_[i];
+    if (update_fraction < 1.0 && !emit_rng_.NextBool(update_fraction)) continue;
+    NodeId dest = CurrentDestination(i);
+    Point dest_pos = network_->node(dest).position;
+    if (e.kind == EntityKind::kObject) {
+      LocationUpdate u;
+      u.oid = e.id;
+      u.position = e.position;
+      u.time = now_;
+      u.speed = e.speed;
+      u.dest_node = dest;
+      u.dest_position = dest_pos;
+      u.attrs = e.attrs;
+      object_updates->push_back(u);
+    } else {
+      QueryUpdate u;
+      u.qid = e.id;
+      u.position = e.position;
+      u.time = now_;
+      u.speed = e.speed;
+      u.dest_node = dest;
+      u.dest_position = dest_pos;
+      u.range_width = e.range_width;
+      u.range_height = e.range_height;
+      u.attrs = e.attrs;
+      u.required_attrs = e.required_attrs;
+      query_updates->push_back(u);
+    }
+  }
+}
+
+}  // namespace scuba

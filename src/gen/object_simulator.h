@@ -1,0 +1,94 @@
+// ObjectSimulator: network-constrained piecewise-linear motion.
+//
+// Stand-in for the Brinkhoff network-based generator of moving objects [5]
+// (see DESIGN.md substitutions). Entities follow shortest-path routes over a
+// RoadNetwork at a per-entity fraction of each road's speed limit. When a
+// route is exhausted the entity picks a fresh destination; entities in the
+// same *group* (the skew mechanism, §6.3) make identical choices, so they keep
+// travelling together and stay clusterable.
+
+#ifndef SCUBA_GEN_OBJECT_SIMULATOR_H_
+#define SCUBA_GEN_OBJECT_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "gen/update.h"
+#include "network/road_network.h"
+#include "network/shortest_path.h"
+
+namespace scuba {
+
+/// Mutable state of one simulated moving entity (object or query).
+struct SimEntity {
+  EntityKind kind = EntityKind::kObject;
+  uint32_t id = 0;          ///< ObjectId or QueryId depending on kind.
+  uint32_t group = 0;       ///< Entities sharing a group share routes (skew).
+  double speed_factor = 1;  ///< Fraction of the speed limit this entity drives.
+  uint64_t attrs = kAttrNone;
+  double range_width = 0.0;   ///< Query range (queries only).
+  double range_height = 0.0;
+  uint64_t required_attrs = kAttrNone;  ///< Query attribute predicate.
+
+  // Motion state.
+  std::vector<NodeId> route;  ///< Remaining plan, route[leg] -> route[leg+1] current.
+  size_t leg = 0;             ///< Index of the current leg's start node.
+  double offset = 0.0;        ///< Distance travelled along the current leg.
+  uint32_t route_generation = 0;  ///< Increments each time a new route is planned.
+
+  Point position;             ///< Derived: current planar position.
+  double speed = 0.0;         ///< Derived: current speed (units/tick).
+};
+
+/// Advances a population of SimEntities tick by tick and emits their update
+/// tuples. Deterministic given (network, entities, seed).
+class ObjectSimulator {
+ public:
+  /// `network` must outlive the simulator.
+  ObjectSimulator(const RoadNetwork* network, uint64_t seed);
+
+  /// Takes ownership of an entity. Its route must be a valid node path (each
+  /// consecutive pair connected); fails with InvalidArgument otherwise.
+  Status AddEntity(SimEntity entity);
+
+  size_t EntityCount() const { return entities_.size(); }
+  const std::vector<SimEntity>& entities() const { return entities_; }
+
+  /// Advances every entity by one tick of motion.
+  void Step();
+
+  Timestamp now() const { return now_; }
+
+  /// Emits update tuples for a fraction of entities (update_fraction in
+  /// [0, 1]; 1.0 = the paper's default "100% send updates each time unit").
+  /// Which entities report is a deterministic pseudo-random choice per tick.
+  void EmitUpdates(double update_fraction,
+                   std::vector<LocationUpdate>* object_updates,
+                   std::vector<QueryUpdate>* query_updates);
+
+  /// The next connection node (cnLoc) of entity `i`.
+  NodeId CurrentDestination(size_t i) const;
+
+ private:
+  /// Re-plans entity `e` from `start` to a group-deterministic destination.
+  void PlanNewRoute(SimEntity* e, NodeId start);
+
+  /// Recomputes position/speed from route, leg, offset.
+  void RefreshDerivedState(SimEntity* e) const;
+
+  /// Destination choice shared by all members of `group` at `generation`.
+  NodeId GroupDestination(uint32_t group, uint32_t generation) const;
+
+  const RoadNetwork* network_;
+  uint64_t seed_;
+  Rng emit_rng_;
+  std::vector<SimEntity> entities_;
+  Timestamp now_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_GEN_OBJECT_SIMULATOR_H_

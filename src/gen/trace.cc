@@ -1,0 +1,142 @@
+#include "gen/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/memory_usage.h"
+
+namespace scuba {
+
+size_t Trace::TotalUpdates() const {
+  size_t n = 0;
+  for (const TickBatch& b : batches_) {
+    n += b.object_updates.size() + b.query_updates.size();
+  }
+  return n;
+}
+
+size_t Trace::EstimateMemoryUsage() const {
+  size_t bytes = VectorMemoryUsage(batches_);
+  for (const TickBatch& b : batches_) {
+    bytes += VectorMemoryUsage(b.object_updates) +
+             VectorMemoryUsage(b.query_updates);
+  }
+  return bytes;
+}
+
+std::string Trace::Serialize() const {
+  std::ostringstream out;
+  out << "scuba-trace 1\n";
+  char buf[320];
+  for (const TickBatch& b : batches_) {
+    std::snprintf(buf, sizeof(buf), "tick %lld\n",
+                  static_cast<long long>(b.time));
+    out << buf;
+    for (const LocationUpdate& u : b.object_updates) {
+      std::snprintf(buf, sizeof(buf),
+                    "o %u %.17g %.17g %lld %.17g %u %.17g %.17g %llu\n", u.oid,
+                    u.position.x, u.position.y,
+                    static_cast<long long>(u.time), u.speed, u.dest_node,
+                    u.dest_position.x, u.dest_position.y,
+                    static_cast<unsigned long long>(u.attrs));
+      out << buf;
+    }
+    for (const QueryUpdate& u : b.query_updates) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "q %u %.17g %.17g %lld %.17g %u %.17g %.17g %.17g %.17g %llu %llu\n",
+          u.qid, u.position.x, u.position.y, static_cast<long long>(u.time),
+          u.speed, u.dest_node, u.dest_position.x, u.dest_position.y,
+          u.range_width, u.range_height,
+          static_cast<unsigned long long>(u.attrs),
+          static_cast<unsigned long long>(u.required_attrs));
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+Result<Trace> Trace::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("scuba-trace 1", 0) != 0) {
+    return Status::Corruption("missing 'scuba-trace 1' header");
+  }
+  Trace trace;
+  TickBatch current;
+  bool have_tick = false;
+  size_t line_no = 1;
+
+  auto flush = [&] {
+    if (have_tick) trace.Append(std::move(current));
+    current = TickBatch{};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "tick") {
+      long long t;
+      if (!(ls >> t)) {
+        return Status::Corruption("malformed tick at line " +
+                                  std::to_string(line_no));
+      }
+      flush();
+      current.time = t;
+      have_tick = true;
+    } else if (kind == "o") {
+      if (!have_tick) return Status::Corruption("update before first tick");
+      LocationUpdate u;
+      long long t;
+      unsigned long long attrs;
+      if (!(ls >> u.oid >> u.position.x >> u.position.y >> t >> u.speed >>
+            u.dest_node >> u.dest_position.x >> u.dest_position.y >> attrs)) {
+        return Status::Corruption("malformed object update at line " +
+                                  std::to_string(line_no));
+      }
+      u.time = t;
+      u.attrs = attrs;
+      current.object_updates.push_back(u);
+    } else if (kind == "q") {
+      if (!have_tick) return Status::Corruption("update before first tick");
+      QueryUpdate u;
+      long long t;
+      unsigned long long attrs;
+      if (!(ls >> u.qid >> u.position.x >> u.position.y >> t >> u.speed >>
+            u.dest_node >> u.dest_position.x >> u.dest_position.y >>
+            u.range_width >> u.range_height >> attrs)) {
+        return Status::Corruption("malformed query update at line " +
+                                  std::to_string(line_no));
+      }
+      u.time = t;
+      u.attrs = attrs;
+      // Optional trailing attribute predicate (older traces omit it).
+      unsigned long long required = 0;
+      if (ls >> required) u.required_attrs = required;
+      current.query_updates.push_back(u);
+    } else {
+      return Status::Corruption("unknown record '" + kind + "' at line " +
+                                std::to_string(line_no));
+    }
+  }
+  flush();
+  return trace;
+}
+
+Trace RecordTrace(ObjectSimulator* sim, int ticks, double update_fraction) {
+  Trace trace;
+  for (int i = 0; i < ticks; ++i) {
+    sim->Step();
+    TickBatch batch;
+    batch.time = sim->now();
+    sim->EmitUpdates(update_fraction, &batch.object_updates,
+                     &batch.query_updates);
+    trace.Append(std::move(batch));
+  }
+  return trace;
+}
+
+}  // namespace scuba

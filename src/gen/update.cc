@@ -1,0 +1,70 @@
+#include "gen/update.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scuba {
+
+namespace {
+
+bool FinitePoint(Point p) { return std::isfinite(p.x) && std::isfinite(p.y); }
+
+/// Checks the fields shared by both update kinds.
+Status ValidateCommon(Point position, Timestamp time, double speed,
+                      NodeId dest_node, Point dest_position) {
+  if (!FinitePoint(position)) {
+    return Status::InvalidArgument("update position is not finite");
+  }
+  if (time < 0) {
+    return Status::InvalidArgument("update time is negative");
+  }
+  if (!std::isfinite(speed) || speed < 0.0) {
+    return Status::InvalidArgument("update speed must be finite and >= 0");
+  }
+  if (dest_node == kInvalidNodeId) {
+    return Status::InvalidArgument("update has no destination node (cnLoc)");
+  }
+  if (!FinitePoint(dest_position)) {
+    return Status::InvalidArgument("update destination position is not finite");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateUpdate(const LocationUpdate& u) {
+  return ValidateCommon(u.position, u.time, u.speed, u.dest_node,
+                        u.dest_position);
+}
+
+Status ValidateUpdate(const QueryUpdate& u) {
+  SCUBA_RETURN_IF_ERROR(
+      ValidateCommon(u.position, u.time, u.speed, u.dest_node,
+                     u.dest_position));
+  if (!std::isfinite(u.range_width) || u.range_width <= 0.0 ||
+      !std::isfinite(u.range_height) || u.range_height <= 0.0) {
+    return Status::InvalidArgument("query range extents must be positive");
+  }
+  return Status::OK();
+}
+
+std::string LocationUpdate::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "obj %u @(%.1f, %.1f) t=%lld speed=%.1f -> node %u",
+                oid, position.x, position.y, static_cast<long long>(time),
+                speed, dest_node);
+  return buf;
+}
+
+std::string QueryUpdate::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "query %u @(%.1f, %.1f) t=%lld speed=%.1f -> node %u "
+                "range=%.0fx%.0f",
+                qid, position.x, position.y, static_cast<long long>(time),
+                speed, dest_node, range_width, range_height);
+  return buf;
+}
+
+}  // namespace scuba

@@ -1,0 +1,89 @@
+// Stream tuple formats (paper §2).
+//
+// A moving object reports (o.oid, o.loc_t, o.t, o.speed, o.cnLoc, o.attrs); a
+// continuous query reports the same plus query-specific attributes — for range
+// queries, the monitored rectangle size. cnLoc is the connection node the
+// entity will reach next (its current destination); the network is stable, so
+// cnLoc only changes when the entity passes a connection node.
+
+#ifndef SCUBA_GEN_UPDATE_H_
+#define SCUBA_GEN_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace scuba {
+
+/// Descriptive attributes (o.attrs / q.attrs). A small bitmask keeps updates
+/// POD-sized; attribute names live in AttrName().
+enum AttrTag : uint64_t {
+  kAttrNone = 0,
+  kAttrChild = 1ull << 0,
+  kAttrRedCar = 1ull << 1,
+  kAttrTruck = 1ull << 2,
+  kAttrBus = 1ull << 3,
+  kAttrEmergency = 1ull << 4,
+};
+
+/// A moving object's location update.
+struct LocationUpdate {
+  ObjectId oid = 0;
+  Point position;           ///< o.loc_t
+  Timestamp time = 0;       ///< o.t
+  double speed = 0.0;       ///< o.speed, spatial units / tick
+  NodeId dest_node = kInvalidNodeId;  ///< o.cnLoc (id of next connection node)
+  Point dest_position;      ///< position of that node
+  uint64_t attrs = kAttrNone;
+
+  std::string ToString() const;
+};
+
+/// A moving range query's update. The query monitors a rectangle of the given
+/// size centered on its (moving) position.
+struct QueryUpdate {
+  QueryId qid = 0;
+  Point position;
+  Timestamp time = 0;
+  double speed = 0.0;
+  NodeId dest_node = kInvalidNodeId;
+  Point dest_position;
+  double range_width = 0.0;
+  double range_height = 0.0;
+  uint64_t attrs = kAttrNone;
+  /// Attribute predicate: the query only matches objects carrying ALL of
+  /// these tags (paper §2: q.attrs holds query-specific attributes; the
+  /// motivating examples — "child", "red car" — are exactly such filters).
+  /// 0 = unfiltered range query.
+  uint64_t required_attrs = kAttrNone;
+
+  /// The monitored region for this update.
+  Rect Range() const {
+    return Rect::Centered(position, range_width, range_height);
+  }
+
+  /// True iff an object with attribute set `object_attrs` passes this
+  /// query's attribute predicate.
+  bool AttrsMatch(uint64_t object_attrs) const {
+    return (object_attrs & required_attrs) == required_attrs;
+  }
+
+  std::string ToString() const;
+};
+
+/// Validates an update before it enters an engine: finite position and
+/// destination coordinates, finite non-negative speed, non-negative time, a
+/// real destination node. Engines reject invalid tuples with this status
+/// instead of corrupting cluster state.
+Status ValidateUpdate(const LocationUpdate& update);
+
+/// Same, plus positive finite range extents.
+Status ValidateUpdate(const QueryUpdate& update);
+
+}  // namespace scuba
+
+#endif  // SCUBA_GEN_UPDATE_H_

@@ -1,0 +1,182 @@
+#include "gen/workload_generator.h"
+
+#include <algorithm>
+
+#include "network/shortest_path.h"
+
+namespace scuba {
+
+namespace {
+
+Status ValidateOptions(const WorkloadOptions& opt) {
+  if (opt.num_objects + opt.num_queries == 0) {
+    return Status::InvalidArgument("workload has no entities");
+  }
+  if (opt.skew == 0) {
+    return Status::InvalidArgument("skew must be >= 1");
+  }
+  if (opt.min_speed_factor <= 0.0 || opt.max_speed_factor < opt.min_speed_factor) {
+    return Status::InvalidArgument("speed factor range is invalid");
+  }
+  if (opt.speed_jitter < 0.0 || opt.start_spread < 0.0) {
+    return Status::InvalidArgument("jitter/spread must be non-negative");
+  }
+  if (opt.min_range <= 0.0 || opt.max_range < opt.min_range) {
+    return Status::InvalidArgument("query range bounds are invalid");
+  }
+  if (opt.attr_probability < 0.0 || opt.attr_probability > 1.0) {
+    return Status::InvalidArgument("attr_probability must be in [0, 1]");
+  }
+  if (opt.mixed_group_fraction < 0.0 || opt.mixed_group_fraction > 1.0) {
+    return Status::InvalidArgument("mixed_group_fraction must be in [0, 1]");
+  }
+  if (opt.max_mixed_group_queries == 0) {
+    return Status::InvalidArgument("max_mixed_group_queries must be >= 1");
+  }
+  if (opt.query_filter_probability < 0.0 || opt.query_filter_probability > 1.0) {
+    return Status::InvalidArgument("query_filter_probability must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+/// Plans the kind composition of the next group: up to `skew` entities drawn
+/// from the remaining object/query budgets. Mixed groups split proportionally
+/// to the remaining budgets (>= 1 of each); single-kind groups draw from the
+/// larger remaining budget to keep the mix balanced overall.
+struct GroupPlan {
+  uint32_t objects = 0;
+  uint32_t queries = 0;
+};
+
+GroupPlan PlanGroup(const WorkloadOptions& opt, uint32_t remaining_obj,
+                    uint32_t remaining_qry, Rng* rng) {
+  GroupPlan plan;
+  uint32_t remaining = remaining_obj + remaining_qry;
+  uint32_t size = std::min(opt.skew, remaining);
+  bool can_mix = remaining_obj > 0 && remaining_qry > 0 && size >= 2;
+  if (can_mix && rng->NextBool(opt.mixed_group_fraction)) {
+    // A convoy of objects monitored by a few queries (see Fig. 7).
+    uint32_t n_qry = 1 + static_cast<uint32_t>(rng->NextBounded(
+                             opt.max_mixed_group_queries));
+    n_qry = std::min({n_qry, remaining_qry, size - 1});
+    plan.queries = n_qry;
+    plan.objects = std::min(size - n_qry, remaining_obj);
+  } else if (remaining_obj >= remaining_qry) {
+    plan.objects = std::min(size, remaining_obj);
+  } else {
+    plan.queries = std::min(size, remaining_qry);
+  }
+  return plan;
+}
+
+uint64_t RandomAttrs(Rng* rng, double p) {
+  uint64_t attrs = kAttrNone;
+  for (uint64_t tag : {kAttrChild, kAttrRedCar, kAttrTruck, kAttrBus,
+                       kAttrEmergency}) {
+    if (rng->NextBool(p)) attrs |= tag;
+  }
+  return attrs;
+}
+
+/// Plans a group's initial route from `from` to a random distinct destination
+/// (retrying until reachable). Group start nodes are assigned without
+/// replacement by the caller so co-travelling groups do not pile onto the
+/// same intersection at t=0 — encounters should happen en route, as in real
+/// traffic, not by construction.
+Route PlanGroupRoute(const RoadNetwork& net, NodeId from, Rng* rng) {
+  const auto node_count = static_cast<int64_t>(net.NodeCount());
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    NodeId to = static_cast<NodeId>(rng->NextInt(0, node_count - 1));
+    if (from == to) continue;
+    Result<Route> r = ShortestPath(net, from, to);
+    if (r.ok() && r->nodes.size() >= 2) return std::move(r).value();
+  }
+  // Fallback: one hop along the first edge of the start node.
+  NodeId to = net.edge(net.OutEdges(from)[0]).to;
+  return Route{{from, to}, 0.0};
+}
+
+}  // namespace
+
+Result<ObjectSimulator> GenerateWorkload(const RoadNetwork* network,
+                                         const WorkloadOptions& opt) {
+  if (network == nullptr || network->NodeCount() == 0) {
+    return Status::InvalidArgument("network is null or empty");
+  }
+  SCUBA_RETURN_IF_ERROR(ValidateOptions(opt));
+
+  Rng rng(opt.seed);
+  ObjectSimulator sim(network, opt.seed);
+
+  // Start nodes are dealt from shuffled decks so groups spawn at distinct
+  // intersections while any number of groups remains supported.
+  std::vector<NodeId> start_deck(network->NodeCount());
+  for (NodeId n = 0; n < network->NodeCount(); ++n) start_deck[n] = n;
+  rng.Shuffle(&start_deck);
+  size_t deck_pos = 0;
+  auto next_start = [&]() {
+    if (deck_pos == start_deck.size()) {
+      rng.Shuffle(&start_deck);
+      deck_pos = 0;
+    }
+    return start_deck[deck_pos++];
+  };
+
+  uint32_t remaining_obj = opt.num_objects;
+  uint32_t remaining_qry = opt.num_queries;
+  uint32_t next_object_id = 0;
+  uint32_t next_query_id = 0;
+  uint32_t group = 0;
+
+  while (remaining_obj + remaining_qry > 0) {
+    GroupPlan plan = PlanGroup(opt, remaining_obj, remaining_qry, &rng);
+    remaining_obj -= plan.objects;
+    remaining_qry -= plan.queries;
+
+    Route group_route = PlanGroupRoute(*network, next_start(), &rng);
+    double group_speed_factor =
+        rng.NextDouble(opt.min_speed_factor, opt.max_speed_factor);
+
+    const uint32_t group_size = plan.objects + plan.queries;
+    for (uint32_t i = 0; i < group_size; ++i) {
+      SimEntity e;
+      // Proportional interleave of kinds within mixed groups.
+      uint64_t objects_so_far = static_cast<uint64_t>(i) * plan.objects /
+                                group_size;
+      uint64_t objects_after = static_cast<uint64_t>(i + 1) * plan.objects /
+                               group_size;
+      e.kind = objects_after > objects_so_far ? EntityKind::kObject
+                                              : EntityKind::kQuery;
+      e.id = (e.kind == EntityKind::kObject) ? next_object_id++
+                                             : next_query_id++;
+      e.group = group;
+      e.route = group_route.nodes;
+      e.leg = 0;
+      // Spread the group's members over the start of the first segment.
+      EdgeId first = network->FindEdge(e.route[0], e.route[1]);
+      double seg_len = network->edge(first).length;
+      double spread = std::min(opt.start_spread, seg_len * 0.9);
+      e.offset = spread > 0.0 ? rng.NextDouble(0.0, spread) : 0.0;
+      double jitter = opt.speed_jitter > 0.0
+                          ? rng.NextDouble(-opt.speed_jitter, opt.speed_jitter)
+                          : 0.0;
+      e.speed_factor = std::max(0.05, group_speed_factor + jitter);
+      e.attrs = RandomAttrs(&rng, opt.attr_probability);
+      if (e.kind == EntityKind::kQuery) {
+        e.range_width = rng.NextDouble(opt.min_range, opt.max_range);
+        e.range_height = rng.NextDouble(opt.min_range, opt.max_range);
+        if (rng.NextBool(opt.query_filter_probability)) {
+          constexpr uint64_t kTags[] = {kAttrChild, kAttrRedCar, kAttrTruck,
+                                        kAttrBus, kAttrEmergency};
+          e.required_attrs = kTags[rng.NextBounded(5)];
+        }
+      }
+      SCUBA_RETURN_IF_ERROR(sim.AddEntity(std::move(e)));
+    }
+    ++group;
+  }
+
+  return sim;
+}
+
+}  // namespace scuba

@@ -1,0 +1,46 @@
+// Circles and circle predicates.
+//
+// Moving clusters are circular regions (centroid + radius); the join-between
+// step (paper Algorithm 2) is a circle-overlap test. Note: the paper's
+// pseudo-code compares dist^2 against (R_L - R_R)^2, which is a containment
+// test and would wrongly prune genuinely overlapping clusters. We implement
+// the correct overlap predicate dist^2 <= (R_L + R_R)^2 (see DESIGN.md §2).
+
+#ifndef SCUBA_GEOMETRY_CIRCLE_H_
+#define SCUBA_GEOMETRY_CIRCLE_H_
+
+#include "geometry/point.h"
+
+namespace scuba {
+
+/// A closed disk: center plus radius (radius >= 0; radius 0 is a point).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  friend constexpr bool operator==(const Circle&, const Circle&) = default;
+
+  /// True iff `p` lies inside or on the boundary.
+  constexpr bool Contains(Point p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+};
+
+/// True iff the closed disks share at least one point (touching counts).
+constexpr bool Overlaps(const Circle& a, const Circle& b) {
+  double rsum = a.radius + b.radius;
+  return SquaredDistance(a.center, b.center) <= rsum * rsum;
+}
+
+/// True iff disk `inner` lies entirely within disk `outer`.
+/// (This is the predicate the paper's Algorithm 2 pseudo-code actually
+/// computes; kept for the regression test pinning the deviation.)
+constexpr bool ContainsCircle(const Circle& outer, const Circle& inner) {
+  double dr = outer.radius - inner.radius;
+  if (dr < 0.0) return false;
+  return SquaredDistance(outer.center, inner.center) <= dr * dr;
+}
+
+}  // namespace scuba
+
+#endif  // SCUBA_GEOMETRY_CIRCLE_H_

@@ -1,0 +1,19 @@
+#include <cstdio>
+
+#include "geometry/point.h"
+
+namespace scuba {
+
+std::string Vec2::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "<%.6g, %.6g>", x, y);
+  return buf;
+}
+
+std::string Point::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6g, %.6g)", x, y);
+  return buf;
+}
+
+}  // namespace scuba

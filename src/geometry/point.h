@@ -1,0 +1,78 @@
+// Planar points and vectors.
+//
+// SCUBA operates on a 2-D data space in "spatial units" (paper §6.1: thresholds
+// and speeds are expressed in spatial units / time units). Point is a location,
+// Vec2 a displacement (e.g. a cluster's velocity or transformation vector).
+
+#ifndef SCUBA_GEOMETRY_POINT_H_
+#define SCUBA_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace scuba {
+
+/// Displacement / direction in the plane.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 v, double s) { return {v.x * s, v.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+  friend constexpr Vec2 operator/(Vec2 v, double s) { return {v.x / s, v.y / s}; }
+  Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Unit vector in this direction; returns {0,0} for the zero vector.
+  Vec2 Normalized() const {
+    double n = Norm();
+    if (n == 0.0) return {0.0, 0.0};
+    return {x / n, y / n};
+  }
+
+  std::string ToString() const;
+};
+
+/// A location in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point p, Vec2 v) { return {p.x + v.x, p.y + v.y}; }
+  friend constexpr Point operator-(Point p, Vec2 v) { return {p.x - v.x, p.y - v.y}; }
+  friend constexpr Vec2 operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  Point& operator+=(Vec2 v) { x += v.x; y += v.y; return *this; }
+  friend constexpr bool operator==(Point, Point) = default;
+
+  std::string ToString() const;
+};
+
+/// Squared Euclidean distance (cheap; preferred in predicates).
+constexpr double SquaredDistance(Point a, Point b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Distance(Point a, Point b) { return std::sqrt(SquaredDistance(a, b)); }
+
+/// Linear interpolation: t=0 -> a, t=1 -> b.
+constexpr Point Lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Component-wise approximate equality with absolute tolerance eps.
+inline bool ApproxEqual(Point a, Point b, double eps = 1e-9) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps;
+}
+
+}  // namespace scuba
+
+#endif  // SCUBA_GEOMETRY_POINT_H_

@@ -1,0 +1,41 @@
+// Polar coordinates relative to a pole.
+//
+// Paper §3.1: "Individual positions of moving objects and queries inside a
+// cluster are represented in a relative form using polar coordinates (with the
+// pole at the centroid of the cluster)." PolarCoord stores (r, theta) with
+// theta the counterclockwise angle from the x-axis, and converts to/from
+// absolute points given the pole.
+
+#ifndef SCUBA_GEOMETRY_POLAR_H_
+#define SCUBA_GEOMETRY_POLAR_H_
+
+#include <cmath>
+
+#include "geometry/point.h"
+
+namespace scuba {
+
+/// Relative position in polar form about an externally known pole.
+struct PolarCoord {
+  double r = 0.0;      ///< Radial distance from the pole (>= 0).
+  double theta = 0.0;  ///< CCW angle from the +x axis, radians in [-pi, pi].
+
+  friend constexpr bool operator==(PolarCoord, PolarCoord) = default;
+};
+
+/// Polar coordinates of `p` about `pole`. The origin maps to r=0, theta=0.
+inline PolarCoord ToPolar(Point p, Point pole) {
+  Vec2 d = p - pole;
+  double r = d.Norm();
+  if (r == 0.0) return {0.0, 0.0};
+  return {r, std::atan2(d.y, d.x)};
+}
+
+/// Absolute point for polar coordinates `pc` about `pole`.
+inline Point FromPolar(PolarCoord pc, Point pole) {
+  return {pole.x + pc.r * std::cos(pc.theta), pole.y + pc.r * std::sin(pc.theta)};
+}
+
+}  // namespace scuba
+
+#endif  // SCUBA_GEOMETRY_POLAR_H_

@@ -1,0 +1,85 @@
+// Axis-aligned rectangles.
+//
+// Continuous range queries monitor a rectangular region centered on the
+// (moving) query point; the data space and grid-index cells are rectangles
+// too. All rectangles are closed (boundaries included).
+
+#ifndef SCUBA_GEOMETRY_RECT_H_
+#define SCUBA_GEOMETRY_RECT_H_
+
+#include <algorithm>
+
+#include "geometry/circle.h"
+#include "geometry/point.h"
+
+namespace scuba {
+
+/// Closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+/// A rectangle with min > max on either axis is empty.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  /// Rectangle of the given width/height centered at `c`.
+  static constexpr Rect Centered(Point c, double width, double height) {
+    return {c.x - width / 2, c.y - height / 2, c.x + width / 2, c.y + height / 2};
+  }
+
+  constexpr bool Empty() const { return min_x > max_x || min_y > max_y; }
+  constexpr double Width() const { return max_x - min_x; }
+  constexpr double Height() const { return max_y - min_y; }
+  constexpr double Area() const { return Empty() ? 0.0 : Width() * Height(); }
+  constexpr Point Center() const {
+    return {(min_x + max_x) / 2, (min_y + max_y) / 2};
+  }
+
+  constexpr bool Contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  constexpr bool Contains(const Rect& r) const {
+    return !r.Empty() && r.min_x >= min_x && r.max_x <= max_x &&
+           r.min_y >= min_y && r.max_y <= max_y;
+  }
+};
+
+/// True iff the closed rectangles share at least one point.
+constexpr bool Intersects(const Rect& a, const Rect& b) {
+  if (a.Empty() || b.Empty()) return false;
+  return a.min_x <= b.max_x && b.min_x <= a.max_x && a.min_y <= b.max_y &&
+         b.min_y <= a.max_y;
+}
+
+/// Closest point of `r` to `p` (p itself when inside).
+constexpr Point ClosestPointInRect(const Rect& r, Point p) {
+  return {std::clamp(p.x, r.min_x, r.max_x), std::clamp(p.y, r.min_y, r.max_y)};
+}
+
+/// True iff disk `c` and rectangle `r` share at least one point.
+constexpr bool Intersects(const Rect& r, const Circle& c) {
+  if (r.Empty()) return false;
+  return SquaredDistance(ClosestPointInRect(r, c.center), c.center) <=
+         c.radius * c.radius;
+}
+
+/// Smallest rectangle containing both inputs (empty inputs are ignored).
+constexpr Rect Union(const Rect& a, const Rect& b) {
+  if (a.Empty()) return b;
+  if (b.Empty()) return a;
+  return {std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+          std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y)};
+}
+
+/// Intersection of the two rectangles (possibly empty).
+constexpr Rect Intersection(const Rect& a, const Rect& b) {
+  return {std::max(a.min_x, b.min_x), std::max(a.min_y, b.min_y),
+          std::min(a.max_x, b.max_x), std::min(a.max_y, b.max_y)};
+}
+
+}  // namespace scuba
+
+#endif  // SCUBA_GEOMETRY_RECT_H_

@@ -1,0 +1,141 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/memory_usage.h"
+
+namespace scuba {
+
+namespace {
+
+Rect BoundsOf(const std::vector<RTree::Entry>& entries, size_t first,
+              size_t count) {
+  Rect box = entries[first].bounds;
+  for (size_t i = first + 1; i < first + count; ++i) {
+    box = Union(box, entries[i].bounds);
+  }
+  return box;
+}
+
+double CenterX(const RTree::Entry& e) {
+  return (e.bounds.min_x + e.bounds.max_x) / 2.0;
+}
+double CenterY(const RTree::Entry& e) {
+  return (e.bounds.min_y + e.bounds.max_y) / 2.0;
+}
+
+}  // namespace
+
+Result<RTree> RTree::BulkLoad(std::vector<Entry> entries,
+                              uint32_t max_node_entries) {
+  if (max_node_entries < 2) {
+    return Status::InvalidArgument("max_node_entries must be >= 2");
+  }
+  for (const Entry& e : entries) {
+    if (e.bounds.Empty()) {
+      return Status::InvalidArgument("cannot index an empty rectangle");
+    }
+  }
+
+  RTree tree;
+  tree.entry_count_ = entries.size();
+  if (entries.empty()) return tree;
+
+  const size_t n = entries.size();
+  const size_t cap = max_node_entries;
+
+  // STR: sort by x-center, slice into vertical strips of ~sqrt(n/cap) * cap
+  // entries, sort each strip by y-center, pack runs of `cap` into leaves.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return CenterX(a) < CenterX(b);
+  });
+  const size_t leaf_count = (n + cap - 1) / cap;
+  const size_t strips =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  const size_t strip_size = (n + strips - 1) / strips;
+  for (size_t s = 0; s * strip_size < n; ++s) {
+    auto begin = entries.begin() + static_cast<ptrdiff_t>(s * strip_size);
+    auto end = entries.begin() +
+               static_cast<ptrdiff_t>(std::min(n, (s + 1) * strip_size));
+    std::sort(begin, end, [](const Entry& a, const Entry& b) {
+      return CenterY(a) < CenterY(b);
+    });
+  }
+  tree.entries_ = std::move(entries);
+
+  // Pack leaves.
+  std::vector<uint32_t> level;  // node indices of the current level
+  for (size_t first = 0; first < n; first += cap) {
+    size_t count = std::min(cap, n - first);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<uint32_t>(first);
+    leaf.count = static_cast<uint32_t>(count);
+    leaf.bounds = BoundsOf(tree.entries_, first, count);
+    level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(leaf);
+  }
+  tree.height_ = 1;
+
+  // Pack internal levels bottom-up until one root remains. Children of a
+  // level are contiguous in `nodes_`, so runs of `cap` pack directly.
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    for (size_t first = 0; first < level.size(); first += cap) {
+      size_t count = std::min(cap, level.size() - first);
+      Node inner;
+      inner.leaf = false;
+      inner.first = level[first];
+      inner.count = static_cast<uint32_t>(count);
+      inner.bounds = tree.nodes_[level[first]].bounds;
+      for (size_t i = 1; i < count; ++i) {
+        inner.bounds = Union(inner.bounds, tree.nodes_[level[first + i]].bounds);
+      }
+      parent_level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(inner);
+    }
+    level = std::move(parent_level);
+    ++tree.height_;
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+void RTree::SearchImpl(uint32_t node_index, const Rect& probe,
+                       std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_index];
+  if (!Intersects(node.bounds, probe)) return;
+  if (node.leaf) {
+    for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+      if (Intersects(entries_[i].bounds, probe)) {
+        out->push_back(entries_[i].id);
+      }
+    }
+    return;
+  }
+  for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+    SearchImpl(i, probe, out);
+  }
+}
+
+void RTree::SearchPoint(Point p, std::vector<uint32_t>* out) const {
+  SearchRect(Rect{p.x, p.y, p.x, p.y}, out);
+}
+
+void RTree::SearchRect(const Rect& r, std::vector<uint32_t>* out) const {
+  if (empty() || r.Empty()) return;
+  SearchImpl(root_, r, out);
+}
+
+Rect RTree::BoundingBox() const {
+  if (empty()) return Rect{0, 0, -1, -1};
+  return nodes_[root_].bounds;
+}
+
+size_t RTree::EstimateMemoryUsage() const {
+  return VectorMemoryUsage(nodes_) + VectorMemoryUsage(entries_);
+}
+
+}  // namespace scuba

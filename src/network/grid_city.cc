@@ -1,0 +1,135 @@
+#include "network/grid_city.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "network/network_builder.h"
+
+namespace scuba {
+
+namespace {
+
+/// Road class of the street along a given row/column index.
+RoadClass ClassifyLine(uint32_t index, const GridCityOptions& opt) {
+  if (opt.highway_every > 0 && index % opt.highway_every == 0) {
+    return RoadClass::kHighway;
+  }
+  if (opt.arterial_every > 0 && index % opt.arterial_every == 0) {
+    return RoadClass::kArterial;
+  }
+  return RoadClass::kLocal;
+}
+
+}  // namespace
+
+Result<RoadNetwork> GenerateGridCity(const GridCityOptions& opt) {
+  if (opt.rows < 2 || opt.cols < 2) {
+    return Status::InvalidArgument("grid city needs at least 2x2 nodes");
+  }
+  if (opt.block_size <= 0.0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (opt.jitter < 0.0 || opt.jitter > 0.4) {
+    return Status::InvalidArgument("jitter must be in [0, 0.4]");
+  }
+
+  Rng rng(opt.seed);
+  NetworkBuilder builder;
+
+  // Nodes, row-major. Jitter keeps nodes within a fraction of a block of their
+  // lattice position so the grid stays planar and connected.
+  std::vector<std::vector<NodeId>> ids(opt.rows, std::vector<NodeId>(opt.cols));
+  for (uint32_t r = 0; r < opt.rows; ++r) {
+    for (uint32_t c = 0; c < opt.cols; ++c) {
+      double jx = opt.jitter > 0.0
+                      ? rng.NextDouble(-opt.jitter, opt.jitter) * opt.block_size
+                      : 0.0;
+      double jy = opt.jitter > 0.0
+                      ? rng.NextDouble(-opt.jitter, opt.jitter) * opt.block_size
+                      : 0.0;
+      Point p{opt.origin.x + c * opt.block_size + jx,
+              opt.origin.y + r * opt.block_size + jy};
+      ids[r][c] = builder.AddNode(p);
+    }
+  }
+
+  // Horizontal streets: the street along row r gets row r's class.
+  for (uint32_t r = 0; r < opt.rows; ++r) {
+    RoadClass rc = ClassifyLine(r, opt);
+    for (uint32_t c = 0; c + 1 < opt.cols; ++c) {
+      Result<EdgeId> e = builder.AddBidirectionalEdge(ids[r][c], ids[r][c + 1], rc);
+      if (!e.ok()) return e.status();
+    }
+  }
+  // Vertical streets.
+  for (uint32_t c = 0; c < opt.cols; ++c) {
+    RoadClass rc = ClassifyLine(c, opt);
+    for (uint32_t r = 0; r + 1 < opt.rows; ++r) {
+      Result<EdgeId> e = builder.AddBidirectionalEdge(ids[r][c], ids[r + 1][c], rc);
+      if (!e.ok()) return e.status();
+    }
+  }
+
+  return builder.Build();
+}
+
+RoadNetwork DefaultBenchmarkCity(uint64_t seed) {
+  GridCityOptions opt;
+  opt.seed = seed;
+  Result<RoadNetwork> net = GenerateGridCity(opt);
+  SCUBA_CHECK_MSG(net.ok(), net.status().ToString().c_str());
+  return std::move(net).value();
+}
+
+Result<RoadNetwork> GenerateRadialCity(const RadialCityOptions& opt) {
+  if (opt.rings < 1) {
+    return Status::InvalidArgument("radial city needs at least 1 ring");
+  }
+  if (opt.spokes < 3) {
+    return Status::InvalidArgument("radial city needs at least 3 spokes");
+  }
+  if (opt.ring_spacing <= 0.0) {
+    return Status::InvalidArgument("ring_spacing must be positive");
+  }
+
+  NetworkBuilder builder;
+  NodeId hub = builder.AddNode(opt.center);
+
+  // ids[r][s]: node on ring r (1-based) at spoke s.
+  std::vector<std::vector<NodeId>> ids(opt.rings + 1,
+                                       std::vector<NodeId>(opt.spokes));
+  for (uint32_t r = 1; r <= opt.rings; ++r) {
+    double radius = r * opt.ring_spacing;
+    for (uint32_t s = 0; s < opt.spokes; ++s) {
+      double angle = 2.0 * M_PI * s / opt.spokes;
+      ids[r][s] = builder.AddNode(Point{opt.center.x + radius * std::cos(angle),
+                                        opt.center.y + radius * std::sin(angle)});
+    }
+  }
+
+  // Spokes: hub -> ring 1 -> ... -> outer ring, highways.
+  for (uint32_t s = 0; s < opt.spokes; ++s) {
+    Result<EdgeId> e =
+        builder.AddBidirectionalEdge(hub, ids[1][s], RoadClass::kHighway);
+    if (!e.ok()) return e.status();
+    for (uint32_t r = 1; r < opt.rings; ++r) {
+      e = builder.AddBidirectionalEdge(ids[r][s], ids[r + 1][s],
+                                       RoadClass::kHighway);
+      if (!e.ok()) return e.status();
+    }
+  }
+  // Rings: local near the hub, arterial further out.
+  for (uint32_t r = 1; r <= opt.rings; ++r) {
+    RoadClass rc = (opt.arterial_from_ring > 0 && r >= opt.arterial_from_ring)
+                       ? RoadClass::kArterial
+                       : RoadClass::kLocal;
+    for (uint32_t s = 0; s < opt.spokes; ++s) {
+      Result<EdgeId> e = builder.AddBidirectionalEdge(
+          ids[r][s], ids[r][(s + 1) % opt.spokes], rc);
+      if (!e.ok()) return e.status();
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace scuba

@@ -1,0 +1,73 @@
+// GridCityMapGenerator: synthetic city road map.
+//
+// The paper feeds the Brinkhoff generator the road map of Worcester, USA. We
+// do not have that map, so we synthesize a city with the same structural
+// properties SCUBA depends on (DESIGN.md, substitution table): a connected
+// street grid with slow local roads, faster arterials every few blocks, and
+// fast highway rows/columns with widely spaced connection nodes. Node
+// positions can be jittered so streets are not perfectly regular.
+
+#ifndef SCUBA_NETWORK_GRID_CITY_H_
+#define SCUBA_NETWORK_GRID_CITY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace scuba {
+
+struct GridCityOptions {
+  /// Number of node rows / columns (>= 2 each).
+  uint32_t rows = 21;
+  uint32_t cols = 21;
+  /// Distance between adjacent nodes, in spatial units (> 0).
+  double block_size = 500.0;
+  /// Lower-left corner of the city.
+  Point origin{0.0, 0.0};
+  /// Every k-th row/column is an arterial (0 disables arterials).
+  uint32_t arterial_every = 5;
+  /// Every k-th row/column is a highway (0 disables; takes precedence over
+  /// arterial when both match).
+  uint32_t highway_every = 10;
+  /// Uniform positional jitter as a fraction of block_size, in [0, 0.4].
+  double jitter = 0.1;
+  /// Seed for the jitter.
+  uint64_t seed = 0x5C0BAULL;
+};
+
+/// Generates a connected grid-city RoadNetwork. All streets are
+/// bidirectional. Returns InvalidArgument for out-of-range options.
+Result<RoadNetwork> GenerateGridCity(const GridCityOptions& options);
+
+/// Convenience: the default ~10,000 x 10,000-unit city used by the benchmarks
+/// (21 x 21 nodes, 500-unit blocks, arterials every 5, highways every 10).
+RoadNetwork DefaultBenchmarkCity(uint64_t seed = 0x5C0BAULL);
+
+/// A radial city: concentric ring roads crossed by radial avenues meeting at
+/// a centre hub — the classic European layout, structurally very different
+/// from the Manhattan grid. Useful for checking that results are not grid
+/// artefacts.
+struct RadialCityOptions {
+  /// Number of ring roads (>= 1) around the hub.
+  uint32_t rings = 8;
+  /// Radial avenues (>= 3) from the hub outwards.
+  uint32_t spokes = 12;
+  /// Distance between consecutive rings (> 0).
+  double ring_spacing = 600.0;
+  /// City centre.
+  Point center{5000.0, 5000.0};
+  /// Ring index (1-based) from which rings count as arterials; 0 disables.
+  uint32_t arterial_from_ring = 3;
+  uint64_t seed = 0x5C0BAULL;
+};
+
+/// Generates a connected radial RoadNetwork: the hub connects to ring 1 via
+/// every spoke; spokes are highways, rings local/arterial. All roads are
+/// bidirectional.
+Result<RoadNetwork> GenerateRadialCity(const RadialCityOptions& options);
+
+}  // namespace scuba
+
+#endif  // SCUBA_NETWORK_GRID_CITY_H_

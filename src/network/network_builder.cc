@@ -1,0 +1,89 @@
+#include "network/network_builder.h"
+
+#include <string>
+
+namespace scuba {
+
+NodeId NetworkBuilder::AddNode(Point position) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(ConnectionNode{id, position});
+  return id;
+}
+
+Result<EdgeId> NetworkBuilder::AddEdge(NodeId from, NodeId to,
+                                       RoadClass road_class,
+                                       double speed_limit) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not name an existing node");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  if (speed_limit < 0.0) {
+    return Status::InvalidArgument("speed limit must be positive (or 0 for default)");
+  }
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  if (edge_keys_.contains(key)) {
+    return Status::AlreadyExists("duplicate edge " + std::to_string(from) +
+                                 " -> " + std::to_string(to));
+  }
+  edge_keys_.insert(key);
+  RoadSegment seg;
+  seg.id = static_cast<EdgeId>(edges_.size());
+  seg.from = from;
+  seg.to = to;
+  seg.length = Distance(nodes_[from].position, nodes_[to].position);
+  seg.road_class = road_class;
+  seg.speed_limit = speed_limit > 0.0 ? speed_limit : DefaultSpeedLimit(road_class);
+  edges_.push_back(seg);
+  return seg.id;
+}
+
+Result<EdgeId> NetworkBuilder::AddBidirectionalEdge(NodeId a, NodeId b,
+                                                    RoadClass road_class,
+                                                    double speed_limit) {
+  Result<EdgeId> fwd = AddEdge(a, b, road_class, speed_limit);
+  if (!fwd.ok()) return fwd;
+  Result<EdgeId> bwd = AddEdge(b, a, road_class, speed_limit);
+  if (!bwd.ok()) return bwd.status();
+  return fwd;
+}
+
+Result<RoadNetwork> NetworkBuilder::Build() const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("network has no nodes");
+  }
+  if (edges_.empty()) {
+    return Status::FailedPrecondition("network has no edges");
+  }
+  for (const RoadSegment& e : edges_) {
+    if (e.length <= 0.0) {
+      return Status::FailedPrecondition(
+          "segment " + std::to_string(e.id) +
+          " has zero length (coincident endpoints)");
+    }
+  }
+
+  RoadNetwork net;
+  net.nodes_ = nodes_;
+  net.edges_ = edges_;
+  net.out_edges_.assign(nodes_.size(), {});
+  for (const RoadSegment& e : edges_) {
+    net.out_edges_[e.from].push_back(e.id);
+  }
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (net.out_edges_[n].empty()) {
+      return Status::FailedPrecondition("node " + std::to_string(n) +
+                                        " has no outgoing edge; objects would strand");
+    }
+  }
+  Rect box{nodes_[0].position.x, nodes_[0].position.y, nodes_[0].position.x,
+           nodes_[0].position.y};
+  for (const ConnectionNode& n : nodes_) {
+    box = Union(box, Rect{n.position.x, n.position.y, n.position.x, n.position.y});
+  }
+  net.bounding_box_ = box;
+  return net;
+}
+
+}  // namespace scuba

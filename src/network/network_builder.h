@@ -1,0 +1,50 @@
+// NetworkBuilder: validated, incremental construction of RoadNetworks.
+
+#ifndef SCUBA_NETWORK_NETWORK_BUILDER_H_
+#define SCUBA_NETWORK_NETWORK_BUILDER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace scuba {
+
+/// Accumulates nodes and road segments, then Build()s an immutable
+/// RoadNetwork. Edge lengths are computed from node geometry; speed limits
+/// default per road class but can be overridden.
+class NetworkBuilder {
+ public:
+  /// Adds a connection node at `position`; returns its dense id.
+  NodeId AddNode(Point position);
+
+  /// Adds a one-way segment from -> to. speed_limit <= 0 selects the class
+  /// default. Returns the edge id, or InvalidArgument for unknown endpoints,
+  /// self-loops, non-positive override speeds, or duplicate (from, to) pairs.
+  Result<EdgeId> AddEdge(NodeId from, NodeId to,
+                         RoadClass road_class = RoadClass::kLocal,
+                         double speed_limit = 0.0);
+
+  /// Adds segments in both directions; returns the forward edge id.
+  Result<EdgeId> AddBidirectionalEdge(NodeId a, NodeId b,
+                                      RoadClass road_class = RoadClass::kLocal,
+                                      double speed_limit = 0.0);
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+
+  /// Finalizes the network. Fails (FailedPrecondition) when the network is
+  /// empty, when a node has no outgoing edge (objects would strand), or when a
+  /// segment has zero length (coincident endpoints).
+  Result<RoadNetwork> Build() const;
+
+ private:
+  std::vector<ConnectionNode> nodes_;
+  std::vector<RoadSegment> edges_;
+  std::unordered_set<uint64_t> edge_keys_;  // (from << 32) | to, for dup checks
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_NETWORK_NETWORK_BUILDER_H_

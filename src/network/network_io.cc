@@ -1,0 +1,90 @@
+#include "network/network_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "network/network_builder.h"
+
+namespace scuba {
+
+std::string SerializeNetwork(const RoadNetwork& network) {
+  std::ostringstream out;
+  out << "scuba-network 1\n";
+  char buf[160];
+  for (const ConnectionNode& n : network.nodes()) {
+    std::snprintf(buf, sizeof(buf), "node %u %.17g %.17g\n", n.id,
+                  n.position.x, n.position.y);
+    out << buf;
+  }
+  for (const RoadSegment& e : network.edges()) {
+    std::snprintf(buf, sizeof(buf), "edge %u %u %u %.17g\n", e.from, e.to,
+                  static_cast<unsigned>(e.road_class), e.speed_limit);
+    out << buf;
+  }
+  return out.str();
+}
+
+Result<RoadNetwork> ParseNetwork(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("scuba-network 1", 0) != 0) {
+    return Status::Corruption("missing 'scuba-network 1' header");
+  }
+
+  NetworkBuilder builder;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "node") {
+      NodeId id;
+      double x, y;
+      if (!(ls >> id >> x >> y)) {
+        return Status::Corruption("malformed node at line " +
+                                  std::to_string(line_no));
+      }
+      NodeId got = builder.AddNode(Point{x, y});
+      if (got != id) {
+        return Status::Corruption("node ids must be dense and in order (line " +
+                                  std::to_string(line_no) + ")");
+      }
+    } else if (kind == "edge") {
+      NodeId from, to;
+      unsigned rc;
+      double speed;
+      if (!(ls >> from >> to >> rc >> speed) || rc > 2) {
+        return Status::Corruption("malformed edge at line " +
+                                  std::to_string(line_no));
+      }
+      Result<EdgeId> e =
+          builder.AddEdge(from, to, static_cast<RoadClass>(rc), speed);
+      if (!e.ok()) return e.status();
+    } else {
+      return Status::Corruption("unknown record '" + kind + "' at line " +
+                                std::to_string(line_no));
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveNetwork(const RoadNetwork& network, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << SerializeNetwork(network);
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<RoadNetwork> LoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNetwork(buf.str());
+}
+
+}  // namespace scuba

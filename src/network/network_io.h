@@ -1,0 +1,33 @@
+// Text serialization of road networks.
+//
+// Format (line-oriented, '#' comments allowed):
+//   scuba-network 1
+//   node <id> <x> <y>
+//   edge <from> <to> <class:0|1|2> <speed_limit>
+// Node ids must be dense and in order; edges are directed.
+
+#ifndef SCUBA_NETWORK_NETWORK_IO_H_
+#define SCUBA_NETWORK_NETWORK_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace scuba {
+
+/// Serializes `network` to the text format.
+std::string SerializeNetwork(const RoadNetwork& network);
+
+/// Parses the text format. Returns Corruption on malformed input and the
+/// builder's validation errors otherwise.
+Result<RoadNetwork> ParseNetwork(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveNetwork(const RoadNetwork& network, const std::string& path);
+Result<RoadNetwork> LoadNetwork(const std::string& path);
+
+}  // namespace scuba
+
+#endif  // SCUBA_NETWORK_NETWORK_IO_H_

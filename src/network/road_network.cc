@@ -1,0 +1,63 @@
+#include "network/road_network.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/memory_usage.h"
+
+namespace scuba {
+
+std::string_view RoadClassName(RoadClass rc) {
+  switch (rc) {
+    case RoadClass::kLocal:
+      return "local";
+    case RoadClass::kArterial:
+      return "arterial";
+    case RoadClass::kHighway:
+      return "highway";
+  }
+  return "unknown";
+}
+
+double DefaultSpeedLimit(RoadClass rc) {
+  switch (rc) {
+    case RoadClass::kLocal:
+      return 30.0;
+    case RoadClass::kArterial:
+      return 60.0;
+    case RoadClass::kHighway:
+      return 100.0;
+  }
+  return 30.0;
+}
+
+EdgeId RoadNetwork::FindEdge(NodeId from, NodeId to) const {
+  if (from >= nodes_.size()) return kInvalidEdgeId;
+  for (EdgeId eid : out_edges_[from]) {
+    if (edges_[eid].to == to) return eid;
+  }
+  return kInvalidEdgeId;
+}
+
+NodeId RoadNetwork::NearestNode(Point p) const {
+  SCUBA_CHECK(!nodes_.empty());
+  NodeId best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const ConnectionNode& n : nodes_) {
+    double d2 = SquaredDistance(n.position, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+size_t RoadNetwork::EstimateMemoryUsage() const {
+  size_t bytes = VectorMemoryUsage(nodes_) + VectorMemoryUsage(edges_) +
+                 VectorMemoryUsage(out_edges_);
+  for (const auto& v : out_edges_) bytes += VectorMemoryUsage(v);
+  return bytes;
+}
+
+}  // namespace scuba

@@ -1,0 +1,95 @@
+// Road network: the motion substrate of the paper's model (§2).
+//
+// Moving objects travel piecewise-linearly along roads connected at
+// "connection nodes". A RoadNetwork is an immutable directed graph of
+// connection nodes (with planar positions) and road segments (with lengths
+// derived from geometry and speed limits derived from road class). Build one
+// with NetworkBuilder or GridCityMapGenerator.
+
+#ifndef SCUBA_NETWORK_ROAD_NETWORK_H_
+#define SCUBA_NETWORK_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace scuba {
+
+/// Functional class of a road; determines its speed limit.
+enum class RoadClass : uint8_t { kLocal = 0, kArterial = 1, kHighway = 2 };
+
+std::string_view RoadClassName(RoadClass rc);
+
+/// Default speed limit for a road class, in spatial units per tick. These
+/// mirror the paper's observation (§3.1) that highways support high speeds
+/// with far-apart connection nodes while local roads are slow.
+double DefaultSpeedLimit(RoadClass rc);
+
+/// A connection node (paper Fig. 1): a point where road segments meet and
+/// where moving objects pick their next destination.
+struct ConnectionNode {
+  NodeId id = kInvalidNodeId;
+  Point position;
+};
+
+/// A directed road segment between two connection nodes.
+struct RoadSegment {
+  EdgeId id = kInvalidEdgeId;
+  NodeId from = kInvalidNodeId;
+  NodeId to = kInvalidNodeId;
+  double length = 0.0;       ///< Euclidean length of the segment.
+  double speed_limit = 0.0;  ///< Spatial units per tick.
+  RoadClass road_class = RoadClass::kLocal;
+
+  /// Ticks needed to traverse at the speed limit.
+  double TravelTime() const { return length / speed_limit; }
+};
+
+/// Immutable road graph. Node and edge ids are dense [0, count) indices.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+
+  const ConnectionNode& node(NodeId id) const { return nodes_[id]; }
+  const RoadSegment& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<ConnectionNode>& nodes() const { return nodes_; }
+  const std::vector<RoadSegment>& edges() const { return edges_; }
+
+  /// Ids of edges leaving `node`.
+  const std::vector<EdgeId>& OutEdges(NodeId node) const {
+    return out_edges_[node];
+  }
+
+  /// Smallest rectangle containing every node.
+  const Rect& BoundingBox() const { return bounding_box_; }
+
+  /// The edge from `from` to `to`, or kInvalidEdgeId if absent.
+  EdgeId FindEdge(NodeId from, NodeId to) const;
+
+  /// Node nearest to `p` (linear scan; generator-side utility).
+  /// Precondition: the network is non-empty.
+  NodeId NearestNode(Point p) const;
+
+  /// Analytic heap footprint (see common/memory_usage.h).
+  size_t EstimateMemoryUsage() const;
+
+ private:
+  friend class NetworkBuilder;
+
+  std::vector<ConnectionNode> nodes_;
+  std::vector<RoadSegment> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  Rect bounding_box_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_NETWORK_ROAD_NETWORK_H_

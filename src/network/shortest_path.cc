@@ -1,0 +1,97 @@
+#include "network/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace scuba {
+
+namespace {
+
+double EdgeCost(const RoadSegment& e, RouteCost cost) {
+  return cost == RouteCost::kTravelTime ? e.TravelTime() : e.length;
+}
+
+struct QueueEntry {
+  double cost;
+  NodeId node;
+  // Min-heap ordering.
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    return a.cost > b.cost;
+  }
+};
+
+}  // namespace
+
+Result<Route> ShortestPath(const RoadNetwork& network, NodeId from, NodeId to,
+                           RouteCost cost) {
+  const size_t n = network.NodeCount();
+  if (from >= n || to >= n) {
+    return Status::InvalidArgument("shortest path endpoint out of range");
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> prev(n, kInvalidNodeId);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.push({0.0, from});
+
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (u == to) break;
+    for (EdgeId eid : network.OutEdges(u)) {
+      const RoadSegment& e = network.edge(eid);
+      double nd = d + EdgeCost(e, cost);
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+
+  if (dist[to] == kInf) {
+    return Status::NotFound("destination unreachable from source");
+  }
+
+  Route route;
+  route.cost = dist[to];
+  for (NodeId v = to; v != kInvalidNodeId; v = prev[v]) {
+    route.nodes.push_back(v);
+    if (v == from) break;
+  }
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  return route;
+}
+
+Result<std::vector<double>> ShortestPathCosts(const RoadNetwork& network,
+                                              NodeId from, RouteCost cost) {
+  const size_t n = network.NodeCount();
+  if (from >= n) {
+    return Status::InvalidArgument("source node out of range");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (EdgeId eid : network.OutEdges(u)) {
+      const RoadSegment& e = network.edge(eid);
+      double nd = d + EdgeCost(e, cost);
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace scuba

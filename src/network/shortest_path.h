@@ -1,0 +1,44 @@
+// Shortest-path routing over RoadNetworks (Dijkstra).
+//
+// The workload generator routes entities between connection nodes; routes may
+// minimize travel time (speed-limit aware, the default — fast roads attract
+// traffic, which is what makes highway clusters form) or distance.
+
+#ifndef SCUBA_NETWORK_SHORTEST_PATH_H_
+#define SCUBA_NETWORK_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "network/road_network.h"
+
+namespace scuba {
+
+enum class RouteCost {
+  kTravelTime,  ///< Sum of length / speed_limit.
+  kDistance,    ///< Sum of segment lengths.
+};
+
+/// A routing result: the node sequence from source to destination (inclusive)
+/// and its total cost under the requested metric.
+struct Route {
+  std::vector<NodeId> nodes;
+  double cost = 0.0;
+};
+
+/// Dijkstra from `from` to `to`. Returns NotFound when `to` is unreachable and
+/// InvalidArgument for out-of-range node ids. A route from a node to itself is
+/// the single-node route with cost 0.
+Result<Route> ShortestPath(const RoadNetwork& network, NodeId from, NodeId to,
+                           RouteCost cost = RouteCost::kTravelTime);
+
+/// Single-source Dijkstra; returns per-node cost from `from` (infinity where
+/// unreachable) — used to validate connectivity of generated maps.
+Result<std::vector<double>> ShortestPathCosts(
+    const RoadNetwork& network, NodeId from,
+    RouteCost cost = RouteCost::kTravelTime);
+
+}  // namespace scuba
+
+#endif  // SCUBA_NETWORK_SHORTEST_PATH_H_

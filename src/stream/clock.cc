@@ -1,0 +1,22 @@
+#include "stream/clock.h"
+
+namespace scuba {
+
+Result<SimulationClock> SimulationClock::Create(Timestamp delta) {
+  if (delta <= 0) {
+    return Status::InvalidArgument("evaluation interval must be positive");
+  }
+  return SimulationClock(delta);
+}
+
+bool SimulationClock::Advance() {
+  ++now_;
+  return now_ % delta_ == 0;
+}
+
+Timestamp SimulationClock::TicksUntilEvaluation() const {
+  Timestamp rem = now_ % delta_;
+  return rem == 0 ? delta_ : delta_ - rem;
+}
+
+}  // namespace scuba

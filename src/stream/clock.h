@@ -1,0 +1,37 @@
+// SimulationClock: discrete-time bookkeeping for the stream shell — tracks
+// the current tick and decides when the periodic evaluation (every Delta
+// ticks, paper §4.2) is due.
+
+#ifndef SCUBA_STREAM_CLOCK_H_
+#define SCUBA_STREAM_CLOCK_H_
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace scuba {
+
+class SimulationClock {
+ public:
+  /// `delta` is the evaluation interval in ticks (> 0, checked by factory).
+  static Result<SimulationClock> Create(Timestamp delta);
+
+  Timestamp now() const { return now_; }
+  Timestamp delta() const { return delta_; }
+
+  /// Advances one tick; returns true when an evaluation is due at the new
+  /// time (i.e. every delta-th tick).
+  bool Advance();
+
+  /// Ticks until the next evaluation boundary.
+  Timestamp TicksUntilEvaluation() const;
+
+ private:
+  explicit SimulationClock(Timestamp delta) : delta_(delta) {}
+
+  Timestamp delta_;
+  Timestamp now_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_STREAM_CLOCK_H_

@@ -1,0 +1,81 @@
+#include "stream/pipeline.h"
+
+#include "common/check.h"
+
+namespace scuba {
+
+Result<StreamPipeline> StreamPipeline::Create(ObjectSimulator* simulator,
+                                              QueryProcessor* engine,
+                                              Timestamp delta,
+                                              double update_fraction) {
+  if (simulator == nullptr || engine == nullptr) {
+    return Status::InvalidArgument("simulator and engine must be non-null");
+  }
+  if (update_fraction < 0.0 || update_fraction > 1.0) {
+    return Status::InvalidArgument("update_fraction must be in [0, 1]");
+  }
+  Result<SimulationClock> clock = SimulationClock::Create(delta);
+  if (!clock.ok()) return clock.status();
+  return StreamPipeline(simulator, engine, std::move(clock).value(),
+                        update_fraction);
+}
+
+StreamPipeline::StreamPipeline(ObjectSimulator* simulator,
+                               QueryProcessor* engine, SimulationClock clock,
+                               double update_fraction)
+    : simulator_(simulator),
+      engine_(engine),
+      clock_(clock),
+      update_fraction_(update_fraction) {}
+
+Status StreamPipeline::RunTicks(int ticks, const ResultSink& sink) {
+  ResultSet results;
+  for (int i = 0; i < ticks; ++i) {
+    simulator_->Step();
+    bool evaluate = clock_.Advance();
+    SCUBA_CHECK_MSG(simulator_->now() == clock_.now(),
+                    "simulator and clock diverged");
+    object_buffer_.clear();
+    query_buffer_.clear();
+    simulator_->EmitUpdates(update_fraction_, &object_buffer_, &query_buffer_);
+    for (const LocationUpdate& u : object_buffer_) {
+      SCUBA_RETURN_IF_ERROR(engine_->IngestObjectUpdate(u));
+    }
+    for (const QueryUpdate& u : query_buffer_) {
+      SCUBA_RETURN_IF_ERROR(engine_->IngestQueryUpdate(u));
+    }
+    if (evaluate) {
+      SCUBA_RETURN_IF_ERROR(engine_->Evaluate(clock_.now(), &results));
+      ++evaluations_;
+      if (sink) sink(clock_.now(), results);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplayTrace(const Trace& trace, QueryProcessor* engine, Timestamp delta,
+                   const ResultSink& sink) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (delta <= 0) {
+    return Status::InvalidArgument("delta must be positive");
+  }
+  ResultSet results;
+  for (size_t i = 0; i < trace.TickCount(); ++i) {
+    const TickBatch& batch = trace.batch(i);
+    for (const LocationUpdate& u : batch.object_updates) {
+      SCUBA_RETURN_IF_ERROR(engine->IngestObjectUpdate(u));
+    }
+    for (const QueryUpdate& u : batch.query_updates) {
+      SCUBA_RETURN_IF_ERROR(engine->IngestQueryUpdate(u));
+    }
+    if ((i + 1) % static_cast<size_t>(delta) == 0) {
+      SCUBA_RETURN_IF_ERROR(engine->Evaluate(batch.time, &results));
+      if (sink) sink(batch.time, results);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scuba

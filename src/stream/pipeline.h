@@ -1,0 +1,59 @@
+// StreamPipeline: the minimal stream-execution shell standing in for the
+// CAPE system the paper implemented SCUBA inside (DESIGN.md substitutions).
+//
+// Wires an update source (live ObjectSimulator or recorded Trace) to a
+// QueryProcessor: each tick the source's updates are ingested; every Delta
+// ticks the engine evaluates and the result sink is invoked.
+
+#ifndef SCUBA_STREAM_PIPELINE_H_
+#define SCUBA_STREAM_PIPELINE_H_
+
+#include <functional>
+
+#include "core/query_processor.h"
+#include "gen/object_simulator.h"
+#include "gen/trace.h"
+#include "stream/clock.h"
+
+namespace scuba {
+
+/// Called after each evaluation round with the evaluation time and results.
+using ResultSink = std::function<void(Timestamp, const ResultSet&)>;
+
+class StreamPipeline {
+ public:
+  /// Live mode: advances `simulator` itself. Both pointers must outlive the
+  /// pipeline; delta must be positive.
+  static Result<StreamPipeline> Create(ObjectSimulator* simulator,
+                                       QueryProcessor* engine, Timestamp delta,
+                                       double update_fraction = 1.0);
+
+  /// Runs `ticks` simulation ticks; evaluates every delta-th tick and feeds
+  /// `sink` (may be null). Stops and returns the first engine error.
+  Status RunTicks(int ticks, const ResultSink& sink = nullptr);
+
+  Timestamp now() const { return clock_.now(); }
+  uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  StreamPipeline(ObjectSimulator* simulator, QueryProcessor* engine,
+                 SimulationClock clock, double update_fraction);
+
+  ObjectSimulator* simulator_;
+  QueryProcessor* engine_;
+  SimulationClock clock_;
+  double update_fraction_;
+  uint64_t evaluations_ = 0;
+  std::vector<LocationUpdate> object_buffer_;
+  std::vector<QueryUpdate> query_buffer_;
+};
+
+/// Trace mode: replays a recorded trace into `engine`, evaluating every
+/// delta-th batch (batches are assumed to be consecutive ticks). Returns the
+/// first engine error. `sink` may be null.
+Status ReplayTrace(const Trace& trace, QueryProcessor* engine, Timestamp delta,
+                   const ResultSink& sink = nullptr);
+
+}  // namespace scuba
+
+#endif  // SCUBA_STREAM_PIPELINE_H_

@@ -1,0 +1,97 @@
+#include "eval/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+ResultSet Make(std::initializer_list<Match> matches) {
+  ResultSet r;
+  for (const Match& m : matches) r.Add(m.qid, m.oid);
+  r.Normalize();
+  return r;
+}
+
+TEST(AccuracyTest, IdenticalSetsArePerfect) {
+  ResultSet truth = Make({{1, 1}, {1, 2}, {2, 3}});
+  AccuracyReport r = CompareResults(truth, truth);
+  EXPECT_EQ(r.true_positives, 3u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.false_negatives, 0u);
+  EXPECT_EQ(r.Precision(), 1.0);
+  EXPECT_EQ(r.Recall(), 1.0);
+  EXPECT_EQ(r.Accuracy(), 1.0);
+  EXPECT_EQ(r.F1(), 1.0);
+}
+
+TEST(AccuracyTest, BothEmptyIsPerfect) {
+  AccuracyReport r = CompareResults(ResultSet{}, ResultSet{});
+  EXPECT_EQ(r.Accuracy(), 1.0);
+  EXPECT_EQ(r.Precision(), 1.0);
+  EXPECT_EQ(r.Recall(), 1.0);
+}
+
+TEST(AccuracyTest, FalsePositivesOnly) {
+  ResultSet truth = Make({{1, 1}});
+  ResultSet reported = Make({{1, 1}, {1, 2}, {2, 1}});
+  AccuracyReport r = CompareResults(truth, reported);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 2u);
+  EXPECT_EQ(r.false_negatives, 0u);
+  EXPECT_NEAR(r.Precision(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.Recall(), 1.0);
+  EXPECT_NEAR(r.Accuracy(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AccuracyTest, FalseNegativesOnly) {
+  ResultSet truth = Make({{1, 1}, {1, 2}, {3, 3}});
+  ResultSet reported = Make({{1, 2}});
+  AccuracyReport r = CompareResults(truth, reported);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.false_negatives, 2u);
+  EXPECT_EQ(r.Precision(), 1.0);
+  EXPECT_NEAR(r.Recall(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AccuracyTest, MixedErrors) {
+  ResultSet truth = Make({{1, 1}, {2, 2}});
+  ResultSet reported = Make({{1, 1}, {9, 9}});
+  AccuracyReport r = CompareResults(truth, reported);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+  EXPECT_NEAR(r.Accuracy(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.F1(), 0.5, 1e-12);
+}
+
+TEST(AccuracyTest, EmptyReportedAgainstNonEmptyTruth) {
+  ResultSet truth = Make({{1, 1}});
+  AccuracyReport r = CompareResults(truth, ResultSet{});
+  EXPECT_EQ(r.Recall(), 0.0);
+  EXPECT_EQ(r.Precision(), 1.0);  // vacuous precision
+  EXPECT_EQ(r.Accuracy(), 0.0);
+  EXPECT_EQ(r.F1(), 0.0);
+}
+
+TEST(AccuracyTest, AccumulatorSums) {
+  AccuracyAccumulator acc;
+  ResultSet truth = Make({{1, 1}, {2, 2}});
+  acc.Add(CompareResults(truth, Make({{1, 1}})));
+  acc.Add(CompareResults(truth, Make({{1, 1}, {2, 2}, {3, 3}})));
+  EXPECT_EQ(acc.rounds(), 2u);
+  EXPECT_EQ(acc.total().true_positives, 3u);
+  EXPECT_EQ(acc.total().false_negatives, 1u);
+  EXPECT_EQ(acc.total().false_positives, 1u);
+  EXPECT_EQ(acc.total().truth_size, 4u);
+}
+
+TEST(AccuracyTest, ToStringMentionsCounts) {
+  ResultSet truth = Make({{1, 1}});
+  std::string s = CompareResults(truth, truth).ToString();
+  EXPECT_NE(s.find("tp=1"), std::string::npos);
+  EXPECT_NE(s.find("accuracy=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,168 @@
+#include "core/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, NodeId dest = 1) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{9000, 9000};
+  u.range_width = 20;
+  u.range_height = 20;
+  return u;
+}
+
+struct AggFixture {
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+
+  void AddCluster(ClusterId cid, std::vector<Point> object_positions,
+                  std::vector<Point> query_positions = {}) {
+    ASSERT_FALSE(object_positions.empty() && query_positions.empty());
+    MovingCluster c =
+        object_positions.empty()
+            ? MovingCluster::FromQuery(cid, Qry(cid * 100, query_positions[0]))
+            : MovingCluster::FromObject(cid, Obj(cid * 100, object_positions[0]));
+    for (size_t i = object_positions.empty() ? 0 : 1;
+         i < object_positions.size(); ++i) {
+      c.AbsorbObject(Obj(cid * 100 + static_cast<uint32_t>(i),
+                         object_positions[i]));
+    }
+    for (size_t i = object_positions.empty() ? 1 : 0;
+         i < query_positions.size(); ++i) {
+      c.AbsorbQuery(Qry(cid * 100 + static_cast<uint32_t>(i),
+                        query_positions[i]));
+    }
+    c.RecomputeTightBounds();
+    ASSERT_TRUE(grid.Insert(cid, c.Bounds()).ok());
+    ASSERT_TRUE(store.AddCluster(std::move(c)).ok());
+  }
+};
+
+TEST(DiskFractionTest, FullContainment) {
+  EXPECT_DOUBLE_EQ(DiskFractionInRect({{50, 50}, 10}, Rect{0, 0, 100, 100}),
+                   1.0);
+}
+
+TEST(DiskFractionTest, NoOverlap) {
+  EXPECT_DOUBLE_EQ(DiskFractionInRect({{200, 200}, 10}, Rect{0, 0, 100, 100}),
+                   0.0);
+}
+
+TEST(DiskFractionTest, HalfPlaneIsHalf) {
+  // Rect covers exactly the left half of the disk.
+  double f = DiskFractionInRect({{100, 50}, 20}, Rect{0, 0, 100, 100});
+  EXPECT_NEAR(f, 0.5, 0.02);
+}
+
+TEST(DiskFractionTest, PointDisk) {
+  EXPECT_DOUBLE_EQ(DiskFractionInRect({{50, 50}, 0}, Rect{0, 0, 100, 100}), 1.0);
+  EXPECT_DOUBLE_EQ(DiskFractionInRect({{500, 50}, 0}, Rect{0, 0, 100, 100}),
+                   0.0);
+}
+
+TEST(DiskFractionTest, QuarterAtCorner) {
+  // Disk centered exactly on a rect corner: a quarter lies inside.
+  double f = DiskFractionInRect({{100, 100}, 20}, Rect{100, 100, 300, 300});
+  EXPECT_NEAR(f, 0.25, 0.03);
+}
+
+TEST(AggregateTest, RejectsEmptyRegion) {
+  AggFixture f;
+  Rect empty{10, 10, 5, 5};
+  EXPECT_TRUE(ExactObjectCount(f.store, f.grid, empty)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EstimateObjectCount(f.store, f.grid, empty)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggregateTest, EmptyStoreCountsZero) {
+  AggFixture f;
+  Rect region{0, 0, 1000, 1000};
+  EXPECT_EQ(*ExactObjectCount(f.store, f.grid, region), 0u);
+  EXPECT_EQ(*EstimateObjectCount(f.store, f.grid, region), 0.0);
+}
+
+TEST(AggregateTest, ExactCountsOnlyObjectsInside) {
+  AggFixture f;
+  f.AddCluster(0, {{100, 100}, {120, 100}, {900, 100}});
+  f.AddCluster(1, {}, {{110, 110}});  // query-only: contributes nothing
+  Rect region{0, 0, 500, 500};
+  EXPECT_EQ(*ExactObjectCount(f.store, f.grid, region), 2u);
+}
+
+TEST(AggregateTest, EstimateMatchesExactForContainedClusters) {
+  AggFixture f;
+  f.AddCluster(0, {{100, 100}, {120, 100}, {110, 120}});
+  f.AddCluster(1, {{4000, 4000}, {4010, 4000}});
+  Rect region{0, 0, 1000, 1000};  // fully contains cluster 0, misses 1
+  EXPECT_EQ(*ExactObjectCount(f.store, f.grid, region), 3u);
+  EXPECT_NEAR(*EstimateObjectCount(f.store, f.grid, region), 3.0, 1e-9);
+}
+
+TEST(AggregateTest, EstimateIsFractionalOnPartialOverlap) {
+  AggFixture f;
+  // A wide cluster straddling the region boundary at x = 1000.
+  f.AddCluster(0, {{950, 500}, {1050, 500}});
+  Rect region{0, 0, 1000, 1000};
+  double est = *EstimateObjectCount(f.store, f.grid, region);
+  EXPECT_GT(est, 0.4);
+  EXPECT_LT(est, 1.6);  // about half of the 2 objects
+}
+
+// Property: on many small uniform clusters, the estimate tracks the exact
+// count within a modest relative error.
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, EstimateTracksExact) {
+  Rng rng(GetParam());
+  AggFixture f;
+  for (ClusterId cid = 0; cid < 150; ++cid) {
+    Point base{rng.NextDouble(200, 9800), rng.NextDouble(200, 9800)};
+    std::vector<Point> members;
+    int n = 2 + static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < n; ++i) {
+      members.push_back(Point{base.x + rng.NextDouble(-60, 60),
+                              base.y + rng.NextDouble(-60, 60)});
+    }
+    f.AddCluster(cid, members);
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    double x = rng.NextDouble(0, 6000);
+    double y = rng.NextDouble(0, 6000);
+    Rect region{x, y, x + 4000, y + 4000};
+    size_t exact = *ExactObjectCount(f.store, f.grid, region);
+    double est = *EstimateObjectCount(f.store, f.grid, region);
+    // Clusters are small relative to the region: estimate within 15% + slack.
+    EXPECT_NEAR(est, static_cast<double>(exact),
+                0.15 * static_cast<double>(exact) + 8.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace scuba

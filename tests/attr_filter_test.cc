@@ -1,0 +1,220 @@
+// Attribute-filtered queries end to end: the paper's ObjectsTable/QueriesTable
+// carry descriptive attributes ("child", "red car"); queries may require
+// matched objects to carry specific tags. Every engine must honour the
+// predicate, including through clustering, shedding and splitting.
+
+#include <gtest/gtest.h>
+
+#include "baseline/grid_join_engine.h"
+#include "baseline/naive_join_engine.h"
+#include "baseline/query_index_engine.h"
+#include "core/scuba_engine.h"
+#include "eval/experiment.h"
+#include "stream/pipeline.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, uint64_t attrs) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.time = 1;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{9000, 9000};
+  u.attrs = attrs;
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, uint64_t required) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.time = 1;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{9000, 9000};
+  u.range_width = 200;
+  u.range_height = 200;
+  u.required_attrs = required;
+  return u;
+}
+
+TEST(AttrFilterTest, AttrsMatchSemantics) {
+  QueryUpdate q = Qry(1, {0, 0}, kAttrTruck | kAttrEmergency);
+  EXPECT_TRUE(q.AttrsMatch(kAttrTruck | kAttrEmergency));
+  EXPECT_TRUE(q.AttrsMatch(kAttrTruck | kAttrEmergency | kAttrRedCar));
+  EXPECT_FALSE(q.AttrsMatch(kAttrTruck));  // partial
+  EXPECT_FALSE(q.AttrsMatch(kAttrNone));
+  QueryUpdate unfiltered = Qry(1, {0, 0}, kAttrNone);
+  EXPECT_TRUE(unfiltered.AttrsMatch(kAttrNone));
+  EXPECT_TRUE(unfiltered.AttrsMatch(kAttrBus));
+}
+
+/// Runs the mixed scenario through one engine and checks the filtered answer.
+template <typename Engine>
+void CheckScenario(Engine* engine) {
+  // All entities co-located and co-travelling; query 1 wants trucks, query 2
+  // is unfiltered.
+  ASSERT_TRUE(engine->IngestObjectUpdate(Obj(1, {100, 100}, kAttrTruck)).ok());
+  ASSERT_TRUE(
+      engine->IngestObjectUpdate(Obj(2, {110, 100}, kAttrRedCar)).ok());
+  ASSERT_TRUE(engine->IngestObjectUpdate(Obj(3, {120, 100}, kAttrNone)).ok());
+  ASSERT_TRUE(engine->IngestQueryUpdate(Qry(1, {110, 100}, kAttrTruck)).ok());
+  ASSERT_TRUE(engine->IngestQueryUpdate(Qry(2, {110, 100}, kAttrNone)).ok());
+  ResultSet r;
+  ASSERT_TRUE(engine->Evaluate(2, &r).ok());
+  EXPECT_TRUE(r.Contains(1, 1));
+  EXPECT_FALSE(r.Contains(1, 2));
+  EXPECT_FALSE(r.Contains(1, 3));
+  EXPECT_TRUE(r.Contains(2, 1));
+  EXPECT_TRUE(r.Contains(2, 2));
+  EXPECT_TRUE(r.Contains(2, 3));
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(AttrFilterTest, ScubaHonoursFilters) {
+  Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create({});
+  ASSERT_TRUE(e.ok());
+  CheckScenario(e->get());
+}
+
+TEST(AttrFilterTest, GridJoinHonoursFilters) {
+  Result<std::unique_ptr<GridJoinEngine>> e = GridJoinEngine::Create({});
+  ASSERT_TRUE(e.ok());
+  CheckScenario(e->get());
+}
+
+TEST(AttrFilterTest, NaiveHonoursFilters) {
+  NaiveJoinEngine e;
+  CheckScenario(&e);
+}
+
+TEST(AttrFilterTest, QueryIndexHonoursFilters) {
+  QueryIndexEngine e;
+  CheckScenario(&e);
+}
+
+TEST(AttrFilterTest, ShedNucleusStillFilters) {
+  // With full shedding, a filtered query matching the nucleus must only
+  // report tagged objects from the group.
+  ScubaOptions opt;
+  opt.shedding.mode = LoadSheddingMode::kFixed;
+  opt.shedding.eta = 1.0;
+  Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create(opt);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE((*e)->IngestObjectUpdate(Obj(1, {100, 100}, kAttrTruck)).ok());
+  ASSERT_TRUE((*e)->IngestObjectUpdate(Obj(2, {105, 100}, kAttrRedCar)).ok());
+  ASSERT_TRUE((*e)->IngestQueryUpdate(Qry(1, {102, 100}, kAttrTruck)).ok());
+  ResultSet r;
+  ASSERT_TRUE((*e)->Evaluate(2, &r).ok());
+  EXPECT_TRUE(r.Contains(1, 1));
+  EXPECT_FALSE(r.Contains(1, 2));
+}
+
+TEST(AttrFilterTest, TraceRoundTripsPredicate) {
+  QueryUpdate q = Qry(7, {50, 50}, kAttrBus);
+  TickBatch batch;
+  batch.time = 1;
+  batch.query_updates.push_back(q);
+  Trace t;
+  t.Append(batch);
+  Result<Trace> back = Trace::Parse(t.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->batch(0).query_updates.size(), 1u);
+  EXPECT_EQ(back->batch(0).query_updates[0].required_attrs, kAttrBus);
+}
+
+TEST(AttrFilterTest, ParsesLegacyTraceWithoutPredicate) {
+  std::string legacy =
+      "scuba-trace 1\n"
+      "tick 1\n"
+      "q 7 50 50 1 10 1 100 100 40 40 0\n";  // no trailing required_attrs
+  Result<Trace> t = Trace::Parse(legacy);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->batch(0).query_updates[0].required_attrs, kAttrNone);
+}
+
+TEST(AttrFilterTest, WorkloadGeneratorEmitsFilters) {
+  RoadNetwork city = DefaultBenchmarkCity(5);
+  WorkloadOptions opt;
+  opt.num_objects = 50;
+  opt.num_queries = 200;
+  opt.query_filter_probability = 0.5;
+  opt.seed = 5;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city, opt);
+  ASSERT_TRUE(sim.ok());
+  size_t filtered = 0;
+  for (const SimEntity& e : sim->entities()) {
+    if (e.kind == EntityKind::kQuery && e.required_attrs != kAttrNone) {
+      ++filtered;
+    }
+  }
+  EXPECT_GT(filtered, 60u);
+  EXPECT_LT(filtered, 140u);
+
+  // Filters must survive emission into updates.
+  ObjectSimulator s = std::move(sim).value();
+  s.Step();
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  s.EmitUpdates(1.0, &objs, &qrys);
+  size_t emitted_filtered = 0;
+  for (const QueryUpdate& q : qrys) {
+    if (q.required_attrs != kAttrNone) ++emitted_filtered;
+  }
+  EXPECT_EQ(emitted_filtered, filtered);
+}
+
+TEST(AttrFilterTest, GeneratorValidatesProbability) {
+  RoadNetwork city = DefaultBenchmarkCity(5);
+  WorkloadOptions opt;
+  opt.query_filter_probability = -0.1;
+  EXPECT_TRUE(GenerateWorkload(&city, opt).status().IsInvalidArgument());
+}
+
+// End-to-end equivalence with filters on: SCUBA must match the oracle exactly
+// on a filtered workload.
+TEST(AttrFilterTest, FilteredWorkloadStaysOracleExact) {
+  ExperimentConfig config;
+  config.city.rows = 11;
+  config.city.cols = 11;
+  config.workload.num_objects = 150;
+  config.workload.num_queries = 150;
+  config.workload.skew = 10;
+  config.workload.attr_probability = 0.3;
+  config.workload.query_filter_probability = 0.5;
+  config.workload.seed = 77;
+  config.ticks = 8;
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok());
+
+  ScubaOptions sopt;
+  sopt.region = data->region;
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(sopt);
+  ASSERT_TRUE(engine.ok());
+  NaiveJoinEngine naive;
+  std::vector<ResultSet> a;
+  std::vector<ResultSet> b;
+  ASSERT_TRUE(ReplayTrace(data->trace, engine->get(), 2,
+                          [&](Timestamp, const ResultSet& r) {
+                            a.push_back(r);
+                          })
+                  .ok());
+  ASSERT_TRUE(ReplayTrace(data->trace, &naive, 2,
+                          [&](Timestamp, const ResultSet& r) {
+                            b.push_back(r);
+                          })
+                  .ok());
+  ASSERT_EQ(a.size(), b.size());
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "round " << i;
+    total += b[i].size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace scuba

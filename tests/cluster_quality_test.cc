@@ -1,0 +1,91 @@
+#include "cluster/cluster_quality.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  u.range_width = 10;
+  u.range_height = 10;
+  return u;
+}
+
+TEST(ClusterQualityTest, EmptyStore) {
+  ClusterStore store;
+  ClusterQuality q = EvaluateClusterQuality(store);
+  EXPECT_EQ(q.cluster_count, 0u);
+  EXPECT_EQ(q.member_count, 0u);
+  EXPECT_EQ(q.avg_members, 0.0);
+  EXPECT_EQ(q.mean_squared_distance, 0.0);
+}
+
+TEST(ClusterQualityTest, CountsAndAverages) {
+  ClusterStore store;
+  // Cluster 0: 2 objects at distance 5 each from the centroid.
+  MovingCluster a = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  a.AbsorbObject(Obj(2, {10, 0}));
+  ASSERT_TRUE(store.AddCluster(std::move(a)).ok());
+  // Cluster 1: a mixed singleton... needs 1 member only.
+  MovingCluster b = MovingCluster::FromQuery(1, Qry(1, {50, 50}));
+  ASSERT_TRUE(store.AddCluster(std::move(b)).ok());
+  // Cluster 2: mixed pair.
+  MovingCluster c = MovingCluster::FromObject(2, Obj(9, {200, 200}));
+  c.AbsorbQuery(Qry(9, {202, 200}));
+  ASSERT_TRUE(store.AddCluster(std::move(c)).ok());
+
+  ClusterQuality q = EvaluateClusterQuality(store);
+  EXPECT_EQ(q.cluster_count, 3u);
+  EXPECT_EQ(q.member_count, 5u);
+  EXPECT_EQ(q.singleton_count, 1u);
+  EXPECT_EQ(q.mixed_count, 1u);
+  EXPECT_NEAR(q.avg_members, 5.0 / 3.0, 1e-9);
+  EXPECT_GT(q.avg_radius, 0.0);
+  EXPECT_GE(q.max_radius, q.avg_radius);
+  // Cluster 0 contributes 25+25, cluster 1 contributes 0, cluster 2: 1+1.
+  EXPECT_NEAR(q.mean_squared_distance, (25.0 + 25.0 + 0.0 + 1.0 + 1.0) / 5.0,
+              1e-6);
+}
+
+TEST(ClusterQualityTest, TighterClustersScoreLowerMsd) {
+  ClusterStore tight_store;
+  MovingCluster t = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  t.AbsorbObject(Obj(2, {1, 0}));
+  ASSERT_TRUE(tight_store.AddCluster(std::move(t)).ok());
+
+  ClusterStore loose_store;
+  MovingCluster l = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  l.AbsorbObject(Obj(2, {80, 0}));
+  ASSERT_TRUE(loose_store.AddCluster(std::move(l)).ok());
+
+  EXPECT_LT(EvaluateClusterQuality(tight_store).mean_squared_distance,
+            EvaluateClusterQuality(loose_store).mean_squared_distance);
+}
+
+TEST(ClusterQualityTest, ToStringMentionsFields) {
+  ClusterStore store;
+  ASSERT_TRUE(
+      store.AddCluster(MovingCluster::FromObject(0, Obj(1, {0, 0}))).ok());
+  std::string s = EvaluateClusterQuality(store).ToString();
+  EXPECT_NE(s.find("clusters=1"), std::string::npos);
+  EXPECT_NE(s.find("msd="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,155 @@
+#include "cluster/cluster_store.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  u.range_width = 20;
+  u.range_height = 20;
+  return u;
+}
+
+TEST(ClusterStoreTest, NextClusterIdIsMonotonic) {
+  ClusterStore store;
+  EXPECT_EQ(store.NextClusterId(), 0u);
+  EXPECT_EQ(store.NextClusterId(), 1u);
+  EXPECT_EQ(store.NextClusterId(), 2u);
+}
+
+TEST(ClusterStoreTest, AddAndGetCluster) {
+  ClusterStore store;
+  ClusterId cid = store.NextClusterId();
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(cid, Obj(7, {1, 2}))).ok());
+  EXPECT_EQ(store.ClusterCount(), 1u);
+  ASSERT_NE(store.GetCluster(cid), nullptr);
+  EXPECT_EQ(store.GetCluster(cid)->cid(), cid);
+  EXPECT_EQ(store.GetCluster(999), nullptr);
+  // Home entry created for the founding member.
+  EXPECT_EQ(store.HomeOf({EntityKind::kObject, 7}), cid);
+  EXPECT_EQ(store.HomeCount(), 1u);
+}
+
+TEST(ClusterStoreTest, AddDuplicateCidFails) {
+  ClusterStore store;
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(1, {0, 0}))).ok());
+  EXPECT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(2, {0, 0})))
+                  .IsAlreadyExists());
+}
+
+TEST(ClusterStoreTest, AddClusterWithHomedMemberFails) {
+  ClusterStore store;
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(1, {0, 0}))).ok());
+  EXPECT_TRUE(store.AddCluster(MovingCluster::FromObject(1, Obj(1, {5, 5})))
+                  .IsAlreadyExists());
+  EXPECT_EQ(store.ClusterCount(), 1u);
+}
+
+TEST(ClusterStoreTest, RemoveClusterClearsHomes) {
+  ClusterStore store;
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  c.AbsorbQuery(Qry(2, {1, 1}));
+  ASSERT_TRUE(store.AddCluster(std::move(c)).ok());
+  EXPECT_EQ(store.HomeCount(), 2u);
+  ASSERT_TRUE(store.RemoveCluster(0).ok());
+  EXPECT_EQ(store.ClusterCount(), 0u);
+  EXPECT_EQ(store.HomeCount(), 0u);
+  EXPECT_EQ(store.HomeOf({EntityKind::kObject, 1}), kInvalidClusterId);
+  EXPECT_TRUE(store.RemoveCluster(0).IsNotFound());
+}
+
+TEST(ClusterStoreTest, SetAndClearHome) {
+  ClusterStore store;
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(1, {0, 0}))).ok());
+  EntityRef ref{EntityKind::kQuery, 42};
+  EXPECT_TRUE(store.SetHome(ref, 99).IsNotFound());  // no such cluster
+  ASSERT_TRUE(store.SetHome(ref, 0).ok());
+  EXPECT_EQ(store.HomeOf(ref), 0u);
+  EXPECT_TRUE(store.SetHome(ref, 0).IsAlreadyExists());
+  ASSERT_TRUE(store.ClearHome(ref).ok());
+  EXPECT_EQ(store.HomeOf(ref), kInvalidClusterId);
+  EXPECT_TRUE(store.ClearHome(ref).IsNotFound());
+}
+
+TEST(ClusterStoreTest, ObjectAndQueryKindsDistinctInHome) {
+  ClusterStore store;
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(5, {0, 0}))).ok());
+  // Query with the same numeric id is a different entity.
+  EXPECT_EQ(store.HomeOf({EntityKind::kQuery, 5}), kInvalidClusterId);
+  EXPECT_EQ(store.HomeOf({EntityKind::kObject, 5}), 0u);
+}
+
+TEST(ClusterStoreTest, AttrTables) {
+  ClusterStore store;
+  EXPECT_TRUE(store.ObjectAttrs(1).status().IsNotFound());
+  store.UpsertObjectAttrs(1, kAttrChild);
+  store.UpsertQueryAttrs(2, kAttrBus | kAttrEmergency);
+  ASSERT_TRUE(store.ObjectAttrs(1).ok());
+  EXPECT_EQ(*store.ObjectAttrs(1), kAttrChild);
+  EXPECT_EQ(*store.QueryAttrs(2), kAttrBus | kAttrEmergency);
+  store.UpsertObjectAttrs(1, kAttrTruck);  // overwrite
+  EXPECT_EQ(*store.ObjectAttrs(1), kAttrTruck);
+  EXPECT_EQ(store.ObjectsTableSize(), 1u);
+  EXPECT_EQ(store.QueriesTableSize(), 1u);
+}
+
+TEST(ClusterStoreTest, ValidateConsistencyDetectsOrphanHome) {
+  ClusterStore store;
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(1, {0, 0}))).ok());
+  EXPECT_TRUE(store.ValidateConsistency().ok());
+  // Inject an orphan home entry.
+  ASSERT_TRUE(store.SetHome({EntityKind::kObject, 99}, 0).ok());
+  EXPECT_TRUE(store.ValidateConsistency().IsInternal());
+}
+
+TEST(ClusterStoreTest, ValidateConsistencyDetectsEmptyCluster) {
+  ClusterStore store;
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  ASSERT_TRUE(store.AddCluster(std::move(c)).ok());
+  ASSERT_TRUE(store.GetCluster(0)->RemoveMember({EntityKind::kObject, 1}).ok());
+  ASSERT_TRUE(store.ClearHome({EntityKind::kObject, 1}).ok());
+  EXPECT_TRUE(store.ValidateConsistency().IsInternal());
+}
+
+TEST(ClusterStoreTest, ClearResetsEverything) {
+  ClusterStore store;
+  ASSERT_TRUE(store.AddCluster(MovingCluster::FromObject(0, Obj(1, {0, 0}))).ok());
+  store.UpsertObjectAttrs(1, kAttrChild);
+  store.Clear();
+  EXPECT_EQ(store.ClusterCount(), 0u);
+  EXPECT_EQ(store.HomeCount(), 0u);
+  EXPECT_EQ(store.ObjectsTableSize(), 0u);
+  EXPECT_TRUE(store.ValidateConsistency().ok());
+}
+
+TEST(ClusterStoreTest, MemoryUsageGrowsWithClusters) {
+  ClusterStore store;
+  size_t empty = store.EstimateMemoryUsage();
+  for (uint32_t i = 0; i < 50; ++i) {
+    ClusterId cid = store.NextClusterId();
+    ASSERT_TRUE(
+        store.AddCluster(MovingCluster::FromObject(cid, Obj(i, {1.0 * i, 0})))
+            .ok());
+  }
+  EXPECT_GT(store.EstimateMemoryUsage(), empty);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,48 @@
+#include "eval/engine_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+EvalStats SampleStats() {
+  EvalStats s;
+  s.evaluations = 4;
+  s.total_join_seconds = 2.0;
+  s.total_maintenance_seconds = 1.0;
+  s.total_results = 100;
+  s.comparisons = 5000;
+  s.cluster_pairs_tested = 80;
+  s.cluster_pairs_overlapping = 20;
+  return s;
+}
+
+TEST(EngineStatsTest, Averages) {
+  EvalStats s = SampleStats();
+  EXPECT_DOUBLE_EQ(AvgJoinSeconds(s), 0.5);
+  EXPECT_DOUBLE_EQ(AvgMaintenanceSeconds(s), 0.25);
+}
+
+TEST(EngineStatsTest, AveragesWithNoRounds) {
+  EvalStats s;
+  EXPECT_EQ(AvgJoinSeconds(s), 0.0);
+  EXPECT_EQ(AvgMaintenanceSeconds(s), 0.0);
+}
+
+TEST(EngineStatsTest, Selectivity) {
+  EvalStats s = SampleStats();
+  EXPECT_DOUBLE_EQ(JoinBetweenSelectivity(s), 0.25);
+  EvalStats none;
+  EXPECT_EQ(JoinBetweenSelectivity(none), 0.0);
+}
+
+TEST(EngineStatsTest, FormatMentionsFields) {
+  std::string out = FormatStats("scuba", SampleStats());
+  EXPECT_NE(out.find("scuba"), std::string::npos);
+  EXPECT_NE(out.find("evals=4"), std::string::npos);
+  EXPECT_NE(out.find("results=100"), std::string::npos);
+  EXPECT_NE(out.find("pairs=20/80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,154 @@
+#include "baseline/grid_join_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_join_engine.h"
+#include "common/rng.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, Timestamp t = 0) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.time = t;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, double w = 40, double h = 40,
+                Timestamp t = 0) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.time = t;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  u.range_width = w;
+  u.range_height = h;
+  return u;
+}
+
+std::unique_ptr<GridJoinEngine> MakeEngine(uint32_t cells = 100) {
+  GridJoinOptions opt;
+  opt.grid_cells = cells;
+  Result<std::unique_ptr<GridJoinEngine>> e = GridJoinEngine::Create(opt);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+TEST(GridJoinEngineTest, CreateValidates) {
+  GridJoinOptions opt;
+  opt.grid_cells = 0;
+  EXPECT_TRUE(GridJoinEngine::Create(opt).status().IsInvalidArgument());
+  opt = GridJoinOptions{};
+  opt.region = Rect{10, 0, 0, 10};
+  EXPECT_TRUE(GridJoinEngine::Create(opt).status().IsInvalidArgument());
+}
+
+TEST(GridJoinEngineTest, BasicMatch) {
+  std::unique_ptr<GridJoinEngine> e = MakeEngine();
+  ASSERT_TRUE(e->IngestQueryUpdate(Qry(1, {100, 100})).ok());
+  ASSERT_TRUE(e->IngestObjectUpdate(Obj(1, {110, 110})).ok());
+  ASSERT_TRUE(e->IngestObjectUpdate(Obj(2, {5000, 5000})).ok());
+  ResultSet r;
+  ASSERT_TRUE(e->Evaluate(1, &r).ok());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(1, 1));
+}
+
+TEST(GridJoinEngineTest, QuerySpanningCellsFindsAllObjects) {
+  std::unique_ptr<GridJoinEngine> e = MakeEngine(100);  // 100-unit cells
+  // Query centered on a cell boundary with a range covering two cells.
+  ASSERT_TRUE(e->IngestQueryUpdate(Qry(1, {200, 150}, 160, 40)).ok());
+  ASSERT_TRUE(e->IngestObjectUpdate(Obj(1, {130, 150})).ok());  // left cell
+  ASSERT_TRUE(e->IngestObjectUpdate(Obj(2, {270, 150})).ok());  // right cell
+  ResultSet r;
+  ASSERT_TRUE(e->Evaluate(1, &r).ok());
+  EXPECT_TRUE(r.Contains(1, 1));
+  EXPECT_TRUE(r.Contains(1, 2));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(GridJoinEngineTest, UpdatesRelocateEntities) {
+  std::unique_ptr<GridJoinEngine> e = MakeEngine();
+  ASSERT_TRUE(e->IngestQueryUpdate(Qry(1, {100, 100})).ok());
+  ASSERT_TRUE(e->IngestObjectUpdate(Obj(1, {110, 110}, 0)).ok());
+  ASSERT_TRUE(e->IngestObjectUpdate(Obj(1, {5000, 5000}, 1)).ok());
+  ResultSet r;
+  ASSERT_TRUE(e->Evaluate(1, &r).ok());
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(e->ObjectCount(), 1u);
+  EXPECT_EQ(e->object_grid().size(), 1u);
+  // Query moves too.
+  ASSERT_TRUE(e->IngestQueryUpdate(Qry(1, {4990, 4990}, 40, 40, 1)).ok());
+  ASSERT_TRUE(e->Evaluate(2, &r).ok());
+  EXPECT_TRUE(r.Contains(1, 1));
+}
+
+TEST(GridJoinEngineTest, FinerGridsUseMoreMemory) {
+  std::unique_ptr<GridJoinEngine> coarse = MakeEngine(50);
+  std::unique_ptr<GridJoinEngine> fine = MakeEngine(150);
+  Rng rng(3);
+  for (uint32_t i = 0; i < 500; ++i) {
+    Point p{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    ASSERT_TRUE(coarse->IngestObjectUpdate(Obj(i, p)).ok());
+    ASSERT_TRUE(fine->IngestObjectUpdate(Obj(i, p)).ok());
+  }
+  EXPECT_GT(fine->EstimateMemoryUsage(), coarse->EstimateMemoryUsage());
+}
+
+TEST(GridJoinEngineTest, FinerGridsDoFewerComparisons) {
+  std::unique_ptr<GridJoinEngine> coarse = MakeEngine(20);
+  std::unique_ptr<GridJoinEngine> fine = MakeEngine(200);
+  Rng rng(5);
+  ResultSet r;
+  for (uint32_t i = 0; i < 300; ++i) {
+    Point p{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    ASSERT_TRUE(coarse->IngestObjectUpdate(Obj(i, p)).ok());
+    ASSERT_TRUE(fine->IngestObjectUpdate(Obj(i, p)).ok());
+    Point q{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    ASSERT_TRUE(coarse->IngestQueryUpdate(Qry(i, q)).ok());
+    ASSERT_TRUE(fine->IngestQueryUpdate(Qry(i, q)).ok());
+  }
+  ASSERT_TRUE(coarse->Evaluate(1, &r).ok());
+  ASSERT_TRUE(fine->Evaluate(1, &r).ok());
+  EXPECT_GT(coarse->stats().comparisons, fine->stats().comparisons);
+}
+
+// Property: the grid join agrees exactly with the naive oracle.
+class GridJoinEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridJoinEquivalenceTest, MatchesNaiveOracle) {
+  Rng rng(GetParam());
+  std::unique_ptr<GridJoinEngine> grid = MakeEngine(64);
+  NaiveJoinEngine naive;
+  for (uint32_t i = 0; i < 400; ++i) {
+    Point p{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    LocationUpdate o = Obj(i, p);
+    ASSERT_TRUE(grid->IngestObjectUpdate(o).ok());
+    ASSERT_TRUE(naive.IngestObjectUpdate(o).ok());
+  }
+  for (uint32_t i = 0; i < 200; ++i) {
+    Point p{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    QueryUpdate q = Qry(i, p, rng.NextDouble(10, 400), rng.NextDouble(10, 400));
+    ASSERT_TRUE(grid->IngestQueryUpdate(q).ok());
+    ASSERT_TRUE(naive.IngestQueryUpdate(q).ok());
+  }
+  ResultSet rg;
+  ResultSet rn;
+  ASSERT_TRUE(grid->Evaluate(1, &rg).ok());
+  ASSERT_TRUE(naive.Evaluate(1, &rn).ok());
+  EXPECT_EQ(rg, rn) << "grid join must agree exactly with the oracle";
+  EXPECT_GT(rn.size(), 0u);  // sanity: the workload produces matches
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridJoinEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,105 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Mean(), 5.0);
+  EXPECT_EQ(h.Min(), 5.0);
+  EXPECT_EQ(h.Max(), 5.0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+  EXPECT_EQ(h.Percentile(0), 5.0);
+  EXPECT_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_NEAR(h.StdDev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(HistogramTest, PercentileNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Percentile(50), 50.0);
+  EXPECT_EQ(h.Percentile(99), 99.0);
+  EXPECT_EQ(h.Percentile(100), 100.0);
+  EXPECT_EQ(h.Percentile(1), 1.0);
+}
+
+TEST(HistogramTest, PercentileClampsInput) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.Percentile(-10), 1.0);
+  EXPECT_EQ(h.Percentile(200), 2.0);
+}
+
+TEST(HistogramTest, PercentileUnsortedInput) {
+  Histogram h;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) h.Add(v);
+  EXPECT_EQ(h.Percentile(50), 5.0);
+}
+
+TEST(HistogramTest, AddAfterPercentileInvalidatesCache) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_EQ(h.Percentile(100), 1.0);
+  h.Add(10.0);
+  EXPECT_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a;
+  a.Add(1.0);
+  a.Add(2.0);
+  Histogram b;
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+  EXPECT_EQ(a.Max(), 3.0);
+  EXPECT_EQ(b.count(), 1);  // source untouched
+}
+
+TEST(HistogramTest, Clear) {
+  Histogram h;
+  h.Add(1.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, ToStringMentionsFields) {
+  Histogram h;
+  h.Add(2.0);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("mean=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,257 @@
+// End-to-end correctness: SCUBA with no load shedding and a 100% update rate
+// must produce exactly the same answers as the naive nested-loop oracle and
+// the regular grid-based operator on identical traces (DESIGN.md §5).
+
+#include <gtest/gtest.h>
+
+#include "baseline/grid_join_engine.h"
+#include "baseline/naive_join_engine.h"
+#include "core/scuba_engine.h"
+#include "eval/accuracy.h"
+#include "eval/experiment.h"
+#include "stream/pipeline.h"
+
+namespace scuba {
+namespace {
+
+ExperimentConfig SmallConfig(uint64_t seed, uint32_t skew = 10) {
+  ExperimentConfig config;
+  config.city.rows = 11;
+  config.city.cols = 11;
+  config.city.seed = seed;
+  config.workload.num_objects = 150;
+  config.workload.num_queries = 150;
+  config.workload.skew = skew;
+  config.workload.seed = seed;
+  config.ticks = 8;
+  config.delta = 2;
+  return config;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceTest, ScubaMatchesOraclesExactly) {
+  ExperimentConfig config = SmallConfig(GetParam());
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+  ScubaOptions sopt;
+  sopt.region = data->region;
+  Result<std::unique_ptr<ScubaEngine>> scuba_engine = ScubaEngine::Create(sopt);
+  ASSERT_TRUE(scuba_engine.ok());
+
+  GridJoinOptions gopt;
+  gopt.region = data->region;
+  Result<std::unique_ptr<GridJoinEngine>> grid_engine =
+      GridJoinEngine::Create(gopt);
+  ASSERT_TRUE(grid_engine.ok());
+
+  NaiveJoinEngine naive;
+
+  // Replay the identical trace into all three engines, comparing results at
+  // every evaluation round.
+  std::vector<ResultSet> scuba_rounds;
+  std::vector<ResultSet> grid_rounds;
+  std::vector<ResultSet> naive_rounds;
+  auto collect = [](std::vector<ResultSet>* out) {
+    return [out](Timestamp, const ResultSet& r) { out->push_back(r); };
+  };
+  ASSERT_TRUE(ReplayTrace(data->trace, scuba_engine->get(), config.delta,
+                          collect(&scuba_rounds))
+                  .ok());
+  ASSERT_TRUE(ReplayTrace(data->trace, grid_engine->get(), config.delta,
+                          collect(&grid_rounds))
+                  .ok());
+  ASSERT_TRUE(
+      ReplayTrace(data->trace, &naive, config.delta, collect(&naive_rounds))
+          .ok());
+
+  ASSERT_EQ(scuba_rounds.size(), naive_rounds.size());
+  ASSERT_EQ(grid_rounds.size(), naive_rounds.size());
+  size_t total_truth = 0;
+  for (size_t i = 0; i < naive_rounds.size(); ++i) {
+    EXPECT_EQ(grid_rounds[i], naive_rounds[i]) << "grid diverged at round " << i;
+    AccuracyReport rep = CompareResults(naive_rounds[i], scuba_rounds[i]);
+    EXPECT_EQ(rep.false_positives, 0u) << "SCUBA FP at round " << i;
+    EXPECT_EQ(rep.false_negatives, 0u) << "SCUBA FN at round " << i;
+    total_truth += naive_rounds[i].size();
+  }
+  // The workload must actually exercise the join (queries catch objects).
+  EXPECT_GT(total_truth, 0u);
+  // And clustering must actually aggregate (far fewer clusters than
+  // entities), otherwise the test is vacuous.
+  EXPECT_LT((*scuba_engine)->ClusterCount(), 300u / 2);
+  EXPECT_TRUE((*scuba_engine)->store().ValidateConsistency().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1, 7, 13, 29, 41));
+
+TEST(EquivalenceSkewTest, HoldsAcrossSkewLevels) {
+  for (uint32_t skew : {1u, 5u, 50u}) {
+    ExperimentConfig config = SmallConfig(99, skew);
+    Result<ExperimentData> data = BuildExperimentData(config);
+    ASSERT_TRUE(data.ok());
+
+    ScubaOptions sopt;
+    sopt.region = data->region;
+    Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(sopt);
+    ASSERT_TRUE(engine.ok());
+    NaiveJoinEngine naive;
+
+    Result<EngineRunResult> scuba_run =
+        RunOnTrace(engine->get(), data->trace, config.delta);
+    Result<EngineRunResult> naive_run =
+        RunOnTrace(&naive, data->trace, config.delta);
+    ASSERT_TRUE(scuba_run.ok() && naive_run.ok());
+    EXPECT_EQ(scuba_run->final_results, naive_run->final_results)
+        << "skew " << skew;
+  }
+}
+
+TEST(EquivalenceUpdateRateTest, PartialUpdatesStayConsistentWithLastSeen) {
+  // With a 40% update rate SCUBA approximates stale members by cluster
+  // motion; it must still track the oracle's *last-seen* semantics closely.
+  // We assert bounded degradation rather than equality: recall >= 60% overall.
+  ExperimentConfig config = SmallConfig(7);
+  config.update_fraction = 0.4;
+  config.ticks = 8;
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok());
+
+  ScubaOptions sopt;
+  sopt.region = data->region;
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(sopt);
+  ASSERT_TRUE(engine.ok());
+  NaiveJoinEngine naive;
+
+  std::vector<ResultSet> scuba_rounds;
+  std::vector<ResultSet> naive_rounds;
+  ASSERT_TRUE(ReplayTrace(data->trace, engine->get(), config.delta,
+                          [&](Timestamp, const ResultSet& r) {
+                            scuba_rounds.push_back(r);
+                          })
+                  .ok());
+  ASSERT_TRUE(ReplayTrace(data->trace, &naive, config.delta,
+                          [&](Timestamp, const ResultSet& r) {
+                            naive_rounds.push_back(r);
+                          })
+                  .ok());
+  AccuracyAccumulator acc;
+  for (size_t i = 0; i < naive_rounds.size(); ++i) {
+    acc.Add(CompareResults(naive_rounds[i], scuba_rounds[i]));
+  }
+  ASSERT_GT(acc.total().truth_size, 0u);
+  EXPECT_GE(acc.total().Recall(), 0.6);
+}
+
+TEST(EquivalenceTopologyTest, RadialCityStaysExact) {
+  // The exactness guarantee must not be a Manhattan-grid artefact.
+  RadialCityOptions city;
+  city.rings = 5;
+  city.spokes = 10;
+  city.ring_spacing = 400.0;
+  city.center = Point{3000, 3000};
+  Result<RoadNetwork> net = GenerateRadialCity(city);
+  ASSERT_TRUE(net.ok());
+
+  WorkloadOptions workload;
+  workload.num_objects = 150;
+  workload.num_queries = 150;
+  workload.skew = 15;
+  workload.seed = 88;
+  Result<ObjectSimulator> sim = GenerateWorkload(&*net, workload);
+  ASSERT_TRUE(sim.ok());
+  ObjectSimulator simulator = std::move(sim).value();
+  Trace trace = RecordTrace(&simulator, 8);
+
+  ScubaOptions sopt;
+  sopt.region = DataRegion(*net);
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(sopt);
+  ASSERT_TRUE(engine.ok());
+  NaiveJoinEngine naive;
+  Result<EngineRunResult> a = RunOnTrace(engine->get(), trace, 2);
+  Result<EngineRunResult> b = RunOnTrace(&naive, trace, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->final_results, b->final_results);
+  EXPECT_GT(b->stats.total_results, 0u);
+}
+
+TEST(ExperimentHarnessTest, PerRoundHistogramsAreFilled) {
+  ExperimentConfig config = SmallConfig(3);
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok());
+  NaiveJoinEngine naive;
+  Result<EngineRunResult> run = RunOnTrace(&naive, data->trace, config.delta);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->join_ms_per_round.count(), 4);
+  EXPECT_EQ(run->results_per_round.count(), 4);
+  EXPECT_GE(run->join_ms_per_round.Percentile(50), 0.0);
+}
+
+TEST(ExperimentHarnessTest, BuildValidatesConfig) {
+  ExperimentConfig config = SmallConfig(1);
+  config.ticks = 0;
+  EXPECT_TRUE(BuildExperimentData(config).status().IsInvalidArgument());
+  config = SmallConfig(1);
+  config.delta = 0;
+  EXPECT_TRUE(BuildExperimentData(config).status().IsInvalidArgument());
+  config = SmallConfig(1);
+  config.city.rows = 0;
+  EXPECT_TRUE(BuildExperimentData(config).status().IsInvalidArgument());
+}
+
+TEST(ExperimentHarnessTest, RunOnTraceCollectsStats) {
+  ExperimentConfig config = SmallConfig(3);
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->trace.TickCount(), 8u);
+  EXPECT_TRUE(data->region.Contains(data->network.BoundingBox()));
+
+  NaiveJoinEngine naive;
+  Result<EngineRunResult> run = RunOnTrace(&naive, data->trace, config.delta);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.evaluations, 4u);
+  EXPECT_GT(run->peak_memory_bytes, 0u);
+  EXPECT_GT(run->wall_seconds, 0.0);
+  EXPECT_TRUE(RunOnTrace(nullptr, data->trace, 2).status().IsInvalidArgument());
+}
+
+TEST(ScalabilityShapeTest, ScubaDoesFewerComparisonsWhenClusterable) {
+  // The paper's headline (Fig. 10): with high skew, cluster pre-filtering
+  // slashes the individual object x query comparisons versus the regular
+  // grid operator.
+  ExperimentConfig config = SmallConfig(11, /*skew=*/50);
+  config.workload.num_objects = 300;
+  config.workload.num_queries = 300;
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok());
+
+  ScubaOptions sopt;
+  sopt.region = data->region;
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(sopt);
+  ASSERT_TRUE(engine.ok());
+  GridJoinOptions gopt;
+  gopt.region = data->region;
+  Result<std::unique_ptr<GridJoinEngine>> grid = GridJoinEngine::Create(gopt);
+  ASSERT_TRUE(grid.ok());
+
+  Result<EngineRunResult> scuba_run =
+      RunOnTrace(engine->get(), data->trace, config.delta);
+  Result<EngineRunResult> grid_run =
+      RunOnTrace(grid->get(), data->trace, config.delta);
+  ASSERT_TRUE(scuba_run.ok() && grid_run.ok());
+  // Cluster pre-filtering slashes individual comparisons versus the
+  // unindexed nested loop (|O| x |Q| per round).
+  uint64_t naive_comparisons = 300ull * 300ull * (data->trace.TickCount() / 2);
+  EXPECT_LT((*engine)->stats().comparisons, naive_comparisons / 4);
+  // The join-between filter actually prunes cluster pairs.
+  EXPECT_LT((*engine)->stats().cluster_pairs_overlapping,
+            (*engine)->stats().cluster_pairs_tested);
+  // One grid entry per cluster beats one entry per entity on memory.
+  EXPECT_LT((*engine)->cluster_grid().size(),
+            (*grid)->object_grid().size() + (*grid)->query_grid().size());
+}
+
+}  // namespace
+}  // namespace scuba

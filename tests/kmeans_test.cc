@@ -1,0 +1,189 @@
+#include "cluster/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, NodeId dest = 1) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{1000, 1000};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, NodeId dest = 1) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{1000, 1000};
+  u.range_width = 20;
+  u.range_height = 20;
+  return u;
+}
+
+/// Two well-separated blobs heading to two destinations.
+void TwoBlobs(std::vector<LocationUpdate>* objs,
+              std::vector<QueryUpdate>* qrys) {
+  Rng rng(3);
+  for (uint32_t i = 0; i < 30; ++i) {
+    objs->push_back(Obj(i, {rng.NextDouble(0, 10), rng.NextDouble(0, 10)}, 1));
+  }
+  for (uint32_t i = 30; i < 60; ++i) {
+    objs->push_back(
+        Obj(i, {900 + rng.NextDouble(0, 10), 900 + rng.NextDouble(0, 10)}, 2));
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    qrys->push_back(Qry(i, {rng.NextDouble(0, 10), rng.NextDouble(0, 10)}, 1));
+  }
+}
+
+TEST(KMeansTest, RejectsEmptyInput) {
+  KMeansOptions opt;
+  EXPECT_TRUE(KMeansCluster({}, {}, opt).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, RejectsZeroIterations) {
+  std::vector<LocationUpdate> objs{Obj(0, {0, 0})};
+  KMeansOptions opt;
+  opt.iterations = 0;
+  EXPECT_TRUE(KMeansCluster(objs, {}, opt).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, KDefaultsToUniqueDestinations) {
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  TwoBlobs(&objs, &qrys);
+  KMeansOptions opt;
+  Result<KMeansResult> r = KMeansCluster(objs, qrys, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->k, 2u);  // destinations 1 and 2
+  EXPECT_EQ(r->assignment.size(), objs.size() + qrys.size());
+}
+
+TEST(KMeansTest, SeparatedBlobsAreSeparated) {
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  TwoBlobs(&objs, &qrys);
+  KMeansOptions opt;
+  opt.iterations = 5;
+  Result<KMeansResult> r = KMeansCluster(objs, qrys, opt);
+  ASSERT_TRUE(r.ok());
+  // All members of blob 1 (objects 0-29 + all queries) share a cluster,
+  // all of blob 2 (objects 30-59) share the other.
+  uint32_t blob1 = r->assignment[0];
+  for (size_t i = 0; i < 30; ++i) EXPECT_EQ(r->assignment[i], blob1);
+  uint32_t blob2 = r->assignment[30];
+  EXPECT_NE(blob1, blob2);
+  for (size_t i = 30; i < 60; ++i) EXPECT_EQ(r->assignment[i], blob2);
+  for (size_t i = 60; i < r->assignment.size(); ++i) {
+    EXPECT_EQ(r->assignment[i], blob1);
+  }
+}
+
+TEST(KMeansTest, ExplicitKIsRespectedAndClamped) {
+  std::vector<LocationUpdate> objs{Obj(0, {0, 0}), Obj(1, {10, 10}),
+                                   Obj(2, {20, 20})};
+  KMeansOptions opt;
+  opt.k = 2;
+  Result<KMeansResult> r = KMeansCluster(objs, {}, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->k, 2u);
+  opt.k = 100;  // more clusters than points: clamped
+  r = KMeansCluster(objs, {}, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->k, 3u);
+}
+
+TEST(KMeansTest, MoreIterationsNeverWorsenInertia) {
+  Rng rng(17);
+  std::vector<LocationUpdate> objs;
+  for (uint32_t i = 0; i < 200; ++i) {
+    objs.push_back(Obj(i, {rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)},
+                       i % 7));
+  }
+  double prev = 1e300;
+  for (uint32_t iters : {1u, 2u, 4u, 8u, 16u}) {
+    KMeansOptions opt;
+    opt.iterations = iters;
+    Result<KMeansResult> r = KMeansCluster(objs, {}, opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->inertia, prev + 1e-6);
+    prev = r->inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicAcrossRuns) {
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  TwoBlobs(&objs, &qrys);
+  KMeansOptions opt;
+  Result<KMeansResult> a = KMeansCluster(objs, qrys, opt);
+  Result<KMeansResult> b = KMeansCluster(objs, qrys, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, PopulateFromKMeansBuildsConsistentStore) {
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  TwoBlobs(&objs, &qrys);
+  KMeansOptions opt;
+  Result<KMeansResult> r = KMeansCluster(objs, qrys, opt);
+  ASSERT_TRUE(r.ok());
+
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 1000, 1000}, 50).value());
+  ASSERT_TRUE(PopulateFromKMeans(objs, qrys, *r, &store, &grid).ok());
+  EXPECT_EQ(store.ClusterCount(), 2u);
+  EXPECT_TRUE(store.ValidateConsistency().ok());
+  EXPECT_EQ(grid.size(), 2u);
+  // Every input entity is homed.
+  for (const LocationUpdate& u : objs) {
+    EXPECT_NE(store.HomeOf({EntityKind::kObject, u.oid}), kInvalidClusterId);
+  }
+  for (const QueryUpdate& u : qrys) {
+    EXPECT_NE(store.HomeOf({EntityKind::kQuery, u.qid}), kInvalidClusterId);
+  }
+}
+
+TEST(KMeansTest, PopulateRequiresEmptyStore) {
+  std::vector<LocationUpdate> objs{Obj(0, {0, 0})};
+  KMeansOptions opt;
+  Result<KMeansResult> r = KMeansCluster(objs, {}, opt);
+  ASSERT_TRUE(r.ok());
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 1000, 1000}, 50).value());
+  ASSERT_TRUE(PopulateFromKMeans(objs, {}, *r, &store, &grid).ok());
+  EXPECT_TRUE(
+      PopulateFromKMeans(objs, {}, *r, &store, &grid).IsFailedPrecondition());
+}
+
+TEST(KMeansTest, PopulateValidatesSizes) {
+  std::vector<LocationUpdate> objs{Obj(0, {0, 0})};
+  KMeansResult r;
+  r.k = 1;
+  r.assignment = {0, 0};  // wrong size
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 1000, 1000}, 50).value());
+  EXPECT_TRUE(
+      PopulateFromKMeans(objs, {}, r, &store, &grid).IsInvalidArgument());
+  EXPECT_TRUE(PopulateFromKMeans(objs, {}, r, nullptr, &grid)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,104 @@
+#include "core/knn_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{9000, 9000};
+  return u;
+}
+
+struct MonitorFixture {
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+
+  void AddSingleton(ObjectId oid, Point p) {
+    ClusterId cid = store.NextClusterId();
+    MovingCluster c = MovingCluster::FromObject(cid, Obj(oid, p));
+    ASSERT_TRUE(grid.Insert(cid, c.Bounds()).ok());
+    ASSERT_TRUE(store.AddCluster(std::move(c)).ok());
+  }
+};
+
+TEST(KnnMonitorTest, UpsertValidatesK) {
+  KnnMonitor monitor;
+  EXPECT_TRUE(monitor.Upsert(KnnQuery{1, {0, 0}, 0}).IsInvalidArgument());
+  EXPECT_TRUE(monitor.Upsert(KnnQuery{1, {0, 0}, 3}).ok());
+  EXPECT_EQ(monitor.QueryCount(), 1u);
+}
+
+TEST(KnnMonitorTest, UpsertRepositions) {
+  MonitorFixture f;
+  f.AddSingleton(1, {100, 100});
+  f.AddSingleton(2, {9000, 9000});
+  KnnMonitor monitor;
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{7, {90, 100}, 1}).ok());
+  Result<std::vector<KnnAnswer>> a = monitor.EvaluateAll(f.store, f.grid);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ((*a)[0].neighbors[0].oid, 1u);
+  // Re-position near the other object.
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{7, {8990, 9000}, 1}).ok());
+  EXPECT_EQ(monitor.QueryCount(), 1u);
+  a = monitor.EvaluateAll(f.store, f.grid);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0].neighbors[0].oid, 2u);
+}
+
+TEST(KnnMonitorTest, RemoveWorksAndReportsMissing) {
+  KnnMonitor monitor;
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{1, {0, 0}, 1}).ok());
+  EXPECT_TRUE(monitor.Remove(1).ok());
+  EXPECT_TRUE(monitor.Remove(1).IsNotFound());
+  EXPECT_EQ(monitor.QueryCount(), 0u);
+}
+
+TEST(KnnMonitorTest, EvaluateAllOrdersByQid) {
+  MonitorFixture f;
+  for (uint32_t i = 0; i < 10; ++i) {
+    f.AddSingleton(i, {i * 500.0 + 100.0, 100});
+  }
+  KnnMonitor monitor;
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{9, {100, 100}, 2}).ok());
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{2, {4600, 100}, 2}).ok());
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{5, {2100, 100}, 2}).ok());
+  Result<std::vector<KnnAnswer>> answers = monitor.EvaluateAll(f.store, f.grid);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 3u);
+  EXPECT_EQ((*answers)[0].qid, 2u);
+  EXPECT_EQ((*answers)[1].qid, 5u);
+  EXPECT_EQ((*answers)[2].qid, 9u);
+  // Each answer holds the 2 nearest objects to its focal point.
+  EXPECT_EQ((*answers)[0].neighbors[0].oid, 9u);  // at (4600, 100)
+  EXPECT_EQ((*answers)[1].neighbors[0].oid, 4u);  // at (2100, 100)
+  EXPECT_EQ((*answers)[2].neighbors[0].oid, 0u);  // at (100, 100)
+}
+
+TEST(KnnMonitorTest, EmptyStoreYieldsEmptyNeighborLists) {
+  MonitorFixture f;
+  KnnMonitor monitor;
+  ASSERT_TRUE(monitor.Upsert(KnnQuery{1, {0, 0}, 5}).ok());
+  Result<std::vector<KnnAnswer>> answers = monitor.EvaluateAll(f.store, f.grid);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_TRUE((*answers)[0].neighbors.empty());
+}
+
+TEST(KnnMonitorTest, MemoryGrowsWithQueries) {
+  KnnMonitor monitor;
+  size_t before = monitor.EstimateMemoryUsage();
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(monitor.Upsert(KnnQuery{i, {1.0 * i, 0}, 3}).ok());
+  }
+  EXPECT_GT(monitor.EstimateMemoryUsage(), before);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,123 @@
+#include "core/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, NodeId dest = 1) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  return u;
+}
+
+struct KnnFixture {
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+
+  void AddSingleton(ObjectId oid, Point p) {
+    ClusterId cid = store.NextClusterId();
+    MovingCluster c = MovingCluster::FromObject(cid, Obj(oid, p, oid % 3));
+    ASSERT_TRUE(grid.Insert(cid, c.Bounds()).ok());
+    ASSERT_TRUE(store.AddCluster(std::move(c)).ok());
+  }
+};
+
+TEST(KnnTest, RejectsZeroK) {
+  KnnFixture f;
+  EXPECT_TRUE(ClusterKnn(f.store, f.grid, {0, 0}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(BruteForceKnn(f.store, {0, 0}, 0).status().IsInvalidArgument());
+}
+
+TEST(KnnTest, EmptyStoreYieldsEmpty) {
+  KnnFixture f;
+  Result<std::vector<KnnNeighbor>> r = ClusterKnn(f.store, f.grid, {0, 0}, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(KnnTest, FindsNearestInOrder) {
+  KnnFixture f;
+  f.AddSingleton(1, {100, 100});
+  f.AddSingleton(2, {200, 100});
+  f.AddSingleton(3, {5000, 5000});
+  Result<std::vector<KnnNeighbor>> r = ClusterKnn(f.store, f.grid, {90, 100}, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].oid, 1u);
+  EXPECT_NEAR((*r)[0].distance, 10.0, 1e-9);
+  EXPECT_EQ((*r)[1].oid, 2u);
+}
+
+TEST(KnnTest, FewerObjectsThanK) {
+  KnnFixture f;
+  f.AddSingleton(1, {100, 100});
+  Result<std::vector<KnnNeighbor>> r = ClusterKnn(f.store, f.grid, {0, 0}, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(KnnTest, QueriesAreNotNeighbors) {
+  KnnFixture f;
+  ClusterId cid = f.store.NextClusterId();
+  QueryUpdate q;
+  q.qid = 7;
+  q.position = Point{10, 10};
+  q.speed = 10.0;
+  q.dest_node = 1;
+  q.dest_position = Point{100, 100};
+  q.range_width = 20;
+  q.range_height = 20;
+  MovingCluster c = MovingCluster::FromQuery(cid, q);
+  ASSERT_TRUE(f.grid.Insert(cid, c.Bounds()).ok());
+  ASSERT_TRUE(f.store.AddCluster(std::move(c)).ok());
+  Result<std::vector<KnnNeighbor>> r = ClusterKnn(f.store, f.grid, {0, 0}, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(KnnTest, ShedMembersUseOptimisticDistance) {
+  KnnFixture f;
+  ClusterId cid = f.store.NextClusterId();
+  MovingCluster c = MovingCluster::FromObject(cid, Obj(1, {100, 100}));
+  c.ShedPositions(50.0);
+  ASSERT_TRUE(f.grid.Insert(cid, c.Bounds()).ok());
+  ASSERT_TRUE(f.store.AddCluster(std::move(c)).ok());
+  Result<std::vector<KnnNeighbor>> r = BruteForceKnn(f.store, {200, 100}, 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  // Actual distance 100, minus the 50-unit nucleus: optimistic 50.
+  EXPECT_NEAR((*r)[0].distance, 50.0, 1e-9);
+}
+
+// Property: cluster-pruned kNN matches the brute-force oracle on singleton
+// clusters (exact positions).
+class KnnEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnnEquivalenceTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  KnnFixture f;
+  for (uint32_t i = 0; i < 300; ++i) {
+    f.AddSingleton(i, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)});
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    Point q{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    size_t k = 1 + rng.NextBounded(10);
+    Result<std::vector<KnnNeighbor>> fast = ClusterKnn(f.store, f.grid, q, k);
+    Result<std::vector<KnnNeighbor>> slow = BruteForceKnn(f.store, q, k);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_EQ(*fast, *slow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnEquivalenceTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace scuba

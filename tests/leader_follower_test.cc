@@ -1,0 +1,231 @@
+#include "cluster/leader_follower.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, double speed = 10.0, NodeId dest = 1,
+                   Timestamp t = 0) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.time = t;
+  u.speed = speed;
+  u.dest_node = dest;
+  u.dest_position = Point{5000, 5000};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, double speed = 10.0, NodeId dest = 1,
+                Timestamp t = 0) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.time = t;
+  u.speed = speed;
+  u.dest_node = dest;
+  u.dest_position = Point{5000, 5000};
+  u.range_width = 20;
+  u.range_height = 20;
+  return u;
+}
+
+class LeaderFollowerTest : public ::testing::Test {
+ protected:
+  LeaderFollowerTest()
+      : grid_(std::move(
+            GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value())),
+        clusterer_(ClustererOptions{100.0, 10.0, false, true}, &store_,
+                   &grid_) {}
+
+  ClusterStore store_;
+  GridIndex grid_;
+  LeaderFollowerClusterer clusterer_;
+};
+
+TEST_F(LeaderFollowerTest, FirstUpdateFormsSingletonCluster) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50})).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+  EXPECT_EQ(clusterer_.stats().clusters_created, 1u);
+  EXPECT_EQ(store_.HomeOf({EntityKind::kObject, 1}), 0u);
+  EXPECT_TRUE(grid_.Contains(0));
+  EXPECT_TRUE(store_.ValidateConsistency().ok());
+}
+
+TEST_F(LeaderFollowerTest, CompatibleUpdateIsAbsorbed) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50})).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {60, 50})).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+  EXPECT_EQ(clusterer_.stats().members_absorbed, 1u);
+  EXPECT_EQ(store_.HomeOf({EntityKind::kObject, 2}), 0u);
+  EXPECT_EQ(store_.GetCluster(0)->size(), 2u);
+}
+
+TEST_F(LeaderFollowerTest, QueriesClusterWithObjects) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50})).ok());
+  ASSERT_TRUE(clusterer_.ProcessQueryUpdate(Qry(9, {55, 50})).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+  EXPECT_TRUE(store_.GetCluster(0)->HasMixedKinds());
+}
+
+TEST_F(LeaderFollowerTest, DifferentDestinationSplitsClusters) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50}, 10.0, 1)).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {55, 50}, 10.0, 2)).ok());
+  EXPECT_EQ(store_.ClusterCount(), 2u);
+}
+
+TEST_F(LeaderFollowerTest, DistanceThresholdSplitsClusters) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50})).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {250, 50})).ok());
+  EXPECT_EQ(store_.ClusterCount(), 2u);
+}
+
+TEST_F(LeaderFollowerTest, SpeedThresholdSplitsClusters) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50}, 10.0)).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {55, 50}, 40.0)).ok());
+  EXPECT_EQ(store_.ClusterCount(), 2u);
+}
+
+TEST_F(LeaderFollowerTest, RefreshInPlace) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50}, 10.0, 1, 0)).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {60, 50}, 10.0, 1, 1)).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+  EXPECT_EQ(clusterer_.stats().members_refreshed, 1u);
+  EXPECT_EQ(store_.GetCluster(0)->size(), 1u);
+  EXPECT_TRUE(ApproxEqual(store_.GetCluster(0)->centroid(), {60, 50}, 1e-9));
+}
+
+TEST_F(LeaderFollowerTest, DepartureOnDestinationChange) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50}, 10.0, 1)).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {55, 50}, 10.0, 1)).ok());
+  ASSERT_EQ(store_.ClusterCount(), 1u);
+  // Object 2 passes a node: destination changes to 3 -> leaves, new cluster.
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {58, 50}, 10.0, 3)).ok());
+  EXPECT_EQ(store_.ClusterCount(), 2u);
+  EXPECT_EQ(clusterer_.stats().members_departed, 1u);
+  EXPECT_NE(store_.HomeOf({EntityKind::kObject, 1}),
+            store_.HomeOf({EntityKind::kObject, 2}));
+  EXPECT_TRUE(store_.ValidateConsistency().ok());
+}
+
+TEST_F(LeaderFollowerTest, SingletonDepartureDissolvesCluster) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50}, 10.0, 1)).ok());
+  ClusterId first = store_.HomeOf({EntityKind::kObject, 1});
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {52, 50}, 10.0, 2)).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+  EXPECT_EQ(store_.GetCluster(first), nullptr);  // old cluster dissolved
+  EXPECT_EQ(clusterer_.stats().clusters_dissolved_empty, 1u);
+  EXPECT_FALSE(grid_.Contains(first));
+  EXPECT_TRUE(store_.ValidateConsistency().ok());
+}
+
+TEST_F(LeaderFollowerTest, DepartingMemberMayJoinAnotherCluster) {
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50}, 10.0, 1)).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {500, 500}, 10.0, 2)).ok());
+  // Object 1 moves next to object 2 and now heads to node 2.
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {505, 500}, 10.0, 2)).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+  EXPECT_EQ(store_.HomeOf({EntityKind::kObject, 1}),
+            store_.HomeOf({EntityKind::kObject, 2}));
+}
+
+TEST(LeaderFollowerPaddingTest, OwnCellProbeMissesNeighborCellCluster) {
+  // Paper behaviour (step 1 probes only the update's own cell, clusters
+  // registered under exact bounds, i.e. padding 0): a compatible cluster
+  // 10 units away but across a cell border is not found.
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+  ClustererOptions opt{100.0, 10.0, false, true, /*grid_sync_padding=*/0.0};
+  LeaderFollowerClusterer clusterer(opt, &store, &grid);
+  ASSERT_TRUE(clusterer.ProcessObjectUpdate(Obj(1, {95, 50})).ok());
+  ASSERT_TRUE(clusterer.ProcessObjectUpdate(Obj(2, {105, 50})).ok());
+  EXPECT_EQ(store.ClusterCount(), 2u);
+}
+
+TEST_F(LeaderFollowerTest, PaddedRegistrationWidensCandidateSearch) {
+  // With the default 100-unit registration padding, the same neighbour-cell
+  // cluster is visible as a candidate and absorbs the update.
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {95, 50})).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {105, 50})).ok());
+  EXPECT_EQ(store_.ClusterCount(), 1u);
+}
+
+TEST_F(LeaderFollowerTest, GridTracksClusterGrowth) {
+  // A query member's reach extends the registered JoinBounds across the cell
+  // border, so probes from the neighbouring cell see the cluster too.
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {195, 50})).ok());
+  ASSERT_TRUE(clusterer_.ProcessQueryUpdate(Qry(1, {190, 50})).ok());
+  ASSERT_EQ(store_.ClusterCount(), 1u);
+  const MovingCluster* c = store_.GetCluster(0);
+  EXPECT_GT(c->query_reach(), 0.0);
+  EXPECT_EQ(grid_.EntriesNear({195, 50}).size(), 1u);
+  EXPECT_EQ(grid_.EntriesNear({205, 50}).size(), 1u);
+}
+
+TEST_F(LeaderFollowerTest, AttrsTablesMaintained) {
+  LocationUpdate u = Obj(1, {50, 50});
+  u.attrs = kAttrRedCar;
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(u).ok());
+  EXPECT_EQ(*store_.ObjectAttrs(1), kAttrRedCar);
+  QueryUpdate q = Qry(2, {55, 50});
+  q.attrs = kAttrChild;
+  ASSERT_TRUE(clusterer_.ProcessQueryUpdate(q).ok());
+  EXPECT_EQ(*store_.QueryAttrs(2), kAttrChild);
+}
+
+TEST_F(LeaderFollowerTest, IngestTimeSheddingMarksMembers) {
+  clusterer_.set_nucleus_radius(50.0);
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(1, {50, 50})).ok());
+  ASSERT_TRUE(clusterer_.ProcessObjectUpdate(Obj(2, {52, 50})).ok());
+  EXPECT_GE(clusterer_.stats().members_shed, 1u);
+  const MovingCluster* c = store_.GetCluster(0);
+  size_t shed = 0;
+  for (const ClusterMember& m : c->members()) shed += m.shed ? 1 : 0;
+  EXPECT_GE(shed, 1u);
+}
+
+TEST_F(LeaderFollowerTest, ManyUpdatesKeepConsistency) {
+  // Stress the full path: two groups moving, occasional destination flips.
+  for (int t = 0; t < 20; ++t) {
+    for (uint32_t i = 0; i < 10; ++i) {
+      NodeId dest = (t > 10 && i % 3 == 0) ? 7 : 1;
+      double x = 50 + 10.0 * t + i;
+      ASSERT_TRUE(
+          clusterer_.ProcessObjectUpdate(Obj(i, {x, 50}, 10.0, dest, t)).ok());
+      ASSERT_TRUE(
+          clusterer_
+              .ProcessQueryUpdate(Qry(i, {x, 5000 + 0.5 * i}, 10.0, dest, t))
+              .ok());
+    }
+    ASSERT_TRUE(store_.ValidateConsistency().ok()) << "tick " << t;
+    EXPECT_EQ(grid_.size(), store_.ClusterCount());
+  }
+}
+
+TEST(LeaderFollowerProbeTest, ThetaDiskProbeFindsFartherClusters) {
+  // A compatible cluster sits in the neighbouring cell, centroid 90 units
+  // away with radius 0: the paper's own-cell probe misses it, the theta_d
+  // disk probe finds it.
+  auto make = [](bool probe_disk) {
+    ClusterStore store;
+    GridIndex grid =
+        std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+    // Padding 0 isolates the probe-mode difference from registration padding.
+    LeaderFollowerClusterer clusterer(
+        ClustererOptions{100.0, 10.0, probe_disk, true,
+                         /*grid_sync_padding=*/0.0},
+        &store, &grid);
+    LocationUpdate a = Obj(1, {95, 50});
+    LocationUpdate b = Obj(2, {185, 50});  // next cell, 90 apart
+    EXPECT_TRUE(clusterer.ProcessObjectUpdate(a).ok());
+    EXPECT_TRUE(clusterer.ProcessObjectUpdate(b).ok());
+    return store.ClusterCount();
+  };
+  EXPECT_EQ(make(false), 2u);  // paper behaviour: separate clusters
+  EXPECT_EQ(make(true), 1u);   // ablation: merged
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,52 @@
+#include "common/memory_usage.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+TEST(MemoryUsageTest, VectorUsesCapacity) {
+  std::vector<int> v;
+  EXPECT_EQ(VectorMemoryUsage(v), 0u);
+  v.reserve(100);
+  EXPECT_EQ(VectorMemoryUsage(v), 100 * sizeof(int));
+  v.push_back(1);  // size 1, capacity still 100
+  EXPECT_EQ(VectorMemoryUsage(v), 100 * sizeof(int));
+}
+
+TEST(MemoryUsageTest, MapGrowsWithElements) {
+  std::unordered_map<int, int> m;
+  size_t empty = UnorderedMapMemoryUsage(m);
+  for (int i = 0; i < 100; ++i) m[i] = i;
+  EXPECT_GT(UnorderedMapMemoryUsage(m), empty);
+  EXPECT_GE(UnorderedMapMemoryUsage(m), 100 * sizeof(std::pair<const int, int>));
+}
+
+TEST(MemoryUsageTest, SetGrowsWithElements) {
+  std::unordered_set<uint64_t> s;
+  size_t empty = UnorderedSetMemoryUsage(s);
+  for (uint64_t i = 0; i < 50; ++i) s.insert(i);
+  EXPECT_GT(UnorderedSetMemoryUsage(s), empty);
+}
+
+TEST(MemoryUsageTest, ShortStringIsSso) {
+  std::string s = "short";
+  EXPECT_EQ(StringMemoryUsage(s), 0u);
+}
+
+TEST(MemoryUsageTest, LongStringHeapAllocates) {
+  std::string s(100, 'x');
+  EXPECT_GE(StringMemoryUsage(s), 100u);
+}
+
+TEST(MemoryUsageTest, FormatBytesUnits) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KB");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(1ull << 20), "1.00 MB");
+  EXPECT_EQ(FormatBytes(3ull << 29), "1.50 GB");
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,88 @@
+#include "baseline/naive_join_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, Timestamp t = 0) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.time = t;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, double w = 40, double h = 40,
+                Timestamp t = 0) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.time = t;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  u.range_width = w;
+  u.range_height = h;
+  return u;
+}
+
+TEST(NaiveJoinEngineTest, BasicMatch) {
+  NaiveJoinEngine e;
+  ASSERT_TRUE(e.IngestQueryUpdate(Qry(1, {100, 100})).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(1, {110, 110})).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(2, {150, 100})).ok());
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(1, 1));
+  EXPECT_EQ(e.stats().comparisons, 2u);
+}
+
+TEST(NaiveJoinEngineTest, BoundaryIsInclusive) {
+  NaiveJoinEngine e;
+  ASSERT_TRUE(e.IngestQueryUpdate(Qry(1, {100, 100}, 40, 40)).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(1, {120, 100})).ok());  // on edge
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  EXPECT_TRUE(r.Contains(1, 1));
+}
+
+TEST(NaiveJoinEngineTest, LatestUpdateWins) {
+  NaiveJoinEngine e;
+  ASSERT_TRUE(e.IngestQueryUpdate(Qry(1, {100, 100})).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(1, {110, 110}, 0)).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(1, {500, 500}, 1)).ok());  // moved away
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(e.ObjectCount(), 1u);
+}
+
+TEST(NaiveJoinEngineTest, NullResultsRejected) {
+  NaiveJoinEngine e;
+  EXPECT_TRUE(e.Evaluate(1, nullptr).IsInvalidArgument());
+}
+
+TEST(NaiveJoinEngineTest, EmptyEvaluation) {
+  NaiveJoinEngine e;
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(e.stats().evaluations, 1u);
+}
+
+TEST(NaiveJoinEngineTest, MemoryGrowsWithEntities) {
+  NaiveJoinEngine e;
+  size_t before = e.EstimateMemoryUsage();
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(e.IngestObjectUpdate(Obj(i, {1.0 * i, 0})).ok());
+  }
+  EXPECT_GT(e.EstimateMemoryUsage(), before);
+}
+
+}  // namespace
+}  // namespace scuba

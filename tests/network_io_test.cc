@@ -1,0 +1,96 @@
+#include "network/network_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "network/grid_city.h"
+#include "network/network_builder.h"
+
+namespace scuba {
+namespace {
+
+TEST(NetworkIoTest, SerializeParseRoundTrip) {
+  RoadNetwork city = DefaultBenchmarkCity(77);
+  std::string text = SerializeNetwork(city);
+  Result<RoadNetwork> back = ParseNetwork(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NodeCount(), city.NodeCount());
+  ASSERT_EQ(back->EdgeCount(), city.EdgeCount());
+  for (size_t i = 0; i < city.NodeCount(); ++i) {
+    EXPECT_EQ(back->node(i).position, city.node(i).position);
+  }
+  for (size_t i = 0; i < city.EdgeCount(); ++i) {
+    EXPECT_EQ(back->edge(i).from, city.edge(i).from);
+    EXPECT_EQ(back->edge(i).to, city.edge(i).to);
+    EXPECT_EQ(back->edge(i).road_class, city.edge(i).road_class);
+    EXPECT_DOUBLE_EQ(back->edge(i).speed_limit, city.edge(i).speed_limit);
+    EXPECT_DOUBLE_EQ(back->edge(i).length, city.edge(i).length);
+  }
+}
+
+TEST(NetworkIoTest, RejectsMissingHeader) {
+  EXPECT_TRUE(ParseNetwork("node 0 1 2\n").status().IsCorruption());
+  EXPECT_TRUE(ParseNetwork("").status().IsCorruption());
+}
+
+TEST(NetworkIoTest, RejectsMalformedNode) {
+  EXPECT_TRUE(
+      ParseNetwork("scuba-network 1\nnode 0 banana 2\n").status().IsCorruption());
+}
+
+TEST(NetworkIoTest, RejectsOutOfOrderNodeIds) {
+  EXPECT_TRUE(
+      ParseNetwork("scuba-network 1\nnode 5 0 0\n").status().IsCorruption());
+}
+
+TEST(NetworkIoTest, RejectsMalformedEdge) {
+  std::string text =
+      "scuba-network 1\nnode 0 0 0\nnode 1 10 0\nedge 0 1 9 30\n";
+  EXPECT_TRUE(ParseNetwork(text).status().IsCorruption());  // class 9
+}
+
+TEST(NetworkIoTest, RejectsUnknownRecord) {
+  EXPECT_TRUE(
+      ParseNetwork("scuba-network 1\nfoo 1 2 3\n").status().IsCorruption());
+}
+
+TEST(NetworkIoTest, SkipsCommentsAndBlankLines) {
+  std::string text =
+      "scuba-network 1\n"
+      "# a comment\n"
+      "\n"
+      "node 0 0 0\n"
+      "node 1 10 0\n"
+      "edge 0 1 0 30\n"
+      "edge 1 0 0 30\n";
+  Result<RoadNetwork> net = ParseNetwork(text);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_EQ(net->NodeCount(), 2u);
+}
+
+TEST(NetworkIoTest, ParseRunsBuilderValidation) {
+  // Stranded node 2 must be rejected by the builder.
+  std::string text =
+      "scuba-network 1\n"
+      "node 0 0 0\nnode 1 10 0\nnode 2 20 0\n"
+      "edge 0 1 0 30\nedge 1 0 0 30\n";
+  EXPECT_TRUE(ParseNetwork(text).status().IsFailedPrecondition());
+}
+
+TEST(NetworkIoTest, SaveAndLoadFile) {
+  RoadNetwork city = DefaultBenchmarkCity(3);
+  std::string path = ::testing::TempDir() + "/scuba_net_test.txt";
+  ASSERT_TRUE(SaveNetwork(city, path).ok());
+  Result<RoadNetwork> back = LoadNetwork(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NodeCount(), city.NodeCount());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, LoadMissingFileIsIoError) {
+  EXPECT_TRUE(LoadNetwork("/nonexistent/dir/net.txt").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "network/grid_city.h"
+#include "network/network_builder.h"
+#include "network/road_network.h"
+#include "network/shortest_path.h"
+
+namespace scuba {
+namespace {
+
+NetworkBuilder TwoNodeBuilder() {
+  NetworkBuilder b;
+  b.AddNode({0, 0});
+  b.AddNode({100, 0});
+  return b;
+}
+
+TEST(RoadClassTest, NamesAndSpeeds) {
+  EXPECT_EQ(RoadClassName(RoadClass::kLocal), "local");
+  EXPECT_EQ(RoadClassName(RoadClass::kArterial), "arterial");
+  EXPECT_EQ(RoadClassName(RoadClass::kHighway), "highway");
+  EXPECT_LT(DefaultSpeedLimit(RoadClass::kLocal),
+            DefaultSpeedLimit(RoadClass::kArterial));
+  EXPECT_LT(DefaultSpeedLimit(RoadClass::kArterial),
+            DefaultSpeedLimit(RoadClass::kHighway));
+}
+
+TEST(NetworkBuilderTest, AddNodeAssignsDenseIds) {
+  NetworkBuilder b;
+  EXPECT_EQ(b.AddNode({0, 0}), 0u);
+  EXPECT_EQ(b.AddNode({1, 1}), 1u);
+  EXPECT_EQ(b.NodeCount(), 2u);
+}
+
+TEST(NetworkBuilderTest, AddEdgeComputesLength) {
+  NetworkBuilder b = TwoNodeBuilder();
+  Result<EdgeId> e = b.AddEdge(0, 1);
+  ASSERT_TRUE(e.ok());
+  Result<EdgeId> back = b.AddEdge(1, 0);
+  ASSERT_TRUE(back.ok());
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_DOUBLE_EQ(net->edge(*e).length, 100.0);
+  EXPECT_EQ(net->edge(*e).speed_limit, DefaultSpeedLimit(RoadClass::kLocal));
+}
+
+TEST(NetworkBuilderTest, AddEdgeCustomSpeed) {
+  NetworkBuilder b = TwoNodeBuilder();
+  Result<EdgeId> e = b.AddEdge(0, 1, RoadClass::kHighway, 42.0);
+  ASSERT_TRUE(e.ok());
+  b.AddEdge(1, 0, RoadClass::kHighway, 42.0);
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_DOUBLE_EQ(net->edge(*e).speed_limit, 42.0);
+  EXPECT_EQ(net->edge(*e).road_class, RoadClass::kHighway);
+}
+
+TEST(NetworkBuilderTest, RejectsBadEndpoints) {
+  NetworkBuilder b = TwoNodeBuilder();
+  EXPECT_TRUE(b.AddEdge(0, 7).status().IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(9, 1).status().IsInvalidArgument());
+}
+
+TEST(NetworkBuilderTest, RejectsSelfLoop) {
+  NetworkBuilder b = TwoNodeBuilder();
+  EXPECT_TRUE(b.AddEdge(0, 0).status().IsInvalidArgument());
+}
+
+TEST(NetworkBuilderTest, RejectsNegativeSpeed) {
+  NetworkBuilder b = TwoNodeBuilder();
+  EXPECT_TRUE(b.AddEdge(0, 1, RoadClass::kLocal, -5.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(NetworkBuilderTest, RejectsDuplicateEdge) {
+  NetworkBuilder b = TwoNodeBuilder();
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1).status().IsAlreadyExists());
+  // The reverse direction is a distinct edge.
+  EXPECT_TRUE(b.AddEdge(1, 0).ok());
+}
+
+TEST(NetworkBuilderTest, BidirectionalAddsBoth) {
+  NetworkBuilder b = TwoNodeBuilder();
+  ASSERT_TRUE(b.AddBidirectionalEdge(0, 1).ok());
+  EXPECT_EQ(b.EdgeCount(), 2u);
+}
+
+TEST(NetworkBuilderTest, BuildRejectsEmpty) {
+  NetworkBuilder b;
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+  b.AddNode({0, 0});
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());  // no edges
+}
+
+TEST(NetworkBuilderTest, BuildRejectsStrandedNode) {
+  NetworkBuilder b = TwoNodeBuilder();
+  b.AddNode({200, 0});  // node 2, no out edge
+  b.AddBidirectionalEdge(0, 1);
+  Result<RoadNetwork> net = b.Build();
+  EXPECT_TRUE(net.status().IsFailedPrecondition());
+}
+
+TEST(NetworkBuilderTest, BuildRejectsZeroLengthEdge) {
+  NetworkBuilder b;
+  b.AddNode({0, 0});
+  b.AddNode({0, 0});  // coincident
+  b.AddBidirectionalEdge(0, 1);
+  EXPECT_TRUE(b.Build().status().IsFailedPrecondition());
+}
+
+TEST(RoadNetworkTest, AccessorsAndAdjacency) {
+  NetworkBuilder b;
+  NodeId a = b.AddNode({0, 0});
+  NodeId c = b.AddNode({10, 0});
+  NodeId d = b.AddNode({10, 10});
+  b.AddBidirectionalEdge(a, c);
+  b.AddBidirectionalEdge(c, d);
+  b.AddBidirectionalEdge(a, d);
+  Result<RoadNetwork> rnet = b.Build();
+  ASSERT_TRUE(rnet.ok());
+  const RoadNetwork& net = *rnet;
+  EXPECT_EQ(net.NodeCount(), 3u);
+  EXPECT_EQ(net.EdgeCount(), 6u);
+  EXPECT_EQ(net.OutEdges(a).size(), 2u);
+  EXPECT_EQ(net.node(c).position, (Point{10, 0}));
+}
+
+TEST(RoadNetworkTest, FindEdge) {
+  NetworkBuilder b = TwoNodeBuilder();
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_NE(net->FindEdge(0, 1), kInvalidEdgeId);
+  EXPECT_NE(net->FindEdge(1, 0), kInvalidEdgeId);
+  EXPECT_EQ(net->FindEdge(0, 0), kInvalidEdgeId);
+  EXPECT_EQ(net->FindEdge(5, 0), kInvalidEdgeId);  // out of range from-node
+}
+
+TEST(RoadNetworkTest, NearestNode) {
+  NetworkBuilder b;
+  b.AddNode({0, 0});
+  b.AddNode({100, 100});
+  b.AddBidirectionalEdge(0, 1);
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->NearestNode({10, 10}), 0u);
+  EXPECT_EQ(net->NearestNode({90, 90}), 1u);
+}
+
+TEST(RoadNetworkTest, BoundingBoxCoversNodes) {
+  NetworkBuilder b;
+  b.AddNode({-5, 3});
+  b.AddNode({12, -7});
+  b.AddBidirectionalEdge(0, 1);
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->BoundingBox(), (Rect{-5, -7, 12, 3}));
+}
+
+TEST(RoadNetworkTest, TravelTime) {
+  RoadSegment seg;
+  seg.length = 100.0;
+  seg.speed_limit = 25.0;
+  EXPECT_DOUBLE_EQ(seg.TravelTime(), 4.0);
+}
+
+TEST(RoadNetworkTest, MemoryUsageNonZero) {
+  RoadNetwork city = DefaultBenchmarkCity();
+  EXPECT_GT(city.EstimateMemoryUsage(), 1000u);
+}
+
+// ---------- Grid city generator ----------
+
+TEST(GridCityTest, RejectsBadOptions) {
+  GridCityOptions opt;
+  opt.rows = 1;
+  EXPECT_TRUE(GenerateGridCity(opt).status().IsInvalidArgument());
+  opt = GridCityOptions{};
+  opt.block_size = 0;
+  EXPECT_TRUE(GenerateGridCity(opt).status().IsInvalidArgument());
+  opt = GridCityOptions{};
+  opt.jitter = 0.7;
+  EXPECT_TRUE(GenerateGridCity(opt).status().IsInvalidArgument());
+}
+
+TEST(GridCityTest, NodeAndEdgeCounts) {
+  GridCityOptions opt;
+  opt.rows = 4;
+  opt.cols = 5;
+  opt.jitter = 0.0;
+  Result<RoadNetwork> net = GenerateGridCity(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->NodeCount(), 20u);
+  // Horizontal: 4 rows x 4 segments, vertical: 5 cols x 3 segments, x2 dirs.
+  EXPECT_EQ(net->EdgeCount(), 2u * (4 * 4 + 5 * 3));
+}
+
+TEST(GridCityTest, DeterministicForSeed) {
+  GridCityOptions opt;
+  opt.seed = 99;
+  Result<RoadNetwork> a = GenerateGridCity(opt);
+  Result<RoadNetwork> b = GenerateGridCity(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NodeCount(), b->NodeCount());
+  for (size_t i = 0; i < a->NodeCount(); ++i) {
+    EXPECT_EQ(a->node(i).position, b->node(i).position);
+  }
+}
+
+TEST(GridCityTest, HighwayAndArterialClassesPresent) {
+  RoadNetwork city = DefaultBenchmarkCity();
+  bool has_local = false;
+  bool has_arterial = false;
+  bool has_highway = false;
+  for (const RoadSegment& e : city.edges()) {
+    has_local |= e.road_class == RoadClass::kLocal;
+    has_arterial |= e.road_class == RoadClass::kArterial;
+    has_highway |= e.road_class == RoadClass::kHighway;
+  }
+  EXPECT_TRUE(has_local);
+  EXPECT_TRUE(has_arterial);
+  EXPECT_TRUE(has_highway);
+}
+
+TEST(GridCityTest, FullyConnected) {
+  RoadNetwork city = DefaultBenchmarkCity();
+  Result<std::vector<double>> costs = ShortestPathCosts(city, 0);
+  ASSERT_TRUE(costs.ok());
+  for (double c : *costs) {
+    EXPECT_TRUE(std::isfinite(c)) << "grid city must be strongly connected";
+  }
+}
+
+// ---------- Radial city generator ----------
+
+TEST(RadialCityTest, RejectsBadOptions) {
+  RadialCityOptions opt;
+  opt.rings = 0;
+  EXPECT_TRUE(GenerateRadialCity(opt).status().IsInvalidArgument());
+  opt = RadialCityOptions{};
+  opt.spokes = 2;
+  EXPECT_TRUE(GenerateRadialCity(opt).status().IsInvalidArgument());
+  opt = RadialCityOptions{};
+  opt.ring_spacing = 0;
+  EXPECT_TRUE(GenerateRadialCity(opt).status().IsInvalidArgument());
+}
+
+TEST(RadialCityTest, NodeAndEdgeCounts) {
+  RadialCityOptions opt;
+  opt.rings = 3;
+  opt.spokes = 6;
+  Result<RoadNetwork> net = GenerateRadialCity(opt);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_EQ(net->NodeCount(), 1u + 3u * 6u);
+  // Spokes: 6 hub links + 6*2 inter-ring, rings: 3*6 segments; all x2 dirs.
+  EXPECT_EQ(net->EdgeCount(), 2u * (6 + 12 + 18));
+}
+
+TEST(RadialCityTest, FullyConnected) {
+  Result<RoadNetwork> net = GenerateRadialCity(RadialCityOptions{});
+  ASSERT_TRUE(net.ok());
+  Result<std::vector<double>> costs = ShortestPathCosts(*net, 0);
+  ASSERT_TRUE(costs.ok());
+  for (double c : *costs) EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(RadialCityTest, SpokesAreHighwaysRingsAreNot) {
+  RadialCityOptions opt;
+  opt.rings = 4;
+  opt.spokes = 8;
+  opt.arterial_from_ring = 3;
+  Result<RoadNetwork> net = GenerateRadialCity(opt);
+  ASSERT_TRUE(net.ok());
+  bool has_highway = false;
+  bool has_local = false;
+  bool has_arterial = false;
+  for (const RoadSegment& e : net->edges()) {
+    has_highway |= e.road_class == RoadClass::kHighway;
+    has_local |= e.road_class == RoadClass::kLocal;
+    has_arterial |= e.road_class == RoadClass::kArterial;
+  }
+  EXPECT_TRUE(has_highway);
+  EXPECT_TRUE(has_local);
+  EXPECT_TRUE(has_arterial);
+  // Hub's edges are all highways (spokes).
+  for (EdgeId eid : net->OutEdges(0)) {
+    EXPECT_EQ(net->edge(eid).road_class, RoadClass::kHighway);
+  }
+}
+
+TEST(RadialCityTest, GeometryIsConcentric) {
+  RadialCityOptions opt;
+  opt.rings = 2;
+  opt.spokes = 4;
+  opt.ring_spacing = 100.0;
+  opt.center = Point{0, 0};
+  Result<RoadNetwork> net = GenerateRadialCity(opt);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->node(0).position, (Point{0, 0}));
+  // Ring 1 nodes at distance 100, ring 2 at 200.
+  for (NodeId n = 1; n <= 4; ++n) {
+    EXPECT_NEAR(Distance(net->node(n).position, {0, 0}), 100.0, 1e-9);
+  }
+  for (NodeId n = 5; n <= 8; ++n) {
+    EXPECT_NEAR(Distance(net->node(n).position, {0, 0}), 200.0, 1e-9);
+  }
+}
+
+TEST(GridCityTest, JitterKeepsNodesNearLattice) {
+  GridCityOptions opt;
+  opt.rows = 5;
+  opt.cols = 5;
+  opt.block_size = 100.0;
+  opt.jitter = 0.2;
+  Result<RoadNetwork> net = GenerateGridCity(opt);
+  ASSERT_TRUE(net.ok());
+  for (uint32_t r = 0; r < 5; ++r) {
+    for (uint32_t c = 0; c < 5; ++c) {
+      Point p = net->node(r * 5 + c).position;
+      EXPECT_NEAR(p.x, c * 100.0, 20.0 + 1e-9);
+      EXPECT_NEAR(p.y, r * 100.0, 20.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scuba

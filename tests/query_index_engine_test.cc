@@ -1,0 +1,144 @@
+#include "baseline/query_index_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_join_engine.h"
+#include "common/rng.h"
+#include "eval/experiment.h"
+#include "stream/pipeline.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, Timestamp t = 0) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.time = t;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, double w = 40, double h = 40,
+                Timestamp t = 0) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.time = t;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{100, 0};
+  u.range_width = w;
+  u.range_height = h;
+  return u;
+}
+
+TEST(QueryIndexEngineTest, BasicMatch) {
+  QueryIndexEngine e;
+  ASSERT_TRUE(e.IngestQueryUpdate(Qry(1, {100, 100})).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(1, {110, 110})).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(2, {5000, 5000})).ok());
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(1, 1));
+  EXPECT_EQ(e.name(), "query-index");
+}
+
+TEST(QueryIndexEngineTest, RejectsNullAndBadOptions) {
+  QueryIndexEngine e;
+  EXPECT_TRUE(e.Evaluate(1, nullptr).IsInvalidArgument());
+  QueryIndexOptions bad;
+  bad.max_node_entries = 1;
+  QueryIndexEngine e2(bad);
+  ResultSet r;
+  EXPECT_TRUE(e2.Evaluate(1, &r).IsInvalidArgument());
+}
+
+TEST(QueryIndexEngineTest, LatestUpdateWins) {
+  QueryIndexEngine e;
+  ASSERT_TRUE(e.IngestQueryUpdate(Qry(1, {100, 100}, 40, 40, 0)).ok());
+  ASSERT_TRUE(e.IngestQueryUpdate(Qry(1, {5000, 5000}, 40, 40, 1)).ok());
+  ASSERT_TRUE(e.IngestObjectUpdate(Obj(1, {110, 110})).ok());
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  EXPECT_TRUE(r.empty());  // query moved away; tree rebuilt from latest
+  EXPECT_EQ(e.QueryCount(), 1u);
+}
+
+TEST(QueryIndexEngineTest, TreeRebuiltEachRound) {
+  QueryIndexEngine e;
+  for (uint32_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        e.IngestQueryUpdate(Qry(i, {i * 30.0, i * 30.0})).ok());
+  }
+  ResultSet r;
+  ASSERT_TRUE(e.Evaluate(1, &r).ok());
+  EXPECT_GE(e.LastTreeHeight(), 2u);
+  EXPECT_EQ(e.stats().evaluations, 1u);
+  EXPECT_GT(e.stats().total_maintenance_seconds, 0.0);
+}
+
+TEST(QueryIndexEngineTest, RejectsMalformedUpdates) {
+  QueryIndexEngine e;
+  LocationUpdate bad = Obj(1, {0, 0});
+  bad.speed = -1;
+  EXPECT_TRUE(e.IngestObjectUpdate(bad).IsInvalidArgument());
+  EXPECT_EQ(e.ObjectCount(), 0u);
+}
+
+// Property: query-index results equal the naive oracle.
+class QueryIndexEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryIndexEquivalenceTest, MatchesNaiveOracle) {
+  Rng rng(GetParam());
+  QueryIndexEngine qindex;
+  NaiveJoinEngine naive;
+  for (uint32_t i = 0; i < 400; ++i) {
+    LocationUpdate o =
+        Obj(i, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)});
+    ASSERT_TRUE(qindex.IngestObjectUpdate(o).ok());
+    ASSERT_TRUE(naive.IngestObjectUpdate(o).ok());
+  }
+  for (uint32_t i = 0; i < 200; ++i) {
+    QueryUpdate q =
+        Qry(i, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+            rng.NextDouble(10, 400), rng.NextDouble(10, 400));
+    ASSERT_TRUE(qindex.IngestQueryUpdate(q).ok());
+    ASSERT_TRUE(naive.IngestQueryUpdate(q).ok());
+  }
+  ResultSet a;
+  ResultSet b;
+  ASSERT_TRUE(qindex.Evaluate(1, &a).ok());
+  ASSERT_TRUE(naive.Evaluate(1, &b).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(b.size(), 0u);
+  // The point of the index: far fewer comparisons than |O| x |Q|.
+  EXPECT_LT(qindex.stats().comparisons, naive.stats().comparisons / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryIndexEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(QueryIndexEngineTest, EndToEndOnTrace) {
+  ExperimentConfig config;
+  config.city.rows = 9;
+  config.city.cols = 9;
+  config.workload.num_objects = 120;
+  config.workload.num_queries = 120;
+  config.workload.skew = 10;
+  config.ticks = 6;
+  Result<ExperimentData> data = BuildExperimentData(config);
+  ASSERT_TRUE(data.ok());
+  QueryIndexEngine qindex;
+  NaiveJoinEngine naive;
+  Result<EngineRunResult> a = RunOnTrace(&qindex, data->trace, config.delta);
+  Result<EngineRunResult> b = RunOnTrace(&naive, data->trace, config.delta);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->final_results, b->final_results);
+}
+
+}  // namespace
+}  // namespace scuba

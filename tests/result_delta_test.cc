@@ -1,0 +1,101 @@
+#include "core/result_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scuba {
+namespace {
+
+ResultSet Make(std::initializer_list<Match> matches) {
+  ResultSet r;
+  for (const Match& m : matches) r.Add(m.qid, m.oid);
+  r.Normalize();
+  return r;
+}
+
+TEST(ResultDeltaTest, IdenticalSetsYieldEmptyDelta) {
+  ResultSet s = Make({{1, 1}, {2, 2}});
+  ResultDelta d = DiffResults(s, s);
+  EXPECT_TRUE(d.Empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(ResultDeltaTest, AddsAndRemovals) {
+  ResultSet prev = Make({{1, 1}, {1, 2}, {3, 3}});
+  ResultSet curr = Make({{1, 2}, {2, 9}, {3, 3}});
+  ResultDelta d = DiffResults(prev, curr);
+  EXPECT_EQ(d.added, (std::vector<Match>{{2, 9}}));
+  EXPECT_EQ(d.removed, (std::vector<Match>{{1, 1}}));
+}
+
+TEST(ResultDeltaTest, EmptyToFullIsAllAdded) {
+  ResultSet curr = Make({{1, 1}, {2, 2}});
+  ResultDelta d = DiffResults(ResultSet{}, curr);
+  EXPECT_EQ(d.added.size(), 2u);
+  EXPECT_TRUE(d.removed.empty());
+}
+
+TEST(ResultDeltaTest, FullToEmptyIsAllRemoved) {
+  ResultSet prev = Make({{1, 1}, {2, 2}});
+  ResultDelta d = DiffResults(prev, ResultSet{});
+  EXPECT_TRUE(d.added.empty());
+  EXPECT_EQ(d.removed.size(), 2u);
+}
+
+TEST(ResultDeltaTest, ApplyDeltaReconstructs) {
+  ResultSet prev = Make({{1, 1}, {1, 2}, {3, 3}, {4, 4}});
+  ResultSet curr = Make({{0, 5}, {1, 2}, {3, 3}, {9, 9}});
+  ResultDelta d = DiffResults(prev, curr);
+  ResultSet rebuilt = ApplyDelta(prev, d);
+  EXPECT_EQ(rebuilt, curr);
+}
+
+TEST(ResultDeltaTest, TrackerFirstRoundAllAdded) {
+  IncrementalResultTracker tracker;
+  ResultSet r1 = Make({{1, 1}, {2, 2}});
+  ResultDelta d = tracker.Observe(r1);
+  EXPECT_EQ(d.added.size(), 2u);
+  EXPECT_TRUE(d.removed.empty());
+  EXPECT_EQ(tracker.rounds(), 1u);
+  EXPECT_EQ(tracker.previous(), r1);
+}
+
+TEST(ResultDeltaTest, TrackerSequencesDeltas) {
+  IncrementalResultTracker tracker;
+  (void)tracker.Observe(Make({{1, 1}, {2, 2}}));
+  ResultDelta d = tracker.Observe(Make({{2, 2}, {3, 3}}));
+  EXPECT_EQ(d.added, (std::vector<Match>{{3, 3}}));
+  EXPECT_EQ(d.removed, (std::vector<Match>{{1, 1}}));
+  ResultDelta d2 = tracker.Observe(Make({{2, 2}, {3, 3}}));
+  EXPECT_TRUE(d2.Empty());
+  EXPECT_EQ(tracker.rounds(), 3u);
+}
+
+// Property: Apply(prev, Diff(prev, curr)) == curr on random sets.
+class DeltaRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaRoundTripTest, RoundTrips) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    ResultSet prev;
+    ResultSet curr;
+    for (int i = 0; i < 200; ++i) {
+      QueryId q = static_cast<QueryId>(rng.NextBounded(20));
+      ObjectId o = static_cast<ObjectId>(rng.NextBounded(20));
+      if (rng.NextBool(0.5)) prev.Add(q, o);
+      if (rng.NextBool(0.5)) curr.Add(q, o);
+    }
+    prev.Normalize();
+    curr.Normalize();
+    ResultDelta d = DiffResults(prev, curr);
+    EXPECT_EQ(ApplyDelta(prev, d), curr);
+    // Delta size consistency: |curr| = |prev| + |added| - |removed|.
+    EXPECT_EQ(curr.size(), prev.size() + d.added.size() - d.removed.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaRoundTripTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,179 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(99);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextIntSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.NextInt(4, 4), 4);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsCentered) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoolEdgeProbabilities) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(23);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+  EXPECT_NE(v, orig);  // 1/10! chance of false failure with this seed: checked
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng rng(43);
+  std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    int p = rng.Pick(v);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(47);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextU64() == child2.NextU64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, SplitMix64IsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);  // state advanced
+}
+
+}  // namespace
+}  // namespace scuba

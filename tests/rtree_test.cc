@@ -1,0 +1,152 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scuba {
+namespace {
+
+RTree::Entry E(uint32_t id, double x0, double y0, double x1, double y1) {
+  return RTree::Entry{id, Rect{x0, y0, x1, y1}};
+}
+
+TEST(RTreeTest, EmptyTree) {
+  Result<RTree> t = RTree::BulkLoad({});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->empty());
+  EXPECT_EQ(t->size(), 0u);
+  EXPECT_EQ(t->height(), 0u);
+  std::vector<uint32_t> out;
+  t->SearchPoint({0, 0}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(t->BoundingBox().Empty());
+}
+
+TEST(RTreeTest, RejectsBadInput) {
+  EXPECT_TRUE(RTree::BulkLoad({E(1, 5, 5, 1, 1)}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      RTree::BulkLoad({E(1, 0, 0, 1, 1)}, 1).status().IsInvalidArgument());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  Result<RTree> t = RTree::BulkLoad({E(7, 10, 10, 20, 20)});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->height(), 1u);
+  std::vector<uint32_t> out;
+  t->SearchPoint({15, 15}, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{7});
+  out.clear();
+  t->SearchPoint({25, 15}, &out);
+  EXPECT_TRUE(out.empty());
+  // Boundary counts (closed rects).
+  out.clear();
+  t->SearchPoint({10, 10}, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(RTreeTest, PointInOverlappingRects) {
+  Result<RTree> t = RTree::BulkLoad({
+      E(1, 0, 0, 10, 10),
+      E(2, 5, 5, 15, 15),
+      E(3, 20, 20, 30, 30),
+  });
+  ASSERT_TRUE(t.ok());
+  std::vector<uint32_t> out;
+  t->SearchPoint({7, 7}, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(RTreeTest, SearchRect) {
+  Result<RTree> t = RTree::BulkLoad({
+      E(1, 0, 0, 10, 10),
+      E(2, 50, 50, 60, 60),
+      E(3, 100, 0, 110, 10),
+  });
+  ASSERT_TRUE(t.ok());
+  std::vector<uint32_t> out;
+  t->SearchRect(Rect{5, 5, 105, 7}, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 3}));
+  out.clear();
+  t->SearchRect(Rect{5, 5, 4, 4}, &out);  // empty probe
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, BuildsMultipleLevels) {
+  std::vector<RTree::Entry> entries;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    double x = (i % 100) * 10.0;
+    double y = (i / 100) * 10.0;
+    entries.push_back(E(i, x, y, x + 5, y + 5));
+  }
+  Result<RTree> t = RTree::BulkLoad(std::move(entries), 8);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 1000u);
+  EXPECT_GE(t->height(), 3u);
+  EXPECT_GT(t->EstimateMemoryUsage(), 1000 * sizeof(RTree::Entry));
+  // Root box covers everything.
+  EXPECT_TRUE(t->BoundingBox().Contains(Rect{0, 0, 995, 95}));
+}
+
+// Property: tree search equals brute-force filtering for random data and
+// probes, across fan-outs.
+struct RTreeParam {
+  uint64_t seed;
+  uint32_t fanout;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<RTreeParam> {};
+
+TEST_P(RTreePropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam().seed);
+  std::vector<RTree::Entry> entries;
+  for (uint32_t i = 0; i < 500; ++i) {
+    double x = rng.NextDouble(0, 950);
+    double y = rng.NextDouble(0, 950);
+    entries.push_back(
+        E(i, x, y, x + rng.NextDouble(0.1, 80), y + rng.NextDouble(0.1, 80)));
+  }
+  std::vector<RTree::Entry> copy = entries;
+  Result<RTree> t = RTree::BulkLoad(std::move(copy), GetParam().fanout);
+  ASSERT_TRUE(t.ok());
+
+  for (int probe = 0; probe < 100; ++probe) {
+    Point p{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)};
+    std::vector<uint32_t> got;
+    t->SearchPoint(p, &got);
+    std::set<uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got.size(), got_set.size()) << "duplicates returned";
+    std::set<uint32_t> expected;
+    for (const RTree::Entry& e : entries) {
+      if (e.bounds.Contains(p)) expected.insert(e.id);
+    }
+    EXPECT_EQ(got_set, expected);
+  }
+  for (int probe = 0; probe < 50; ++probe) {
+    double x = rng.NextDouble(0, 900);
+    double y = rng.NextDouble(0, 900);
+    Rect r{x, y, x + rng.NextDouble(1, 150), y + rng.NextDouble(1, 150)};
+    std::vector<uint32_t> got;
+    t->SearchRect(r, &got);
+    std::set<uint32_t> got_set(got.begin(), got.end());
+    std::set<uint32_t> expected;
+    for (const RTree::Entry& e : entries) {
+      if (Intersects(e.bounds, r)) expected.insert(e.id);
+    }
+    EXPECT_EQ(got_set, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RTreePropertyTest,
+                         ::testing::Values(RTreeParam{1, 4}, RTreeParam{2, 16},
+                                           RTreeParam{3, 64},
+                                           RTreeParam{4, 2}));
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,148 @@
+#include "network/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "network/grid_city.h"
+#include "network/network_builder.h"
+
+namespace scuba {
+namespace {
+
+/// A small asymmetric test graph:
+///   0 --10--> 1 --10--> 2
+///   0 ------25--------> 2      (direct but slower by distance)
+///   2 --5---> 3,  1 has no edge to 3
+RoadNetwork DiamondNetwork() {
+  NetworkBuilder b;
+  b.AddNode({0, 0});     // 0
+  b.AddNode({10, 0});    // 1
+  b.AddNode({20, 0});    // 2
+  b.AddNode({20, 5});    // 3
+  b.AddBidirectionalEdge(0, 1);
+  b.AddBidirectionalEdge(1, 2);
+  b.AddBidirectionalEdge(2, 3);
+  Result<RoadNetwork> net = b.Build();
+  EXPECT_TRUE(net.ok());
+  return std::move(net).value();
+}
+
+TEST(ShortestPathTest, TrivialSelfRoute) {
+  RoadNetwork net = DiamondNetwork();
+  Result<Route> r = ShortestPath(net, 2, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->nodes, std::vector<NodeId>{2});
+  EXPECT_EQ(r->cost, 0.0);
+}
+
+TEST(ShortestPathTest, SimpleChain) {
+  RoadNetwork net = DiamondNetwork();
+  Result<Route> r = ShortestPath(net, 0, 3, RouteCost::kDistance);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(r->cost, 25.0);
+}
+
+TEST(ShortestPathTest, RejectsOutOfRange) {
+  RoadNetwork net = DiamondNetwork();
+  EXPECT_TRUE(ShortestPath(net, 0, 99).status().IsInvalidArgument());
+  EXPECT_TRUE(ShortestPath(net, 99, 0).status().IsInvalidArgument());
+}
+
+TEST(ShortestPathTest, UnreachableIsNotFound) {
+  NetworkBuilder b;
+  b.AddNode({0, 0});
+  b.AddNode({10, 0});
+  b.AddNode({100, 0});
+  b.AddNode({110, 0});
+  b.AddBidirectionalEdge(0, 1);
+  b.AddBidirectionalEdge(2, 3);  // disconnected component
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_TRUE(ShortestPath(*net, 0, 3).status().IsNotFound());
+}
+
+TEST(ShortestPathTest, TravelTimePrefersFastRoads) {
+  // Two routes 0->3: top via highway (longer but fast), bottom via local.
+  NetworkBuilder b;
+  b.AddNode({0, 0});     // 0
+  b.AddNode({50, 40});   // 1 (top)
+  b.AddNode({100, 0});   // 2 (end)
+  b.AddNode({50, -5});   // 3 (bottom)
+  b.AddBidirectionalEdge(0, 1, RoadClass::kHighway);
+  b.AddBidirectionalEdge(1, 2, RoadClass::kHighway);
+  b.AddBidirectionalEdge(0, 3, RoadClass::kLocal);
+  b.AddBidirectionalEdge(3, 2, RoadClass::kLocal);
+  Result<RoadNetwork> net = b.Build();
+  ASSERT_TRUE(net.ok());
+
+  Result<Route> by_time = ShortestPath(*net, 0, 2, RouteCost::kTravelTime);
+  ASSERT_TRUE(by_time.ok());
+  EXPECT_EQ(by_time->nodes, (std::vector<NodeId>{0, 1, 2}));
+
+  Result<Route> by_dist = ShortestPath(*net, 0, 2, RouteCost::kDistance);
+  ASSERT_TRUE(by_dist.ok());
+  EXPECT_EQ(by_dist->nodes, (std::vector<NodeId>{0, 3, 2}));
+}
+
+TEST(ShortestPathTest, CostsMatchPointQueries) {
+  RoadNetwork city = DefaultBenchmarkCity();
+  Result<std::vector<double>> costs =
+      ShortestPathCosts(city, 0, RouteCost::kDistance);
+  ASSERT_TRUE(costs.ok());
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    NodeId to = static_cast<NodeId>(
+        rng.NextInt(0, static_cast<int64_t>(city.NodeCount()) - 1));
+    Result<Route> r = ShortestPath(city, 0, to, RouteCost::kDistance);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r->cost, (*costs)[to], 1e-9);
+  }
+}
+
+TEST(ShortestPathTest, CostsRejectsBadSource) {
+  RoadNetwork net = DiamondNetwork();
+  EXPECT_TRUE(ShortestPathCosts(net, 1234).status().IsInvalidArgument());
+}
+
+// Property: every returned route is a valid edge path whose summed cost
+// equals the reported cost, and no single edge beats the shortest cost.
+class RouteValidityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RouteValidityTest, RoutesAreValidEdgePaths) {
+  GridCityOptions opt;
+  opt.rows = 8;
+  opt.cols = 8;
+  opt.seed = GetParam();
+  Result<RoadNetwork> rnet = GenerateGridCity(opt);
+  ASSERT_TRUE(rnet.ok());
+  const RoadNetwork& net = *rnet;
+
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 50; ++i) {
+    NodeId from = static_cast<NodeId>(
+        rng.NextInt(0, static_cast<int64_t>(net.NodeCount()) - 1));
+    NodeId to = static_cast<NodeId>(
+        rng.NextInt(0, static_cast<int64_t>(net.NodeCount()) - 1));
+    Result<Route> r = ShortestPath(net, from, to, RouteCost::kDistance);
+    ASSERT_TRUE(r.ok());
+    ASSERT_GE(r->nodes.size(), 1u);
+    EXPECT_EQ(r->nodes.front(), from);
+    EXPECT_EQ(r->nodes.back(), to);
+    double total = 0.0;
+    for (size_t h = 0; h + 1 < r->nodes.size(); ++h) {
+      EdgeId eid = net.FindEdge(r->nodes[h], r->nodes[h + 1]);
+      ASSERT_NE(eid, kInvalidEdgeId) << "route hop is not an edge";
+      total += net.edge(eid).length;
+    }
+    EXPECT_NEAR(total, r->cost, 1e-9);
+    // Lower bound: cost can never beat the straight-line distance.
+    EXPECT_GE(r->cost + 1e-9,
+              Distance(net.node(from).position, net.node(to).position));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteValidityTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace scuba

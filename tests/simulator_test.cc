@@ -1,0 +1,226 @@
+#include "gen/object_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "network/grid_city.h"
+#include "network/network_builder.h"
+#include "network/shortest_path.h"
+
+namespace scuba {
+namespace {
+
+RoadNetwork LineNetwork() {
+  // 0 --(100)--> 1 --(100)--> 2, local roads (speed 30).
+  NetworkBuilder b;
+  b.AddNode({0, 0});
+  b.AddNode({100, 0});
+  b.AddNode({200, 0});
+  b.AddBidirectionalEdge(0, 1);
+  b.AddBidirectionalEdge(1, 2);
+  Result<RoadNetwork> net = b.Build();
+  EXPECT_TRUE(net.ok());
+  return std::move(net).value();
+}
+
+SimEntity BasicEntity(std::vector<NodeId> route, double speed_factor = 1.0) {
+  SimEntity e;
+  e.kind = EntityKind::kObject;
+  e.id = 1;
+  e.group = 0;
+  e.speed_factor = speed_factor;
+  e.route = std::move(route);
+  return e;
+}
+
+TEST(SimulatorTest, AddEntityValidatesRoute) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  EXPECT_TRUE(
+      sim.AddEntity(BasicEntity({0})).IsInvalidArgument());  // too short
+  EXPECT_TRUE(
+      sim.AddEntity(BasicEntity({0, 2})).IsInvalidArgument());  // no edge 0->2
+  SimEntity past_end = BasicEntity({0, 1});
+  past_end.leg = 1;
+  EXPECT_TRUE(sim.AddEntity(past_end).IsInvalidArgument());
+  SimEntity bad_speed = BasicEntity({0, 1});
+  bad_speed.speed_factor = 0.0;
+  EXPECT_TRUE(sim.AddEntity(bad_speed).IsInvalidArgument());
+  EXPECT_TRUE(sim.AddEntity(BasicEntity({0, 1, 2})).ok());
+  EXPECT_EQ(sim.EntityCount(), 1u);
+}
+
+TEST(SimulatorTest, DerivedStateOnAdd) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  SimEntity e = BasicEntity({0, 1, 2});
+  e.offset = 50.0;
+  ASSERT_TRUE(sim.AddEntity(e).ok());
+  const SimEntity& added = sim.entities()[0];
+  EXPECT_EQ(added.position, (Point{50, 0}));
+  EXPECT_DOUBLE_EQ(added.speed, DefaultSpeedLimit(RoadClass::kLocal));
+}
+
+TEST(SimulatorTest, StepAdvancesAlongEdge) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  ASSERT_TRUE(sim.AddEntity(BasicEntity({0, 1, 2})).ok());
+  sim.Step();
+  EXPECT_EQ(sim.now(), 1);
+  // Local speed 30: position x = 30.
+  EXPECT_NEAR(sim.entities()[0].position.x, 30.0, 1e-9);
+  EXPECT_NEAR(sim.entities()[0].position.y, 0.0, 1e-9);
+}
+
+TEST(SimulatorTest, StepCrossesConnectionNode) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  SimEntity e = BasicEntity({0, 1, 2});
+  e.offset = 90.0;  // 10 units before node 1
+  ASSERT_TRUE(sim.AddEntity(e).ok());
+  sim.Step();  // moves 30: 10 to node 1, 20 along next leg
+  EXPECT_NEAR(sim.entities()[0].position.x, 120.0, 1e-9);
+  EXPECT_EQ(sim.CurrentDestination(0), 2u);
+}
+
+TEST(SimulatorTest, CurrentDestinationIsNextNode) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  ASSERT_TRUE(sim.AddEntity(BasicEntity({0, 1, 2})).ok());
+  EXPECT_EQ(sim.CurrentDestination(0), 1u);
+}
+
+TEST(SimulatorTest, ReplansAtRouteEnd) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  ASSERT_TRUE(sim.AddEntity(BasicEntity({0, 1})).ok());
+  // After enough steps the entity must have replanned (route generation > 0)
+  // and still be on the network.
+  for (int i = 0; i < 20; ++i) sim.Step();
+  EXPECT_GT(sim.entities()[0].route_generation, 0u);
+}
+
+TEST(SimulatorTest, GroupMembersShareReplannedDestinations) {
+  RoadNetwork city = DefaultBenchmarkCity(5);
+  ObjectSimulator sim(&city, 42);
+  Result<Route> route = ShortestPath(city, 0, 7);
+  ASSERT_TRUE(route.ok());
+  for (uint32_t i = 0; i < 3; ++i) {
+    SimEntity e;
+    e.kind = EntityKind::kObject;
+    e.id = i;
+    e.group = 9;  // same group
+    e.speed_factor = 1.0;
+    e.route = route->nodes;
+    ASSERT_TRUE(sim.AddEntity(e).ok());
+  }
+  for (int t = 0; t < 300; ++t) sim.Step();
+  // All members replanned at least once and, having identical speed and group,
+  // follow identical routes.
+  ASSERT_GT(sim.entities()[0].route_generation, 0u);
+  for (uint32_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(sim.entities()[i].route, sim.entities()[0].route);
+    EXPECT_EQ(sim.entities()[i].route_generation,
+              sim.entities()[0].route_generation);
+  }
+}
+
+TEST(SimulatorTest, EmitUpdatesFullFraction) {
+  RoadNetwork net = LineNetwork();
+  ObjectSimulator sim(&net, 1);
+  SimEntity obj = BasicEntity({0, 1, 2});
+  obj.attrs = kAttrRedCar;
+  ASSERT_TRUE(sim.AddEntity(obj).ok());
+  SimEntity qry = BasicEntity({0, 1, 2});
+  qry.kind = EntityKind::kQuery;
+  qry.id = 5;
+  qry.range_width = 40;
+  qry.range_height = 20;
+  ASSERT_TRUE(sim.AddEntity(qry).ok());
+
+  sim.Step();
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  sim.EmitUpdates(1.0, &objs, &qrys);
+  ASSERT_EQ(objs.size(), 1u);
+  ASSERT_EQ(qrys.size(), 1u);
+  EXPECT_EQ(objs[0].oid, 1u);
+  EXPECT_EQ(objs[0].time, 1);
+  EXPECT_EQ(objs[0].attrs, kAttrRedCar);
+  EXPECT_EQ(objs[0].dest_node, 1u);
+  EXPECT_EQ(objs[0].dest_position, (Point{100, 0}));
+  EXPECT_EQ(qrys[0].qid, 5u);
+  EXPECT_EQ(qrys[0].range_width, 40);
+  EXPECT_EQ(qrys[0].range_height, 20);
+  Rect range = qrys[0].Range();
+  EXPECT_EQ(range.Width(), 40);
+  EXPECT_EQ(range.Center(), qrys[0].position);
+}
+
+TEST(SimulatorTest, EmitUpdatesPartialFractionRoughlyProportional) {
+  RoadNetwork city = DefaultBenchmarkCity(6);
+  ObjectSimulator sim(&city, 7);
+  Result<Route> route = ShortestPath(city, 0, 30);
+  ASSERT_TRUE(route.ok());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    SimEntity e;
+    e.id = i;
+    e.group = i;
+    e.speed_factor = 0.9;
+    e.route = route->nodes;
+    ASSERT_TRUE(sim.AddEntity(e).ok());
+  }
+  sim.Step();
+  std::vector<LocationUpdate> objs;
+  std::vector<QueryUpdate> qrys;
+  sim.EmitUpdates(0.5, &objs, &qrys);
+  EXPECT_GT(objs.size(), 380u);
+  EXPECT_LT(objs.size(), 620u);
+}
+
+// Property: entities always remain on a road segment (their position lies on
+// the line between the leg's endpoints).
+class OnNetworkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnNetworkPropertyTest, EntitiesStayOnRoads) {
+  RoadNetwork city = DefaultBenchmarkCity(GetParam());
+  ObjectSimulator sim(&city, GetParam());
+  Rng rng(GetParam() + 1);
+  for (uint32_t i = 0; i < 20; ++i) {
+    NodeId from = static_cast<NodeId>(
+        rng.NextInt(0, static_cast<int64_t>(city.NodeCount()) - 1));
+    NodeId to = static_cast<NodeId>(
+        rng.NextInt(0, static_cast<int64_t>(city.NodeCount()) - 1));
+    if (from == to) to = (to + 1) % city.NodeCount();
+    Result<Route> route = ShortestPath(city, from, to);
+    ASSERT_TRUE(route.ok());
+    if (route->nodes.size() < 2) continue;
+    SimEntity e;
+    e.id = i;
+    e.group = i;
+    e.speed_factor = rng.NextDouble(0.5, 1.0);
+    e.route = route->nodes;
+    ASSERT_TRUE(sim.AddEntity(e).ok());
+  }
+  for (int t = 0; t < 100; ++t) {
+    sim.Step();
+    for (const SimEntity& e : sim.entities()) {
+      ASSERT_LT(e.leg + 1, e.route.size());
+      Point a = city.node(e.route[e.leg]).position;
+      Point b = city.node(e.route[e.leg + 1]).position;
+      // Distance along segment decomposition must be consistent:
+      // |a - p| + |p - b| == |a - b| for a point on the segment.
+      double via = Distance(a, e.position) + Distance(e.position, b);
+      EXPECT_NEAR(via, Distance(a, b), 1e-6);
+      // Speed respects the segment's limit.
+      EdgeId eid = city.FindEdge(e.route[e.leg], e.route[e.leg + 1]);
+      ASSERT_NE(eid, kInvalidEdgeId);
+      EXPECT_LE(e.speed, city.edge(eid).speed_limit + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnNetworkPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace scuba

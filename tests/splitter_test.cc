@@ -1,0 +1,175 @@
+#include "cluster/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/scuba_engine.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, double speed = 10.0, NodeId dest = 1) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = speed;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  u.attrs = kAttrRedCar;
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{9000, 9000};
+  u.range_width = 40;
+  u.range_height = 60;
+  return u;
+}
+
+TEST(SplitterTest, ShouldSplitThresholds) {
+  MovingCluster single = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  EXPECT_FALSE(ShouldSplit(single, 10.0));  // one member: never
+  MovingCluster wide = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  wide.AbsorbObject(Obj(2, {100, 0}));
+  EXPECT_TRUE(ShouldSplit(wide, 10.0));
+  EXPECT_FALSE(ShouldSplit(wide, 60.0));  // radius 50 <= 60
+}
+
+TEST(SplitterTest, RejectsTooSmallOrColocated) {
+  MovingCluster single = MovingCluster::FromObject(0, Obj(1, {5, 5}));
+  EXPECT_TRUE(SplitCluster(single, 1, 2).status().IsFailedPrecondition());
+  MovingCluster colocated = MovingCluster::FromObject(0, Obj(1, {5, 5}));
+  colocated.AbsorbObject(Obj(2, {5, 5}));
+  EXPECT_TRUE(SplitCluster(colocated, 1, 2).status().IsFailedPrecondition());
+}
+
+TEST(SplitterTest, SeparatesTwoBlobs) {
+  // Two blobs 400 apart inside one (deteriorated) cluster.
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  c.AbsorbObject(Obj(2, {10, 0}));
+  c.AbsorbQuery(Qry(3, {5, 5}));
+  c.AbsorbObject(Obj(4, {400, 0}));
+  c.AbsorbObject(Obj(5, {410, 5}));
+  Result<SplitResult> split = SplitCluster(c, 10, 11);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  const MovingCluster& l = split->left;
+  const MovingCluster& r = split->right;
+  EXPECT_EQ(l.cid() + r.cid(), 21u);
+  EXPECT_EQ(l.size() + r.size(), 5u);
+  // Each blob landed whole in one half.
+  const MovingCluster& near_blob = l.FindMember({EntityKind::kObject, 1}) ? l : r;
+  const MovingCluster& far_blob = (&near_blob == &l) ? r : l;
+  EXPECT_NE(near_blob.FindMember({EntityKind::kObject, 2}), nullptr);
+  EXPECT_NE(near_blob.FindMember({EntityKind::kQuery, 3}), nullptr);
+  EXPECT_NE(far_blob.FindMember({EntityKind::kObject, 4}), nullptr);
+  EXPECT_NE(far_blob.FindMember({EntityKind::kObject, 5}), nullptr);
+  // Both halves are far tighter than the parent.
+  EXPECT_LT(l.radius(), 50.0);
+  EXPECT_LT(r.radius(), 50.0);
+  EXPECT_GT(c.radius(), 150.0);
+}
+
+TEST(SplitterTest, PreservesMemberState) {
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}, 12.0, 4));
+  c.AbsorbQuery(Qry(9, {300, 0}));
+  Result<SplitResult> split = SplitCluster(c, 1, 2);
+  ASSERT_TRUE(split.ok());
+  const MovingCluster& with_query =
+      split->left.query_count() > 0 ? split->left : split->right;
+  const ClusterMember* q = with_query.FindMember({EntityKind::kQuery, 9});
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->range_width, 40);
+  EXPECT_EQ(q->range_height, 60);
+  const MovingCluster& with_obj =
+      &with_query == &split->left ? split->right : split->left;
+  const ClusterMember* o = with_obj.FindMember({EntityKind::kObject, 1});
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->attrs, kAttrRedCar);
+  EXPECT_EQ(o->speed, 12.0);
+  EXPECT_EQ(with_obj.dest_node(), 4u);
+  // Positions survive the rebuild exactly.
+  EXPECT_TRUE(ApproxEqual(with_obj.MemberPosition(*o), {0, 0}, 1e-9));
+}
+
+TEST(SplitterTest, ShedMembersComeOutUnshed) {
+  // Centroid lands at ~(47, 0): members 1 and 2 fall inside the 50-unit
+  // nucleus and shed; member 3 stays exact, so a split point remains.
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  c.AbsorbObject(Obj(2, {2, 0}));
+  c.AbsorbObject(Obj(3, {140, 0}));
+  ASSERT_GT(c.ShedPositions(50.0), 0u);
+  Result<SplitResult> split = SplitCluster(c, 1, 2);
+  ASSERT_TRUE(split.ok());
+  for (const MovingCluster* half : {&split->left, &split->right}) {
+    for (const ClusterMember& m : half->members()) {
+      EXPECT_FALSE(m.shed);
+    }
+  }
+}
+
+// Property: splitting never loses or duplicates members and always tightens.
+class SplitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SplitPropertyTest, PartitionIsLosslessAndTighter) {
+  Rng rng(GetParam());
+  MovingCluster c = MovingCluster::FromObject(0, Obj(0, {0, 0}));
+  for (uint32_t i = 1; i < 60; ++i) {
+    Point p{rng.NextDouble(0, 500), rng.NextDouble(0, 500)};
+    c.AbsorbObject(Obj(i, p));
+  }
+  c.RecomputeTightBounds();
+  Result<SplitResult> split = SplitCluster(c, 1, 2);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->left.size() + split->right.size(), 60u);
+  for (uint32_t i = 0; i < 60; ++i) {
+    EntityRef ref{EntityKind::kObject, i};
+    bool in_left = split->left.FindMember(ref) != nullptr;
+    bool in_right = split->right.FindMember(ref) != nullptr;
+    EXPECT_TRUE(in_left != in_right) << "member " << i;
+  }
+  EXPECT_LE(split->left.radius(), c.radius() + 1e-9);
+  EXPECT_LE(split->right.radius(), c.radius() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitPropertyTest, ::testing::Values(1, 2, 3));
+
+TEST(EngineSplittingTest, EngineSplitsDeterioratedClusters) {
+  ScubaOptions opt;
+  opt.enable_cluster_splitting = true;
+  opt.split_radius_factor = 0.5;  // split past 0.5 * theta_d = 50
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  ASSERT_TRUE(engine.ok());
+  // Build one cluster, then stretch it by updating members apart (each stays
+  // within theta_d of the drifting centroid so no departure occurs; final
+  // member positions 50 / 160 / 222 give radius ~94 > 50).
+  ASSERT_TRUE((*engine)->IngestObjectUpdate(Obj(1, {100, 100})).ok());
+  ASSERT_TRUE((*engine)->IngestObjectUpdate(Obj(2, {160, 100})).ok());
+  ASSERT_TRUE((*engine)->IngestObjectUpdate(Obj(3, {160, 100})).ok());
+  ASSERT_TRUE((*engine)->IngestObjectUpdate(Obj(1, {50, 100})).ok());
+  ASSERT_TRUE((*engine)->IngestObjectUpdate(Obj(3, {222, 100})).ok());
+  const MovingCluster& before = (*engine)->store().clusters().begin()->second;
+  ASSERT_EQ((*engine)->ClusterCount(), 1u);
+  ASSERT_EQ(before.size(), 3u);
+
+  ResultSet results;
+  ASSERT_TRUE((*engine)->Evaluate(2, &results).ok());
+  EXPECT_EQ((*engine)->phase_stats().clusters_split, 1u);
+  EXPECT_EQ((*engine)->ClusterCount(), 2u);
+  EXPECT_TRUE((*engine)->store().ValidateConsistency().ok());
+  EXPECT_EQ((*engine)->cluster_grid().size(), 2u);
+}
+
+TEST(EngineSplittingTest, ValidatesFactor) {
+  ScubaOptions opt;
+  opt.enable_cluster_splitting = true;
+  opt.split_radius_factor = 0.0;
+  EXPECT_TRUE(ScubaEngine::Create(opt).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,170 @@
+#include "stream/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_join_engine.h"
+#include "gen/workload_generator.h"
+#include "network/grid_city.h"
+#include "stream/clock.h"
+
+namespace scuba {
+namespace {
+
+TEST(SimulationClockTest, CreateValidatesDelta) {
+  EXPECT_TRUE(SimulationClock::Create(0).status().IsInvalidArgument());
+  EXPECT_TRUE(SimulationClock::Create(-1).status().IsInvalidArgument());
+  EXPECT_TRUE(SimulationClock::Create(2).ok());
+}
+
+TEST(SimulationClockTest, AdvanceFiresEveryDelta) {
+  SimulationClock clock = std::move(SimulationClock::Create(3).value());
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_FALSE(clock.Advance());  // t=1
+  EXPECT_FALSE(clock.Advance());  // t=2
+  EXPECT_TRUE(clock.Advance());   // t=3
+  EXPECT_FALSE(clock.Advance());  // t=4
+  EXPECT_EQ(clock.now(), 4);
+  EXPECT_EQ(clock.TicksUntilEvaluation(), 2);
+}
+
+TEST(SimulationClockTest, DeltaOneFiresEveryTick) {
+  SimulationClock clock = std::move(SimulationClock::Create(1).value());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(clock.Advance());
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : city_(DefaultBenchmarkCity(51)) {
+    WorkloadOptions opt;
+    opt.num_objects = 30;
+    opt.num_queries = 30;
+    opt.skew = 10;
+    opt.seed = 51;
+    Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+    EXPECT_TRUE(sim.ok());
+    sim_ = std::make_unique<ObjectSimulator>(std::move(sim).value());
+  }
+
+  RoadNetwork city_;
+  std::unique_ptr<ObjectSimulator> sim_;
+  NaiveJoinEngine engine_;
+};
+
+TEST_F(PipelineTest, CreateValidates) {
+  EXPECT_TRUE(StreamPipeline::Create(nullptr, &engine_, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamPipeline::Create(sim_.get(), nullptr, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamPipeline::Create(sim_.get(), &engine_, 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamPipeline::Create(sim_.get(), &engine_, 2, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PipelineTest, EvaluatesEveryDelta) {
+  Result<StreamPipeline> p = StreamPipeline::Create(sim_.get(), &engine_, 2);
+  ASSERT_TRUE(p.ok());
+  int sink_calls = 0;
+  Timestamp last_time = 0;
+  ASSERT_TRUE(p->RunTicks(10, [&](Timestamp t, const ResultSet& r) {
+                 (void)r;
+                 ++sink_calls;
+                 EXPECT_EQ(t % 2, 0);
+                 EXPECT_GT(t, last_time);
+                 last_time = t;
+               }).ok());
+  EXPECT_EQ(sink_calls, 5);
+  EXPECT_EQ(p->evaluations(), 5u);
+  EXPECT_EQ(p->now(), 10);
+  EXPECT_EQ(engine_.stats().evaluations, 5u);
+}
+
+TEST_F(PipelineTest, NullSinkIsFine) {
+  Result<StreamPipeline> p = StreamPipeline::Create(sim_.get(), &engine_, 2);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(p->RunTicks(4).ok());
+  EXPECT_EQ(p->evaluations(), 2u);
+}
+
+TEST_F(PipelineTest, EngineSeesAllUpdates) {
+  Result<StreamPipeline> p = StreamPipeline::Create(sim_.get(), &engine_, 2);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(p->RunTicks(2).ok());
+  EXPECT_EQ(engine_.ObjectCount(), 30u);
+  EXPECT_EQ(engine_.QueryCount(), 30u);
+}
+
+TEST(ReplayTraceTest, Validates) {
+  Trace t;
+  EXPECT_TRUE(ReplayTrace(t, nullptr, 2).IsInvalidArgument());
+  NaiveJoinEngine e;
+  EXPECT_TRUE(ReplayTrace(t, &e, 0).IsInvalidArgument());
+  EXPECT_TRUE(ReplayTrace(t, &e, 2).ok());  // empty trace: no-op
+}
+
+TEST(ReplayTraceTest, ReplaysBatchesAndEvaluates) {
+  RoadNetwork city = DefaultBenchmarkCity(52);
+  WorkloadOptions opt;
+  opt.num_objects = 20;
+  opt.num_queries = 20;
+  opt.seed = 52;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city, opt);
+  ASSERT_TRUE(sim.ok());
+  ObjectSimulator s = std::move(sim).value();
+  Trace trace = RecordTrace(&s, 6);
+
+  NaiveJoinEngine live;
+  int evals = 0;
+  ASSERT_TRUE(ReplayTrace(trace, &live, 3, [&](Timestamp t, const ResultSet& r) {
+                 (void)t;
+                 (void)r;
+                 ++evals;
+               }).ok());
+  EXPECT_EQ(evals, 2);
+  EXPECT_EQ(live.ObjectCount(), 20u);
+}
+
+TEST(ReplayTraceTest, LivePipelineAndReplayAgree) {
+  // Running an engine live and replaying the recorded trace into a second
+  // engine must produce identical final results.
+  RoadNetwork city = DefaultBenchmarkCity(53);
+  WorkloadOptions opt;
+  opt.num_objects = 40;
+  opt.num_queries = 40;
+  opt.skew = 8;
+  opt.seed = 53;
+
+  // Record the trace from one simulator.
+  Result<ObjectSimulator> sim1 = GenerateWorkload(&city, opt);
+  ASSERT_TRUE(sim1.ok());
+  ObjectSimulator s1 = std::move(sim1).value();
+  Trace trace = RecordTrace(&s1, 6);
+
+  // Live: identical workload (fresh simulator), engine inline.
+  Result<ObjectSimulator> sim2 = GenerateWorkload(&city, opt);
+  ASSERT_TRUE(sim2.ok());
+  ObjectSimulator s2 = std::move(sim2).value();
+  NaiveJoinEngine live;
+  Result<StreamPipeline> p = StreamPipeline::Create(&s2, &live, 2);
+  ASSERT_TRUE(p.ok());
+  ResultSet live_last;
+  ASSERT_TRUE(p->RunTicks(6, [&](Timestamp, const ResultSet& r) {
+                 live_last = r;
+               }).ok());
+
+  NaiveJoinEngine replayed;
+  ResultSet replay_last;
+  ASSERT_TRUE(ReplayTrace(trace, &replayed, 2,
+                          [&](Timestamp, const ResultSet& r) {
+                            replay_last = r;
+                          })
+                  .ok());
+  EXPECT_EQ(live_last, replay_last);
+}
+
+}  // namespace
+}  // namespace scuba

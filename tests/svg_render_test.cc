@@ -1,0 +1,113 @@
+#include "eval/svg_render.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{900, 900};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = 1;
+  u.dest_position = Point{900, 900};
+  u.range_width = 50;
+  u.range_height = 30;
+  return u;
+}
+
+ClusterStore MakeStore() {
+  ClusterStore store;
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {100, 100}));
+  c.AbsorbObject(Obj(2, {120, 100}));
+  c.AbsorbQuery(Qry(1, {110, 110}));
+  EXPECT_TRUE(store.AddCluster(std::move(c)).ok());
+  return store;
+}
+
+TEST(SvgRenderTest, ValidatesInputs) {
+  ClusterStore store;
+  EXPECT_TRUE(RenderClustersSvg(store, Rect{10, 10, 0, 0})
+                  .status()
+                  .IsInvalidArgument());
+  SvgRenderOptions opt;
+  opt.image_width = 0;
+  EXPECT_TRUE(RenderClustersSvg(store, Rect{0, 0, 100, 100}, opt)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SvgRenderTest, EmptyStoreIsStillValidSvg) {
+  ClusterStore store;
+  Result<std::string> svg = RenderClustersSvg(store, Rect{0, 0, 1000, 1000});
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("<svg"), std::string::npos);
+  EXPECT_NE(svg->find("</svg>"), std::string::npos);
+}
+
+TEST(SvgRenderTest, DrawsClustersMembersAndRanges) {
+  ClusterStore store = MakeStore();
+  Result<std::string> svg = RenderClustersSvg(store, Rect{0, 0, 1000, 1000});
+  ASSERT_TRUE(svg.ok());
+  // One cluster circle, two object dots, one query rectangle.
+  size_t circles = 0;
+  size_t rects = 0;
+  for (size_t pos = 0; (pos = svg->find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  for (size_t pos = 0; (pos = svg->find("<rect", pos)) != std::string::npos;
+       ++pos) {
+    ++rects;
+  }
+  EXPECT_EQ(circles, 3u);  // cluster circle + 2 member dots
+  EXPECT_EQ(rects, 2u);    // background + query range
+}
+
+TEST(SvgRenderTest, OptionsToggleLayers) {
+  ClusterStore store = MakeStore();
+  SvgRenderOptions opt;
+  opt.draw_members = false;
+  opt.draw_query_ranges = false;
+  opt.draw_clusters = false;
+  opt.draw_nuclei = false;
+  Result<std::string> svg =
+      RenderClustersSvg(store, Rect{0, 0, 1000, 1000}, opt);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_EQ(svg->find("<circle"), std::string::npos);
+}
+
+TEST(SvgRenderTest, NucleusDrawnWhenPresent) {
+  ClusterStore store;
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {100, 100}));
+  c.AbsorbObject(Obj(2, {110, 100}));
+  c.ShedPositions(40.0);
+  EXPECT_TRUE(store.AddCluster(std::move(c)).ok());
+  Result<std::string> svg = RenderClustersSvg(store, Rect{0, 0, 1000, 1000});
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("stroke-dasharray=\"4 3\""), std::string::npos);
+}
+
+TEST(SvgRenderTest, AspectRatioFollowsRegion) {
+  ClusterStore store;
+  SvgRenderOptions opt;
+  opt.image_width = 500;
+  Result<std::string> svg =
+      RenderClustersSvg(store, Rect{0, 0, 1000, 500}, opt);  // 2:1
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("width=\"500\" height=\"250\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,128 @@
+#include "gen/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/workload_generator.h"
+#include "network/grid_city.h"
+
+namespace scuba {
+namespace {
+
+Trace SmallTrace(int ticks = 4, uint64_t seed = 31) {
+  RoadNetwork city = DefaultBenchmarkCity(seed);
+  WorkloadOptions opt;
+  opt.num_objects = 20;
+  opt.num_queries = 15;
+  opt.skew = 5;
+  opt.seed = seed;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city, opt);
+  EXPECT_TRUE(sim.ok());
+  ObjectSimulator s = std::move(sim).value();
+  return RecordTrace(&s, ticks);
+}
+
+TEST(TraceTest, RecordProducesOneBatchPerTick) {
+  Trace t = SmallTrace(5);
+  EXPECT_EQ(t.TickCount(), 5u);
+  for (size_t i = 0; i < t.TickCount(); ++i) {
+    EXPECT_EQ(t.batch(i).time, static_cast<Timestamp>(i + 1));
+    EXPECT_EQ(t.batch(i).object_updates.size(), 20u);  // 100% update rate
+    EXPECT_EQ(t.batch(i).query_updates.size(), 15u);
+  }
+  EXPECT_EQ(t.TotalUpdates(), 5u * 35u);
+}
+
+TEST(TraceTest, PartialUpdateFraction) {
+  RoadNetwork city = DefaultBenchmarkCity(32);
+  WorkloadOptions opt;
+  opt.num_objects = 200;
+  opt.num_queries = 200;
+  opt.seed = 32;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city, opt);
+  ASSERT_TRUE(sim.ok());
+  ObjectSimulator s = std::move(sim).value();
+  Trace t = RecordTrace(&s, 3, 0.25);
+  for (size_t i = 0; i < t.TickCount(); ++i) {
+    size_t n = t.batch(i).object_updates.size() +
+               t.batch(i).query_updates.size();
+    EXPECT_GT(n, 40u);
+    EXPECT_LT(n, 160u);
+  }
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  Trace t = SmallTrace(3);
+  std::string text = t.Serialize();
+  Result<Trace> back = Trace::Parse(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->TickCount(), t.TickCount());
+  for (size_t i = 0; i < t.TickCount(); ++i) {
+    const TickBatch& a = t.batch(i);
+    const TickBatch& b = back->batch(i);
+    EXPECT_EQ(a.time, b.time);
+    ASSERT_EQ(a.object_updates.size(), b.object_updates.size());
+    ASSERT_EQ(a.query_updates.size(), b.query_updates.size());
+    for (size_t j = 0; j < a.object_updates.size(); ++j) {
+      EXPECT_EQ(a.object_updates[j].oid, b.object_updates[j].oid);
+      EXPECT_EQ(a.object_updates[j].position, b.object_updates[j].position);
+      EXPECT_EQ(a.object_updates[j].speed, b.object_updates[j].speed);
+      EXPECT_EQ(a.object_updates[j].dest_node, b.object_updates[j].dest_node);
+      EXPECT_EQ(a.object_updates[j].attrs, b.object_updates[j].attrs);
+    }
+    for (size_t j = 0; j < a.query_updates.size(); ++j) {
+      EXPECT_EQ(a.query_updates[j].qid, b.query_updates[j].qid);
+      EXPECT_EQ(a.query_updates[j].position, b.query_updates[j].position);
+      EXPECT_EQ(a.query_updates[j].range_width, b.query_updates[j].range_width);
+      EXPECT_EQ(a.query_updates[j].range_height,
+                b.query_updates[j].range_height);
+    }
+  }
+}
+
+TEST(TraceTest, ParseRejectsMissingHeader) {
+  EXPECT_TRUE(Trace::Parse("tick 1\n").status().IsCorruption());
+}
+
+TEST(TraceTest, ParseRejectsUpdateBeforeTick) {
+  EXPECT_TRUE(Trace::Parse("scuba-trace 1\no 1 0 0 1 5 0 0 0 0\n")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(TraceTest, ParseRejectsMalformedRecords) {
+  EXPECT_TRUE(Trace::Parse("scuba-trace 1\ntick banana\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(Trace::Parse("scuba-trace 1\ntick 1\no 1 xyz\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(Trace::Parse("scuba-trace 1\ntick 1\nz 1 2 3\n")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(TraceTest, ParseEmptyTraceIsOk) {
+  Result<Trace> t = Trace::Parse("scuba-trace 1\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->TickCount(), 0u);
+}
+
+TEST(TraceTest, MemoryUsageGrowsWithTicks) {
+  Trace small = SmallTrace(1);
+  Trace big = SmallTrace(8);
+  EXPECT_GT(big.EstimateMemoryUsage(), small.EstimateMemoryUsage());
+}
+
+TEST(TraceTest, UpdateToStringIsReadable) {
+  Trace t = SmallTrace(1);
+  ASSERT_FALSE(t.batch(0).object_updates.empty());
+  std::string s = t.batch(0).object_updates[0].ToString();
+  EXPECT_NE(s.find("obj"), std::string::npos);
+  ASSERT_FALSE(t.batch(0).query_updates.empty());
+  std::string qs = t.batch(0).query_updates[0].ToString();
+  EXPECT_NE(qs.find("query"), std::string::npos);
+  EXPECT_NE(qs.find("range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,128 @@
+// Failure injection: malformed updates must be rejected with InvalidArgument
+// by validation and by every engine's ingest path, leaving state untouched.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baseline/grid_join_engine.h"
+#include "baseline/naive_join_engine.h"
+#include "core/scuba_engine.h"
+#include "gen/update.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate GoodObj() {
+  LocationUpdate u;
+  u.oid = 1;
+  u.position = Point{100, 100};
+  u.time = 1;
+  u.speed = 10.0;
+  u.dest_node = 3;
+  u.dest_position = Point{500, 500};
+  return u;
+}
+
+QueryUpdate GoodQry() {
+  QueryUpdate u;
+  u.qid = 1;
+  u.position = Point{100, 100};
+  u.time = 1;
+  u.speed = 10.0;
+  u.dest_node = 3;
+  u.dest_position = Point{500, 500};
+  u.range_width = 40;
+  u.range_height = 40;
+  return u;
+}
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(UpdateValidationTest, GoodUpdatesPass) {
+  EXPECT_TRUE(ValidateUpdate(GoodObj()).ok());
+  EXPECT_TRUE(ValidateUpdate(GoodQry()).ok());
+}
+
+TEST(UpdateValidationTest, RejectsNonFinitePosition) {
+  LocationUpdate u = GoodObj();
+  u.position.x = kNan;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+  u = GoodObj();
+  u.position.y = kInf;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+}
+
+TEST(UpdateValidationTest, RejectsBadSpeed) {
+  LocationUpdate u = GoodObj();
+  u.speed = -1.0;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+  u.speed = kNan;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+  u.speed = 0.0;  // stationary is legal
+  EXPECT_TRUE(ValidateUpdate(u).ok());
+}
+
+TEST(UpdateValidationTest, RejectsNegativeTime) {
+  LocationUpdate u = GoodObj();
+  u.time = -5;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+}
+
+TEST(UpdateValidationTest, RejectsMissingDestination) {
+  LocationUpdate u = GoodObj();
+  u.dest_node = kInvalidNodeId;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+  u = GoodObj();
+  u.dest_position.x = kInf;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+}
+
+TEST(UpdateValidationTest, RejectsBadQueryRange) {
+  QueryUpdate u = GoodQry();
+  u.range_width = 0.0;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+  u = GoodQry();
+  u.range_height = -10.0;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+  u = GoodQry();
+  u.range_width = kNan;
+  EXPECT_TRUE(ValidateUpdate(u).IsInvalidArgument());
+}
+
+TEST(UpdateValidationTest, ScubaEngineRejectsAndStaysClean) {
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create({});
+  ASSERT_TRUE(engine.ok());
+  LocationUpdate bad = GoodObj();
+  bad.position.x = kNan;
+  EXPECT_TRUE((*engine)->IngestObjectUpdate(bad).IsInvalidArgument());
+  QueryUpdate badq = GoodQry();
+  badq.range_width = -1;
+  EXPECT_TRUE((*engine)->IngestQueryUpdate(badq).IsInvalidArgument());
+  EXPECT_EQ((*engine)->ClusterCount(), 0u);
+  EXPECT_TRUE((*engine)->store().ValidateConsistency().ok());
+  // Good updates still work afterwards.
+  EXPECT_TRUE((*engine)->IngestObjectUpdate(GoodObj()).ok());
+  ResultSet results;
+  EXPECT_TRUE((*engine)->Evaluate(2, &results).ok());
+}
+
+TEST(UpdateValidationTest, BaselinesRejectToo) {
+  NaiveJoinEngine naive;
+  LocationUpdate bad = GoodObj();
+  bad.speed = kInf;
+  EXPECT_TRUE(naive.IngestObjectUpdate(bad).IsInvalidArgument());
+  EXPECT_EQ(naive.ObjectCount(), 0u);
+
+  Result<std::unique_ptr<GridJoinEngine>> grid = GridJoinEngine::Create({});
+  ASSERT_TRUE(grid.ok());
+  QueryUpdate badq = GoodQry();
+  badq.position.y = kNan;
+  EXPECT_TRUE((*grid)->IngestQueryUpdate(badq).IsInvalidArgument());
+  EXPECT_EQ((*grid)->QueryCount(), 0u);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,243 @@
+#include "gen/workload_generator.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "network/grid_city.h"
+
+namespace scuba {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : city_(DefaultBenchmarkCity(11)) {}
+  RoadNetwork city_;
+};
+
+TEST_F(WorkloadTest, RejectsNullOrEmptyNetwork) {
+  WorkloadOptions opt;
+  EXPECT_TRUE(GenerateWorkload(nullptr, opt).status().IsInvalidArgument());
+}
+
+TEST_F(WorkloadTest, ValidatesOptions) {
+  WorkloadOptions opt;
+  opt.num_objects = 0;
+  opt.num_queries = 0;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+
+  opt = WorkloadOptions{};
+  opt.skew = 0;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+
+  opt = WorkloadOptions{};
+  opt.min_speed_factor = 0.9;
+  opt.max_speed_factor = 0.5;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+
+  opt = WorkloadOptions{};
+  opt.min_range = 100;
+  opt.max_range = 50;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+
+  opt = WorkloadOptions{};
+  opt.attr_probability = 1.5;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+
+  opt = WorkloadOptions{};
+  opt.speed_jitter = -1;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+}
+
+TEST_F(WorkloadTest, CountsAndIdRanges) {
+  WorkloadOptions opt;
+  opt.num_objects = 120;
+  opt.num_queries = 80;
+  opt.skew = 10;
+  opt.seed = 3;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_EQ(sim->EntityCount(), 200u);
+
+  std::set<uint32_t> oids;
+  std::set<uint32_t> qids;
+  for (const SimEntity& e : sim->entities()) {
+    if (e.kind == EntityKind::kObject) {
+      oids.insert(e.id);
+    } else {
+      qids.insert(e.id);
+    }
+  }
+  EXPECT_EQ(oids.size(), 120u);
+  EXPECT_EQ(qids.size(), 80u);
+  EXPECT_EQ(*oids.rbegin(), 119u);  // dense [0, 120)
+  EXPECT_EQ(*qids.rbegin(), 79u);
+}
+
+TEST_F(WorkloadTest, SkewControlsGroupSizes) {
+  WorkloadOptions opt;
+  opt.num_objects = 100;
+  opt.num_queries = 100;
+  opt.skew = 20;
+  opt.seed = 7;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok());
+  std::map<uint32_t, int> group_sizes;
+  for (const SimEntity& e : sim->entities()) group_sizes[e.group]++;
+  // Groups are capped at the skew; counts can exceed total/skew only because
+  // capped mixed groups leave a single-kind tail.
+  EXPECT_GE(group_sizes.size(), 10u);
+  EXPECT_LE(group_sizes.size(), 14u);
+  int full_groups = 0;
+  int total = 0;
+  for (const auto& [g, n] : group_sizes) {
+    (void)g;
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 20);
+    total += n;
+    if (n == 20) ++full_groups;
+  }
+  EXPECT_EQ(total, 200);
+  EXPECT_GE(full_groups, 8);
+}
+
+TEST_F(WorkloadTest, FullMixFractionMixesEveryObjectGroup) {
+  WorkloadOptions opt;
+  opt.num_objects = 100;
+  opt.num_queries = 100;
+  opt.skew = 50;
+  opt.mixed_group_fraction = 1.0;
+  opt.max_mixed_group_queries = 4;
+  opt.seed = 13;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok());
+  std::map<uint32_t, std::pair<int, int>> mix;  // group -> (objects, queries)
+  for (const SimEntity& e : sim->entities()) {
+    if (e.kind == EntityKind::kObject) {
+      mix[e.group].first++;
+    } else {
+      mix[e.group].second++;
+    }
+  }
+  // With fraction 1, every group holding objects carries 1..4 monitoring
+  // queries; once objects run out the remaining groups are query-only.
+  size_t mixed = 0;
+  for (const auto& [g, counts] : mix) {
+    (void)g;
+    if (counts.first > 0) {
+      EXPECT_GE(counts.second, 1);
+      EXPECT_LE(counts.second, 4);
+      ++mixed;
+    }
+  }
+  EXPECT_GT(mixed, 0u);
+}
+
+TEST_F(WorkloadTest, RejectsZeroMixedGroupQueryCap) {
+  WorkloadOptions opt;
+  opt.max_mixed_group_queries = 0;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+}
+
+TEST_F(WorkloadTest, ZeroMixFractionKeepsGroupsSingleKind) {
+  WorkloadOptions opt;
+  opt.num_objects = 100;
+  opt.num_queries = 100;
+  opt.skew = 25;
+  opt.mixed_group_fraction = 0.0;
+  opt.seed = 13;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok());
+  std::map<uint32_t, std::pair<int, int>> mix;
+  for (const SimEntity& e : sim->entities()) {
+    if (e.kind == EntityKind::kObject) {
+      mix[e.group].first++;
+    } else {
+      mix[e.group].second++;
+    }
+  }
+  for (const auto& [g, counts] : mix) {
+    (void)g;
+    EXPECT_TRUE(counts.first == 0 || counts.second == 0)
+        << "group " << g << " mixes kinds despite fraction 0";
+  }
+}
+
+TEST_F(WorkloadTest, RejectsBadMixFraction) {
+  WorkloadOptions opt;
+  opt.mixed_group_fraction = 1.5;
+  EXPECT_TRUE(GenerateWorkload(&city_, opt).status().IsInvalidArgument());
+}
+
+TEST_F(WorkloadTest, GroupMembersShareRouteAndStartClose) {
+  WorkloadOptions opt;
+  opt.num_objects = 40;
+  opt.num_queries = 40;
+  opt.skew = 20;
+  opt.start_spread = 60.0;
+  opt.seed = 17;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok());
+  std::map<uint32_t, std::vector<const SimEntity*>> by_group;
+  for (const SimEntity& e : sim->entities()) by_group[e.group].push_back(&e);
+  for (const auto& [g, members] : by_group) {
+    (void)g;
+    for (const SimEntity* m : members) {
+      EXPECT_EQ(m->route, members[0]->route);
+      EXPECT_LE(Distance(m->position, members[0]->position),
+                opt.start_spread + 1e-9);
+      EXPECT_NEAR(m->speed_factor, members[0]->speed_factor,
+                  2 * opt.speed_jitter + 1e-9);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, QueryRangesWithinBounds) {
+  WorkloadOptions opt;
+  opt.num_objects = 10;
+  opt.num_queries = 50;
+  opt.min_range = 30.0;
+  opt.max_range = 90.0;
+  opt.seed = 19;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok());
+  for (const SimEntity& e : sim->entities()) {
+    if (e.kind != EntityKind::kQuery) continue;
+    EXPECT_GE(e.range_width, 30.0);
+    EXPECT_LT(e.range_width, 90.0);
+    EXPECT_GE(e.range_height, 30.0);
+    EXPECT_LT(e.range_height, 90.0);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadOptions opt;
+  opt.num_objects = 30;
+  opt.num_queries = 30;
+  opt.seed = 21;
+  Result<ObjectSimulator> a = GenerateWorkload(&city_, opt);
+  Result<ObjectSimulator> b = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->EntityCount(), b->EntityCount());
+  for (size_t i = 0; i < a->EntityCount(); ++i) {
+    EXPECT_EQ(a->entities()[i].position, b->entities()[i].position);
+    EXPECT_EQ(a->entities()[i].route, b->entities()[i].route);
+  }
+}
+
+TEST_F(WorkloadTest, Skew1MakesDistinctGroups) {
+  WorkloadOptions opt;
+  opt.num_objects = 20;
+  opt.num_queries = 20;
+  opt.skew = 1;
+  opt.seed = 23;
+  Result<ObjectSimulator> sim = GenerateWorkload(&city_, opt);
+  ASSERT_TRUE(sim.ok());
+  std::set<uint32_t> groups;
+  for (const SimEntity& e : sim->entities()) groups.insert(e.group);
+  EXPECT_EQ(groups.size(), 40u);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,394 @@
+// scuba_cli: command-line front end for the SCUBA library.
+//
+//   scuba_cli generate-map   --out city.map [--rows 21 --cols 21 ...]
+//   scuba_cli generate-trace --map city.map --out run.trace [--objects ...]
+//   scuba_cli run            --trace run.trace --engine scuba [--eta 0.5 ...]
+//   scuba_cli compare        --trace run.trace [--eta 0.5 ...]
+//
+// `run` replays a trace into one engine and prints per-round results and
+// engine statistics; `compare` replays into SCUBA and the naive oracle and
+// reports accuracy. Regions are derived from the trace contents.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/grid_join_engine.h"
+#include "baseline/naive_join_engine.h"
+#include "common/memory_usage.h"
+#include "core/scuba_engine.h"
+#include "eval/accuracy.h"
+#include "eval/engine_stats.h"
+#include "eval/svg_render.h"
+#include "gen/trace.h"
+#include "gen/workload_generator.h"
+#include "network/grid_city.h"
+#include "network/network_io.h"
+#include "stream/pipeline.h"
+
+namespace scuba::cli {
+namespace {
+
+/// Minimal --key value / --key=value parser.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("unexpected argument: " + arg);
+      }
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags.values_[arg] = argv[++i];
+      } else {
+        flags.values_[arg] = "true";  // boolean flag
+      }
+    }
+    return flags;
+  }
+
+  std::string GetString(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    seen_.insert(key);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    seen_.insert(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    seen_.insert(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  bool GetBool(const std::string& key, bool def) const {
+    auto it = values_.find(key);
+    seen_.insert(key);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1";
+  }
+
+  /// Error if any provided flag was never consumed (typo protection).
+  Status CheckAllConsumed() const {
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      if (!seen_.contains(key)) {
+        return Status::InvalidArgument("unknown flag: --" + key);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> seen_;
+};
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << content;
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Data region derived from the trace contents (+ margin for query ranges).
+Rect RegionFromTrace(const Trace& trace, double margin = 300.0) {
+  Rect box{0, 0, 0, 0};
+  bool first = true;
+  auto extend = [&](Point p) {
+    Rect r{p.x, p.y, p.x, p.y};
+    box = first ? r : Union(box, r);
+    first = false;
+  };
+  for (const TickBatch& b : trace.batches()) {
+    for (const LocationUpdate& u : b.object_updates) extend(u.position);
+    for (const QueryUpdate& u : b.query_updates) extend(u.position);
+  }
+  if (first) return Rect{0, 0, 1000, 1000};
+  return Rect{box.min_x - margin, box.min_y - margin, box.max_x + margin,
+              box.max_y + margin};
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerateMap(const Flags& flags) {
+  GridCityOptions opt;
+  opt.rows = static_cast<uint32_t>(flags.GetInt("rows", 21));
+  opt.cols = static_cast<uint32_t>(flags.GetInt("cols", 21));
+  opt.block_size = flags.GetDouble("block", 500.0);
+  opt.arterial_every = static_cast<uint32_t>(flags.GetInt("arterial", 5));
+  opt.highway_every = static_cast<uint32_t>(flags.GetInt("highway", 10));
+  opt.jitter = flags.GetDouble("jitter", 0.1);
+  opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 0x5C0BA));
+  std::string out = flags.GetString("out", "city.map");
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<RoadNetwork> net = GenerateGridCity(opt);
+  if (!net.ok()) return Fail(net.status());
+  Status s = SaveNetwork(*net, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu nodes, %zu segments, area %.0f x %.0f\n",
+              out.c_str(), net->NodeCount(), net->EdgeCount(),
+              net->BoundingBox().Width(), net->BoundingBox().Height());
+  return 0;
+}
+
+int CmdGenerateTrace(const Flags& flags) {
+  std::string map_path = flags.GetString("map", "");
+  WorkloadOptions opt;
+  opt.num_objects = static_cast<uint32_t>(flags.GetInt("objects", 10000));
+  opt.num_queries = static_cast<uint32_t>(flags.GetInt("queries", 10000));
+  opt.skew = static_cast<uint32_t>(flags.GetInt("skew", 100));
+  opt.mixed_group_fraction = flags.GetDouble("mixed-fraction", 0.25);
+  opt.min_range = flags.GetDouble("min-range", 50.0);
+  opt.max_range = flags.GetDouble("max-range", 200.0);
+  opt.query_filter_probability = flags.GetDouble("query-filter", 0.0);
+  opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 0x5C0BA));
+  int ticks = static_cast<int>(flags.GetInt("ticks", 12));
+  double fraction = flags.GetDouble("update-fraction", 1.0);
+  std::string out = flags.GetString("out", "run.trace");
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  RoadNetwork network;
+  if (map_path.empty()) {
+    network = DefaultBenchmarkCity(opt.seed);
+  } else {
+    Result<RoadNetwork> net = LoadNetwork(map_path);
+    if (!net.ok()) return Fail(net.status());
+    network = std::move(net).value();
+  }
+  Result<ObjectSimulator> sim = GenerateWorkload(&network, opt);
+  if (!sim.ok()) return Fail(sim.status());
+  ObjectSimulator simulator = std::move(sim).value();
+  Trace trace = RecordTrace(&simulator, ticks, fraction);
+  Status s = WriteFile(out, trace.Serialize());
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu ticks, %zu updates (%s in memory)\n", out.c_str(),
+              trace.TickCount(), trace.TotalUpdates(),
+              FormatBytes(trace.EstimateMemoryUsage()).c_str());
+  return 0;
+}
+
+Result<Trace> LoadTrace(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return Trace::Parse(*text);
+}
+
+int CmdRun(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string engine_name = flags.GetString("engine", "scuba");
+  Timestamp delta = flags.GetInt("delta", 2);
+  uint32_t grid_cells = static_cast<uint32_t>(flags.GetInt("grid-cells", 100));
+  double theta_d = flags.GetDouble("theta-d", 100.0);
+  double theta_s = flags.GetDouble("theta-s", 10.0);
+  double eta = flags.GetDouble("eta", 0.0);
+  bool splitting = flags.GetBool("splitting", false);
+  bool quiet = flags.GetBool("quiet", false);
+  std::string csv_path = flags.GetString("csv", "");
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  Rect region = RegionFromTrace(*trace);
+
+  std::unique_ptr<QueryProcessor> engine;
+  if (engine_name == "scuba") {
+    ScubaOptions opt;
+    opt.region = region;
+    opt.grid_cells = grid_cells;
+    opt.theta_d = theta_d;
+    opt.theta_s = theta_s;
+    opt.delta = delta;
+    opt.enable_cluster_splitting = splitting;
+    if (eta > 0.0) {
+      opt.shedding.mode = LoadSheddingMode::kFixed;
+      opt.shedding.eta = eta;
+    }
+    Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create(opt);
+    if (!e.ok()) return Fail(e.status());
+    engine = std::move(e).value();
+  } else if (engine_name == "grid") {
+    GridJoinOptions opt;
+    opt.region = region;
+    opt.grid_cells = grid_cells;
+    Result<std::unique_ptr<GridJoinEngine>> e = GridJoinEngine::Create(opt);
+    if (!e.ok()) return Fail(e.status());
+    engine = std::move(e).value();
+  } else if (engine_name == "naive") {
+    engine = std::make_unique<NaiveJoinEngine>();
+  } else {
+    return Fail(Status::InvalidArgument("unknown engine: " + engine_name +
+                                        " (scuba|grid|naive)"));
+  }
+
+  std::ofstream csv;
+  if (!csv_path.empty()) {
+    csv.open(csv_path, std::ios::trunc);
+    if (!csv) return Fail(Status::IoError("cannot open for write: " + csv_path));
+    csv << "tick,matches,join_seconds,maintenance_seconds,memory_bytes\n";
+  }
+  if (!quiet) std::printf("%8s %10s\n", "tick", "matches");
+  Status s = ReplayTrace(*trace, engine.get(), delta,
+                         [&](Timestamp now, const ResultSet& r) {
+                           if (!quiet) {
+                             std::printf("%8lld %10zu\n",
+                                         static_cast<long long>(now), r.size());
+                           }
+                           if (csv.is_open()) {
+                             csv << now << ',' << r.size() << ','
+                                 << engine->stats().last_join_seconds << ','
+                                 << engine->stats().last_maintenance_seconds
+                                 << ',' << engine->EstimateMemoryUsage() << '\n';
+                           }
+                         });
+  if (!s.ok()) return Fail(s);
+  if (csv.is_open() && !csv.good()) {
+    return Fail(Status::IoError("csv write failed: " + csv_path));
+  }
+  std::printf("%s\n", FormatStats(engine->name(), engine->stats()).c_str());
+  std::printf("memory: %s\n", FormatBytes(engine->EstimateMemoryUsage()).c_str());
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  Timestamp delta = flags.GetInt("delta", 2);
+  double eta = flags.GetDouble("eta", 0.0);
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  Rect region = RegionFromTrace(*trace);
+
+  ScubaOptions opt;
+  opt.region = region;
+  opt.delta = delta;
+  if (eta > 0.0) {
+    opt.shedding.mode = LoadSheddingMode::kFixed;
+    opt.shedding.eta = eta;
+  }
+  Result<std::unique_ptr<ScubaEngine>> scuba_engine = ScubaEngine::Create(opt);
+  if (!scuba_engine.ok()) return Fail(scuba_engine.status());
+  NaiveJoinEngine oracle;
+
+  std::vector<ResultSet> truth;
+  Status s = ReplayTrace(*trace, &oracle, delta,
+                         [&](Timestamp, const ResultSet& r) {
+                           truth.push_back(r);
+                         });
+  if (!s.ok()) return Fail(s);
+  AccuracyAccumulator acc;
+  size_t round = 0;
+  s = ReplayTrace(*trace, scuba_engine->get(), delta,
+                  [&](Timestamp, const ResultSet& r) {
+                    acc.Add(CompareResults(truth[round++], r));
+                  });
+  if (!s.ok()) return Fail(s);
+
+  std::printf("rounds: %zu\n", acc.rounds());
+  std::printf("%s\n", acc.total().ToString().c_str());
+  std::printf("%s\n",
+              FormatStats("scuba", (*scuba_engine)->stats()).c_str());
+  std::printf("%s\n", FormatStats("naive", oracle.stats()).c_str());
+  return 0;
+}
+
+int CmdRender(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string out = flags.GetString("out", "snapshot.svg");
+  Timestamp delta = flags.GetInt("delta", 2);
+  double width = flags.GetDouble("width", 1000.0);
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  Rect region = RegionFromTrace(*trace);
+
+  ScubaOptions opt;
+  opt.region = region;
+  opt.delta = delta;
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  if (!engine.ok()) return Fail(engine.status());
+  // Ingest the whole trace WITHOUT the final round's post-join maintenance
+  // relocation, so the snapshot shows positions as reported: replay all but
+  // evaluate only intermediate rounds.
+  Status s = ReplayTrace(*trace, engine->get(), delta, nullptr);
+  if (!s.ok()) return Fail(s);
+
+  SvgRenderOptions render;
+  render.image_width = width;
+  Result<std::string> svg =
+      RenderClustersSvg((*engine)->store(), region, render);
+  if (!svg.ok()) return Fail(svg.status());
+  s = WriteFile(out, *svg);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu clusters at tick %zu\n", out.c_str(),
+              (*engine)->ClusterCount(), trace->TickCount());
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "scuba_cli — continuous spatio-temporal query engine toolbox\n\n"
+      "commands:\n"
+      "  generate-map    --out FILE [--rows N --cols N --block F --arterial N\n"
+      "                  --highway N --jitter F --seed N]\n"
+      "  generate-trace  --out FILE [--map FILE --objects N --queries N\n"
+      "                  --skew N --ticks N --update-fraction F\n"
+      "                  --mixed-fraction F --min-range F --max-range F\n"
+      "                  --query-filter F --seed N]\n"
+      "  run             --trace FILE [--engine scuba|grid|naive --delta N\n"
+      "                  --grid-cells N --theta-d F --theta-s F --eta F\n"
+      "                  --splitting --quiet --csv FILE]\n"
+      "  compare         --trace FILE [--delta N --eta F]\n"
+      "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Result<Flags> flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) return Fail(flags.status());
+  if (command == "generate-map") return CmdGenerateMap(*flags);
+  if (command == "generate-trace") return CmdGenerateTrace(*flags);
+  if (command == "run") return CmdRun(*flags);
+  if (command == "compare") return CmdCompare(*flags);
+  if (command == "render") return CmdRender(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace scuba::cli
+
+int main(int argc, char** argv) { return scuba::cli::Main(argc, argv); }
