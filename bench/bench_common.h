@@ -69,6 +69,8 @@ struct BenchOutcome {
   uint64_t comparisons = 0;
   size_t clusters = 0;     ///< Final cluster count (SCUBA only).
   size_t grid_memory = 0;  ///< Spatial-index-only bytes (Fig. 9b's claim).
+  uint32_t join_threads = 1;        ///< Worker tasks per join round.
+  double join_worker_seconds = 0.0; ///< Summed worker busy time (join phase).
 };
 
 inline BenchOutcome Summarize(const EngineRunResult& run) {
@@ -79,6 +81,8 @@ inline BenchOutcome Summarize(const EngineRunResult& run) {
   out.peak_memory = run.peak_memory_bytes;
   out.total_results = run.stats.total_results;
   out.comparisons = run.stats.comparisons;
+  out.join_threads = run.stats.join_threads;
+  out.join_worker_seconds = run.stats.total_join_worker_seconds;
   return out;
 }
 

@@ -1,0 +1,83 @@
+// Join-phase thread-scaling sweep: replays the §6.1-scale workload (10k
+// objects + 10k queries) through SCUBA at join_threads = 1, 2, 4, 8 and
+// reports join wall time, summed worker time and speedup versus serial.
+// Besides the printed table it writes BENCH_parallel.json so the perf
+// trajectory is machine-readable across PRs. join_threads only parallelizes
+// the join phase — identical results at every thread count is asserted here
+// too (a cheap last line of defence behind the unit tests).
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+
+namespace scuba::bench {
+namespace {
+
+int Main() {
+  PrintBanner("parallel", "join-phase thread scaling (sharded cluster join)");
+  std::printf("hardware threads: %u\n\n", ThreadPool::DefaultThreadCount());
+
+  ExperimentData data = BuildOrDie(DefaultConfig(/*skew=*/100));
+  const std::vector<uint32_t> sweep = {1, 2, 4, 8};
+
+  std::printf("%8s %10s %12s %10s %12s %14s\n", "threads", "join(s)",
+              "worker(s)", "speedup", "efficiency", "results");
+  std::vector<BenchOutcome> outcomes;
+  for (uint32_t threads : sweep) {
+    ScubaOptions options;
+    options.join_threads = threads;
+    BenchOutcome out = RunScuba(data, /*delta=*/2, options);
+    outcomes.push_back(out);
+    double speedup = outcomes.front().join_seconds > 0.0
+                         ? outcomes.front().join_seconds / out.join_seconds
+                         : 0.0;
+    std::printf("%8u %10.4f %12.4f %9.2fx %11.2f%% %14llu\n", threads,
+                out.join_seconds, out.join_worker_seconds, speedup,
+                100.0 * speedup / threads,
+                static_cast<unsigned long long>(out.total_results));
+    SCUBA_CHECK_MSG(out.total_results == outcomes.front().total_results,
+                    "thread counts must not change the answer");
+  }
+
+  const char* path = "BENCH_parallel.json";
+  std::FILE* json = std::fopen(path, "w");
+  SCUBA_CHECK_MSG(json != nullptr, "cannot open BENCH_parallel.json");
+  BenchScale scale = ReadScale();
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"parallel_scaling\",\n"
+               "  \"workload\": {\"objects\": %u, \"queries\": %u, "
+               "\"ticks\": %d},\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"sweep\": [\n",
+               scale.objects, scale.queries, scale.ticks,
+               ThreadPool::DefaultThreadCount());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const BenchOutcome& out = outcomes[i];
+    double speedup = outcomes.front().join_seconds > 0.0
+                         ? outcomes.front().join_seconds / out.join_seconds
+                         : 0.0;
+    std::fprintf(json,
+                 "    {\"threads\": %u, \"join_seconds\": %.6f, "
+                 "\"worker_seconds\": %.6f, \"speedup_vs_serial\": %.4f, "
+                 "\"wall_seconds\": %.6f, \"results\": %llu, "
+                 "\"comparisons\": %llu}%s\n",
+                 sweep[i], out.join_seconds, out.join_worker_seconds, speedup,
+                 out.wall_seconds,
+                 static_cast<unsigned long long>(out.total_results),
+                 static_cast<unsigned long long>(out.comparisons),
+                 i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() { return scuba::bench::Main(); }

@@ -1,0 +1,63 @@
+// ThreadPool: a minimal fixed-size worker pool for data-parallel phases.
+//
+// Tasks are opaque std::function<void()> jobs drained FIFO by a fixed set of
+// worker threads; Wait() blocks until every submitted task has finished, so
+// one pool can serve many fork/join rounds without re-spawning threads (the
+// join phase runs every Delta ticks — thread start-up cost would dominate).
+//
+// The pool makes no fairness or affinity promises. Callers that need
+// per-worker state should give each *task* its own buffer slot instead of
+// keying off thread ids: a worker may execute several tasks of one round.
+
+#ifndef SCUBA_COMMON_THREAD_POOL_H_
+#define SCUBA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scuba {
+
+class ThreadPool {
+ public:
+  /// Hardware concurrency with a floor of 1 (the C++ standard allows
+  /// hardware_concurrency() to report 0 when unknown).
+  static unsigned DefaultThreadCount();
+
+  /// Spawns `threads` workers (0 behaves like DefaultThreadCount()).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one task. Tasks must not themselves call Submit/Wait on this
+  /// pool (no nested parallelism; keeps the pool deadlock-free).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // signalled on Submit / shutdown
+  std::condition_variable all_done_;     // signalled when in_flight_ hits 0
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_COMMON_THREAD_POOL_H_

@@ -4,26 +4,51 @@
 
 #include "common/check.h"
 #include "common/memory_usage.h"
+#include "common/stopwatch.h"
 
 namespace scuba {
+namespace {
 
-bool ClusterJoinExecutor::DoBetweenClusterJoin(const MovingCluster& left,
-                                               const MovingCluster& right) {
-  ++counters_.pairs_tested;
-  bool overlap = query_reach_aware_
-                     ? Overlaps(left.JoinBounds(), right.JoinBounds())
-                     : Overlaps(left.Bounds(), right.Bounds());
-  if (overlap) ++counters_.pairs_overlapping;
-  return overlap;
+/// Smallest cell present in both sorted cell lists, or UINT32_MAX if none.
+/// Registered clusters always have >= 1 cell, so a shared-cell pair resolves
+/// to a real owner. Two-pointer scan: cell lists are a handful of entries.
+uint32_t MinCommonCell(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return a[i];
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return UINT32_MAX;
 }
 
-const ClusterJoinExecutor::JoinView& ClusterJoinExecutor::ViewOf(
-    const MovingCluster& cluster) {
-  auto it = view_cache_.find(cluster.cid());
-  if (it != view_cache_.end()) return it->second;
+}  // namespace
 
+ClusterJoinExecutor::ClusterJoinExecutor(bool query_reach_aware,
+                                         uint32_t threads)
+    : query_reach_aware_(query_reach_aware),
+      resolved_threads_(threads == 0 ? ThreadPool::DefaultThreadCount()
+                                     : threads) {}
+
+ClusterJoinExecutor::~ClusterJoinExecutor() = default;
+
+ClusterJoinExecutor::JoinView ClusterJoinExecutor::BuildView(
+    const MovingCluster& cluster, const GridIndex& grid) const {
   JoinView view;
   view.bounds = cluster.Bounds();
+  view.coarse = query_reach_aware_ ? cluster.JoinBounds() : cluster.Bounds();
+  view.mixed = cluster.HasMixedKinds();
+  view.has_objects = cluster.object_count() > 0;
+  view.has_queries = cluster.query_count() > 0;
+  const std::vector<uint32_t>* cells = grid.CellsOf(cluster.cid());
+  SCUBA_CHECK_MSG(cells != nullptr && !cells->empty(),
+                  "view built for an unregistered cluster");
+  view.cells = *cells;
+  std::sort(view.cells.begin(), view.cells.end());
   for (const ClusterMember& m : cluster.members()) {
     Point pos = cluster.MemberPosition(m);
     if (!m.shed) {
@@ -56,21 +81,24 @@ const ClusterJoinExecutor::JoinView& ClusterJoinExecutor::ViewOf(
                                           m.id, m.required_attrs});
     }
   }
-  return view_cache_.emplace(cluster.cid(), std::move(view)).first->second;
+  return view;
 }
 
 void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
                                                const JoinView& queries_view,
-                                               ResultSet* results) {
+                                               Counters* counters,
+                                               ResultSet* results) const {
   // Exact queries against exact objects and object nuclei.
   for (const ExactQuery& q : queries_view.queries) {
     Rect range = Rect::Centered(q.position, q.width, q.height);
     // Fine filter: the coarse join-between admits the cluster pair, but this
-    // particular query may still be unable to reach the object cluster.
-    ++counters_.comparisons;
+    // particular query may still be unable to reach the object cluster. A
+    // bounds check, not a member comparison — counted apart so the paper's
+    // Fig. 11 cost model (per-member predicate work) maps onto `comparisons`.
+    ++counters->bounds_checks;
     if (!Intersects(range, objects_view.bounds)) continue;
     for (const ExactObject& o : objects_view.objects) {
-      ++counters_.comparisons;
+      ++counters->comparisons;
       if (range.Contains(o.position) &&
           (o.attrs & q.required_attrs) == q.required_attrs) {
         results->Add(q.qid, o.oid);
@@ -78,7 +106,7 @@ void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
     }
     for (const NucleusGroup& nuc : objects_view.nuclei) {
       if (nuc.objects.empty()) continue;
-      ++counters_.comparisons;
+      ++counters->comparisons;
       if (Intersects(range, Circle{nuc.center, nuc.radius})) {
         for (const NucleusObject& o : nuc.objects) {
           if ((o.attrs & q.required_attrs) == q.required_attrs) {
@@ -94,10 +122,10 @@ void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
   for (const NucleusGroup& qnuc : queries_view.nuclei) {
     for (const ExactQuery& q : qnuc.queries) {
       Rect range = Rect::Centered(q.position, q.width, q.height);
-      ++counters_.comparisons;
+      ++counters->bounds_checks;
       if (!Intersects(range, objects_view.bounds)) continue;
       for (const ExactObject& o : objects_view.objects) {
-        ++counters_.comparisons;
+        ++counters->comparisons;
         if (range.Contains(o.position) &&
             (o.attrs & q.required_attrs) == q.required_attrs) {
           results->Add(q.qid, o.oid);
@@ -105,13 +133,66 @@ void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
       }
       for (const NucleusGroup& onuc : objects_view.nuclei) {
         if (onuc.objects.empty()) continue;
-        ++counters_.comparisons;
+        ++counters->comparisons;
         if (Intersects(range, Circle{onuc.center, onuc.radius})) {
           for (const NucleusObject& o : onuc.objects) {
             if ((o.attrs & q.required_attrs) == q.required_attrs) {
               results->Add(q.qid, o.oid);
             }
           }
+        }
+      }
+    }
+  }
+}
+
+void ClusterJoinExecutor::ScanCells(const GridIndex& grid,
+                                    std::atomic<uint32_t>* next_chunk,
+                                    uint32_t chunk_size, Counters* counters,
+                                    ResultSet* results) const {
+  const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
+  for (;;) {
+    const uint32_t begin =
+        next_chunk->fetch_add(chunk_size, std::memory_order_relaxed);
+    if (begin >= cell_count) return;
+    const uint32_t end = std::min(begin + chunk_size, cell_count);
+    for (uint32_t cell = begin; cell < end; ++cell) {
+      const std::vector<uint32_t>& entries = grid.CellEntries(cell);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        auto left_it = slot_of_.find(entries[i]);
+        SCUBA_CHECK_MSG(left_it != slot_of_.end(),
+                        "grid references a missing cluster");
+        const JoinView& lview = views_[left_it->second];
+        // Same-cluster join-within, evaluated only in the cluster's lowest
+        // cell (once per round, even though the cluster appears in every cell
+        // its circle overlaps).
+        if (lview.mixed && lview.cells.front() == cell) {
+          ++counters->within_joins_single;
+          JoinObjectsToQueries(lview, lview, counters, results);
+        }
+        for (size_t j = i + 1; j < entries.size(); ++j) {
+          auto right_it = slot_of_.find(entries[j]);
+          SCUBA_CHECK_MSG(right_it != slot_of_.end(),
+                          "grid references a missing cluster");
+          const JoinView& rview = views_[right_it->second];
+          // Owner-cell rule: only the lowest cell both clusters co-reside in
+          // evaluates the pair. Every other co-resident cell skips it, so no
+          // cross-task seen-set is needed and every pair runs exactly once.
+          if (MinCommonCell(lview.cells, rview.cells) != cell) continue;
+          // Only kind-complementary pairs can produce results (Alg. 1
+          // line 18).
+          bool complementary = (lview.has_objects && rview.has_queries) ||
+                               (lview.has_queries && rview.has_objects);
+          if (!complementary) continue;
+          ++counters->pairs_tested;
+          if (!Overlaps(lview.coarse, rview.coarse)) continue;
+          ++counters->pairs_overlapping;
+          ++counters->within_joins_pair;
+          // Cross combinations only; same-cluster combinations come from the
+          // per-cluster join-within above, so the union-based Algorithm 3
+          // result is preserved without duplicate work.
+          JoinObjectsToQueries(lview, rview, counters, results);
+          JoinObjectsToQueries(rview, lview, counters, results);
         }
       }
     }
@@ -125,59 +206,111 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     return Status::InvalidArgument("results must be non-null");
   }
   results->Clear();
-  seen_pairs_.clear();
-  view_cache_.clear();
+  views_.clear();
+  slot_of_.clear();
 
-  const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
-  for (uint32_t cell = 0; cell < cell_count; ++cell) {
-    const std::vector<uint32_t>& entries = grid.CellEntries(cell);
-    for (size_t i = 0; i < entries.size(); ++i) {
-      const MovingCluster* left = store.GetCluster(entries[i]);
-      SCUBA_CHECK_MSG(left != nullptr, "grid references a missing cluster");
-      // Same-cluster join-within (once per cluster per round, even though the
-      // cluster appears in every cell its circle overlaps).
-      uint64_t self_key =
-          (static_cast<uint64_t>(left->cid()) << 32) | left->cid();
-      if (left->HasMixedKinds() && seen_pairs_.insert(self_key).second) {
-        ++counters_.within_joins_single;
-        const JoinView& view = ViewOf(*left);
-        JoinObjectsToQueries(view, view, results);
-      }
-      for (size_t j = i + 1; j < entries.size(); ++j) {
-        const MovingCluster* right = store.GetCluster(entries[j]);
-        SCUBA_CHECK_MSG(right != nullptr, "grid references a missing cluster");
-        uint64_t lo = std::min(left->cid(), right->cid());
-        uint64_t hi = std::max(left->cid(), right->cid());
-        if (!seen_pairs_.insert((lo << 32) | hi).second) continue;
-        // Only kind-complementary pairs can produce results (Alg. 1 line 18).
-        bool complementary =
-            (left->object_count() > 0 && right->query_count() > 0) ||
-            (left->query_count() > 0 && right->object_count() > 0);
-        if (!complementary) continue;
-        if (DoBetweenClusterJoin(*left, *right)) {
-          ++counters_.within_joins_pair;
-          // Cross combinations only; same-cluster combinations come from the
-          // per-cluster join-within above, so the union-based Algorithm 3
-          // result is preserved without duplicate work.
-          const JoinView& lview = ViewOf(*left);
-          const JoinView& rview = ViewOf(*right);
-          JoinObjectsToQueries(lview, rview, results);
-          JoinObjectsToQueries(rview, lview, results);
+  // Round setup (serial): enumerate the clusters registered in the grid and
+  // assign each a dense view slot. Sorted by cid so slot assignment — and
+  // with it every downstream buffer — is independent of hash-map iteration
+  // order.
+  std::vector<ClusterId> cids;
+  cids.reserve(store.ClusterCount());
+  for (const auto& [cid, cluster] : store.clusters()) {
+    (void)cluster;
+    if (grid.Contains(cid)) cids.push_back(cid);
+  }
+  std::sort(cids.begin(), cids.end());
+  views_.resize(cids.size());
+  slot_of_.reserve(cids.size());
+  for (uint32_t slot = 0; slot < cids.size(); ++slot) {
+    slot_of_.emplace(cids[slot], slot);
+  }
+
+  const uint32_t tasks = resolved_threads_;
+  if (tasks > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(tasks);
+  }
+
+  // Run `fn(task_index)` on every worker task and return the summed busy
+  // seconds. Task 0 .. tasks-1 each own private buffers; the pool may
+  // schedule them on fewer threads without affecting correctness.
+  std::vector<double> busy_seconds(tasks, 0.0);
+  auto fan_out = [&](const std::function<void(uint32_t)>& fn) {
+    if (tasks == 1) {
+      Stopwatch sw;
+      fn(0);
+      busy_seconds[0] += sw.ElapsedSeconds();
+      return;
+    }
+    for (uint32_t t = 0; t < tasks; ++t) {
+      pool_->Submit([&, t] {
+        Stopwatch sw;
+        fn(t);
+        busy_seconds[t] += sw.ElapsedSeconds();
+      });
+    }
+    pool_->Wait();
+  };
+
+  // Phase A: precompute every JoinView in parallel. The table is immutable
+  // from here on — the scan below only reads it.
+  {
+    std::atomic<uint32_t> next_slot{0};
+    const uint32_t slot_chunk = std::max<uint32_t>(
+        1, static_cast<uint32_t>(cids.size()) / (tasks * 8 + 1) + 1);
+    fan_out([&](uint32_t) {
+      for (;;) {
+        const uint32_t begin =
+            next_slot.fetch_add(slot_chunk, std::memory_order_relaxed);
+        if (begin >= cids.size()) return;
+        const uint32_t end =
+            std::min<uint32_t>(begin + slot_chunk,
+                               static_cast<uint32_t>(cids.size()));
+        for (uint32_t slot = begin; slot < end; ++slot) {
+          const MovingCluster* cluster = store.GetCluster(cids[slot]);
+          SCUBA_CHECK(cluster != nullptr);
+          views_[slot] = BuildView(*cluster, grid);
         }
       }
-    }
+    });
+  }
+
+  // Phase B: sharded cell scan into per-task buffers.
+  const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
+  std::vector<ResultSet> task_results(tasks);
+  std::vector<Counters> task_counters(tasks);
+  {
+    std::atomic<uint32_t> next_chunk{0};
+    // Several chunks per task so one dense chunk cannot serialize the round;
+    // contiguous so neighbouring cells (which share clusters) stay together.
+    const uint32_t cell_chunk =
+        std::max<uint32_t>(1, cell_count / (tasks * 8 + 1) + 1);
+    fan_out([&](uint32_t t) {
+      ScanCells(grid, &next_chunk, cell_chunk, &task_counters[t],
+                &task_results[t]);
+    });
+  }
+
+  // Merge: one reserve, buffer moves/bulk appends, a single Normalize.
+  size_t total = 0;
+  for (const ResultSet& r : task_results) total += r.size();
+  results->Reserve(total);
+  for (ResultSet& r : task_results) {
+    results->AppendFrom(std::move(r));
   }
   results->Normalize();
+  for (const Counters& c : task_counters) counters_ += c;
+  last_worker_seconds_ = 0.0;
+  for (double s : busy_seconds) last_worker_seconds_ += s;
   return Status::OK();
 }
 
 size_t ClusterJoinExecutor::EstimateMemoryUsage() const {
-  size_t bytes = UnorderedSetMemoryUsage(seen_pairs_) +
-                 UnorderedMapMemoryUsage(view_cache_);
-  for (const auto& [cid, view] : view_cache_) {
-    (void)cid;
+  size_t bytes =
+      VectorMemoryUsage(views_) + UnorderedMapMemoryUsage(slot_of_);
+  for (const JoinView& view : views_) {
     bytes += VectorMemoryUsage(view.objects) + VectorMemoryUsage(view.queries) +
-             VectorMemoryUsage(view.nuclei);
+             VectorMemoryUsage(view.nuclei) + VectorMemoryUsage(view.cells);
   }
   return bytes;
 }

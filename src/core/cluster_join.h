@@ -7,17 +7,30 @@
 // circle-overlap join-between; overlapping pairs (and mixed clusters, against
 // themselves) proceed to the member-level join-within. Shed members are
 // grouped per nucleus so one predicate covers the whole group (§5).
+//
+// Execution is sharded: all JoinViews are precomputed once per round into an
+// immutable per-round table, grid cells are carved into contiguous chunks
+// pulled by worker tasks off a shared atomic cursor, and each task emits into
+// its own ResultSet/Counters, merged (and Normalize()d once) at the end.
+// Cross-cell deduplication needs no shared state: a cluster pair is evaluated
+// only in the lowest-numbered grid cell where both clusters co-reside (the
+// owner cell); a mixed cluster self-joins only in its own lowest cell. Cells
+// are scanned in ascending order by the serial path too, so `threads = 1`
+// reproduces the historical single-threaded executor exactly — results,
+// counters and evaluation order.
 
 #ifndef SCUBA_CORE_CLUSTER_JOIN_H_
 #define SCUBA_CORE_CLUSTER_JOIN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster_store.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/result_set.h"
 #include "index/grid_index.h"
 
@@ -25,19 +38,36 @@ namespace scuba {
 
 class ClusterJoinExecutor {
  public:
-  /// Cumulative counters across Execute() calls.
+  /// Cumulative counters across Execute() calls. With several worker tasks
+  /// each accumulates privately; the merged sums are identical for every
+  /// thread count (the owner-cell rule fixes *which* cell counts each event,
+  /// independent of scheduling).
   struct Counters {
     uint64_t comparisons = 0;           ///< Individual predicate evaluations.
+    uint64_t bounds_checks = 0;         ///< Per-query fine-filter pre-checks.
     uint64_t pairs_tested = 0;          ///< Join-between tests.
     uint64_t pairs_overlapping = 0;     ///< Join-between positives.
     uint64_t within_joins_single = 0;   ///< Same-cluster join-within runs.
     uint64_t within_joins_pair = 0;     ///< Cross-cluster join-within runs.
+
+    Counters& operator+=(const Counters& o) {
+      comparisons += o.comparisons;
+      bounds_checks += o.bounds_checks;
+      pairs_tested += o.pairs_tested;
+      pairs_overlapping += o.pairs_overlapping;
+      within_joins_single += o.within_joins_single;
+      within_joins_pair += o.within_joins_pair;
+      return *this;
+    }
   };
 
   /// query_reach_aware selects the lossless inflated join-between bounds
   /// (default) versus the paper's pure member circles (ablation).
-  explicit ClusterJoinExecutor(bool query_reach_aware = true)
-      : query_reach_aware_(query_reach_aware) {}
+  /// threads: worker tasks per round; 0 = hardware concurrency, 1 = serial
+  /// execution on the calling thread (no pool is ever created).
+  explicit ClusterJoinExecutor(bool query_reach_aware = true,
+                               uint32_t threads = 1);
+  ~ClusterJoinExecutor();
 
   /// Runs one full joining phase: every cluster in `grid` must exist in
   /// `store`. Results are normalized.
@@ -46,7 +76,15 @@ class ClusterJoinExecutor {
 
   const Counters& counters() const { return counters_; }
 
-  /// Scratch-space heap footprint (pair-dedup set + view cache).
+  /// Worker tasks Execute() fans out to (>= 1).
+  uint32_t resolved_threads() const { return resolved_threads_; }
+
+  /// Summed busy time of all worker tasks during the last Execute(). With one
+  /// thread this tracks the join wall time; the wall/worker ratio is the
+  /// parallel-efficiency figure EngineStats reports.
+  double last_worker_seconds() const { return last_worker_seconds_; }
+
+  /// Scratch-space heap footprint (per-round view table).
   size_t EstimateMemoryUsage() const;
 
  private:
@@ -77,7 +115,8 @@ class ClusterJoinExecutor {
     std::vector<NucleusObject> objects;
     std::vector<ExactQuery> queries;  ///< Shed queries (center = nucleus).
   };
-  /// Per-cluster join-side view, built once per Execute().
+  /// Per-cluster join-side view, built once per Execute() for every cluster
+  /// registered in the grid. Immutable during the sharded scan.
   struct JoinView {
     /// The cluster's member circle (covers every member position including
     /// nucleus disks); used as a per-query fine filter: a query whose
@@ -87,18 +126,38 @@ class ClusterJoinExecutor {
     std::vector<ExactObject> objects;
     std::vector<ExactQuery> queries;
     std::vector<NucleusGroup> nuclei;
+    /// Join-between bounds, snapshotted so the sharded scan never touches the
+    /// MovingCluster: JoinBounds() when query-reach-aware, Bounds() otherwise.
+    Circle coarse;
+    /// The cluster's grid cells, sorted ascending; cells.front() owns the
+    /// self-join, the smallest common cell of a pair owns the pair join.
+    std::vector<uint32_t> cells;
+    bool mixed = false;       ///< HasMixedKinds(), snapshotted.
+    bool has_objects = false;
+    bool has_queries = false;
   };
 
-  bool DoBetweenClusterJoin(const MovingCluster& left,
-                            const MovingCluster& right);
-  const JoinView& ViewOf(const MovingCluster& cluster);
+  JoinView BuildView(const MovingCluster& cluster, const GridIndex& grid) const;
   void JoinObjectsToQueries(const JoinView& objects_view,
-                            const JoinView& queries_view, ResultSet* results);
+                            const JoinView& queries_view, Counters* counters,
+                            ResultSet* results) const;
+  /// One worker task's share of the cell scan: drains contiguous cell chunks
+  /// off the shared cursor into task-local buffers.
+  void ScanCells(const GridIndex& grid, std::atomic<uint32_t>* next_chunk,
+                 uint32_t chunk_size, Counters* counters,
+                 ResultSet* results) const;
 
   bool query_reach_aware_;
+  uint32_t resolved_threads_;
   Counters counters_;
-  std::unordered_set<uint64_t> seen_pairs_;
-  std::unordered_map<ClusterId, JoinView> view_cache_;
+  double last_worker_seconds_ = 0.0;
+  /// Per-round view table (slot-compacted; cluster ids are sparse after long
+  /// runs). Rebuilt each Execute(), kept until the next round so the adaptive
+  /// load shedder sees the scratch footprint the join really used.
+  std::vector<JoinView> views_;
+  std::unordered_map<ClusterId, uint32_t> slot_of_;
+  /// Created on first parallel Execute(); never for resolved_threads_ == 1.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace scuba

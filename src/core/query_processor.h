@@ -30,9 +30,19 @@ struct EvalStats {
   uint64_t last_result_count = 0;
   /// Individual object x query predicate evaluations (join-within work).
   uint64_t comparisons = 0;
+  /// Cheap per-query cluster-bounds pre-checks (fine filter), counted apart
+  /// from `comparisons` so the member-level predicate work maps cleanly onto
+  /// the paper's Fig. 11 cost model.
+  uint64_t bounds_checks = 0;
   /// SCUBA only: join-between tests and how many reported overlap.
   uint64_t cluster_pairs_tested = 0;
   uint64_t cluster_pairs_overlapping = 0;
+  /// Parallel join: worker tasks the join phase fans out to (1 = serial),
+  /// and the summed per-worker busy time. worker/wall is the parallel
+  /// speedup actually realized; dividing by join_threads gives efficiency.
+  uint32_t join_threads = 1;
+  double last_join_worker_seconds = 0.0;
+  double total_join_worker_seconds = 0.0;
 };
 
 class QueryProcessor {

@@ -29,6 +29,25 @@ class ResultSet {
 
   void Clear() { matches_.clear(); }
 
+  /// Pre-sizes the match buffer (capacity only; size is untouched). Engines
+  /// seed this with the previous round's match count — continuous queries
+  /// change answers incrementally, so last round is an excellent estimate.
+  void Reserve(size_t n) { matches_.reserve(n); }
+
+  /// Steals `other`'s matches into this set (duplicates allowed until
+  /// Normalize). When this set is empty and under-sized the donor buffer is
+  /// adopted wholesale; otherwise the elements are appended in bulk. Either
+  /// way `other` is left empty.
+  void AppendFrom(ResultSet&& other) {
+    if (matches_.empty() && matches_.capacity() < other.matches_.size()) {
+      matches_ = std::move(other.matches_);
+    } else {
+      matches_.insert(matches_.end(), other.matches_.begin(),
+                      other.matches_.end());
+    }
+    other.matches_.clear();
+  }
+
   /// Sorts matches and removes duplicates.
   void Normalize() {
     std::sort(matches_.begin(), matches_.end());

@@ -28,7 +28,8 @@ ScubaEngine::ScubaEngine(const ScubaOptions& options, GridIndex grid)
                            options.grid_sync_padding},
           &store_, &grid_),
       shedder_(options.shedding, options.theta_d),
-      join_executor_(options.query_reach_aware) {
+      join_executor_(options.query_reach_aware, options.join_threads) {
+  stats_.join_threads = join_executor_.resolved_threads();
   clusterer_.set_nucleus_radius(shedder_.nucleus_radius());
 }
 
@@ -54,15 +55,21 @@ Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
   }
 
   // *** Phase 2: cluster-based joining (Algorithm 1, lines 8-21). ***
+  // Continuous queries change answers incrementally round to round, so the
+  // previous match count pre-sizes this round's merge buffer well.
+  results->Reserve(stats_.last_result_count);
   Stopwatch join_sw;
   SCUBA_RETURN_IF_ERROR(join_executor_.Execute(store_, grid_, results));
   stats_.last_join_seconds = join_sw.ElapsedSeconds();
   stats_.total_join_seconds += stats_.last_join_seconds;
+  stats_.last_join_worker_seconds = join_executor_.last_worker_seconds();
+  stats_.total_join_worker_seconds += stats_.last_join_worker_seconds;
   stats_.last_result_count = results->size();
   stats_.total_results += results->size();
   ++stats_.evaluations;
   const ClusterJoinExecutor::Counters& ctr = join_executor_.counters();
   stats_.comparisons = ctr.comparisons;
+  stats_.bounds_checks = ctr.bounds_checks;
   stats_.cluster_pairs_tested = ctr.pairs_tested;
   stats_.cluster_pairs_overlapping = ctr.pairs_overlapping;
 

@@ -24,6 +24,11 @@ Status ScubaOptions::Validate() const {
   if (enable_cluster_splitting && split_radius_factor <= 0.0) {
     return Status::InvalidArgument("split_radius_factor must be positive");
   }
+  // 0 means hardware concurrency; the cap catches garbage values (threads
+  // beyond any plausible core count would only add scheduling overhead).
+  if (join_threads > 1024) {
+    return Status::InvalidArgument("join_threads must be in [0, 1024]");
+  }
   if (shedding.eta < 0.0 || shedding.eta > 1.0) {
     return Status::InvalidArgument("shedding eta must be in [0, 1]");
   }

@@ -64,6 +64,12 @@ struct ScubaOptions {
   /// maintenance, restoring compactness without waiting for dissolution.
   bool enable_cluster_splitting = false;
   double split_radius_factor = 1.5;
+  /// Worker tasks for the cluster-join phase: grid cells are sharded over
+  /// this many tasks with per-task result/counter buffers (owner-cell dedup
+  /// keeps them coordination-free). 0 = hardware concurrency; 1 (default) =
+  /// serial execution on the calling thread, bit-identical to the historical
+  /// single-threaded engine. Results are deterministic for every value.
+  uint32_t join_threads = 1;
 
   LoadSheddingOptions shedding;
 

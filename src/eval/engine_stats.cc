@@ -5,17 +5,24 @@
 namespace scuba {
 
 std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
-  char buf[320];
-  std::snprintf(buf, sizeof(buf),
-                "%-14.*s evals=%llu join=%.4fs maint=%.4fs results=%llu "
-                "comparisons=%llu pairs=%llu/%llu",
-                static_cast<int>(engine_name.size()), engine_name.data(),
-                static_cast<unsigned long long>(stats.evaluations),
-                stats.total_join_seconds, stats.total_maintenance_seconds,
-                static_cast<unsigned long long>(stats.total_results),
-                static_cast<unsigned long long>(stats.comparisons),
-                static_cast<unsigned long long>(stats.cluster_pairs_overlapping),
-                static_cast<unsigned long long>(stats.cluster_pairs_tested));
+  char buf[400];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "%-14.*s evals=%llu join=%.4fs maint=%.4fs results=%llu "
+      "comparisons=%llu pairs=%llu/%llu",
+      static_cast<int>(engine_name.size()), engine_name.data(),
+      static_cast<unsigned long long>(stats.evaluations),
+      stats.total_join_seconds, stats.total_maintenance_seconds,
+      static_cast<unsigned long long>(stats.total_results),
+      static_cast<unsigned long long>(stats.comparisons),
+      static_cast<unsigned long long>(stats.cluster_pairs_overlapping),
+      static_cast<unsigned long long>(stats.cluster_pairs_tested));
+  if (stats.join_threads > 1 && n > 0 &&
+      static_cast<size_t>(n) < sizeof(buf)) {
+    std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                  " threads=%u speedup=%.2fx", stats.join_threads,
+                  JoinParallelSpeedup(stats));
+  }
   return buf;
 }
 
@@ -34,6 +41,16 @@ double JoinBetweenSelectivity(const EvalStats& stats) {
   if (stats.cluster_pairs_tested == 0) return 0.0;
   return static_cast<double>(stats.cluster_pairs_overlapping) /
          static_cast<double>(stats.cluster_pairs_tested);
+}
+
+double JoinParallelSpeedup(const EvalStats& stats) {
+  if (stats.total_join_seconds <= 0.0) return 0.0;
+  return stats.total_join_worker_seconds / stats.total_join_seconds;
+}
+
+double JoinParallelEfficiency(const EvalStats& stats) {
+  if (stats.join_threads == 0) return 0.0;
+  return JoinParallelSpeedup(stats) / static_cast<double>(stats.join_threads);
 }
 
 }  // namespace scuba

@@ -23,6 +23,14 @@ double AvgMaintenanceSeconds(const EvalStats& stats);
 /// overlapped (SCUBA only; 0 when none tested).
 double JoinBetweenSelectivity(const EvalStats& stats);
 
+/// Realized parallel speedup of the join phase: summed worker busy time over
+/// join wall time (1.0 = serial, approaches join_threads under perfect
+/// scaling; 0 when no join time was recorded).
+double JoinParallelSpeedup(const EvalStats& stats);
+
+/// Parallel efficiency in [0, 1]: JoinParallelSpeedup / join_threads.
+double JoinParallelEfficiency(const EvalStats& stats);
+
 }  // namespace scuba
 
 #endif  // SCUBA_EVAL_ENGINE_STATS_H_

@@ -68,6 +68,15 @@ class GridIndex {
     return cells_[cell];
   }
 
+  /// Cells `key` is registered in (insertion order, not sorted), or nullptr
+  /// if the key is absent. Lets read-only consumers (the parallel join's
+  /// owner-cell rule) see a key's full placement without re-deriving it from
+  /// geometry.
+  const std::vector<uint32_t>* CellsOf(uint32_t key) const {
+    auto it = placements_.find(key);
+    return it == placements_.end() ? nullptr : &it->second;
+  }
+
   /// Keys registered in the cell containing `p`.
   const std::vector<uint32_t>& EntriesNear(Point p) const {
     return cells_[CellIndexOf(p)];

@@ -133,8 +133,10 @@ TEST(ClusterJoinTest, FineFilterSkipsUnreachableQueries) {
   ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
   // Query 1 matches all three objects; query 2 matches none.
   EXPECT_EQ(results.size(), 3u);
-  // Comparisons: fine filters (2) + query-1 member loop (3).
-  EXPECT_EQ(executor.counters().comparisons, 5u);
+  // One fine-filter bounds check per query; only query 1 reaches the member
+  // loop (3 objects).
+  EXPECT_EQ(executor.counters().bounds_checks, 2u);
+  EXPECT_EQ(executor.counters().comparisons, 3u);
 }
 
 TEST(ClusterJoinTest, NucleusGroupingSharesPredicates) {
@@ -151,10 +153,11 @@ TEST(ClusterJoinTest, NucleusGroupingSharesPredicates) {
   ClusterJoinExecutor executor;
   ResultSet results;
   ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
-  // All ten objects match through ONE nucleus predicate (plus the fine
-  // filter): 2 comparisons, 10 results.
+  // All ten objects match through ONE nucleus predicate (the fine filter is
+  // a bounds check, not a comparison): 10 results.
   EXPECT_EQ(results.size(), 10u);
-  EXPECT_EQ(executor.counters().comparisons, 2u);
+  EXPECT_EQ(executor.counters().bounds_checks, 1u);
+  EXPECT_EQ(executor.counters().comparisons, 1u);
 }
 
 TEST(ClusterJoinTest, CountersAccumulateAcrossExecutes) {

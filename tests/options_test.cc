@@ -64,6 +64,18 @@ TEST(ScubaOptionsTest, SplittingFactor) {
   EXPECT_TRUE(opt.Validate().ok());
 }
 
+TEST(ScubaOptionsTest, JoinThreads) {
+  ScubaOptions opt;
+  opt.join_threads = 0;  // hardware concurrency
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.join_threads = 8;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.join_threads = 1024;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.join_threads = 1025;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
 TEST(ScubaOptionsTest, SheddingBranches) {
   ScubaOptions opt;
   opt.shedding.eta = -0.1;

@@ -1,0 +1,287 @@
+// Determinism and owner-cell dedup coverage for the sharded parallel cluster
+// join: every thread count must produce bit-identical normalized results and
+// identical merged counters, and multi-cell cluster (pairs) must be joined
+// exactly once — in the lowest co-resident cell — with no shared seen-set.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster_join.h"
+#include "core/scuba_engine.h"
+
+namespace scuba {
+namespace {
+
+LocationUpdate Obj(ObjectId oid, Point p, NodeId dest = 1) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, double w = 60, double h = 60,
+                NodeId dest = 1) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  u.range_width = w;
+  u.range_height = h;
+  return u;
+}
+
+struct JoinFixture {
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+
+  MovingCluster* Add(MovingCluster cluster) {
+    ClusterId cid = cluster.cid();
+    cluster.RecomputeTightBounds();
+    EXPECT_TRUE(grid.Insert(cid, cluster.JoinBounds()).ok());
+    EXPECT_TRUE(store.AddCluster(std::move(cluster)).ok());
+    return store.GetCluster(cid);
+  }
+};
+
+/// A seeded mixed workload: singletons, multi-member clusters spanning
+/// several 100x100-unit grid cells, mixed-kind clusters and shed nuclei.
+void PopulateSeededWorkload(JoinFixture* f, uint64_t seed) {
+  Rng rng(seed);
+  uint32_t next_oid = 1, next_qid = 1;
+  for (int i = 0; i < 120; ++i) {
+    f->Add(MovingCluster::FromObject(
+        f->store.NextClusterId(),
+        Obj(next_oid++, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+            static_cast<NodeId>(i))));
+  }
+  for (int i = 0; i < 80; ++i) {
+    f->Add(MovingCluster::FromQuery(
+        f->store.NextClusterId(),
+        Qry(next_qid++, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+            rng.NextDouble(20, 400), rng.NextDouble(20, 400),
+            static_cast<NodeId>(1000 + i))));
+  }
+  // Multi-member clusters whose spread (+-350 units) spans several cells.
+  for (int i = 0; i < 25; ++i) {
+    Point c{rng.NextDouble(500, 9500), rng.NextDouble(500, 9500)};
+    MovingCluster cluster = MovingCluster::FromObject(
+        f->store.NextClusterId(),
+        Obj(next_oid++, c, static_cast<NodeId>(2000 + i)));
+    for (int m = 0; m < 6; ++m) {
+      cluster.AbsorbObject(Obj(next_oid++,
+                               {c.x + rng.NextDouble(-350, 350),
+                                c.y + rng.NextDouble(-350, 350)},
+                               static_cast<NodeId>(2000 + i)));
+    }
+    if (i % 3 == 0) {  // every third becomes mixed-kind
+      cluster.AbsorbQuery(Qry(next_qid++, {c.x + 30, c.y - 30}, 150, 150,
+                              static_cast<NodeId>(2000 + i)));
+    }
+    if (i % 5 == 0) {  // and some shed into a nucleus
+      cluster.ShedPositions(80.0);
+    }
+    f->Add(std::move(cluster));
+  }
+  // Query-heavy multi-member clusters.
+  for (int i = 0; i < 15; ++i) {
+    Point c{rng.NextDouble(500, 9500), rng.NextDouble(500, 9500)};
+    MovingCluster cluster = MovingCluster::FromQuery(
+        f->store.NextClusterId(),
+        Qry(next_qid++, c, 120, 120, static_cast<NodeId>(3000 + i)));
+    for (int m = 0; m < 4; ++m) {
+      cluster.AbsorbQuery(Qry(next_qid++,
+                              {c.x + rng.NextDouble(-250, 250),
+                               c.y + rng.NextDouble(-250, 250)},
+                              rng.NextDouble(40, 200), rng.NextDouble(40, 200),
+                              static_cast<NodeId>(3000 + i)));
+    }
+    f->Add(std::move(cluster));
+  }
+}
+
+bool CountersEqual(const ClusterJoinExecutor::Counters& a,
+                   const ClusterJoinExecutor::Counters& b) {
+  return a.comparisons == b.comparisons && a.bounds_checks == b.bounds_checks &&
+         a.pairs_tested == b.pairs_tested &&
+         a.pairs_overlapping == b.pairs_overlapping &&
+         a.within_joins_single == b.within_joins_single &&
+         a.within_joins_pair == b.within_joins_pair;
+}
+
+class ParallelJoinDeterminismTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ParallelJoinDeterminismTest, ThreadCountsProduceIdenticalResults) {
+  JoinFixture f;
+  PopulateSeededWorkload(&f, GetParam());
+
+  ClusterJoinExecutor serial(/*query_reach_aware=*/true, /*threads=*/1);
+  ResultSet expected;
+  ASSERT_TRUE(serial.Execute(f.store, f.grid, &expected).ok());
+  EXPECT_GT(expected.size(), 0u) << "workload must produce matches";
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    ClusterJoinExecutor parallel(/*query_reach_aware=*/true, threads);
+    ResultSet results;
+    ASSERT_TRUE(parallel.Execute(f.store, f.grid, &results).ok());
+    EXPECT_EQ(results, expected) << "threads=" << threads;
+    EXPECT_TRUE(CountersEqual(parallel.counters(), serial.counters()))
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelJoinDeterminismTest,
+                         ::testing::Values(7, 21, 42, 1234));
+
+TEST(ParallelJoinDeterminismTest, RepeatedParallelExecutesAreStable) {
+  // Scheduling nondeterminism must never leak into the answer: the same
+  // parallel executor re-run over unchanged state returns the same set.
+  JoinFixture f;
+  PopulateSeededWorkload(&f, 99);
+  ClusterJoinExecutor executor(true, 4);
+  ResultSet first, second;
+  ASSERT_TRUE(executor.Execute(f.store, f.grid, &first).ok());
+  ASSERT_TRUE(executor.Execute(f.store, f.grid, &second).ok());
+  EXPECT_EQ(first, second);
+}
+
+class OwnerCellTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OwnerCellTest, MultiCellPairJoinsExactlyOnce) {
+  // Two clusters whose members sprawl across many shared 100-unit grid cells:
+  // the pair must be join-between tested and join-within run exactly once,
+  // regardless of how many cells both occupy or how cells are sharded.
+  JoinFixture f;
+  MovingCluster a = MovingCluster::FromObject(f.store.NextClusterId(),
+                                              Obj(1, {500, 500}, 1));
+  a.AbsorbObject(Obj(2, {900, 900}, 1));
+  a.AbsorbObject(Obj(3, {700, 520}, 1));
+  MovingCluster b = MovingCluster::FromQuery(f.store.NextClusterId(),
+                                             Qry(1, {600, 600}, 100, 100, 2));
+  b.AbsorbQuery(Qry(2, {850, 850}, 100, 100, 2));
+  f.Add(std::move(a));
+  f.Add(std::move(b));
+
+  ClusterJoinExecutor executor(true, GetParam());
+  ResultSet results;
+  ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
+  EXPECT_EQ(executor.counters().pairs_tested, 1u);
+  EXPECT_EQ(executor.counters().within_joins_pair, 1u);
+}
+
+TEST_P(OwnerCellTest, MultiCellMixedClusterSelfJoinsExactlyOnce) {
+  JoinFixture f;
+  MovingCluster c = MovingCluster::FromObject(f.store.NextClusterId(),
+                                              Obj(1, {1000, 1000}, 1));
+  c.AbsorbObject(Obj(2, {1400, 1350}, 1));
+  c.AbsorbQuery(Qry(1, {1200, 1180}, 600, 600, 1));
+  f.Add(std::move(c));
+
+  ClusterJoinExecutor executor(true, GetParam());
+  ResultSet results;
+  ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
+  EXPECT_EQ(executor.counters().within_joins_single, 1u);
+  EXPECT_TRUE(results.Contains(1, 1));
+  EXPECT_TRUE(results.Contains(1, 2));
+}
+
+TEST_P(OwnerCellTest, ThreeWayOverlapJoinsEachPairOnce) {
+  // Three mutually overlapping multi-cell clusters (object, query, object):
+  // each complementary pair exactly once = 2 pair joins.
+  JoinFixture f;
+  MovingCluster o1 = MovingCluster::FromObject(f.store.NextClusterId(),
+                                               Obj(1, {300, 300}, 1));
+  o1.AbsorbObject(Obj(2, {700, 650}, 1));
+  MovingCluster q = MovingCluster::FromQuery(f.store.NextClusterId(),
+                                             Qry(1, {400, 400}, 200, 200, 2));
+  q.AbsorbQuery(Qry(2, {650, 600}, 200, 200, 2));
+  MovingCluster o2 = MovingCluster::FromObject(f.store.NextClusterId(),
+                                               Obj(3, {500, 350}, 3));
+  o2.AbsorbObject(Obj(4, {600, 700}, 3));
+  f.Add(std::move(o1));
+  f.Add(std::move(q));
+  f.Add(std::move(o2));
+
+  ClusterJoinExecutor executor(true, GetParam());
+  ResultSet results;
+  ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
+  EXPECT_EQ(executor.counters().pairs_tested, 2u);
+  EXPECT_EQ(executor.counters().within_joins_pair, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, OwnerCellTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ParallelEngineTest, EngineMatchesSerialAcrossThreadCounts) {
+  // End to end through ScubaEngine: identical ingests, several evaluation
+  // rounds, every thread count returns the serial engine's exact answer.
+  auto run = [](uint32_t threads) {
+    ScubaOptions opt;
+    opt.join_threads = threads;
+    std::unique_ptr<ScubaEngine> engine =
+        std::move(ScubaEngine::Create(opt).value());
+    Rng rng(555);
+    std::vector<ResultSet> rounds;
+    for (Timestamp now = 2; now <= 6; now += 2) {
+      for (uint32_t i = 0; i < 200; ++i) {
+        LocationUpdate u = Obj(i,
+                               {rng.NextDouble(0, 10000),
+                                rng.NextDouble(0, 10000)},
+                               static_cast<NodeId>(i % 40));
+        u.time = now - 1;
+        EXPECT_TRUE(engine->IngestObjectUpdate(u).ok());
+      }
+      for (uint32_t i = 0; i < 150; ++i) {
+        QueryUpdate u = Qry(i,
+                            {rng.NextDouble(0, 10000),
+                             rng.NextDouble(0, 10000)},
+                            rng.NextDouble(50, 300), rng.NextDouble(50, 300),
+                            static_cast<NodeId>(40 + i % 40));
+        u.time = now - 1;
+        EXPECT_TRUE(engine->IngestQueryUpdate(u).ok());
+      }
+      ResultSet results;
+      EXPECT_TRUE(engine->Evaluate(now, &results).ok());
+      rounds.push_back(std::move(results));
+    }
+    return rounds;
+  };
+
+  std::vector<ResultSet> serial = run(1);
+  size_t total = 0;
+  for (const ResultSet& r : serial) total += r.size();
+  EXPECT_GT(total, 0u);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    std::vector<ResultSet> parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "threads=" << threads << " round=" << i;
+    }
+  }
+}
+
+TEST(ParallelEngineTest, WorkerSecondsAndThreadsReported) {
+  ScubaOptions opt;
+  opt.join_threads = 4;
+  std::unique_ptr<ScubaEngine> engine =
+      std::move(ScubaEngine::Create(opt).value());
+  ASSERT_TRUE(engine->IngestObjectUpdate(Obj(1, {100, 100}, 1)).ok());
+  ASSERT_TRUE(engine->IngestQueryUpdate(Qry(1, {110, 100}, 80, 80, 2)).ok());
+  ResultSet results;
+  ASSERT_TRUE(engine->Evaluate(2, &results).ok());
+  EXPECT_EQ(engine->stats().join_threads, 4u);
+  EXPECT_GT(engine->stats().total_join_worker_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace scuba

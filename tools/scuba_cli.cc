@@ -210,6 +210,7 @@ int CmdRun(const Flags& flags) {
   double theta_s = flags.GetDouble("theta-s", 10.0);
   double eta = flags.GetDouble("eta", 0.0);
   bool splitting = flags.GetBool("splitting", false);
+  uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
   bool quiet = flags.GetBool("quiet", false);
   std::string csv_path = flags.GetString("csv", "");
   Status consumed = flags.CheckAllConsumed();
@@ -228,6 +229,7 @@ int CmdRun(const Flags& flags) {
     opt.theta_s = theta_s;
     opt.delta = delta;
     opt.enable_cluster_splitting = splitting;
+    opt.join_threads = threads;
     if (eta > 0.0) {
       opt.shedding.mode = LoadSheddingMode::kFixed;
       opt.shedding.eta = eta;
@@ -282,6 +284,7 @@ int CmdCompare(const Flags& flags) {
   std::string trace_path = flags.GetString("trace", "run.trace");
   Timestamp delta = flags.GetInt("delta", 2);
   double eta = flags.GetDouble("eta", 0.0);
+  uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
@@ -292,6 +295,7 @@ int CmdCompare(const Flags& flags) {
   ScubaOptions opt;
   opt.region = region;
   opt.delta = delta;
+  opt.join_threads = threads;
   if (eta > 0.0) {
     opt.shedding.mode = LoadSheddingMode::kFixed;
     opt.shedding.eta = eta;
@@ -369,8 +373,9 @@ int Usage() {
       "                  --query-filter F --seed N]\n"
       "  run             --trace FILE [--engine scuba|grid|naive --delta N\n"
       "                  --grid-cells N --theta-d F --theta-s F --eta F\n"
-      "                  --splitting --quiet --csv FILE]\n"
-      "  compare         --trace FILE [--delta N --eta F]\n"
+      "                  --threads N (0 = all cores) --splitting --quiet\n"
+      "                  --csv FILE]\n"
+      "  compare         --trace FILE [--delta N --eta F --threads N]\n"
       "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n");
   return 1;
 }
