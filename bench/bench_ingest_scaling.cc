@@ -1,0 +1,108 @@
+// Ingest-phase thread-scaling sweep: replays the §6.1-scale workload through
+// SCUBA at ingest_threads = 1, 2, 4, 8 for two per-tick batch sizes (25% and
+// 100% update rate) and reports ingest wall time, post-join maintenance wall
+// time, summed worker time and speedup versus serial. Writes BENCH_ingest.json
+// so the perf trajectory is machine-readable across PRs. Parallel ingest is
+// required to be bit-identical to serial — the result counts are asserted to
+// match across thread counts here too (behind the unit tests, a cheap last
+// line of defence at full workload scale).
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+
+namespace scuba::bench {
+namespace {
+
+struct SweepPoint {
+  double update_fraction = 1.0;
+  uint32_t threads = 1;
+  uint32_t batch_size = 0;  ///< Updates per tick (objects + queries).
+  BenchOutcome out;
+};
+
+int Main() {
+  PrintBanner("ingest", "ingest-phase thread scaling (two-phase batch ingest)");
+  std::printf("hardware threads: %u\n\n", ThreadPool::DefaultThreadCount());
+
+  const std::vector<double> fractions = {0.25, 1.0};
+  const std::vector<uint32_t> sweep = {1, 2, 4, 8};
+  BenchScale scale = ReadScale();
+
+  std::vector<SweepPoint> points;
+  std::printf("%10s %8s %10s %12s %10s %12s %10s\n", "batch", "threads",
+              "ingest(s)", "worker(s)", "speedup", "postjoin(s)", "results");
+  for (double fraction : fractions) {
+    ExperimentConfig config = DefaultConfig(/*skew=*/100);
+    config.update_fraction = fraction;
+    ExperimentData data = BuildOrDie(config);
+    const uint32_t batch_size = static_cast<uint32_t>(
+        fraction * static_cast<double>(scale.objects + scale.queries));
+    BenchOutcome serial;  // the threads == 1 outcome of this batch size
+    for (uint32_t threads : sweep) {
+      ScubaOptions options;
+      options.ingest_threads = threads;
+      SweepPoint point;
+      point.update_fraction = fraction;
+      point.threads = threads;
+      point.batch_size = batch_size;
+      point.out = RunScuba(data, /*delta=*/2, options);
+      points.push_back(point);
+      const BenchOutcome& out = points.back().out;
+      if (threads == sweep.front()) serial = out;
+      double speedup = serial.ingest_seconds > 0.0
+                           ? serial.ingest_seconds / out.ingest_seconds
+                           : 0.0;
+      std::printf("%10u %8u %10.4f %12.4f %9.2fx %12.4f %10llu\n", batch_size,
+                  threads, out.ingest_seconds, out.ingest_worker_seconds,
+                  speedup, out.postjoin_seconds,
+                  static_cast<unsigned long long>(out.total_results));
+      SCUBA_CHECK_MSG(out.total_results == serial.total_results,
+                      "ingest thread counts must not change the answer");
+      SCUBA_CHECK_MSG(out.comparisons == serial.comparisons,
+                      "ingest thread counts must not change the join work");
+    }
+    std::printf("\n");
+  }
+
+  const char* path = "BENCH_ingest.json";
+  std::FILE* json = std::fopen(path, "w");
+  SCUBA_CHECK_MSG(json != nullptr, "cannot open BENCH_ingest.json");
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"ingest_scaling\",\n"
+               "  \"workload\": {\"objects\": %u, \"queries\": %u, "
+               "\"ticks\": %d},\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"sweep\": [\n",
+               scale.objects, scale.queries, scale.ticks,
+               ThreadPool::DefaultThreadCount());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        json,
+        "    {\"batch_size\": %u, \"update_fraction\": %.2f, "
+        "\"ingest_threads\": %u, \"ingest_seconds\": %.6f, "
+        "\"ingest_worker_seconds\": %.6f, \"postjoin_seconds\": %.6f, "
+        "\"postjoin_worker_seconds\": %.6f, \"maintenance_seconds\": %.6f, "
+        "\"join_seconds\": %.6f, \"wall_seconds\": %.6f, \"results\": %llu}%s\n",
+        p.batch_size, p.update_fraction, p.threads, p.out.ingest_seconds,
+        p.out.ingest_worker_seconds, p.out.postjoin_seconds,
+        p.out.postjoin_worker_seconds, p.out.maintenance_seconds,
+        p.out.join_seconds, p.out.wall_seconds,
+        static_cast<unsigned long long>(p.out.total_results),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scuba::bench
+
+int main() { return scuba::bench::Main(); }

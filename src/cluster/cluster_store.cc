@@ -1,5 +1,6 @@
 #include "cluster/cluster_store.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/memory_usage.h"
@@ -86,6 +87,17 @@ Result<uint64_t> ClusterStore::QueryAttrs(QueryId qid) const {
                             " not in QueriesTable");
   }
   return it->second;
+}
+
+std::vector<ClusterId> ClusterStore::SortedClusterIds() const {
+  std::vector<ClusterId> cids;
+  cids.reserve(clusters_.size());
+  for (const auto& [cid, cluster] : clusters_) {
+    (void)cluster;
+    cids.push_back(cid);
+  }
+  std::sort(cids.begin(), cids.end());
+  return cids;
 }
 
 void ClusterStore::Clear() {

@@ -63,6 +63,11 @@ class ClusterStore {
     return clusters_;
   }
 
+  /// All stored cluster ids, ascending. The stable enumeration every phase
+  /// that shards or mutates the store iterates, so downstream effects never
+  /// depend on hash-map iteration order.
+  std::vector<ClusterId> SortedClusterIds() const;
+
   /// Removes everything.
   void Clear();
 

@@ -11,9 +11,11 @@
 #define SCUBA_CLUSTER_LEADER_FOLLOWER_H_
 
 #include <cstdint>
+#include <span>
 
 #include "cluster/cluster_store.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "gen/update.h"
 #include "index/grid_index.h"
 
@@ -51,11 +53,22 @@ struct ClustererStats {
   uint64_t members_shed = 0;        ///< Positions discarded on ingest.
 };
 
-/// (Re-)registers `cluster` in `grid` under its (optionally query-reach
-/// inflated) bounds, padded by `padding`. Skips the grid update entirely when
-/// the cluster's current bounds are still covered by its previous padded
-/// registration — correctness is preserved because a superset registration
-/// can only add probe candidates, never hide the cluster.
+/// Decides whether `cluster` needs (re-)registration in `grid` under its
+/// (optionally query-reach inflated) bounds, padded by `padding`. Returns
+/// false when the cluster's current bounds are still covered by its previous
+/// padded registration — correctness is preserved because a superset
+/// registration can only add probe candidates, never hide the cluster. When
+/// true, updates the cluster's registered_bounds() and writes the padded
+/// circle to register into `*padded_out`, but does NOT touch the grid: the
+/// caller applies (or batches) the registration. Pure planning, so parallel
+/// ingest/maintenance workers may call it concurrently against a read-only
+/// grid and merge the registrations serially afterwards.
+bool PlanClusterGridSync(const GridIndex& grid, MovingCluster* cluster,
+                         bool use_join_bounds, double padding,
+                         Circle* padded_out);
+
+/// Plans via PlanClusterGridSync and immediately applies the registration to
+/// `grid`. The serial ingest path's one-stop grid sync.
 Status SyncClusterGrid(GridIndex* grid, MovingCluster* cluster,
                        bool use_join_bounds, double padding);
 
@@ -71,6 +84,29 @@ class LeaderFollowerClusterer {
   Status ProcessObjectUpdate(const LocationUpdate& update);
   Status ProcessQueryUpdate(const QueryUpdate& update);
 
+  /// Processes a whole batch (all objects, then all queries — the stream
+  /// pipeline's delivery order) with classification work spread over `tasks`
+  /// tasks on `pool`. Bit-identical to calling ProcessObjectUpdate /
+  /// ProcessQueryUpdate per update in that order, at any task count:
+  ///
+  ///  * Phase A (parallel, read-only): each update is resolved to its home
+  ///    cluster and its grid probe cells; each home cluster's refresh
+  ///    sequence is then simulated on a private copy in batch order.
+  ///  * A cluster is *eligible* for the fast path only if every simulated
+  ///    refresh passed the admission tests and no grid cell the cluster
+  ///    occupies at any point of the batch is probed by a residual update
+  ///    (so residual updates can never observe it mid-batch).
+  ///  * Phase B (serial): eligible clusters publish their simulated state in
+  ///    ascending cid order; every remaining update then replays the exact
+  ///    per-update path in batch order, which also keeps new-cluster id
+  ///    allocation identical to serial execution.
+  ///
+  /// tasks <= 1 (or pool == nullptr) degrades to the plain serial loop.
+  /// `*worker_seconds` (optional) accumulates summed per-task busy time.
+  Status ProcessBatch(std::span<const LocationUpdate> objects,
+                      std::span<const QueryUpdate> queries, ThreadPool* pool,
+                      uint32_t tasks, double* worker_seconds);
+
   /// Current nucleus radius Theta_N for ingest-time load shedding; 0 disables.
   /// (Members landing within the nucleus have their positions discarded
   /// immediately, which is what makes shedding save join work.)
@@ -85,7 +121,11 @@ class LeaderFollowerClusterer {
   Status ProcessUpdate(EntityKind kind, const LocationUpdate* obj,
                        const QueryUpdate* qry);
 
-  /// Finds the first compatible cluster near `position` (paper step 1/3).
+  /// Finds the lowest-cid compatible cluster near `position` (paper step
+  /// 1/3). Picking the minimum cid — rather than the first compatible entry
+  /// in grid-cell order — makes the choice independent of how registrations
+  /// happen to be ordered inside a cell, which is what lets batched ingest
+  /// apply grid updates in cid order instead of arrival order.
   ClusterId FindCompatibleCluster(Point position, double speed,
                                   NodeId dest) const;
 

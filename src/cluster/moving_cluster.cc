@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/memory_usage.h"
 
 namespace scuba {
 
@@ -35,6 +36,7 @@ MovingCluster MovingCluster::FromObject(ClusterId cid, const LocationUpdate& u) 
   m.attrs = u.attrs;
   m.update_time = u.time;
   c.members_.push_back(m);
+  c.member_index_.emplace(m.Ref(), 0);
   c.object_count_ = 1;
   return c;
 }
@@ -53,6 +55,7 @@ MovingCluster MovingCluster::FromQuery(ClusterId cid, const QueryUpdate& u) {
   m.required_attrs = u.required_attrs;
   m.update_time = u.time;
   c.members_.push_back(m);
+  c.member_index_.emplace(m.Ref(), 0);
   c.query_count_ = 1;
   c.query_reach_ = MemberReach(m);
   return c;
@@ -100,6 +103,7 @@ void MovingCluster::AbsorbCommon(ClusterMember m, Point position) {
   } else {
     ++query_count_;
   }
+  member_index_.emplace(m.Ref(), members_.size());
   members_.push_back(m);
   query_reach_ = std::max(query_reach_, MemberReach(members_.back()));
   SetCentroid(new_centroid);
@@ -129,15 +133,20 @@ void MovingCluster::AbsorbQuery(const QueryUpdate& u) {
   AbsorbCommon(m, u.position);
 }
 
+size_t MovingCluster::MemberIndexOf(EntityRef ref) const {
+  auto it = member_index_.find(ref);
+  return it == member_index_.end() ? members_.size() : it->second;
+}
+
 Status MovingCluster::UpdateCommon(EntityRef ref, Point position, double speed,
                                    uint64_t attrs, Timestamp time,
                                    double range_w, double range_h,
                                    uint64_t required_attrs) {
-  auto it = std::find_if(members_.begin(), members_.end(),
-                         [&](const ClusterMember& m) { return m.Ref() == ref; });
-  if (it == members_.end()) {
+  size_t index = MemberIndexOf(ref);
+  if (index == members_.size()) {
     return Status::NotFound("entity is not a member of this cluster");
   }
+  auto it = members_.begin() + static_cast<ptrdiff_t>(index);
   Point old_pos = MemberPosition(*it);
   position_sum_.x += position.x - old_pos.x;
   position_sum_.y += position.y - old_pos.y;
@@ -174,11 +183,11 @@ Status MovingCluster::UpdateQueryMember(const QueryUpdate& u) {
 }
 
 Status MovingCluster::RemoveMember(EntityRef ref) {
-  auto it = std::find_if(members_.begin(), members_.end(),
-                         [&](const ClusterMember& m) { return m.Ref() == ref; });
-  if (it == members_.end()) {
+  size_t index = MemberIndexOf(ref);
+  if (index == members_.size()) {
     return Status::NotFound("entity is not a member of this cluster");
   }
+  auto it = members_.begin() + static_cast<ptrdiff_t>(index);
   Point pos = MemberPosition(*it);
   position_sum_.x -= pos.x;
   position_sum_.y -= pos.y;
@@ -188,8 +197,12 @@ Status MovingCluster::RemoveMember(EntityRef ref) {
   } else {
     --query_count_;
   }
+  member_index_.erase(ref);
   *it = members_.back();
   members_.pop_back();
+  if (index < members_.size()) {
+    member_index_[it->Ref()] = index;  // the swapped-in tail member moved
+  }
   if (!members_.empty()) {
     const double n = static_cast<double>(members_.size());
     SetCentroid(Point{position_sum_.x / n, position_sum_.y / n});
@@ -198,9 +211,8 @@ Status MovingCluster::RemoveMember(EntityRef ref) {
 }
 
 const ClusterMember* MovingCluster::FindMember(EntityRef ref) const {
-  auto it = std::find_if(members_.begin(), members_.end(),
-                         [&](const ClusterMember& m) { return m.Ref() == ref; });
-  return it == members_.end() ? nullptr : &*it;
+  size_t index = MemberIndexOf(ref);
+  return index == members_.size() ? nullptr : &members_[index];
 }
 
 Vec2 MovingCluster::Velocity() const {
@@ -322,16 +334,15 @@ size_t MovingCluster::ShedPositions(double nucleus_radius) {
 
 bool MovingCluster::ShedMemberIfInNucleus(EntityRef ref, double nucleus_radius) {
   if (nucleus_radius <= 0.0) return false;
-  auto it = std::find_if(members_.begin(), members_.end(),
-                         [&](const ClusterMember& m) { return m.Ref() == ref; });
-  if (it == members_.end() || it->shed) return false;
+  size_t index = MemberIndexOf(ref);
+  if (index == members_.size() || members_[index].shed) return false;
   EnsureNucleus(nucleus_radius);
   const Point nc = NucleusCenter();
-  if (SquaredDistance(MemberPosition(*it), nc) >
+  if (SquaredDistance(MemberPosition(members_[index]), nc) >
       nucleus_radius_ * nucleus_radius_) {
     return false;
   }
-  ShedMemberAt(static_cast<size_t>(it - members_.begin()), nc);
+  ShedMemberAt(index, nc);
   const double n = static_cast<double>(members_.size());
   SetCentroid(Point{position_sum_.x / n, position_sum_.y / n});
   return true;
@@ -341,7 +352,7 @@ size_t MovingCluster::EstimateMemoryUsage() const {
   // A maintained member pays for its full record; a shed member's position
   // state (polar coordinate + anchor) is discarded (paper §5).
   constexpr size_t kPositionBytes = sizeof(PolarCoord) + sizeof(Point);
-  size_t bytes = sizeof(MovingCluster);
+  size_t bytes = sizeof(MovingCluster) + UnorderedMapMemoryUsage(member_index_);
   for (const ClusterMember& m : members_) {
     bytes += sizeof(ClusterMember);
     if (m.shed) bytes -= kPositionBytes;

@@ -26,6 +26,7 @@
 #ifndef SCUBA_CLUSTER_MOVING_CLUSTER_H_
 #define SCUBA_CLUSTER_MOVING_CLUSTER_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -168,6 +169,10 @@ class MovingCluster {
   /// Shared absorb path; `m.rel`/`m.anchor` set from `position`.
   void AbsorbCommon(ClusterMember m, Point position);
 
+  /// Index of `ref` in members_, or members_.size() if absent (O(1) via the
+  /// member_index_ side map).
+  size_t MemberIndexOf(EntityRef ref) const;
+
   /// Shared member-refresh path.
   Status UpdateCommon(EntityRef ref, Point position, double speed,
                       uint64_t attrs, Timestamp time, double range_w,
@@ -205,6 +210,10 @@ class MovingCluster {
   double nucleus_radius_ = 0.0;
   Circle registered_bounds_;    ///< See registered_bounds().
   std::vector<ClusterMember> members_;
+  /// Member reference -> index in members_, maintained with swap-and-pop on
+  /// removal, so the per-update hot path (refresh/depart lookups) is O(1)
+  /// instead of a linear scan over the member vector.
+  std::unordered_map<EntityRef, size_t, EntityRefHash> member_index_;
 };
 
 }  // namespace scuba

@@ -1,6 +1,11 @@
 #include "common/thread_pool.h"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
 
 namespace scuba {
 
@@ -56,6 +61,28 @@ void ThreadPool::WorkerLoop() {
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+double RunTaskSet(ThreadPool* pool, uint32_t tasks,
+                  const std::function<void(uint32_t)>& fn) {
+  if (tasks <= 1) {
+    Stopwatch sw;
+    fn(0);
+    return sw.ElapsedSeconds();
+  }
+  SCUBA_CHECK_MSG(pool != nullptr, "parallel task set needs a pool");
+  std::vector<double> busy(tasks, 0.0);
+  for (uint32_t t = 0; t < tasks; ++t) {
+    pool->Submit([&fn, &busy, t] {
+      Stopwatch sw;
+      fn(t);
+      busy[t] = sw.ElapsedSeconds();
+    });
+  }
+  pool->Wait();
+  double total = 0.0;
+  for (double s : busy) total += s;
+  return total;
 }
 
 }  // namespace scuba

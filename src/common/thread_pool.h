@@ -58,6 +58,15 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Runs `fn(0) .. fn(tasks - 1)` as one fork/join round and returns the
+/// summed per-task busy seconds (the wall/busy ratio is the realized parallel
+/// speedup). With tasks == 1 the single task runs inline on the calling
+/// thread and `pool` may be null — the serial fast path never pays for a
+/// pool. Task indices identify private buffer slots, not threads: the pool
+/// may run several tasks on one worker.
+double RunTaskSet(ThreadPool* pool, uint32_t tasks,
+                  const std::function<void(uint32_t)>& fn);
+
 }  // namespace scuba
 
 #endif  // SCUBA_COMMON_THREAD_POOL_H_

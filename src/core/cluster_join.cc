@@ -213,13 +213,8 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
   // assign each a dense view slot. Sorted by cid so slot assignment — and
   // with it every downstream buffer — is independent of hash-map iteration
   // order.
-  std::vector<ClusterId> cids;
-  cids.reserve(store.ClusterCount());
-  for (const auto& [cid, cluster] : store.clusters()) {
-    (void)cluster;
-    if (grid.Contains(cid)) cids.push_back(cid);
-  }
-  std::sort(cids.begin(), cids.end());
+  std::vector<ClusterId> cids = store.SortedClusterIds();
+  std::erase_if(cids, [&grid](ClusterId cid) { return !grid.Contains(cid); });
   views_.resize(cids.size());
   slot_of_.reserve(cids.size());
   for (uint32_t slot = 0; slot < cids.size(); ++slot) {
@@ -231,26 +226,7 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     pool_ = std::make_unique<ThreadPool>(tasks);
   }
 
-  // Run `fn(task_index)` on every worker task and return the summed busy
-  // seconds. Task 0 .. tasks-1 each own private buffers; the pool may
-  // schedule them on fewer threads without affecting correctness.
-  std::vector<double> busy_seconds(tasks, 0.0);
-  auto fan_out = [&](const std::function<void(uint32_t)>& fn) {
-    if (tasks == 1) {
-      Stopwatch sw;
-      fn(0);
-      busy_seconds[0] += sw.ElapsedSeconds();
-      return;
-    }
-    for (uint32_t t = 0; t < tasks; ++t) {
-      pool_->Submit([&, t] {
-        Stopwatch sw;
-        fn(t);
-        busy_seconds[t] += sw.ElapsedSeconds();
-      });
-    }
-    pool_->Wait();
-  };
+  last_worker_seconds_ = 0.0;
 
   // Phase A: precompute every JoinView in parallel. The table is immutable
   // from here on — the scan below only reads it.
@@ -258,7 +234,7 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     std::atomic<uint32_t> next_slot{0};
     const uint32_t slot_chunk = std::max<uint32_t>(
         1, static_cast<uint32_t>(cids.size()) / (tasks * 8 + 1) + 1);
-    fan_out([&](uint32_t) {
+    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t) {
       for (;;) {
         const uint32_t begin =
             next_slot.fetch_add(slot_chunk, std::memory_order_relaxed);
@@ -285,7 +261,7 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     // contiguous so neighbouring cells (which share clusters) stay together.
     const uint32_t cell_chunk =
         std::max<uint32_t>(1, cell_count / (tasks * 8 + 1) + 1);
-    fan_out([&](uint32_t t) {
+    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       ScanCells(grid, &next_chunk, cell_chunk, &task_counters[t],
                 &task_results[t]);
     });
@@ -300,8 +276,6 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
   }
   results->Normalize();
   for (const Counters& c : task_counters) counters_ += c;
-  last_worker_seconds_ = 0.0;
-  for (double s : busy_seconds) last_worker_seconds_ += s;
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #define SCUBA_CORE_QUERY_PROCESSOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "common/status.h"
@@ -43,6 +44,20 @@ struct EvalStats {
   uint32_t join_threads = 1;
   double last_join_worker_seconds = 0.0;
   double total_join_worker_seconds = 0.0;
+  /// Parallel ingest/maintenance: worker tasks batched ingestion and
+  /// post-join maintenance fan out to (1 = serial). The maintenance total
+  /// above is the sum of the ingest and post-join wall components below;
+  /// *_worker_seconds are the summed per-task busy times, mirroring the join
+  /// accounting.
+  uint32_t ingest_threads = 1;
+  double last_ingest_seconds = 0.0;
+  double total_ingest_seconds = 0.0;
+  double last_postjoin_seconds = 0.0;
+  double total_postjoin_seconds = 0.0;
+  double last_ingest_worker_seconds = 0.0;
+  double total_ingest_worker_seconds = 0.0;
+  double last_postjoin_worker_seconds = 0.0;
+  double total_postjoin_worker_seconds = 0.0;
 };
 
 class QueryProcessor {
@@ -59,6 +74,21 @@ class QueryProcessor {
   /// Absorbs one location update from a moving object / query.
   virtual Status IngestObjectUpdate(const LocationUpdate& update) = 0;
   virtual Status IngestQueryUpdate(const QueryUpdate& update) = 0;
+
+  /// Absorbs one tick's worth of updates at once — all objects, then all
+  /// queries, semantically equivalent to the per-update calls in that order.
+  /// Engines with a parallel ingest path override this; the default just
+  /// loops.
+  virtual Status IngestBatch(std::span<const LocationUpdate> objects,
+                             std::span<const QueryUpdate> queries) {
+    for (const LocationUpdate& u : objects) {
+      SCUBA_RETURN_IF_ERROR(IngestObjectUpdate(u));
+    }
+    for (const QueryUpdate& u : queries) {
+      SCUBA_RETURN_IF_ERROR(IngestQueryUpdate(u));
+    }
+    return Status::OK();
+  }
 
   /// Runs one evaluation round at time `now`: fills `results` with the current
   /// matches (normalized) and performs post-round maintenance.

@@ -1,5 +1,8 @@
 #include "core/scuba_engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <vector>
 
 #include "cluster/splitter.h"
@@ -28,16 +31,30 @@ ScubaEngine::ScubaEngine(const ScubaOptions& options, GridIndex grid)
                            options.grid_sync_padding},
           &store_, &grid_),
       shedder_(options.shedding, options.theta_d),
-      join_executor_(options.query_reach_aware, options.join_threads) {
+      join_executor_(options.query_reach_aware, options.join_threads),
+      resolved_ingest_threads_(options.ingest_threads == 0
+                                   ? ThreadPool::DefaultThreadCount()
+                                   : options.ingest_threads) {
   stats_.join_threads = join_executor_.resolved_threads();
+  stats_.ingest_threads = resolved_ingest_threads_;
   clusterer_.set_nucleus_radius(shedder_.nucleus_radius());
+}
+
+ThreadPool* ScubaEngine::IngestPool() {
+  if (resolved_ingest_threads_ <= 1) return nullptr;
+  if (ingest_pool_ == nullptr) {
+    ingest_pool_ = std::make_unique<ThreadPool>(resolved_ingest_threads_);
+  }
+  return ingest_pool_.get();
 }
 
 Status ScubaEngine::IngestObjectUpdate(const LocationUpdate& update) {
   SCUBA_RETURN_IF_ERROR(ValidateUpdate(update));
   Stopwatch sw;
   Status s = clusterer_.ProcessObjectUpdate(update);
-  pending_prejoin_seconds_ += sw.ElapsedSeconds();
+  const double elapsed = sw.ElapsedSeconds();
+  pending_prejoin_seconds_ += elapsed;
+  pending_prejoin_worker_seconds_ += elapsed;  // serial: busy == wall
   return s;
 }
 
@@ -45,7 +62,26 @@ Status ScubaEngine::IngestQueryUpdate(const QueryUpdate& update) {
   SCUBA_RETURN_IF_ERROR(ValidateUpdate(update));
   Stopwatch sw;
   Status s = clusterer_.ProcessQueryUpdate(update);
+  const double elapsed = sw.ElapsedSeconds();
+  pending_prejoin_seconds_ += elapsed;
+  pending_prejoin_worker_seconds_ += elapsed;  // serial: busy == wall
+  return s;
+}
+
+Status ScubaEngine::IngestBatch(std::span<const LocationUpdate> objects,
+                                std::span<const QueryUpdate> queries) {
+  for (const LocationUpdate& u : objects) {
+    SCUBA_RETURN_IF_ERROR(ValidateUpdate(u));
+  }
+  for (const QueryUpdate& u : queries) {
+    SCUBA_RETURN_IF_ERROR(ValidateUpdate(u));
+  }
+  Stopwatch sw;
+  double worker = 0.0;
+  Status s = clusterer_.ProcessBatch(objects, queries, IngestPool(),
+                                     resolved_ingest_threads_, &worker);
   pending_prejoin_seconds_ += sw.ElapsedSeconds();
+  pending_prejoin_worker_seconds_ += worker;
   return s;
 }
 
@@ -75,29 +111,37 @@ Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
 
   // *** Phase 3: cluster post-join maintenance. ***
   Stopwatch maint_sw;
-  Status s = PostJoinMaintenance(now);
+  double postjoin_worker = 0.0;
+  Status s = PostJoinMaintenance(now, &postjoin_worker);
+  stats_.last_postjoin_seconds = maint_sw.ElapsedSeconds();
+  stats_.total_postjoin_seconds += stats_.last_postjoin_seconds;
+  stats_.last_postjoin_worker_seconds = postjoin_worker;
+  stats_.total_postjoin_worker_seconds += postjoin_worker;
+  stats_.last_ingest_seconds = pending_prejoin_seconds_;
+  stats_.total_ingest_seconds += pending_prejoin_seconds_;
+  stats_.last_ingest_worker_seconds = pending_prejoin_worker_seconds_;
+  stats_.total_ingest_worker_seconds += pending_prejoin_worker_seconds_;
   stats_.last_maintenance_seconds =
-      pending_prejoin_seconds_ + maint_sw.ElapsedSeconds();
+      stats_.last_ingest_seconds + stats_.last_postjoin_seconds;
   stats_.total_maintenance_seconds += stats_.last_maintenance_seconds;
   pending_prejoin_seconds_ = 0.0;
+  pending_prejoin_worker_seconds_ = 0.0;
   return s;
 }
 
 Status ScubaEngine::SplitOversizedClusters() {
   const double max_radius = options_.split_radius_factor * options_.theta_d;
-  std::vector<ClusterId> cids;
-  cids.reserve(store_.ClusterCount());
-  for (const auto& [cid, cluster] : store_.clusters()) {
-    (void)cluster;
-    cids.push_back(cid);
-  }
+  const std::vector<ClusterId> cids = store_.SortedClusterIds();
   for (ClusterId cid : cids) {
     MovingCluster* cluster = store_.GetCluster(cid);
     SCUBA_CHECK(cluster != nullptr);
     cluster->RecomputeTightBounds();
     if (!ShouldSplit(*cluster, max_radius)) continue;
-    Result<SplitResult> split = SplitCluster(*cluster, store_.NextClusterId(),
-                                             store_.NextClusterId());
+    // Allocated in named locals: as function arguments the two calls could
+    // run in either order, leaving left/right id assignment unspecified.
+    const ClusterId left_id = store_.NextClusterId();
+    const ClusterId right_id = store_.NextClusterId();
+    Result<SplitResult> split = SplitCluster(*cluster, left_id, right_id);
     if (!split.ok()) continue;  // co-located members etc.: keep as-is
     SCUBA_RETURN_IF_ERROR(grid_.Remove(cid));
     SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cid));
@@ -114,42 +158,98 @@ Status ScubaEngine::SplitOversizedClusters() {
   return Status::OK();
 }
 
-Status ScubaEngine::PostJoinMaintenance(Timestamp now) {
+Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds) {
+  *worker_seconds = 0.0;
   if (options_.enable_cluster_splitting) {
     SCUBA_RETURN_IF_ERROR(SplitOversizedClusters());
   }
-  // Collect ids first; dissolution mutates the store.
-  std::vector<ClusterId> cids;
-  cids.reserve(store_.ClusterCount());
-  for (const auto& [cid, cluster] : store_.clusters()) {
-    (void)cluster;
-    cids.push_back(cid);
-  }
-
+  // Collect ids first; dissolution mutates the store. Sorted so the serial
+  // and sharded paths walk the exact same sequence.
+  const std::vector<ClusterId> cids = store_.SortedClusterIds();
   const double nucleus = shedder_.nucleus_radius();
-  for (ClusterId cid : cids) {
-    MovingCluster* cluster = store_.GetCluster(cid);
-    SCUBA_CHECK(cluster != nullptr);
-    cluster->RecomputeTightBounds();
-    if (nucleus > 0.0) {
-      phase_stats_.members_shed_maintenance += cluster->ShedPositions(nucleus);
+
+  if (resolved_ingest_threads_ <= 1 || cids.size() <= 1) {
+    Stopwatch serial;
+    for (ClusterId cid : cids) {
+      MovingCluster* cluster = store_.GetCluster(cid);
+      SCUBA_CHECK(cluster != nullptr);
+      cluster->RecomputeTightBounds();
+      if (nucleus > 0.0) {
+        phase_stats_.members_shed_maintenance +=
+            cluster->ShedPositions(nucleus);
+      }
+      // Dissolve clusters that pass their destination before the next round
+      // (paper: "If at time T + Delta the cluster passes its destination
+      // node, the cluster gets dissolved."). Members re-cluster with their
+      // next updates.
+      Timestamp expiry = cluster->ComputeExpiryTime(now);
+      if (expiry <= now + options_.delta) {
+        SCUBA_RETURN_IF_ERROR(grid_.Remove(cid));
+        SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cid));
+        ++phase_stats_.clusters_dissolved_expired;
+        continue;
+      }
+      // Relocate to the expected position at the next evaluation time.
+      cluster->Translate(cluster->Velocity() *
+                         static_cast<double>(options_.delta));
+      SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, cluster,
+                                            options_.query_reach_aware,
+                                            options_.grid_sync_padding));
     }
-    // Dissolve clusters that pass their destination before the next round
-    // (paper: "If at time T + Delta the cluster passes its destination node,
-    // the cluster gets dissolved."). Members re-cluster with their next
-    // updates.
-    Timestamp expiry = cluster->ComputeExpiryTime(now);
-    if (expiry <= now + options_.delta) {
-      SCUBA_RETURN_IF_ERROR(grid_.Remove(cid));
-      SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cid));
-      ++phase_stats_.clusters_dissolved_expired;
-      continue;
+    *worker_seconds = serial.ElapsedSeconds();
+  } else {
+    // Sharded upkeep: each task pulls cluster chunks and runs the purely
+    // per-cluster work (tighten, shed, expiry check, translate, grid-sync
+    // planning) on the live cluster — clusters are disjoint, the store and
+    // grid are only read. Dissolutions and re-registrations are recorded per
+    // cluster and applied below in ascending cid order, which is exactly the
+    // serial loop's mutation sequence.
+    struct Outcome {
+      uint64_t shed = 0;
+      bool dissolve = false;
+      bool resync = false;
+      Circle registration;
+    };
+    std::vector<Outcome> outcomes(cids.size());
+    std::atomic<size_t> cursor{0};
+    constexpr size_t kChunk = 16;
+    *worker_seconds = RunTaskSet(
+        IngestPool(), resolved_ingest_threads_, [&](uint32_t) {
+          for (;;) {
+            size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+            if (begin >= cids.size()) break;
+            size_t end = std::min(cids.size(), begin + kChunk);
+            for (size_t i = begin; i < end; ++i) {
+              MovingCluster* cluster = store_.GetCluster(cids[i]);
+              SCUBA_CHECK(cluster != nullptr);
+              Outcome& out = outcomes[i];
+              cluster->RecomputeTightBounds();
+              if (nucleus > 0.0) out.shed = cluster->ShedPositions(nucleus);
+              if (cluster->ComputeExpiryTime(now) <= now + options_.delta) {
+                out.dissolve = true;
+                continue;
+              }
+              cluster->Translate(cluster->Velocity() *
+                                 static_cast<double>(options_.delta));
+              out.resync = PlanClusterGridSync(
+                  grid_, cluster, options_.query_reach_aware,
+                  options_.grid_sync_padding, &out.registration);
+            }
+          }
+        });
+    for (size_t i = 0; i < cids.size(); ++i) {
+      phase_stats_.members_shed_maintenance += outcomes[i].shed;
+      if (outcomes[i].dissolve) {
+        SCUBA_RETURN_IF_ERROR(grid_.Remove(cids[i]));
+        SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cids[i]));
+        ++phase_stats_.clusters_dissolved_expired;
+      } else if (outcomes[i].resync) {
+        SCUBA_RETURN_IF_ERROR(
+            grid_.Contains(cids[i])
+                ? grid_.Update(cids[i], outcomes[i].registration)
+                : grid_.Insert(cids[i], outcomes[i].registration));
+      }
     }
-    // Relocate to the expected position at the next evaluation time.
-    cluster->Translate(cluster->Velocity() * static_cast<double>(options_.delta));
-    SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, cluster,
-                                          options_.query_reach_aware,
-                                          options_.grid_sync_padding));
   }
 
   // Feed the shedder and propagate the (possibly new) nucleus radius to the

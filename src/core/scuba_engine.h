@@ -19,9 +19,11 @@
 #define SCUBA_CORE_SCUBA_ENGINE_H_
 
 #include <memory>
+#include <span>
 
 #include "cluster/cluster_store.h"
 #include "cluster/leader_follower.h"
+#include "common/thread_pool.h"
 #include "core/cluster_join.h"
 #include "core/load_shedder.h"
 #include "core/query_processor.h"
@@ -46,6 +48,14 @@ class ScubaEngine : public QueryProcessor {
   std::string_view name() const override { return "scuba"; }
   Status IngestObjectUpdate(const LocationUpdate& update) override;
   Status IngestQueryUpdate(const QueryUpdate& update) override;
+  /// Batched ingest: classification runs on ingest_threads worker tasks, all
+  /// store/grid mutations are applied in a deterministic merge, so the
+  /// resulting engine state is bit-identical to the per-update calls (all
+  /// objects, then all queries) at any thread count. Unlike the per-update
+  /// path, the whole batch is validated up front: an invalid update rejects
+  /// the batch before anything is ingested.
+  Status IngestBatch(std::span<const LocationUpdate> objects,
+                     std::span<const QueryUpdate> queries) override;
   Status Evaluate(Timestamp now, ResultSet* results) override;
   size_t EstimateMemoryUsage() const override;
   const EvalStats& stats() const override { return stats_; }
@@ -66,12 +76,21 @@ class ScubaEngine : public QueryProcessor {
  private:
   ScubaEngine(const ScubaOptions& options, GridIndex grid);
 
-  /// Phase 3 (see class comment).
-  Status PostJoinMaintenance(Timestamp now);
+  /// Phase 3 (see class comment). Per-cluster upkeep (tighten, shed, expiry,
+  /// translate) is sharded over ingest_threads tasks; dissolutions and grid
+  /// re-registrations are planned per task and applied serially in ascending
+  /// cid order, so the outcome matches the serial loop exactly.
+  /// `*worker_seconds` receives the summed per-task busy time.
+  Status PostJoinMaintenance(Timestamp now, double* worker_seconds);
 
   /// Splits clusters whose radius deteriorated past the configured bound
   /// (runs inside phase 3 when enable_cluster_splitting is set).
   Status SplitOversizedClusters();
+
+  /// Shared worker pool for batched ingest and post-join maintenance,
+  /// created lazily on first parallel use; nullptr while ingest_threads
+  /// resolves to 1 (the serial paths never construct a pool).
+  ThreadPool* IngestPool();
 
   ScubaOptions options_;
   GridIndex grid_;
@@ -81,8 +100,12 @@ class ScubaEngine : public QueryProcessor {
   ClusterJoinExecutor join_executor_;
   EvalStats stats_;
   ScubaPhaseStats phase_stats_;
-  /// Pre-join (ingest) time accumulated since the last Evaluate.
+  uint32_t resolved_ingest_threads_ = 1;
+  std::unique_ptr<ThreadPool> ingest_pool_;
+  /// Pre-join (ingest) wall / summed-worker time accumulated since the last
+  /// Evaluate.
   double pending_prejoin_seconds_ = 0.0;
+  double pending_prejoin_worker_seconds_ = 0.0;
 };
 
 }  // namespace scuba

@@ -29,6 +29,9 @@ Status ScubaOptions::Validate() const {
   if (join_threads > 1024) {
     return Status::InvalidArgument("join_threads must be in [0, 1024]");
   }
+  if (ingest_threads > 1024) {
+    return Status::InvalidArgument("ingest_threads must be in [0, 1024]");
+  }
   if (shedding.eta < 0.0 || shedding.eta > 1.0) {
     return Status::InvalidArgument("shedding eta must be in [0, 1]");
   }

@@ -70,6 +70,12 @@ struct ScubaOptions {
   /// serial execution on the calling thread, bit-identical to the historical
   /// single-threaded engine. Results are deterministic for every value.
   uint32_t join_threads = 1;
+  /// Worker tasks for batched ingestion and post-join maintenance: updates
+  /// are classified and clusters maintained in parallel against a read-only
+  /// snapshot, with all mutations applied in a deterministic serial merge.
+  /// 0 = hardware concurrency; 1 (default) = the historical serial
+  /// per-update path. Output is bit-identical for every value.
+  uint32_t ingest_threads = 1;
 
   LoadSheddingOptions shedding;
 

@@ -5,7 +5,7 @@
 namespace scuba {
 
 std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
-  char buf[400];
+  char buf[512];
   int n = std::snprintf(
       buf, sizeof(buf),
       "%-14.*s evals=%llu join=%.4fs maint=%.4fs results=%llu "
@@ -19,9 +19,19 @@ std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
       static_cast<unsigned long long>(stats.cluster_pairs_tested));
   if (stats.join_threads > 1 && n > 0 &&
       static_cast<size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " threads=%u speedup=%.2fx", stats.join_threads,
+                       JoinParallelSpeedup(stats));
+  }
+  // The ingest/post-join split appears only for parallel ingest, so serial
+  // configurations keep the historical one-line format byte for byte.
+  if (stats.ingest_threads > 1 && n > 0 &&
+      static_cast<size_t>(n) < sizeof(buf)) {
     std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                  " threads=%u speedup=%.2fx", stats.join_threads,
-                  JoinParallelSpeedup(stats));
+                  " ingest=%.4fs postjoin=%.4fs ingest-threads=%u "
+                  "ingest-speedup=%.2fx",
+                  stats.total_ingest_seconds, stats.total_postjoin_seconds,
+                  stats.ingest_threads, IngestParallelSpeedup(stats));
   }
   return buf;
 }
@@ -51,6 +61,16 @@ double JoinParallelSpeedup(const EvalStats& stats) {
 double JoinParallelEfficiency(const EvalStats& stats) {
   if (stats.join_threads == 0) return 0.0;
   return JoinParallelSpeedup(stats) / static_cast<double>(stats.join_threads);
+}
+
+double IngestParallelSpeedup(const EvalStats& stats) {
+  if (stats.total_ingest_seconds <= 0.0) return 0.0;
+  return stats.total_ingest_worker_seconds / stats.total_ingest_seconds;
+}
+
+double PostJoinParallelSpeedup(const EvalStats& stats) {
+  if (stats.total_postjoin_seconds <= 0.0) return 0.0;
+  return stats.total_postjoin_worker_seconds / stats.total_postjoin_seconds;
 }
 
 }  // namespace scuba

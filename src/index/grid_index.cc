@@ -89,19 +89,24 @@ Status GridIndex::Insert(uint32_t key, const Rect& bounds) {
   return InsertIntoCells(key, std::move(cell_ids));
 }
 
-Status GridIndex::Insert(uint32_t key, const Circle& c) {
+void GridIndex::CellsForCircle(const Circle& c,
+                               std::vector<uint32_t>* out) const {
   Rect box{c.center.x - c.radius, c.center.y - c.radius,
            c.center.x + c.radius, c.center.y + c.radius};
   std::vector<uint32_t> candidates;
   CellsOverlapping(box, &candidates);
   // Refine: keep only cells the disk actually touches (matters for large
   // radii, where the bounding box covers up to 27% more cells).
-  std::vector<uint32_t> cell_ids;
-  cell_ids.reserve(candidates.size());
+  size_t first_new = out->size();
   for (uint32_t cell : candidates) {
-    if (Intersects(CellBounds(cell), c)) cell_ids.push_back(cell);
+    if (Intersects(CellBounds(cell), c)) out->push_back(cell);
   }
-  if (cell_ids.empty()) cell_ids.push_back(CellIndexOf(c.center));
+  if (out->size() == first_new) out->push_back(CellIndexOf(c.center));
+}
+
+Status GridIndex::Insert(uint32_t key, const Circle& c) {
+  std::vector<uint32_t> cell_ids;
+  CellsForCircle(c, &cell_ids);
   return InsertIntoCells(key, std::move(cell_ids));
 }
 
@@ -139,6 +144,11 @@ Status GridIndex::Update(uint32_t key, const Rect& bounds) {
 Status GridIndex::Update(uint32_t key, const Circle& c) {
   SCUBA_RETURN_IF_ERROR(Remove(key));
   return Insert(key, c);
+}
+
+void GridIndex::CellsForRect(const Rect& r, std::vector<uint32_t>* out) const {
+  if (r.Empty()) return;
+  CellsOverlapping(r, out);
 }
 
 void GridIndex::CollectInRect(const Rect& r, std::vector<uint32_t>* out) const {

@@ -82,6 +82,16 @@ class GridIndex {
     return cells_[CellIndexOf(p)];
   }
 
+  /// Appends the exact cell set Insert(key, c) would register `key` in —
+  /// bounding-box cells refined by a circle-cell intersection test, with the
+  /// center cell as fallback. Pure geometry (no index state), so callers may
+  /// plan registrations concurrently with readers.
+  void CellsForCircle(const Circle& c, std::vector<uint32_t>* out) const;
+
+  /// Appends every cell overlapping `r` (row-major). Pure geometry, like
+  /// CellsForCircle; the cell set a rect probe (CollectInRect) reads from.
+  void CellsForRect(const Rect& r, std::vector<uint32_t>* out) const;
+
   /// Appends (deduplicated) keys registered in any cell overlapping `r`.
   void CollectInRect(const Rect& r, std::vector<uint32_t>* out) const;
 

@@ -38,12 +38,9 @@ Status StreamPipeline::RunTicks(int ticks, const ResultSink& sink) {
     object_buffer_.clear();
     query_buffer_.clear();
     simulator_->EmitUpdates(update_fraction_, &object_buffer_, &query_buffer_);
-    for (const LocationUpdate& u : object_buffer_) {
-      SCUBA_RETURN_IF_ERROR(engine_->IngestObjectUpdate(u));
-    }
-    for (const QueryUpdate& u : query_buffer_) {
-      SCUBA_RETURN_IF_ERROR(engine_->IngestQueryUpdate(u));
-    }
+    // One tick = one batch: engines with a parallel ingest path classify the
+    // whole tick at once; the default implementation loops per update.
+    SCUBA_RETURN_IF_ERROR(engine_->IngestBatch(object_buffer_, query_buffer_));
     if (evaluate) {
       SCUBA_RETURN_IF_ERROR(engine_->Evaluate(clock_.now(), &results));
       ++evaluations_;
@@ -64,12 +61,8 @@ Status ReplayTrace(const Trace& trace, QueryProcessor* engine, Timestamp delta,
   ResultSet results;
   for (size_t i = 0; i < trace.TickCount(); ++i) {
     const TickBatch& batch = trace.batch(i);
-    for (const LocationUpdate& u : batch.object_updates) {
-      SCUBA_RETURN_IF_ERROR(engine->IngestObjectUpdate(u));
-    }
-    for (const QueryUpdate& u : batch.query_updates) {
-      SCUBA_RETURN_IF_ERROR(engine->IngestQueryUpdate(u));
-    }
+    SCUBA_RETURN_IF_ERROR(
+        engine->IngestBatch(batch.object_updates, batch.query_updates));
     if ((i + 1) % static_cast<size_t>(delta) == 0) {
       SCUBA_RETURN_IF_ERROR(engine->Evaluate(batch.time, &results));
       if (sink) sink(batch.time, results);

@@ -310,6 +310,43 @@ TEST(MovingClusterTest, TranslationCarriesShedMembers) {
   EXPECT_TRUE(ApproxEqual(after, before + Vec2{7, 7}, 1e-9));
 }
 
+TEST(MovingClusterTest, MemberIndexSurvivesSwapAndPop) {
+  // RemoveMember fills the hole with the tail member; every other member's
+  // index changes under it. The id->index map must track those moves so
+  // lookups stay O(1)-correct through arbitrary churn.
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  for (uint32_t i = 2; i <= 12; ++i) {
+    c.AbsorbObject(Obj(i, {static_cast<double>(i), 0}));
+  }
+  // Remove from the middle, front-of-tail, and head of the member vector.
+  for (uint32_t victim : {6u, 12u, 1u, 3u}) {
+    ASSERT_TRUE(c.RemoveMember({EntityKind::kObject, victim}).ok());
+    EXPECT_EQ(c.FindMember({EntityKind::kObject, victim}), nullptr);
+    for (const ClusterMember& m : c.members()) {
+      const ClusterMember* found = c.FindMember(m.Ref());
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found, &m) << "index points at the wrong slot for id " << m.id;
+    }
+  }
+  // Updates must land on the member that was swapped into a new slot.
+  ASSERT_TRUE(c.UpdateObjectMember(Obj(11, {99, 0})).ok());
+  const ClusterMember* moved = c.FindMember({EntityKind::kObject, 11});
+  ASSERT_NE(moved, nullptr);
+  EXPECT_TRUE(ApproxEqual(c.MemberPosition(*moved), Point{99, 0}, 1e-9));
+}
+
+TEST(MovingClusterTest, MemoryEstimateIncludesMemberIndex) {
+  MovingCluster c = MovingCluster::FromObject(0, Obj(1, {0, 0}));
+  for (uint32_t i = 2; i <= 64; ++i) {
+    c.AbsorbObject(Obj(i, {static_cast<double>(i % 7), 0}));
+  }
+  // The estimate must account for the id->index side map, not just the
+  // member vector.
+  size_t vector_only =
+      sizeof(MovingCluster) + c.members().capacity() * sizeof(ClusterMember);
+  EXPECT_GT(c.EstimateMemoryUsage(), vector_only);
+}
+
 // Property: random absorb/update/remove sequences keep the centroid equal to
 // the mean of reconstructed member positions and the radius covering.
 class ClusterInvariantTest : public ::testing::TestWithParam<uint64_t> {};

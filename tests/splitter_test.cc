@@ -164,6 +164,54 @@ TEST(EngineSplittingTest, EngineSplitsDeterioratedClusters) {
   EXPECT_EQ((*engine)->cluster_grid().size(), 2u);
 }
 
+TEST(EngineSplittingTest, SplitIdsAreStable) {
+  // Regression: the two replacement ids were once allocated by calling
+  // store_.NextClusterId() twice inside SplitCluster's argument list, where
+  // C++ leaves the evaluation order unspecified — left/right could swap ids
+  // depending on the compiler. The ids are now taken in named locals, so the
+  // left partition always receives the lower id.
+  auto build = [] {
+    ScubaOptions opt;
+    opt.enable_cluster_splitting = true;
+    opt.split_radius_factor = 0.5;
+    std::unique_ptr<ScubaEngine> engine =
+        std::move(ScubaEngine::Create(opt).value());
+    EXPECT_TRUE(engine->IngestObjectUpdate(Obj(1, {100, 100})).ok());
+    EXPECT_TRUE(engine->IngestObjectUpdate(Obj(2, {160, 100})).ok());
+    EXPECT_TRUE(engine->IngestObjectUpdate(Obj(3, {160, 100})).ok());
+    EXPECT_TRUE(engine->IngestObjectUpdate(Obj(1, {50, 100})).ok());
+    EXPECT_TRUE(engine->IngestObjectUpdate(Obj(3, {222, 100})).ok());
+    ResultSet results;
+    EXPECT_TRUE(engine->Evaluate(2, &results).ok());
+    return engine;
+  };
+
+  std::unique_ptr<ScubaEngine> engine = build();
+  ASSERT_EQ(engine->phase_stats().clusters_split, 1u);
+  // The original cluster had id 0; the split consumes ids 1 (left) and 2
+  // (right) in that order.
+  const std::vector<ClusterId> ids = engine->store().SortedClusterIds();
+  ASSERT_EQ(ids, (std::vector<ClusterId>{1, 2}));
+  const MovingCluster* left = engine->store().GetCluster(1);
+  const MovingCluster* right = engine->store().GetCluster(2);
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  // The id -> partition mapping is pinned, not merely the id set: a swapped
+  // allocation order would pass a set-equality check but flip the
+  // partitions. For this workload 2-means assigns the {160, 222} blob to the
+  // left (lower-id) cluster and the lone x=50 member to the right.
+  EXPECT_NE(left->FindMember({EntityKind::kObject, 2}), nullptr);
+  EXPECT_NE(left->FindMember({EntityKind::kObject, 3}), nullptr);
+  EXPECT_NE(right->FindMember({EntityKind::kObject, 1}), nullptr);
+  EXPECT_GT(left->centroid().x, right->centroid().x);
+
+  // And the whole outcome is reproducible run to run.
+  std::unique_ptr<ScubaEngine> again = build();
+  EXPECT_EQ(again->store().SortedClusterIds(), ids);
+  EXPECT_EQ(again->store().GetCluster(1)->centroid(), left->centroid());
+  EXPECT_EQ(again->store().GetCluster(2)->centroid(), right->centroid());
+}
+
 TEST(EngineSplittingTest, ValidatesFactor) {
   ScubaOptions opt;
   opt.enable_cluster_splitting = true;

@@ -211,6 +211,8 @@ int CmdRun(const Flags& flags) {
   double eta = flags.GetDouble("eta", 0.0);
   bool splitting = flags.GetBool("splitting", false);
   uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  uint32_t ingest_threads =
+      static_cast<uint32_t>(flags.GetInt("ingest-threads", 1));
   bool quiet = flags.GetBool("quiet", false);
   std::string csv_path = flags.GetString("csv", "");
   Status consumed = flags.CheckAllConsumed();
@@ -230,6 +232,7 @@ int CmdRun(const Flags& flags) {
     opt.delta = delta;
     opt.enable_cluster_splitting = splitting;
     opt.join_threads = threads;
+    opt.ingest_threads = ingest_threads;
     if (eta > 0.0) {
       opt.shedding.mode = LoadSheddingMode::kFixed;
       opt.shedding.eta = eta;
@@ -285,6 +288,8 @@ int CmdCompare(const Flags& flags) {
   Timestamp delta = flags.GetInt("delta", 2);
   double eta = flags.GetDouble("eta", 0.0);
   uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  uint32_t ingest_threads =
+      static_cast<uint32_t>(flags.GetInt("ingest-threads", 1));
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
@@ -296,6 +301,7 @@ int CmdCompare(const Flags& flags) {
   opt.region = region;
   opt.delta = delta;
   opt.join_threads = threads;
+  opt.ingest_threads = ingest_threads;
   if (eta > 0.0) {
     opt.shedding.mode = LoadSheddingMode::kFixed;
     opt.shedding.eta = eta;
@@ -373,9 +379,10 @@ int Usage() {
       "                  --query-filter F --seed N]\n"
       "  run             --trace FILE [--engine scuba|grid|naive --delta N\n"
       "                  --grid-cells N --theta-d F --theta-s F --eta F\n"
-      "                  --threads N (0 = all cores) --splitting --quiet\n"
-      "                  --csv FILE]\n"
-      "  compare         --trace FILE [--delta N --eta F --threads N]\n"
+      "                  --threads N (0 = all cores) --ingest-threads N\n"
+      "                  --splitting --quiet --csv FILE]\n"
+      "  compare         --trace FILE [--delta N --eta F --threads N\n"
+      "                  --ingest-threads N]\n"
       "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n");
   return 1;
 }
