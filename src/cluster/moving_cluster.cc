@@ -348,6 +348,38 @@ bool MovingCluster::ShedMemberIfInNucleus(EntityRef ref, double nucleus_radius) 
   return true;
 }
 
+Status MovingCluster::ValidateMemberIndex() const {
+  if (member_index_.size() != members_.size()) {
+    return Status::Internal(
+        "cluster " + std::to_string(cid_) + ": member index has " +
+        std::to_string(member_index_.size()) + " entries for " +
+        std::to_string(members_.size()) + " members");
+  }
+  size_t objects = 0;
+  size_t queries = 0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const ClusterMember& m = members_[i];
+    (m.kind == EntityKind::kObject ? objects : queries) += 1;
+    auto it = member_index_.find(m.Ref());
+    if (it == member_index_.end() || it->second != i) {
+      return Status::Internal(
+          "cluster " + std::to_string(cid_) + ": member " +
+          std::to_string(m.id) + " at slot " + std::to_string(i) +
+          (it == member_index_.end() ? " missing from the index"
+                                     : " indexed at slot " +
+                                           std::to_string(it->second)));
+    }
+  }
+  if (objects != object_count_ || queries != query_count_) {
+    return Status::Internal(
+        "cluster " + std::to_string(cid_) + ": counted " +
+        std::to_string(objects) + "/" + std::to_string(queries) +
+        " object/query members but records " + std::to_string(object_count_) +
+        "/" + std::to_string(query_count_));
+  }
+  return Status::OK();
+}
+
 size_t MovingCluster::EstimateMemoryUsage() const {
   // A maintained member pays for its full record; a shed member's position
   // state (polar coordinate + anchor) is discarded (paper §5).

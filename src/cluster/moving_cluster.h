@@ -158,6 +158,12 @@ class MovingCluster {
   /// has_nucleus().
   Point NucleusCenter() const { return nucleus_anchor_ + translation_; }
 
+  /// Verifies the member bookkeeping invariants: the id->index side map is a
+  /// exact bijection onto members_, and object/query counts match the member
+  /// tally. Internal status naming the first violation; OK otherwise. Audit
+  /// aid (ScubaEngine::AuditInvariants).
+  Status ValidateMemberIndex() const;
+
   /// Analytic heap bytes. Shed members do not pay for position state (the
   /// paper's memory saving); maintained members pay the full member record.
   size_t EstimateMemoryUsage() const;

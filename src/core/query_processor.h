@@ -58,6 +58,16 @@ struct EvalStats {
   double total_ingest_worker_seconds = 0.0;
   double last_postjoin_worker_seconds = 0.0;
   double total_postjoin_worker_seconds = 0.0;
+  /// Stream hardening (docs/ARCHITECTURE.md §7). Updates dropped by the
+  /// engine's own ingest screening under BadUpdatePolicy::kQuarantine/kRepair
+  /// (tuples an upstream UpdateValidator already removed are not counted
+  /// here).
+  uint64_t updates_quarantined = 0;
+  /// Invariant-audit lifecycle: audits run, violations detected across them,
+  /// and grid rebuilds performed to heal a detected divergence.
+  uint64_t invariant_audits = 0;
+  uint64_t invariant_violations = 0;
+  uint64_t invariant_repairs = 0;
 };
 
 class QueryProcessor {

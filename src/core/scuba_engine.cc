@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cluster/splitter.h"
@@ -10,6 +11,40 @@
 #include "common/stopwatch.h"
 
 namespace scuba {
+
+namespace {
+
+/// Absolute slack for the audit's distance comparisons: it re-derives
+/// quantities (radii, coverage) that the engine accumulated incrementally in
+/// a different floating-point order.
+constexpr double kAuditEps = 1e-6;
+
+void AddViolation(InvariantAuditReport* report, std::string msg) {
+  ++report->violations_total;
+  if (report->violations.size() < InvariantAuditReport::kMaxViolationMessages) {
+    report->violations.push_back(std::move(msg));
+  }
+}
+
+}  // namespace
+
+std::string InvariantAuditReport::ToString() const {
+  if (clean()) {
+    return "clean (" + std::to_string(clusters_checked) + " clusters, " +
+           std::to_string(members_checked) + " members, " +
+           std::to_string(grid_keys_checked) + " grid keys)";
+  }
+  std::string out = std::to_string(violations_total) + " violation(s):";
+  for (const std::string& v : violations) {
+    out += "\n  ";
+    out += v;
+  }
+  if (violations_total > violations.size()) {
+    out += "\n  ... and " +
+           std::to_string(violations_total - violations.size()) + " more";
+  }
+  return out;
+}
 
 Result<std::unique_ptr<ScubaEngine>> ScubaEngine::Create(
     const ScubaOptions& options) {
@@ -49,7 +84,11 @@ ThreadPool* ScubaEngine::IngestPool() {
 }
 
 Status ScubaEngine::IngestObjectUpdate(const LocationUpdate& update) {
-  SCUBA_RETURN_IF_ERROR(ValidateUpdate(update));
+  if (Status v = ValidateUpdate(update); !v.ok()) {
+    if (options_.on_bad_update == BadUpdatePolicy::kStrict) return v;
+    ++stats_.updates_quarantined;
+    return Status::OK();
+  }
   Stopwatch sw;
   Status s = clusterer_.ProcessObjectUpdate(update);
   const double elapsed = sw.ElapsedSeconds();
@@ -59,7 +98,11 @@ Status ScubaEngine::IngestObjectUpdate(const LocationUpdate& update) {
 }
 
 Status ScubaEngine::IngestQueryUpdate(const QueryUpdate& update) {
-  SCUBA_RETURN_IF_ERROR(ValidateUpdate(update));
+  if (Status v = ValidateUpdate(update); !v.ok()) {
+    if (options_.on_bad_update == BadUpdatePolicy::kStrict) return v;
+    ++stats_.updates_quarantined;
+    return Status::OK();
+  }
   Stopwatch sw;
   Status s = clusterer_.ProcessQueryUpdate(update);
   const double elapsed = sw.ElapsedSeconds();
@@ -70,11 +113,40 @@ Status ScubaEngine::IngestQueryUpdate(const QueryUpdate& update) {
 
 Status ScubaEngine::IngestBatch(std::span<const LocationUpdate> objects,
                                 std::span<const QueryUpdate> queries) {
+  size_t bad = 0;
+  Status first_bad = Status::OK();
   for (const LocationUpdate& u : objects) {
-    SCUBA_RETURN_IF_ERROR(ValidateUpdate(u));
+    if (Status v = ValidateUpdate(u); !v.ok()) {
+      if (first_bad.ok()) first_bad = std::move(v);
+      ++bad;
+    }
   }
   for (const QueryUpdate& u : queries) {
-    SCUBA_RETURN_IF_ERROR(ValidateUpdate(u));
+    if (Status v = ValidateUpdate(u); !v.ok()) {
+      if (first_bad.ok()) first_bad = std::move(v);
+      ++bad;
+    }
+  }
+  // Under non-strict policies the invalid tuples are dropped before the
+  // parallel classification, so the batch quarantines exactly the tuples the
+  // per-update path would skip — the bit-identity contract between the two
+  // ingest paths extends to dirty streams. The clean-batch fast path keeps
+  // working off the caller's spans with no copy.
+  std::vector<LocationUpdate> kept_objects;
+  std::vector<QueryUpdate> kept_queries;
+  if (bad > 0) {
+    if (options_.on_bad_update == BadUpdatePolicy::kStrict) return first_bad;
+    stats_.updates_quarantined += bad;
+    kept_objects.reserve(objects.size());
+    for (const LocationUpdate& u : objects) {
+      if (ValidateUpdate(u).ok()) kept_objects.push_back(u);
+    }
+    kept_queries.reserve(queries.size());
+    for (const QueryUpdate& u : queries) {
+      if (ValidateUpdate(u).ok()) kept_queries.push_back(u);
+    }
+    objects = kept_objects;
+    queries = kept_queries;
   }
   Stopwatch sw;
   double worker = 0.0;
@@ -126,7 +198,111 @@ Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
   stats_.total_maintenance_seconds += stats_.last_maintenance_seconds;
   pending_prejoin_seconds_ = 0.0;
   pending_prejoin_worker_seconds_ = 0.0;
+  if (s.ok() && options_.audit_every_n_rounds > 0 &&
+      stats_.evaluations % options_.audit_every_n_rounds == 0) {
+    SCUBA_RETURN_IF_ERROR(AuditAndHeal());
+  }
   return s;
+}
+
+InvariantAuditReport ScubaEngine::AuditInvariants() const {
+  InvariantAuditReport report;
+  if (Status s = store_.ValidateConsistency(); !s.ok()) {
+    AddViolation(&report, "store: " + s.message());
+  }
+  std::vector<uint32_t> expected_cells;
+  for (ClusterId cid : store_.SortedClusterIds()) {
+    const MovingCluster* cluster = store_.GetCluster(cid);
+    SCUBA_CHECK(cluster != nullptr);
+    ++report.clusters_checked;
+    const std::string tag = "cluster " + std::to_string(cid);
+    if (Status s = cluster->ValidateMemberIndex(); !s.ok()) {
+      AddViolation(&report, tag + ": " + s.message());
+    }
+    // Radius invariant: the bounding circle covers every reconstructed
+    // member position (shed members reconstruct at the nucleus center).
+    for (const ClusterMember& m : cluster->members()) {
+      ++report.members_checked;
+      const double d = Distance(cluster->centroid(), cluster->MemberPosition(m));
+      if (d > cluster->radius() + kAuditEps) {
+        AddViolation(&report, tag + ": member (" +
+                                 std::to_string(static_cast<int>(m.kind)) +
+                                 "," + std::to_string(m.id) + ") lies " +
+                                 std::to_string(d - cluster->radius()) +
+                                 " outside the radius");
+        break;  // one radius violation per cluster is enough signal
+      }
+    }
+    // Grid side: the cluster must be registered, under bounds that cover its
+    // (join) bounds, in exactly the cells its registered circle overlaps.
+    if (!grid_.Contains(cid)) {
+      AddViolation(&report, tag + ": missing from the cluster grid");
+      continue;
+    }
+    const Circle needed =
+        options_.query_reach_aware ? cluster->JoinBounds() : cluster->Bounds();
+    const Circle& reg = cluster->registered_bounds();
+    if (Distance(reg.center, needed.center) + needed.radius >
+        reg.radius + kAuditEps) {
+      AddViolation(&report,
+                   tag + ": registered bounds no longer cover the cluster");
+    }
+    expected_cells.clear();
+    grid_.CellsForCircle(reg, &expected_cells);
+    std::sort(expected_cells.begin(), expected_cells.end());
+    const std::vector<uint32_t>* actual = grid_.CellsOf(cid);
+    SCUBA_CHECK(actual != nullptr);  // grid_.Contains(cid) held above
+    std::vector<uint32_t> actual_sorted = *actual;
+    std::sort(actual_sorted.begin(), actual_sorted.end());
+    if (actual_sorted != expected_cells) {
+      AddViolation(&report, tag + ": grid cell placement diverges (" +
+                               std::to_string(actual_sorted.size()) +
+                               " cells occupied, " +
+                               std::to_string(expected_cells.size()) +
+                               " expected)");
+    }
+  }
+  // Reverse direction: every grid key must name a live cluster.
+  for (uint32_t key : grid_.Keys()) {
+    ++report.grid_keys_checked;
+    if (store_.GetCluster(key) == nullptr) {
+      AddViolation(&report, "grid: orphan key " + std::to_string(key) +
+                                " names no stored cluster");
+    }
+  }
+  return report;
+}
+
+Status ScubaEngine::RebuildGridFromStore() {
+  grid_.Clear();
+  for (ClusterId cid : store_.SortedClusterIds()) {
+    MovingCluster* cluster = store_.GetCluster(cid);
+    SCUBA_CHECK(cluster != nullptr);
+    // Reset the lazy-registration memo so the sync below re-registers from
+    // scratch instead of trusting stale bounds.
+    cluster->set_registered_bounds(Circle{});
+    SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, cluster,
+                                          options_.query_reach_aware,
+                                          options_.grid_sync_padding));
+  }
+  return Status::OK();
+}
+
+Status ScubaEngine::AuditAndHeal() {
+  ++stats_.invariant_audits;
+  const InvariantAuditReport report = AuditInvariants();
+  if (report.clean()) return Status::OK();
+  stats_.invariant_violations += report.violations_total;
+  SCUBA_RETURN_IF_ERROR(RebuildGridFromStore());
+  ++stats_.invariant_repairs;
+  ++stats_.invariant_audits;
+  const InvariantAuditReport recheck = AuditInvariants();
+  if (!recheck.clean()) {
+    return Status::Corruption(
+        "invariant audit still failing after grid rebuild: " +
+        recheck.ToString());
+  }
+  return Status::OK();
 }
 
 Status ScubaEngine::SplitOversizedClusters() {

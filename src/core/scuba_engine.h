@@ -20,6 +20,8 @@
 
 #include <memory>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "cluster/cluster_store.h"
 #include "cluster/leader_follower.h"
@@ -37,6 +39,23 @@ struct ScubaPhaseStats {
   uint64_t clusters_dissolved_expired = 0;
   uint64_t members_shed_maintenance = 0;
   uint64_t clusters_split = 0;
+};
+
+/// Outcome of one ScubaEngine::AuditInvariants() pass: what was checked and
+/// every divergence found (messages capped at kMaxViolationMessages;
+/// violations_total keeps counting past the cap).
+struct InvariantAuditReport {
+  static constexpr size_t kMaxViolationMessages = 32;
+
+  size_t clusters_checked = 0;
+  size_t members_checked = 0;
+  size_t grid_keys_checked = 0;
+  uint64_t violations_total = 0;
+  std::vector<std::string> violations;
+
+  bool clean() const { return violations_total == 0; }
+  /// "clean (N clusters, M members)" or the violation list, one per line.
+  std::string ToString() const;
 };
 
 class ScubaEngine : public QueryProcessor {
@@ -73,7 +92,21 @@ class ScubaEngine : public QueryProcessor {
   /// Current number of moving clusters.
   size_t ClusterCount() const { return store_.ClusterCount(); }
 
+  /// Cross-checks the engine's redundant structures against each other:
+  /// store membership vs home table, per-cluster id->index maps, cluster
+  /// radii vs reconstructed member positions, and grid-index occupancy vs
+  /// each cluster's registered bounds (both directions: every cluster
+  /// registered under covering cells, no orphan grid keys). Read-only.
+  InvariantAuditReport AuditInvariants() const;
+
+  /// Recovery path: drops the whole cluster grid and re-registers every
+  /// stored cluster from scratch (fresh padded bounds). Heals any grid-side
+  /// divergence AuditInvariants can detect; store-side corruption (member
+  /// maps, home table) is not repairable and keeps failing the audit.
+  Status RebuildGridFromStore();
+
  private:
+  friend class ScubaEngineAuditPeer;  ///< Test back door: deliberate desync.
   ScubaEngine(const ScubaOptions& options, GridIndex grid);
 
   /// Phase 3 (see class comment). Per-cluster upkeep (tighten, shed, expiry,
@@ -86,6 +119,11 @@ class ScubaEngine : public QueryProcessor {
   /// Splits clusters whose radius deteriorated past the configured bound
   /// (runs inside phase 3 when enable_cluster_splitting is set).
   Status SplitOversizedClusters();
+
+  /// Periodic audit hook (audit_every_n_rounds): audits, and on violations
+  /// rebuilds the grid and audits again. Corruption if still dirty — the
+  /// divergence is in the store itself and cannot be healed.
+  Status AuditAndHeal();
 
   /// Shared worker pool for batched ingest and post-join maintenance,
   /// created lazily on first parallel use; nullptr while ingest_threads

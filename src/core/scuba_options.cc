@@ -2,6 +2,27 @@
 
 namespace scuba {
 
+std::string_view BadUpdatePolicyName(BadUpdatePolicy policy) {
+  switch (policy) {
+    case BadUpdatePolicy::kStrict:
+      return "strict";
+    case BadUpdatePolicy::kQuarantine:
+      return "quarantine";
+    case BadUpdatePolicy::kRepair:
+      return "repair";
+  }
+  return "unknown";
+}
+
+Result<BadUpdatePolicy> ParseBadUpdatePolicy(std::string_view name) {
+  if (name == "strict") return BadUpdatePolicy::kStrict;
+  if (name == "quarantine") return BadUpdatePolicy::kQuarantine;
+  if (name == "repair") return BadUpdatePolicy::kRepair;
+  return Status::InvalidArgument("unknown bad-update policy: " +
+                                 std::string(name) +
+                                 " (strict|quarantine|repair)");
+}
+
 Status ScubaOptions::Validate() const {
   if (theta_d < 0.0) {
     return Status::InvalidArgument("theta_d must be non-negative");

@@ -27,11 +27,28 @@ std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
   // configurations keep the historical one-line format byte for byte.
   if (stats.ingest_threads > 1 && n > 0 &&
       static_cast<size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " ingest=%.4fs postjoin=%.4fs ingest-threads=%u "
+                       "ingest-speedup=%.2fx",
+                       stats.total_ingest_seconds, stats.total_postjoin_seconds,
+                       stats.ingest_threads, IngestParallelSpeedup(stats));
+  }
+  // Hardening counters appear only when something actually happened, so
+  // clean serial runs keep the historical one-line format byte for byte.
+  if (stats.updates_quarantined > 0 && n > 0 &&
+      static_cast<size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " quarantined=%llu",
+                       static_cast<unsigned long long>(
+                           stats.updates_quarantined));
+  }
+  if (stats.invariant_audits > 0 && n > 0 &&
+      static_cast<size_t>(n) < sizeof(buf)) {
     std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                  " ingest=%.4fs postjoin=%.4fs ingest-threads=%u "
-                  "ingest-speedup=%.2fx",
-                  stats.total_ingest_seconds, stats.total_postjoin_seconds,
-                  stats.ingest_threads, IngestParallelSpeedup(stats));
+                  " audits=%llu violations=%llu repairs=%llu",
+                  static_cast<unsigned long long>(stats.invariant_audits),
+                  static_cast<unsigned long long>(stats.invariant_violations),
+                  static_cast<unsigned long long>(stats.invariant_repairs));
   }
   return buf;
 }

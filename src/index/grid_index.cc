@@ -165,6 +165,17 @@ void GridIndex::CollectInRect(const Rect& r, std::vector<uint32_t>* out) const {
   out->erase(std::unique(out->begin() + first_new, out->end()), out->end());
 }
 
+std::vector<uint32_t> GridIndex::Keys() const {
+  std::vector<uint32_t> keys;
+  keys.reserve(placements_.size());
+  for (const auto& [key, cells] : placements_) {
+    (void)cells;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 void GridIndex::Clear() {
   for (auto& cell : cells_) cell.clear();
   placements_.clear();

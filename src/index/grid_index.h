@@ -82,6 +82,10 @@ class GridIndex {
     return cells_[CellIndexOf(p)];
   }
 
+  /// Every indexed key, ascending. Lets auditors enumerate the index without
+  /// walking all cells (a key in many cells appears once).
+  std::vector<uint32_t> Keys() const;
+
   /// Appends the exact cell set Insert(key, c) would register `key` in —
   /// bounding-box cells refined by a circle-cell intersection test, with the
   /// center cell as fallback. Pure geometry (no index state), so callers may

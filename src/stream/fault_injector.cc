@@ -1,0 +1,261 @@
+#include "stream/fault_injector.h"
+
+#include <cstdio>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scuba {
+
+std::string_view FaultClassName(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kCorruptCoordinate: return "corrupt-coordinate";
+    case FaultClass::kOffMapTeleport: return "off-map-teleport";
+    case FaultClass::kNegativeSpeed: return "negative-speed";
+    case FaultClass::kBadRange: return "bad-range";
+    case FaultClass::kNegativeTimestamp: return "negative-timestamp";
+    case FaultClass::kStaleTimestamp: return "stale-timestamp";
+    case FaultClass::kUnknownDestination: return "unknown-destination";
+    case FaultClass::kDrop: return "drop";
+    case FaultClass::kDuplicate: return "duplicate";
+    case FaultClass::kReorder: return "reorder";
+    case FaultClass::kBurst: return "burst";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::AllFaults(double p, const Rect& region,
+                               uint32_t node_count) {
+  FaultPlan plan;
+  plan.corrupt_coordinate = p;
+  plan.off_map_teleport = p;
+  plan.negative_speed = p;
+  plan.bad_range = p;
+  plan.negative_timestamp = p;
+  plan.stale_timestamp = p;
+  plan.unknown_destination = p;
+  plan.drop = p;
+  plan.duplicate = p;
+  plan.reorder = p;
+  plan.burst = p;
+  plan.region = region;
+  plan.node_count = node_count;
+  return plan;
+}
+
+uint64_t FaultStats::TotalInjected() const {
+  uint64_t total = 0;
+  for (uint64_t count : injected) total += count;
+  return total;
+}
+
+std::string FaultStats::ToString() const {
+  std::string out = "seen=" + std::to_string(tuples_seen) +
+                    " batches=" + std::to_string(batches) +
+                    " injected=" + std::to_string(TotalInjected());
+  for (size_t i = 0; i < kFaultClassCount; ++i) {
+    if (injected[i] == 0) continue;
+    out += ' ';
+    out += FaultClassName(static_cast<FaultClass>(i));
+    out += '=';
+    out += std::to_string(injected[i]);
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
+    : plan_(plan), rng_(seed) {}
+
+std::optional<FaultClass> FaultInjector::RollTupleFault(Timestamp batch_time,
+                                                        bool is_query) {
+  if (rng_.NextBool(plan_.corrupt_coordinate)) {
+    return FaultClass::kCorruptCoordinate;
+  }
+  if (rng_.NextBool(plan_.off_map_teleport)) {
+    return FaultClass::kOffMapTeleport;
+  }
+  if (rng_.NextBool(plan_.negative_speed)) return FaultClass::kNegativeSpeed;
+  if (is_query && rng_.NextBool(plan_.bad_range)) return FaultClass::kBadRange;
+  if (rng_.NextBool(plan_.negative_timestamp)) {
+    return FaultClass::kNegativeTimestamp;
+  }
+  // A stale stamp must land in [0, batch_time); at tick 0 that interval is
+  // empty, so the class is skipped.
+  if (batch_time > 0 && rng_.NextBool(plan_.stale_timestamp)) {
+    return FaultClass::kStaleTimestamp;
+  }
+  if (rng_.NextBool(plan_.unknown_destination)) {
+    return FaultClass::kUnknownDestination;
+  }
+  if (rng_.NextBool(plan_.drop)) return FaultClass::kDrop;
+  if (rng_.NextBool(plan_.duplicate)) return FaultClass::kDuplicate;
+  return std::nullopt;
+}
+
+template <typename UpdateT>
+void FaultInjector::ApplyTupleFault(FaultClass fault, Timestamp batch_time,
+                                    UpdateT* u) {
+  switch (fault) {
+    case FaultClass::kCorruptCoordinate:
+      // Vary which carrier goes non-finite so all validator branches see
+      // traffic over a long run.
+      switch (rng_.NextBounded(4)) {
+        case 0:
+          u->position.x = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case 1:
+          u->position.y = std::numeric_limits<double>::infinity();
+          break;
+        case 2:
+          u->speed = std::numeric_limits<double>::quiet_NaN();
+          break;
+        default:
+          u->dest_position.x = -std::numeric_limits<double>::infinity();
+          break;
+      }
+      break;
+    case FaultClass::kOffMapTeleport:
+      u->position = Point{
+          plan_.region.max_x + (1.0 + rng_.NextDouble()) * plan_.region.Width(),
+          plan_.region.max_y +
+              (1.0 + rng_.NextDouble()) * plan_.region.Height()};
+      break;
+    case FaultClass::kNegativeSpeed:
+      u->speed = -1.0 - rng_.NextDouble(0.0, 10.0);
+      break;
+    case FaultClass::kBadRange:
+      if constexpr (std::is_same_v<UpdateT, QueryUpdate>) {
+        u->range_width = 0.0;
+      }
+      break;
+    case FaultClass::kNegativeTimestamp:
+      u->time = -1 - rng_.NextInt(0, 99);
+      break;
+    case FaultClass::kStaleTimestamp:
+      u->time = rng_.NextInt(0, batch_time - 1);
+      break;
+    case FaultClass::kUnknownDestination:
+      u->dest_node = plan_.node_count == 0
+                         ? kInvalidNodeId
+                         : plan_.node_count +
+                               static_cast<NodeId>(rng_.NextBounded(1000));
+      break;
+    case FaultClass::kDrop:
+    case FaultClass::kDuplicate:
+    case FaultClass::kReorder:
+    case FaultClass::kBurst:
+      break;  // structural faults; nothing to mutate on the tuple
+  }
+}
+
+namespace {
+
+/// Shared per-kind corruption pass: fills `dirty` (the corrupted stream,
+/// duplicates appended at the end) and `clean` (the tuples a perfect
+/// validator admits, in order).
+template <typename UpdateT>
+struct TupleStreams {
+  std::vector<UpdateT> dirty;
+  std::vector<UpdateT> clean;
+};
+
+}  // namespace
+
+void FaultInjector::CorruptBatch(Timestamp batch_time,
+                                 std::vector<LocationUpdate>* objects,
+                                 std::vector<QueryUpdate>* queries,
+                                 std::vector<LocationUpdate>* reference_objects,
+                                 std::vector<QueryUpdate>* reference_queries) {
+  SCUBA_CHECK(objects != nullptr && queries != nullptr);
+  ++stats_.batches;
+
+  // Step 1: reorder before anything else, so the corrupted and reference
+  // streams agree on tuple order (see file comment).
+  if (objects->size() + queries->size() > 1 && rng_.NextBool(plan_.reorder)) {
+    rng_.Shuffle(objects);
+    rng_.Shuffle(queries);
+    ++stats_.injected[static_cast<size_t>(FaultClass::kReorder)];
+  }
+
+  // Step 2: per-tuple faults, one class at most per tuple.
+  TupleStreams<LocationUpdate> obj;
+  obj.dirty.reserve(objects->size());
+  obj.clean.reserve(objects->size());
+  std::vector<LocationUpdate> obj_dups;
+  for (const LocationUpdate& u : *objects) {
+    ++stats_.tuples_seen;
+    std::optional<FaultClass> fault = RollTupleFault(batch_time, false);
+    if (!fault.has_value()) {
+      obj.dirty.push_back(u);
+      obj.clean.push_back(u);
+      continue;
+    }
+    ++stats_.injected[static_cast<size_t>(*fault)];
+    if (*fault == FaultClass::kDrop) continue;
+    if (*fault == FaultClass::kDuplicate) {
+      obj.dirty.push_back(u);
+      obj.clean.push_back(u);
+      obj_dups.push_back(u);
+      continue;
+    }
+    LocationUpdate bad = u;
+    ApplyTupleFault(*fault, batch_time, &bad);
+    obj.dirty.push_back(bad);
+  }
+
+  TupleStreams<QueryUpdate> qry;
+  qry.dirty.reserve(queries->size());
+  qry.clean.reserve(queries->size());
+  std::vector<QueryUpdate> qry_dups;
+  for (const QueryUpdate& u : *queries) {
+    ++stats_.tuples_seen;
+    std::optional<FaultClass> fault = RollTupleFault(batch_time, true);
+    if (!fault.has_value()) {
+      qry.dirty.push_back(u);
+      qry.clean.push_back(u);
+      continue;
+    }
+    ++stats_.injected[static_cast<size_t>(*fault)];
+    if (*fault == FaultClass::kDrop) continue;
+    if (*fault == FaultClass::kDuplicate) {
+      qry.dirty.push_back(u);
+      qry.clean.push_back(u);
+      qry_dups.push_back(u);
+      continue;
+    }
+    QueryUpdate bad = u;
+    ApplyTupleFault(*fault, batch_time, &bad);
+    qry.dirty.push_back(bad);
+  }
+
+  // Step 3: duplicates go at the batch end (their originals precede them).
+  for (LocationUpdate& d : obj_dups) obj.dirty.push_back(std::move(d));
+  for (QueryUpdate& d : qry_dups) qry.dirty.push_back(std::move(d));
+
+  // Step 4: a burst appends many copies of one clean tuple; every copy is a
+  // duplicate the validator must shed.
+  if (rng_.NextBool(plan_.burst) && plan_.burst_size > 0) {
+    if (!obj.clean.empty()) {
+      const LocationUpdate victim = rng_.Pick(obj.clean);
+      for (uint32_t i = 0; i < plan_.burst_size; ++i) {
+        obj.dirty.push_back(victim);
+        ++stats_.injected[static_cast<size_t>(FaultClass::kBurst)];
+      }
+    } else if (!qry.clean.empty()) {
+      const QueryUpdate victim = rng_.Pick(qry.clean);
+      for (uint32_t i = 0; i < plan_.burst_size; ++i) {
+        qry.dirty.push_back(victim);
+        ++stats_.injected[static_cast<size_t>(FaultClass::kBurst)];
+      }
+    }
+  }
+
+  *objects = std::move(obj.dirty);
+  *queries = std::move(qry.dirty);
+  if (reference_objects != nullptr) *reference_objects = std::move(obj.clean);
+  if (reference_queries != nullptr) *reference_queries = std::move(qry.clean);
+}
+
+}  // namespace scuba

@@ -1,0 +1,139 @@
+// FaultInjector: deterministic corruption of update streams, for proving the
+// stream-hardening layer (UpdateValidator, ScubaEngine::AuditInvariants)
+// catches every fault class it claims to (docs/ARCHITECTURE.md §7).
+//
+// The injector decorates batches on their way to an engine: per-tuple faults
+// (NaN coordinates, off-map teleports, negative speeds, zero ranges, negative
+// or stuttering timestamps, unknown destinations, drops) corrupt individual
+// tuples, per-batch faults reorder the batch or append duplicate bursts. All
+// randomness flows through one seeded Rng, so a (seed, plan) pair reproduces
+// the exact same dirty stream every run.
+//
+// Alongside the corrupted batch the injector can emit the *reference* batch:
+// the tuples a perfect validator must admit, in the order it must admit them.
+// Ordering discipline makes that reference exact:
+//   1. reordering shuffles the batch FIRST (both streams see the new order);
+//   2. per-tuple faults then corrupt or drop tuples in place;
+//   3. duplicates and bursts are appended at the batch END, so each copy's
+//      original precedes it and the validator's duplicate check removes
+//      exactly the appended copies.
+// Hence validator(corrupted) == reference tuple-for-tuple, and an engine fed
+// the corrupted stream through a quarantining validator must reach a state
+// bit-identical to one fed the reference stream directly.
+
+#ifndef SCUBA_STREAM_FAULT_INJECTOR_H_
+#define SCUBA_STREAM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "gen/update.h"
+#include "geometry/rect.h"
+
+namespace scuba {
+
+/// Every way the injector can damage a stream. Per-tuple classes map 1:1
+/// onto a validator RejectReason, except kDrop (the tuple simply vanishes;
+/// nothing to reject) and kReorder (a batch permutation; no tuple is bad).
+/// kDuplicate and kBurst both surface as RejectReason::kDuplicateInBatch.
+enum class FaultClass : uint8_t {
+  kCorruptCoordinate = 0,  ///< NaN position -> kNonFinite.
+  kOffMapTeleport,         ///< Position far outside the region -> kOffMap.
+  kNegativeSpeed,          ///< speed < 0 -> kBadSpeed.
+  kBadRange,               ///< Query range zeroed -> kBadRange (queries only).
+  kNegativeTimestamp,      ///< time < 0 -> kNegativeTime.
+  kStaleTimestamp,         ///< time behind the batch tick -> kTimeRegression.
+  kUnknownDestination,     ///< Bogus dest_node -> kUnknownDestNode.
+  kDrop,                   ///< Tuple removed from the stream entirely.
+  kDuplicate,              ///< Copy of a clean tuple appended at batch end.
+  kReorder,                ///< Batch shuffled (counted once per batch).
+  kBurst,                  ///< burst_size copies of one clean tuple appended.
+};
+
+inline constexpr size_t kFaultClassCount = 11;
+
+/// Stable lowercase name ("corrupt-coordinate", "burst", ...).
+std::string_view FaultClassName(FaultClass fault);
+
+/// Injection probabilities. Per-tuple classes roll independently in enum
+/// order and the first hit wins, so each tuple carries at most one fault;
+/// kReorder/kBurst roll once per batch.
+struct FaultPlan {
+  double corrupt_coordinate = 0.0;
+  double off_map_teleport = 0.0;
+  double negative_speed = 0.0;
+  double bad_range = 0.0;
+  double negative_timestamp = 0.0;
+  double stale_timestamp = 0.0;
+  double unknown_destination = 0.0;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double burst = 0.0;
+  uint32_t burst_size = 8;
+
+  /// Map region off-map teleports jump out of. Required (non-empty) when
+  /// off_map_teleport > 0.
+  Rect region{0.0, 0.0, 0.0, 0.0};
+  /// Road-network node count unknown destinations are pushed past. When 0,
+  /// unknown destinations use the kInvalidNodeId sentinel instead.
+  uint32_t node_count = 0;
+
+  /// Every fault class at probability `p` (burst/reorder included).
+  static FaultPlan AllFaults(double p, const Rect& region, uint32_t node_count);
+};
+
+struct FaultStats {
+  uint64_t tuples_seen = 0;
+  uint64_t batches = 0;
+  uint64_t injected[kFaultClassCount] = {};
+
+  uint64_t Injected(FaultClass fault) const {
+    return injected[static_cast<size_t>(fault)];
+  }
+  uint64_t TotalInjected() const;
+  /// "seen=N injected=M corrupt-coordinate=2 ..." (nonzero classes only).
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t seed);
+
+  /// Corrupts one batch in place. `batch_time` is the tick the batch belongs
+  /// to; stale-timestamp faults need it positive (they regress a tuple into
+  /// [0, batch_time) and are skipped at tick 0). When `reference_objects` /
+  /// `reference_queries` are non-null they receive the admissible tuples in
+  /// admission order (see file comment); pass nullptr when only the dirty
+  /// stream is wanted.
+  void CorruptBatch(Timestamp batch_time,
+                    std::vector<LocationUpdate>* objects,
+                    std::vector<QueryUpdate>* queries,
+                    std::vector<LocationUpdate>* reference_objects,
+                    std::vector<QueryUpdate>* reference_queries);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  /// Rolls the per-tuple classes in enum order; nullopt = tuple stays clean.
+  /// `is_query` gates kBadRange.
+  std::optional<FaultClass> RollTupleFault(Timestamp batch_time, bool is_query);
+
+  /// Applies a per-tuple fault to the common fields; kBadRange is handled by
+  /// the query-side caller.
+  template <typename UpdateT>
+  void ApplyTupleFault(FaultClass fault, Timestamp batch_time, UpdateT* u);
+
+  FaultPlan plan_;
+  FaultStats stats_;
+  Rng rng_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_STREAM_FAULT_INJECTOR_H_

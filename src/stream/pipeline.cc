@@ -1,5 +1,8 @@
 #include "stream/pipeline.h"
 
+#include <limits>
+#include <string>
+
 #include "common/check.h"
 
 namespace scuba {
@@ -7,26 +10,31 @@ namespace scuba {
 Result<StreamPipeline> StreamPipeline::Create(ObjectSimulator* simulator,
                                               QueryProcessor* engine,
                                               Timestamp delta,
-                                              double update_fraction) {
+                                              double update_fraction,
+                                              UpdateValidator* validator) {
   if (simulator == nullptr || engine == nullptr) {
     return Status::InvalidArgument("simulator and engine must be non-null");
   }
-  if (update_fraction < 0.0 || update_fraction > 1.0) {
+  // Negated containment so NaN (which fails every comparison) is rejected
+  // rather than slipping past a `< 0 || > 1` range test.
+  if (!(update_fraction >= 0.0 && update_fraction <= 1.0)) {
     return Status::InvalidArgument("update_fraction must be in [0, 1]");
   }
   Result<SimulationClock> clock = SimulationClock::Create(delta);
   if (!clock.ok()) return clock.status();
   return StreamPipeline(simulator, engine, std::move(clock).value(),
-                        update_fraction);
+                        update_fraction, validator);
 }
 
 StreamPipeline::StreamPipeline(ObjectSimulator* simulator,
                                QueryProcessor* engine, SimulationClock clock,
-                               double update_fraction)
+                               double update_fraction,
+                               UpdateValidator* validator)
     : simulator_(simulator),
       engine_(engine),
       clock_(clock),
-      update_fraction_(update_fraction) {}
+      update_fraction_(update_fraction),
+      validator_(validator) {}
 
 Status StreamPipeline::RunTicks(int ticks, const ResultSink& sink) {
   ResultSet results;
@@ -38,6 +46,10 @@ Status StreamPipeline::RunTicks(int ticks, const ResultSink& sink) {
     object_buffer_.clear();
     query_buffer_.clear();
     simulator_->EmitUpdates(update_fraction_, &object_buffer_, &query_buffer_);
+    if (validator_ != nullptr) {
+      SCUBA_RETURN_IF_ERROR(validator_->ScreenBatch(
+          clock_.now(), &object_buffer_, &query_buffer_));
+    }
     // One tick = one batch: engines with a parallel ingest path classify the
     // whole tick at once; the default implementation loops per update.
     SCUBA_RETURN_IF_ERROR(engine_->IngestBatch(object_buffer_, query_buffer_));
@@ -51,21 +63,49 @@ Status StreamPipeline::RunTicks(int ticks, const ResultSink& sink) {
 }
 
 Status ReplayTrace(const Trace& trace, QueryProcessor* engine, Timestamp delta,
-                   const ResultSink& sink) {
+                   const ResultSink& sink, UpdateValidator* validator) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must be non-null");
   }
   if (delta <= 0) {
     return Status::InvalidArgument("delta must be positive");
   }
+  const bool resync =
+      validator != nullptr &&
+      validator->config().policy == BadUpdatePolicy::kRepair;
+  Timestamp prev_time = std::numeric_limits<Timestamp>::min();
   ResultSet results;
+  std::vector<LocationUpdate> objects;
+  std::vector<QueryUpdate> queries;
   for (size_t i = 0; i < trace.TickCount(); ++i) {
     const TickBatch& batch = trace.batch(i);
-    SCUBA_RETURN_IF_ERROR(
-        engine->IngestBatch(batch.object_updates, batch.query_updates));
+    // Batches are defined as consecutive ticks, so their stamps must strictly
+    // increase; a regressed batch either fails the replay or — under kRepair —
+    // is resynced to the tick after its predecessor.
+    Timestamp batch_time = batch.time;
+    if (batch_time <= prev_time) {
+      if (!resync) {
+        return Status::FailedPrecondition(
+            "trace batch " + std::to_string(i) + " time " +
+            std::to_string(batch_time) + " does not advance past " +
+            std::to_string(prev_time));
+      }
+      batch_time = prev_time + 1;
+    }
+    prev_time = batch_time;
+    if (validator != nullptr) {
+      objects = batch.object_updates;
+      queries = batch.query_updates;
+      SCUBA_RETURN_IF_ERROR(
+          validator->ScreenBatch(batch_time, &objects, &queries));
+      SCUBA_RETURN_IF_ERROR(engine->IngestBatch(objects, queries));
+    } else {
+      SCUBA_RETURN_IF_ERROR(
+          engine->IngestBatch(batch.object_updates, batch.query_updates));
+    }
     if ((i + 1) % static_cast<size_t>(delta) == 0) {
-      SCUBA_RETURN_IF_ERROR(engine->Evaluate(batch.time, &results));
-      if (sink) sink(batch.time, results);
+      SCUBA_RETURN_IF_ERROR(engine->Evaluate(batch_time, &results));
+      if (sink) sink(batch_time, results);
     }
   }
   return Status::OK();

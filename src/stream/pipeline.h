@@ -14,6 +14,7 @@
 #include "gen/object_simulator.h"
 #include "gen/trace.h"
 #include "stream/clock.h"
+#include "stream/update_validator.h"
 
 namespace scuba {
 
@@ -23,10 +24,16 @@ using ResultSink = std::function<void(Timestamp, const ResultSet&)>;
 class StreamPipeline {
  public:
   /// Live mode: advances `simulator` itself. Both pointers must outlive the
-  /// pipeline; delta must be positive.
+  /// pipeline; delta must be positive; update_fraction must be a real number
+  /// in [0, 1] (NaN is rejected, not silently admitted).
+  ///
+  /// `validator` (optional, must outlive the pipeline) screens every tick's
+  /// batch before ingestion with the tick time as the regression floor; null
+  /// preserves the unscreened legacy path exactly.
   static Result<StreamPipeline> Create(ObjectSimulator* simulator,
                                        QueryProcessor* engine, Timestamp delta,
-                                       double update_fraction = 1.0);
+                                       double update_fraction = 1.0,
+                                       UpdateValidator* validator = nullptr);
 
   /// Runs `ticks` simulation ticks; evaluates every delta-th tick and feeds
   /// `sink` (may be null). Stops and returns the first engine error.
@@ -37,12 +44,14 @@ class StreamPipeline {
 
  private:
   StreamPipeline(ObjectSimulator* simulator, QueryProcessor* engine,
-                 SimulationClock clock, double update_fraction);
+                 SimulationClock clock, double update_fraction,
+                 UpdateValidator* validator);
 
   ObjectSimulator* simulator_;
   QueryProcessor* engine_;
   SimulationClock clock_;
   double update_fraction_;
+  UpdateValidator* validator_;  ///< Optional screen; null = legacy path.
   uint64_t evaluations_ = 0;
   std::vector<LocationUpdate> object_buffer_;
   std::vector<QueryUpdate> query_buffer_;
@@ -51,8 +60,16 @@ class StreamPipeline {
 /// Trace mode: replays a recorded trace into `engine`, evaluating every
 /// delta-th batch (batches are assumed to be consecutive ticks). Returns the
 /// first engine error. `sink` may be null.
+///
+/// Batch timestamps must strictly increase. A non-monotonic batch fails with
+/// kFailedPrecondition — unless `validator` is non-null and configured with
+/// BadUpdatePolicy::kRepair, in which case the batch is resynced to one tick
+/// past its predecessor and replay continues. A non-null validator also
+/// screens every batch (with the batch's effective time as the regression
+/// floor) before it reaches the engine.
 Status ReplayTrace(const Trace& trace, QueryProcessor* engine, Timestamp delta,
-                   const ResultSink& sink = nullptr);
+                   const ResultSink& sink = nullptr,
+                   UpdateValidator* validator = nullptr);
 
 }  // namespace scuba
 

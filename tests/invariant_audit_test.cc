@@ -1,0 +1,292 @@
+// Invariant auditor + self-healing coverage. ScubaEngineAuditPeer (a
+// declared friend of ScubaEngine) deliberately desynchronizes the cluster
+// grid from the cluster store; the tests then require AuditInvariants() to
+// pinpoint the exact divergence, RebuildGridFromStore() to restore a clean
+// audit with unchanged join results, and the periodic Evaluate hook to
+// self-heal grid damage (or surface unrepairable store damage as
+// kCorruption).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scuba_engine.h"
+
+namespace scuba {
+
+/// Test back door matching the `friend class ScubaEngineAuditPeer`
+/// declaration: hands tests mutable access to the engine's internal grid and
+/// store so they can inject precisely the divergences the auditor claims to
+/// detect.
+class ScubaEngineAuditPeer {
+ public:
+  explicit ScubaEngineAuditPeer(ScubaEngine* engine) : engine_(engine) {}
+
+  GridIndex& grid() { return engine_->grid_; }
+  ClusterStore& store() { return engine_->store_; }
+
+ private:
+  ScubaEngine* engine_;
+};
+
+namespace {
+
+/// Deterministic clustered workload: `kGroups` co-travelling groups of
+/// objects and queries, one update round per call.
+void IngestRound(ScubaEngine* engine, int round) {
+  const int kGroups = 4;
+  for (uint32_t i = 0; i < 48; ++i) {
+    // Blocks of four consecutive ids (three objects + one query) share a
+    // group, so every cluster mixes kinds and join-within produces matches.
+    const int group = static_cast<int>(i / 4) % kGroups;
+    const Point pos{800.0 + 1500.0 * group + 8.0 * (i % 4) +
+                        2.0 * static_cast<int>(i / 16) + 3.0 * round,
+                    900.0 + 1100.0 * (group % 2) + 6.0 * (i % 4) +
+                        5.0 * static_cast<int>(i / 16)};
+    if (i % 4 == 3) {
+      QueryUpdate u;
+      u.qid = i;
+      u.position = pos;
+      u.speed = 6.0 + group;
+      u.dest_node = static_cast<NodeId>(group);
+      u.dest_position = Point{9000, 9000};
+      u.range_width = 120.0;
+      u.range_height = 120.0;
+      u.time = static_cast<Timestamp>(round);
+      ASSERT_TRUE(engine->IngestQueryUpdate(u).ok());
+    } else {
+      LocationUpdate u;
+      u.oid = i;
+      u.position = pos;
+      u.speed = 6.0 + group;
+      u.dest_node = static_cast<NodeId>(group);
+      u.dest_position = Point{9000, 9000};
+      u.time = static_cast<Timestamp>(round);
+      ASSERT_TRUE(engine->IngestObjectUpdate(u).ok());
+    }
+  }
+}
+
+std::unique_ptr<ScubaEngine> MakeEngine(const ScubaOptions& options = {}) {
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(options);
+  EXPECT_TRUE(engine.ok());
+  return std::move(engine).value();
+}
+
+/// True iff any retained violation message contains `needle`.
+bool MentionedIn(const InvariantAuditReport& report, const std::string& needle) {
+  for (const std::string& v : report.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(InvariantAuditTest, CleanEngineAuditsClean) {
+  std::unique_ptr<ScubaEngine> engine = MakeEngine();
+  IngestRound(engine.get(), 1);
+  ResultSet results;
+  ASSERT_TRUE(engine->Evaluate(2, &results).ok());
+
+  const InvariantAuditReport report = engine->AuditInvariants();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_GT(report.clusters_checked, 0u);
+  EXPECT_GT(report.members_checked, 0u);
+  EXPECT_GT(report.grid_keys_checked, 0u);
+  EXPECT_NE(report.ToString().find("clean"), std::string::npos);
+}
+
+TEST(InvariantAuditTest, MissingGridRegistrationIsPinpointed) {
+  std::unique_ptr<ScubaEngine> engine = MakeEngine();
+  IngestRound(engine.get(), 1);
+  ScubaEngineAuditPeer peer(engine.get());
+  const ClusterId victim = engine->store().SortedClusterIds().front();
+  ASSERT_TRUE(peer.grid().Remove(victim).ok());
+
+  const InvariantAuditReport report = engine->AuditInvariants();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(MentionedIn(report, "cluster " + std::to_string(victim)))
+      << report.ToString();
+  EXPECT_TRUE(MentionedIn(report, "missing from the cluster grid"))
+      << report.ToString();
+}
+
+TEST(InvariantAuditTest, OrphanGridKeyIsPinpointed) {
+  std::unique_ptr<ScubaEngine> engine = MakeEngine();
+  IngestRound(engine.get(), 1);
+  ScubaEngineAuditPeer peer(engine.get());
+  ASSERT_TRUE(peer.grid().Insert(999983u, Point{50.0, 50.0}).ok());
+
+  const InvariantAuditReport report = engine->AuditInvariants();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(MentionedIn(report, "orphan key 999983")) << report.ToString();
+}
+
+TEST(InvariantAuditTest, ShrunkenRegisteredBoundsArePinpointed) {
+  std::unique_ptr<ScubaEngine> engine = MakeEngine();
+  IngestRound(engine.get(), 1);
+  ScubaEngineAuditPeer peer(engine.get());
+  const ClusterId victim = engine->store().SortedClusterIds().front();
+  MovingCluster* cluster = peer.store().GetCluster(victim);
+  ASSERT_NE(cluster, nullptr);
+  cluster->set_registered_bounds(Circle{cluster->centroid(), 1e-3});
+
+  const InvariantAuditReport report = engine->AuditInvariants();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(MentionedIn(report, "registered bounds no longer cover"))
+      << report.ToString();
+}
+
+TEST(InvariantAuditTest, ViolationMessagesCapButCountingContinues) {
+  std::unique_ptr<ScubaEngine> engine = MakeEngine();
+  IngestRound(engine.get(), 1);
+  ScubaEngineAuditPeer peer(engine.get());
+  // More orphans than the message cap: every one is counted, only the first
+  // kMaxViolationMessages are retained verbatim.
+  const size_t orphans = InvariantAuditReport::kMaxViolationMessages + 8;
+  for (size_t i = 0; i < orphans; ++i) {
+    ASSERT_TRUE(
+        peer.grid().Insert(900000u + static_cast<uint32_t>(i), Point{1, 1}).ok());
+  }
+  const InvariantAuditReport report = engine->AuditInvariants();
+  EXPECT_EQ(report.violations_total, orphans);
+  EXPECT_EQ(report.violations.size(),
+            InvariantAuditReport::kMaxViolationMessages);
+  EXPECT_NE(report.ToString().find("more"), std::string::npos)
+      << report.ToString();
+}
+
+TEST(InvariantAuditTest, RebuildRestoresCleanAuditAndJoinResults) {
+  // Twin engines over the same workload; one gets its grid vandalized three
+  // ways, rebuilt, and must then join identically to the untouched twin.
+  std::unique_ptr<ScubaEngine> damaged = MakeEngine();
+  std::unique_ptr<ScubaEngine> control = MakeEngine();
+  IngestRound(damaged.get(), 1);
+  IngestRound(control.get(), 1);
+
+  ScubaEngineAuditPeer peer(damaged.get());
+  std::vector<ClusterId> cids = damaged->store().SortedClusterIds();
+  ASSERT_GE(cids.size(), 2u);
+  ASSERT_TRUE(peer.grid().Remove(cids[0]).ok());
+  ASSERT_TRUE(peer.grid().Insert(999983u, Point{50.0, 50.0}).ok());
+  MovingCluster* shrunk = peer.store().GetCluster(cids[1]);
+  ASSERT_NE(shrunk, nullptr);
+  shrunk->set_registered_bounds(Circle{shrunk->centroid(), 1e-3});
+  ASSERT_FALSE(damaged->AuditInvariants().clean());
+
+  ASSERT_TRUE(damaged->RebuildGridFromStore().ok());
+  const InvariantAuditReport report = damaged->AuditInvariants();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+
+  ResultSet damaged_results;
+  ResultSet control_results;
+  ASSERT_TRUE(damaged->Evaluate(2, &damaged_results).ok());
+  ASSERT_TRUE(control->Evaluate(2, &control_results).ok());
+  EXPECT_GT(control_results.size(), 0u) << "workload must produce matches";
+  EXPECT_EQ(damaged_results, control_results);
+
+  // And the healed engine keeps working on later rounds.
+  IngestRound(damaged.get(), 3);
+  IngestRound(control.get(), 3);
+  ASSERT_TRUE(damaged->Evaluate(4, &damaged_results).ok());
+  ASSERT_TRUE(control->Evaluate(4, &control_results).ok());
+  EXPECT_EQ(damaged_results, control_results);
+}
+
+TEST(InvariantAuditTest, PostJoinHealsMissingRegistrationBeforeAudit) {
+  // A cluster dropped from the grid is lazily re-registered by post-join
+  // maintenance (PlanClusterGridSync treats an unregistered cluster as
+  // needing registration), so the periodic audit already sees a clean grid:
+  // no repair is charged for this divergence class.
+  ScubaOptions options;
+  options.audit_every_n_rounds = 1;
+  std::unique_ptr<ScubaEngine> engine = MakeEngine(options);
+  IngestRound(engine.get(), 1);
+  ResultSet results;
+  ASSERT_TRUE(engine->Evaluate(2, &results).ok());
+
+  ScubaEngineAuditPeer peer(engine.get());
+  const ClusterId victim = engine->store().SortedClusterIds().front();
+  ASSERT_TRUE(peer.grid().Remove(victim).ok());
+
+  ASSERT_TRUE(engine->Evaluate(4, &results).ok());
+  EXPECT_TRUE(peer.grid().Contains(victim));
+  EXPECT_EQ(engine->stats().invariant_violations, 0u);
+  EXPECT_EQ(engine->stats().invariant_repairs, 0u);
+}
+
+TEST(InvariantAuditTest, EvaluateSelfHealsGridDivergence) {
+  ScubaOptions options;
+  options.audit_every_n_rounds = 1;
+  std::unique_ptr<ScubaEngine> engine = MakeEngine(options);
+  IngestRound(engine.get(), 1);
+  ResultSet results;
+  ASSERT_TRUE(engine->Evaluate(2, &results).ok());
+  EXPECT_EQ(engine->stats().invariant_audits, 1u);
+  EXPECT_EQ(engine->stats().invariant_violations, 0u);
+
+  // Inflate one cluster's registered-bounds memo without touching its actual
+  // cell placement. Post-join cannot notice (the memo claims the cluster is
+  // generously covered, so no resync is planned), but the audit's cell
+  // placement cross-check catches the divergence — only the hook heals this.
+  ScubaEngineAuditPeer peer(engine.get());
+  const ClusterId victim = engine->store().SortedClusterIds().front();
+  MovingCluster* cluster = peer.store().GetCluster(victim);
+  ASSERT_NE(cluster, nullptr);
+  cluster->set_registered_bounds(
+      Circle{cluster->centroid(), cluster->radius() + 5000.0});
+
+  // The round's audit hook finds the divergence, rebuilds the grid and
+  // re-audits clean — Evaluate itself succeeds.
+  ASSERT_TRUE(engine->Evaluate(4, &results).ok());
+  EXPECT_EQ(engine->stats().invariant_repairs, 1u);
+  EXPECT_GE(engine->stats().invariant_violations, 1u);
+  EXPECT_EQ(engine->stats().invariant_audits, 3u);  // 1 clean + audit/re-audit
+  EXPECT_TRUE(engine->AuditInvariants().clean());
+
+  // Subsequent rounds audit clean without further repairs.
+  ASSERT_TRUE(engine->Evaluate(6, &results).ok());
+  EXPECT_EQ(engine->stats().invariant_repairs, 1u);
+  EXPECT_EQ(engine->stats().invariant_audits, 4u);
+}
+
+TEST(InvariantAuditTest, AuditCadenceFollowsOption) {
+  ScubaOptions options;
+  options.audit_every_n_rounds = 2;
+  std::unique_ptr<ScubaEngine> engine = MakeEngine(options);
+  ResultSet results;
+  for (int round = 1; round <= 4; ++round) {
+    IngestRound(engine.get(), round);
+    ASSERT_TRUE(engine->Evaluate(2 * round, &results).ok());
+  }
+  EXPECT_EQ(engine->stats().invariant_audits, 2u);  // rounds 2 and 4 only
+}
+
+TEST(InvariantAuditTest, StoreCorruptionSurfacesAsCorruption) {
+  ScubaOptions options;
+  options.audit_every_n_rounds = 1;
+  std::unique_ptr<ScubaEngine> engine = MakeEngine(options);
+  IngestRound(engine.get(), 1);
+
+  // Damage the store itself: erase one member's home-table entry. A grid
+  // rebuild cannot recover that, so the self-heal path must give up loudly.
+  ScubaEngineAuditPeer peer(engine.get());
+  const ClusterId victim = engine->store().SortedClusterIds().front();
+  const MovingCluster* cluster = engine->store().GetCluster(victim);
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_FALSE(cluster->members().empty());
+  const ClusterMember& member = cluster->members().front();
+  ASSERT_TRUE(
+      peer.store().ClearHome(EntityRef{member.kind, member.id}).ok());
+
+  ResultSet results;
+  Status s = engine->Evaluate(2, &results);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_EQ(engine->stats().invariant_repairs, 1u);  // the rebuild was tried
+}
+
+}  // namespace
+}  // namespace scuba

@@ -6,8 +6,6 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -15,6 +13,7 @@
 
 #include "common/rng.h"
 #include "core/scuba_engine.h"
+#include "state_digest.h"
 
 namespace scuba {
 namespace {
@@ -96,65 +95,6 @@ std::vector<Round> MakeRounds(uint64_t seed, int rounds) {
     }
   }
   return out;
-}
-
-void AppendDouble(std::string* out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%a,", v);  // hex float: bit-exact
-  *out += buf;
-}
-
-/// Bit-exact textual digest of all cluster/grid state reachable from the
-/// engine. Two engines with equal digests are indistinguishable to every
-/// later round.
-std::string StateDigest(const ScubaEngine& engine) {
-  std::string d;
-  const ClusterStore& store = engine.store();
-  EXPECT_TRUE(store.ValidateConsistency().ok());
-  for (ClusterId cid : store.SortedClusterIds()) {
-    const MovingCluster* c = store.GetCluster(cid);
-    d += "c" + std::to_string(cid) + ":";
-    AppendDouble(&d, c->centroid().x);
-    AppendDouble(&d, c->centroid().y);
-    AppendDouble(&d, c->radius());
-    AppendDouble(&d, c->query_reach());
-    AppendDouble(&d, c->average_speed());
-    AppendDouble(&d, c->translation().x);
-    AppendDouble(&d, c->translation().y);
-    AppendDouble(&d, c->registered_bounds().center.x);
-    AppendDouble(&d, c->registered_bounds().center.y);
-    AppendDouble(&d, c->registered_bounds().radius);
-    d += std::to_string(c->dest_node()) + ",";
-    d += std::to_string(c->object_count()) + "/" +
-         std::to_string(c->query_count()) + ",";
-    if (c->has_nucleus()) {
-      d += "n";
-      AppendDouble(&d, c->NucleusCenter().x);
-      AppendDouble(&d, c->NucleusCenter().y);
-      AppendDouble(&d, c->nucleus_radius());
-    }
-    for (const ClusterMember& m : c->members()) {  // order matters
-      d += (m.kind == EntityKind::kObject ? "o" : "q") + std::to_string(m.id);
-      AppendDouble(&d, m.rel.r);
-      AppendDouble(&d, m.rel.theta);
-      AppendDouble(&d, m.anchor.x);
-      AppendDouble(&d, m.anchor.y);
-      AppendDouble(&d, m.speed);
-      AppendDouble(&d, m.range_width);
-      AppendDouble(&d, m.range_height);
-      d += std::to_string(m.attrs) + "," + std::to_string(m.update_time) +
-           (m.shed ? ",s" : ",-");
-      AppendDouble(&d, m.approx_radius);
-    }
-    const std::vector<uint32_t>* cells = engine.cluster_grid().CellsOf(cid);
-    EXPECT_NE(cells, nullptr);
-    std::vector<uint32_t> sorted = *cells;
-    std::sort(sorted.begin(), sorted.end());
-    d += "g";
-    for (uint32_t cell : sorted) d += std::to_string(cell) + ".";
-    d += ";";
-  }
-  return d;
 }
 
 bool StatsEqual(const ClustererStats& a, const ClustererStats& b) {

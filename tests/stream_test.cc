@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "baseline/naive_join_engine.h"
 #include "gen/workload_generator.h"
 #include "network/grid_city.h"
 #include "stream/clock.h"
+#include "stream/update_validator.h"
 
 namespace scuba {
 namespace {
@@ -61,6 +64,14 @@ TEST_F(PipelineTest, CreateValidates) {
                   .status()
                   .IsInvalidArgument());
   EXPECT_TRUE(StreamPipeline::Create(sim_.get(), &engine_, 2, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StreamPipeline::Create(sim_.get(), &engine_, 2, -0.1)
+                  .status()
+                  .IsInvalidArgument());
+  // NaN fails every comparison, so a naive range test would admit it.
+  EXPECT_TRUE(StreamPipeline::Create(sim_.get(), &engine_, 2,
+                                     std::numeric_limits<double>::quiet_NaN())
                   .status()
                   .IsInvalidArgument());
 }
@@ -164,6 +175,68 @@ TEST(ReplayTraceTest, LivePipelineAndReplayAgree) {
                           })
                   .ok());
   EXPECT_EQ(live_last, replay_last);
+}
+
+/// A tiny trace whose batch stamps are taken verbatim from `times`, one
+/// well-formed object update per batch.
+Trace TraceWithTimes(const std::vector<Timestamp>& times) {
+  Trace trace;
+  for (size_t i = 0; i < times.size(); ++i) {
+    TickBatch batch;
+    batch.time = times[i];
+    LocationUpdate u;
+    u.oid = static_cast<uint32_t>(i + 1);
+    u.position = Point{100.0 + 10.0 * i, 100.0};
+    u.time = times[i];
+    u.speed = 5.0;
+    u.dest_node = 0;
+    u.dest_position = Point{500.0, 500.0};
+    batch.object_updates.push_back(u);
+    trace.Append(std::move(batch));
+  }
+  return trace;
+}
+
+TEST(ReplayTraceTest, NonMonotonicBatchTimeFailsPrecondition) {
+  NaiveJoinEngine engine;
+  // Stalled and regressed stamps both violate the consecutive-tick contract.
+  EXPECT_TRUE(ReplayTrace(TraceWithTimes({1, 1}), &engine, 2)
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(ReplayTrace(TraceWithTimes({1, 2, 1}), &engine, 2)
+                  .IsFailedPrecondition());
+}
+
+TEST(ReplayTraceTest, QuarantineValidatorStillFailsNonMonotonicBatches) {
+  // Only kRepair opts into resynchronization; a quarantining validator keeps
+  // the strict batch-time contract.
+  NaiveJoinEngine engine;
+  ValidatorConfig config;
+  config.policy = BadUpdatePolicy::kQuarantine;
+  UpdateValidator validator(config);
+  EXPECT_TRUE(ReplayTrace(TraceWithTimes({1, 1}), &engine, 2, nullptr,
+                          &validator)
+                  .IsFailedPrecondition());
+}
+
+TEST(ReplayTraceTest, RepairValidatorResyncsNonMonotonicBatches) {
+  NaiveJoinEngine engine;
+  ValidatorConfig config;
+  config.policy = BadUpdatePolicy::kRepair;
+  UpdateValidator validator(config);
+  std::vector<Timestamp> sink_times;
+  ASSERT_TRUE(ReplayTrace(TraceWithTimes({1, 1, 1}), &engine, 1,
+                          [&](Timestamp t, const ResultSet&) {
+                            sink_times.push_back(t);
+                          },
+                          &validator)
+                  .ok());
+  // Batches resync to consecutive ticks and every update is admitted (its
+  // stamp repaired up to the resynced batch time).
+  EXPECT_EQ(sink_times, (std::vector<Timestamp>{1, 2, 3}));
+  EXPECT_EQ(engine.ObjectCount(), 3u);
+  EXPECT_EQ(validator.stats().admitted, 3u);
+  EXPECT_EQ(validator.stats().repaired, 2u);  // stamps 1,1 lifted to 2,3
+  EXPECT_EQ(validator.stats().TotalRejected(), 0u);
 }
 
 }  // namespace

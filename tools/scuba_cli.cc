@@ -4,10 +4,15 @@
 //   scuba_cli generate-trace --map city.map --out run.trace [--objects ...]
 //   scuba_cli run            --trace run.trace --engine scuba [--eta 0.5 ...]
 //   scuba_cli compare        --trace run.trace [--eta 0.5 ...]
+//   scuba_cli corrupt-trace  --trace run.trace --out bad.trace [--rate 0.02]
 //
 // `run` replays a trace into one engine and prints per-round results and
 // engine statistics; `compare` replays into SCUBA and the naive oracle and
-// reports accuracy. Regions are derived from the trace contents.
+// reports accuracy. Regions are derived from the trace contents (or, for
+// `run --map`, from the road network — which also arms the validator's
+// off-map and unknown-destination checks). `corrupt-trace` rewrites a trace
+// through the deterministic fault injector so hardened runs can be exercised
+// end to end (`run --on-bad-update quarantine` survives it; `strict` fails).
 
 #include <algorithm>
 #include <cstdio>
@@ -30,7 +35,9 @@
 #include "gen/workload_generator.h"
 #include "network/grid_city.h"
 #include "network/network_io.h"
+#include "stream/fault_injector.h"
 #include "stream/pipeline.h"
+#include "stream/update_validator.h"
 
 namespace scuba::cli {
 namespace {
@@ -204,6 +211,7 @@ Result<Trace> LoadTrace(const std::string& path) {
 int CmdRun(const Flags& flags) {
   std::string trace_path = flags.GetString("trace", "run.trace");
   std::string engine_name = flags.GetString("engine", "scuba");
+  std::string map_path = flags.GetString("map", "");
   Timestamp delta = flags.GetInt("delta", 2);
   uint32_t grid_cells = static_cast<uint32_t>(flags.GetInt("grid-cells", 100));
   double theta_d = flags.GetDouble("theta-d", 100.0);
@@ -215,12 +223,43 @@ int CmdRun(const Flags& flags) {
       static_cast<uint32_t>(flags.GetInt("ingest-threads", 1));
   bool quiet = flags.GetBool("quiet", false);
   std::string csv_path = flags.GetString("csv", "");
+  std::string policy_name = flags.GetString("on-bad-update", "strict");
+  uint32_t audit_every =
+      static_cast<uint32_t>(flags.GetInt("audit-every", 0));
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
+  Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
+  if (!policy.ok()) return Fail(policy.status());
+
   Result<Trace> trace = LoadTrace(trace_path);
   if (!trace.ok()) return Fail(trace.status());
-  Rect region = RegionFromTrace(*trace);
+
+  // With a map the region comes from the road network — independent of the
+  // (possibly corrupted) trace contents — and arms the validator's off-map
+  // and unknown-destination checks.
+  Rect region;
+  ValidatorConfig vconfig;
+  vconfig.policy = *policy;
+  if (!map_path.empty()) {
+    Result<RoadNetwork> net = LoadNetwork(map_path);
+    if (!net.ok()) return Fail(net.status());
+    const Rect box = net->BoundingBox();
+    constexpr double kMargin = 300.0;
+    region = Rect{box.min_x - kMargin, box.min_y - kMargin,
+                  box.max_x + kMargin, box.max_y + kMargin};
+    vconfig.bounds = region;
+    vconfig.check_bounds = true;
+    vconfig.node_count = net->NodeCount();
+  } else {
+    region = RegionFromTrace(*trace);
+  }
+  // The validator screens the stream only under the drop/repair policies; a
+  // strict run keeps the legacy path, where the engine's own validation
+  // fails the replay on the first bad tuple.
+  UpdateValidator validator(vconfig);
+  UpdateValidator* screen =
+      *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
 
   std::unique_ptr<QueryProcessor> engine;
   if (engine_name == "scuba") {
@@ -233,6 +272,8 @@ int CmdRun(const Flags& flags) {
     opt.enable_cluster_splitting = splitting;
     opt.join_threads = threads;
     opt.ingest_threads = ingest_threads;
+    opt.on_bad_update = *policy;
+    opt.audit_every_n_rounds = audit_every;
     if (eta > 0.0) {
       opt.shedding.mode = LoadSheddingMode::kFixed;
       opt.shedding.eta = eta;
@@ -273,13 +314,67 @@ int CmdRun(const Flags& flags) {
                                  << engine->stats().last_maintenance_seconds
                                  << ',' << engine->EstimateMemoryUsage() << '\n';
                            }
-                         });
+                         },
+                         screen);
   if (!s.ok()) return Fail(s);
   if (csv.is_open() && !csv.good()) {
     return Fail(Status::IoError("csv write failed: " + csv_path));
   }
   std::printf("%s\n", FormatStats(engine->name(), engine->stats()).c_str());
   std::printf("memory: %s\n", FormatBytes(engine->EstimateMemoryUsage()).c_str());
+  if (screen != nullptr) {
+    std::printf("validator: %s\n", screen->FormatStats().c_str());
+    const QuarantineLog& log = screen->quarantine();
+    if (log.total() > 0) {
+      std::printf("quarantine (last %zu of %llu):\n", log.size(),
+                  static_cast<unsigned long long>(log.total()));
+      for (const QuarantinedUpdate& q : log.Snapshot()) {
+        std::printf("  %s %u t=%lld %s: %s\n",
+                    q.kind == EntityKind::kObject ? "object" : "query", q.id,
+                    static_cast<long long>(q.time),
+                    std::string(RejectReasonName(q.reason)).c_str(),
+                    q.detail.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdCorruptTrace(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string out = flags.GetString("out", "bad.trace");
+  double rate = flags.GetDouble("rate", 0.02);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0x5C0BA));
+  uint32_t burst_size = static_cast<uint32_t>(flags.GetInt("burst-size", 8));
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+
+  FaultPlan plan = FaultPlan::AllFaults(rate, RegionFromTrace(*trace, 0.0),
+                                        /*node_count=*/0);
+  // NaN/Inf do not round-trip through the text trace format, so the
+  // serialized corruption sticks to representable fault classes.
+  plan.corrupt_coordinate = 0.0;
+  plan.burst_size = burst_size;
+  FaultInjector injector(plan, seed);
+
+  Trace dirty;
+  for (const TickBatch& batch : trace->batches()) {
+    TickBatch corrupted;
+    corrupted.time = batch.time;
+    corrupted.object_updates = batch.object_updates;
+    corrupted.query_updates = batch.query_updates;
+    injector.CorruptBatch(batch.time, &corrupted.object_updates,
+                          &corrupted.query_updates, nullptr, nullptr);
+    dirty.Append(std::move(corrupted));
+  }
+  Status s = WriteFile(out, dirty.Serialize());
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu ticks, %zu updates\n", out.c_str(),
+              dirty.TickCount(), dirty.TotalUpdates());
+  std::printf("faults: %s\n", injector.stats().ToString().c_str());
   return 0;
 }
 
@@ -380,10 +475,14 @@ int Usage() {
       "  run             --trace FILE [--engine scuba|grid|naive --delta N\n"
       "                  --grid-cells N --theta-d F --theta-s F --eta F\n"
       "                  --threads N (0 = all cores) --ingest-threads N\n"
-      "                  --splitting --quiet --csv FILE]\n"
+      "                  --splitting --quiet --csv FILE --map FILE\n"
+      "                  --on-bad-update strict|quarantine|repair\n"
+      "                  --audit-every N]\n"
       "  compare         --trace FILE [--delta N --eta F --threads N\n"
       "                  --ingest-threads N]\n"
-      "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n");
+      "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n"
+      "  corrupt-trace   --trace FILE --out FILE [--rate F --seed N\n"
+      "                  --burst-size N]\n");
   return 1;
 }
 
@@ -397,6 +496,7 @@ int Main(int argc, char** argv) {
   if (command == "run") return CmdRun(*flags);
   if (command == "compare") return CmdCompare(*flags);
   if (command == "render") return CmdRender(*flags);
+  if (command == "corrupt-trace") return CmdCorruptTrace(*flags);
   return Usage();
 }
 
