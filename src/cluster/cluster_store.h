@@ -79,6 +79,7 @@ class ClusterStore {
   size_t EstimateMemoryUsage() const;
 
  private:
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   ClusterId next_cid_ = 0;
   std::unordered_map<ClusterId, MovingCluster> clusters_;
   std::unordered_map<EntityRef, ClusterId, EntityRefHash> home_;

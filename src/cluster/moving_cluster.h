@@ -37,6 +37,8 @@
 
 namespace scuba {
 
+struct PersistAccess;  // snapshot serialization back door (src/persist)
+
 /// One object or query inside a moving cluster.
 struct ClusterMember {
   EntityKind kind = EntityKind::kObject;
@@ -169,6 +171,7 @@ class MovingCluster {
   size_t EstimateMemoryUsage() const;
 
  private:
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   MovingCluster(ClusterId cid, Point centroid, double speed, NodeId dest_node,
                 Point dest_position);
 

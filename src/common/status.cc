@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

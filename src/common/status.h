@@ -26,6 +26,10 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kCorruption,
+  /// Durable state (snapshot / WAL) failed its checksum or arrived torn:
+  /// recoverable data is definitively missing, as opposed to kCorruption's
+  /// "live in-memory structures disagree".
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +77,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +102,7 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

@@ -38,6 +38,7 @@ namespace scuba {
 
 class ClusterJoinExecutor {
  public:
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   /// Cumulative counters across Execute() calls. With several worker tasks
   /// each accumulates privately; the merged sums are identical for every
   /// thread count (the owner-cell rule fixes *which* cell counts each event,

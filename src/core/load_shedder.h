@@ -33,6 +33,7 @@ class LoadShedder {
   uint64_t adjustments() const { return adjustments_; }
 
  private:
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   LoadSheddingOptions options_;
   double theta_d_;
   double eta_;

@@ -68,6 +68,20 @@ struct EvalStats {
   uint64_t invariant_audits = 0;
   uint64_t invariant_violations = 0;
   uint64_t invariant_repairs = 0;
+  /// Durability (docs/ARCHITECTURE.md §8): snapshot checkpoints written, the
+  /// size/latency of the last one, WAL append/fsync accounting, and — after a
+  /// RecoverEngine — how many evaluation rounds the WAL replay re-executed.
+  /// After a recovery the counters resume from the snapshot's values, so they
+  /// are lower bounds on the lifetime totals (work between the snapshot and
+  /// the crash that the WAL does not re-execute is not re-counted).
+  uint64_t checkpoints_written = 0;
+  uint64_t last_checkpoint_bytes = 0;
+  double last_checkpoint_seconds = 0.0;
+  double total_checkpoint_seconds = 0.0;
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_bytes_appended = 0;
+  uint64_t recovery_replay_rounds = 0;
 };
 
 class QueryProcessor {

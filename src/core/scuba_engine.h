@@ -34,6 +34,8 @@
 
 namespace scuba {
 
+struct PersistAccess;  // snapshot serialization back door (src/persist)
+
 /// SCUBA-specific counters beyond the uniform EvalStats.
 struct ScubaPhaseStats {
   uint64_t clusters_dissolved_expired = 0;
@@ -105,8 +107,20 @@ class ScubaEngine : public QueryProcessor {
   /// maps, home table) is not repairable and keeps failing the audit.
   Status RebuildGridFromStore();
 
+  /// Durability (defined in the persist library; docs/ARCHITECTURE.md §8).
+  /// Checkpoint writes one versioned, CRC-protected snapshot of the full
+  /// engine state into `dir` (created if needed), atomically (tmp + rename).
+  /// Restore loads the newest snapshot in `dir` into this engine, replacing
+  /// all cluster/grid/stats state; the snapshot's options fingerprint must
+  /// match this engine's options (kFailedPrecondition otherwise), a checksum
+  /// mismatch is kDataLoss, an empty dir is kNotFound. Restore does not
+  /// replay any WAL — RecoverEngine (persist/durability.h) layers that on.
+  Status Checkpoint(const std::string& dir);
+  Status Restore(const std::string& dir);
+
  private:
   friend class ScubaEngineAuditPeer;  ///< Test back door: deliberate desync.
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   ScubaEngine(const ScubaOptions& options, GridIndex grid);
 
   /// Phase 3 (see class comment). Per-cluster upkeep (tighten, shed, expiry,

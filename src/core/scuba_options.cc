@@ -53,6 +53,13 @@ Status ScubaOptions::Validate() const {
   if (ingest_threads > 1024) {
     return Status::InvalidArgument("ingest_threads must be in [0, 1024]");
   }
+  if (checkpoint.keep_last_k == 0) {
+    return Status::InvalidArgument("checkpoint.keep_last_k must be >= 1");
+  }
+  if (checkpoint.wal_segment_bytes < 4096) {
+    return Status::InvalidArgument(
+        "checkpoint.wal_segment_bytes must be >= 4096");
+  }
   if (shedding.eta < 0.0 || shedding.eta > 1.0) {
     return Status::InvalidArgument("shedding eta must be in [0, 1]");
   }

@@ -58,6 +58,21 @@ struct LoadSheddingOptions {
   double relax_fraction = 0.7;
 };
 
+/// When and how much durable state a DurabilityManager retains (see
+/// docs/ARCHITECTURE.md §8). Orthogonal to query semantics: the checkpoint
+/// policy never changes what an engine computes, only what survives a crash.
+struct CheckpointPolicy {
+  /// Write a snapshot after every N-th completed evaluation round. 0 disables
+  /// automatic checkpoints (explicit Checkpoint() / final checkpoints only).
+  uint32_t every_n_rounds = 0;
+  /// Snapshots retained in the durable directory; older ones (and the WAL
+  /// segments no retained snapshot needs) are pruned after each checkpoint.
+  uint32_t keep_last_k = 2;
+  /// WAL segment rotation threshold, bytes. A record always lands in one
+  /// segment; rotation happens between records.
+  uint64_t wal_segment_bytes = 1ull << 20;
+};
+
 struct ScubaOptions {
   /// Clustering distance threshold Theta_D (spatial units).
   double theta_d = 100.0;
@@ -111,6 +126,11 @@ struct ScubaOptions {
   /// grid/store divergence via RebuildGridFromStore(). 0 (default) disables
   /// the continuous audit; 1 audits every round.
   uint32_t audit_every_n_rounds = 0;
+
+  /// Snapshot cadence / retention for runs with a durable directory attached
+  /// (StreamPipeline / ReplayTrace with a DurabilityManager). Ignored — and
+  /// harmless — when no durability is wired up.
+  CheckpointPolicy checkpoint;
 
   LoadSheddingOptions shedding;
 

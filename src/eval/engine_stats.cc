@@ -44,11 +44,33 @@ std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
   }
   if (stats.invariant_audits > 0 && n > 0 &&
       static_cast<size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " audits=%llu violations=%llu repairs=%llu",
+                       static_cast<unsigned long long>(stats.invariant_audits),
+                       static_cast<unsigned long long>(
+                           stats.invariant_violations),
+                       static_cast<unsigned long long>(
+                           stats.invariant_repairs));
+  }
+  // Durability counters appear only once a WAL record or snapshot exists, so
+  // non-durable runs keep the historical format byte for byte.
+  if ((stats.wal_records_appended > 0 || stats.checkpoints_written > 0) &&
+      n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " wal-records=%llu wal-bytes=%llu checkpoints=%llu",
+                       static_cast<unsigned long long>(
+                           stats.wal_records_appended),
+                       static_cast<unsigned long long>(
+                           stats.wal_bytes_appended),
+                       static_cast<unsigned long long>(
+                           stats.checkpoints_written));
+  }
+  if (stats.recovery_replay_rounds > 0 && n > 0 &&
+      static_cast<size_t>(n) < sizeof(buf)) {
     std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                  " audits=%llu violations=%llu repairs=%llu",
-                  static_cast<unsigned long long>(stats.invariant_audits),
-                  static_cast<unsigned long long>(stats.invariant_violations),
-                  static_cast<unsigned long long>(stats.invariant_repairs));
+                  " replayed-rounds=%llu",
+                  static_cast<unsigned long long>(
+                      stats.recovery_replay_rounds));
   }
   return buf;
 }

@@ -1,0 +1,215 @@
+#include "persist/durability.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace scuba {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const std::string& dir, const CheckpointPolicy& policy,
+    ScubaEngine* engine, UpdateValidator* validator, Rng* rng,
+    CrashInjector* crash) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (policy.keep_last_k == 0) {
+    return Status::InvalidArgument("keep_last_k must be at least 1");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + dir + ": " + ec.message());
+  }
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(dir, policy, engine, validator, rng, crash));
+  // The WAL resumes where the log ends; on an empty log it starts at the
+  // newest snapshot's sequence (recovery from snapshot alone is seamless).
+  Result<std::vector<std::pair<uint64_t, std::string>>> snapshots =
+      ListSnapshots(dir);
+  if (!snapshots.ok()) return snapshots.status();
+  const uint64_t initial_seq =
+      snapshots->empty() ? 0 : snapshots->back().first;
+  Result<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Open(dir, policy.wal_segment_bytes, initial_seq, crash);
+  if (!wal.ok()) return wal.status();
+  manager->wal_ = std::move(wal).value();
+  const EvalStats& stats = engine->stats();
+  manager->base_wal_records_ = stats.wal_records_appended;
+  manager->base_wal_fsyncs_ = stats.wal_fsyncs;
+  manager->base_wal_bytes_ = stats.wal_bytes_appended;
+  return manager;
+}
+
+Status DurabilityManager::LogBatch(Timestamp batch_time, bool evaluate_after,
+                                   std::span<const LocationUpdate> objects,
+                                   std::span<const QueryUpdate> queries) {
+  Status s = wal_->Append(batch_time, evaluate_after, objects, queries);
+  EvalStats* stats = PersistAccess::MutableStats(engine_);
+  stats->wal_records_appended = base_wal_records_ + wal_->stats().records_appended;
+  stats->wal_fsyncs = base_wal_fsyncs_ + wal_->stats().fsyncs;
+  stats->wal_bytes_appended = base_wal_bytes_ + wal_->stats().bytes_appended;
+  return s;
+}
+
+Status DurabilityManager::OnRoundComplete() {
+  if (policy_.every_n_rounds == 0) return Status::OK();
+  if (++rounds_since_checkpoint_ < policy_.every_n_rounds) return Status::OK();
+  return ForceCheckpoint();
+}
+
+Status DurabilityManager::ForceCheckpoint() {
+  if (crash_ != nullptr &&
+      crash_->ShouldCrash(CrashPoint::kBeforeSnapshotWrite)) {
+    return crash_->CrashStatus();
+  }
+  Stopwatch sw;
+  const uint64_t seq = wal_->next_seq();
+  const std::string payload =
+      SerializeEngineSnapshot(*engine_, seq, validator_, rng_);
+  uint64_t bytes = 0;
+  SCUBA_RETURN_IF_ERROR(
+      WriteSnapshotFile(dir_, seq, payload, crash_, &bytes));
+  EvalStats* stats = PersistAccess::MutableStats(engine_);
+  ++stats->checkpoints_written;
+  stats->last_checkpoint_bytes = bytes;
+  stats->last_checkpoint_seconds = sw.ElapsedSeconds();
+  stats->total_checkpoint_seconds += stats->last_checkpoint_seconds;
+  if (crash_ != nullptr &&
+      crash_->ShouldCrash(CrashPoint::kAfterSnapshotWrite)) {
+    return crash_->CrashStatus();
+  }
+  SCUBA_RETURN_IF_ERROR(Prune());
+  if (crash_ != nullptr && crash_->ShouldCrash(CrashPoint::kAfterWalPrune)) {
+    return crash_->CrashStatus();
+  }
+  rounds_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status DurabilityManager::Prune() {
+  Result<std::vector<std::pair<uint64_t, std::string>>> snapshots =
+      ListSnapshots(dir_);
+  if (!snapshots.ok()) return snapshots.status();
+  const size_t keep = policy_.keep_last_k;
+  if (snapshots->size() > keep) {
+    for (size_t i = 0; i + keep < snapshots->size(); ++i) {
+      std::error_code ec;
+      fs::remove((*snapshots)[i].second, ec);
+      if (ec) {
+        return Status::IoError("remove " + (*snapshots)[i].second + ": " +
+                               ec.message());
+      }
+    }
+    snapshots->erase(snapshots->begin(),
+                     snapshots->end() - static_cast<ptrdiff_t>(keep));
+  }
+  // Orphaned temp files from interrupted snapshot writes are dead weight.
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  }
+  if (!snapshots->empty()) {
+    // WAL records below the OLDEST retained snapshot's sequence can never be
+    // replayed again (every restorable base is at or past it).
+    Result<size_t> removed =
+        wal_->PruneSegmentsBelow(snapshots->front().first);
+    if (!removed.ok()) return removed.status();
+  }
+  return Status::OK();
+}
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream out;
+  if (snapshot_path.empty()) {
+    out << "recovered from an empty base (no usable snapshot)";
+  } else {
+    out << "recovered from " << snapshot_path << " (seq " << snapshot_seq
+        << ", " << snapshot_rounds << " rounds)";
+  }
+  out << ", replayed " << records_replayed << " WAL records ("
+      << rounds_replayed << " rounds), next seq " << next_seq;
+  if (wal_torn_tail) out << ", torn WAL tail discarded";
+  for (const std::string& loss : data_loss) out << "\n  data loss: " << loss;
+  return out.str();
+}
+
+Result<RecoveryReport> RecoverEngine(const std::string& dir,
+                                     ScubaEngine* engine,
+                                     UpdateValidator* validator, Rng* rng,
+                                     const ResultSink& sink) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  RecoveryReport report;
+  Result<std::vector<std::pair<uint64_t, std::string>>> snapshots =
+      ListSnapshots(dir);
+  if (!snapshots.ok()) return snapshots.status();
+  uint64_t base_seq = 0;
+  // Newest snapshot first; a checksum-torn file (crash residue) falls back to
+  // the previous checkpoint — that is exactly why keep_last_k > 1.
+  for (size_t i = snapshots->size(); i-- > 0;) {
+    const auto& [seq, path] = (*snapshots)[i];
+    Result<std::string> payload = ReadSnapshotPayload(path);
+    if (!payload.ok()) {
+      if (payload.status().IsDataLoss()) {
+        report.data_loss.push_back(payload.status().message());
+        continue;
+      }
+      return payload.status();
+    }
+    Result<SnapshotMeta> meta = ApplySnapshot(*payload, engine, validator, rng);
+    // A fingerprint mismatch or a CRC-clean-but-malformed payload is a hard
+    // error: the first means the caller built the wrong engine, the second
+    // may have left it partially mutated.
+    if (!meta.ok()) return meta.status();
+    report.snapshot_path = path;
+    report.snapshot_seq = meta->wal_next_seq;
+    report.snapshot_rounds = meta->rounds;
+    base_seq = meta->wal_next_seq;
+    break;
+  }
+  Result<WalContents> wal = ReadWal(dir);
+  if (!wal.ok()) return wal.status();
+  report.wal_torn_tail = wal->torn_tail;
+  if (wal->torn_tail) report.data_loss.push_back(wal->torn_detail);
+  report.next_seq = base_seq;
+  ResultSet results;
+  for (const WalRecord& record : wal->records) {
+    if (record.seq < base_seq) continue;  // Already inside the snapshot.
+    if (record.seq != report.next_seq) {
+      return Status::DataLoss(
+          "WAL gap: snapshot is consistent as of seq " +
+          std::to_string(report.next_seq) + " but the next durable record is " +
+          std::to_string(record.seq));
+    }
+    if (validator != nullptr) {
+      // WAL records hold post-screen tuples; replay advances the validator's
+      // per-entity timestamp floors exactly as the original admission did.
+      for (const LocationUpdate& u : record.objects) {
+        PersistAccess::NoteAdmitted(validator, EntityKind::kObject, u.oid,
+                                    u.time);
+      }
+      for (const QueryUpdate& u : record.queries) {
+        PersistAccess::NoteAdmitted(validator, EntityKind::kQuery, u.qid,
+                                    u.time);
+      }
+    }
+    SCUBA_RETURN_IF_ERROR(engine->IngestBatch(record.objects, record.queries));
+    if (record.evaluate_after) {
+      SCUBA_RETURN_IF_ERROR(engine->Evaluate(record.batch_time, &results));
+      if (sink) sink(record.batch_time, results);
+      ++report.rounds_replayed;
+    }
+    ++report.records_replayed;
+    ++report.next_seq;
+  }
+  PersistAccess::MutableStats(engine)->recovery_replay_rounds +=
+      report.rounds_replayed;
+  return report;
+}
+
+}  // namespace scuba

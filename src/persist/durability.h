@@ -1,0 +1,130 @@
+// DurabilityManager + RecoverEngine: the engine-facing durability layer
+// (docs/ARCHITECTURE.md §8).
+//
+// A DurabilityManager owns one durable directory holding rotating WAL
+// segments and periodic snapshot checkpoints. Wired into a stream driver as
+// its DurabilitySink, it appends every admitted batch to the WAL before
+// ingestion and, per CheckpointPolicy, snapshots the full engine state after
+// every N-th completed round (then prunes snapshots beyond keep_last_k and
+// WAL segments no retained snapshot needs).
+//
+// RecoverEngine is the other half: given the same directory, it restores the
+// newest readable snapshot (falling back to older ones past checksum-torn
+// files) and replays the WAL suffix — re-ingesting each batch and
+// re-evaluating at the recorded round boundaries — until the engine is
+// bit-identical to the pre-crash one: same digests, same future results.
+
+#ifndef SCUBA_PERSIST_DURABILITY_H_
+#define SCUBA_PERSIST_DURABILITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/scuba_engine.h"
+#include "persist/crash.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "stream/pipeline.h"
+#include "stream/update_validator.h"
+
+namespace scuba {
+
+class DurabilityManager : public DurabilitySink {
+ public:
+  /// Opens (creating if needed) the durable directory for `engine`. The WAL
+  /// resumes after its last intact record (truncating any torn tail) or, on
+  /// a fresh directory, starts at sequence 0. All pointers are unowned and
+  /// must outlive the manager; `validator` / `rng` (nullable) are included in
+  /// every snapshot when provided; `crash` (nullable) arms crash injection
+  /// across the WAL-append and checkpoint paths.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const std::string& dir, const CheckpointPolicy& policy,
+      ScubaEngine* engine, UpdateValidator* validator, Rng* rng,
+      CrashInjector* crash);
+
+  /// DurabilitySink: appends the batch to the WAL (fsynced) and mirrors the
+  /// writer's counters into the engine's EvalStats.
+  Status LogBatch(Timestamp batch_time, bool evaluate_after,
+                  std::span<const LocationUpdate> objects,
+                  std::span<const QueryUpdate> queries) override;
+
+  /// DurabilitySink: counts the round and checkpoints when the policy's
+  /// cadence comes due.
+  Status OnRoundComplete() override;
+
+  /// Writes a checkpoint right now regardless of cadence, then prunes per
+  /// the retention policy.
+  Status ForceCheckpoint();
+
+  uint64_t next_seq() const { return wal_->next_seq(); }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurabilityManager(std::string dir, const CheckpointPolicy& policy,
+                    ScubaEngine* engine, UpdateValidator* validator, Rng* rng,
+                    CrashInjector* crash)
+      : dir_(std::move(dir)),
+        policy_(policy),
+        engine_(engine),
+        validator_(validator),
+        rng_(rng),
+        crash_(crash) {}
+
+  /// Removes snapshots beyond keep_last_k, then WAL segments wholly covered
+  /// by the oldest retained snapshot.
+  Status Prune();
+
+  std::string dir_;
+  CheckpointPolicy policy_;
+  ScubaEngine* engine_;
+  UpdateValidator* validator_;  ///< Nullable.
+  Rng* rng_;                    ///< Nullable.
+  CrashInjector* crash_;        ///< Nullable.
+  std::unique_ptr<WalWriter> wal_;
+  /// Engine WAL counters at Open time; the writer's deltas add onto these so
+  /// counters survive manager re-opens (and recovery).
+  uint64_t base_wal_records_ = 0;
+  uint64_t base_wal_fsyncs_ = 0;
+  uint64_t base_wal_bytes_ = 0;
+  uint32_t rounds_since_checkpoint_ = 0;
+};
+
+/// What RecoverEngine reconstructed and from where.
+struct RecoveryReport {
+  std::string snapshot_path;  ///< Empty when no snapshot was usable.
+  uint64_t snapshot_seq = 0;  ///< WAL seq the snapshot was consistent as of.
+  uint64_t snapshot_rounds = 0;
+  uint64_t records_replayed = 0;
+  uint64_t rounds_replayed = 0;
+  /// First WAL sequence number NOT yet applied: a trace resumes at this
+  /// global batch index.
+  uint64_t next_seq = 0;
+  bool wal_torn_tail = false;
+  /// Damage tolerated along the way: checksum-failed snapshots that were
+  /// skipped, and the torn-tail detail. Empty on a clean recovery.
+  std::vector<std::string> data_loss;
+
+  std::string ToString() const;
+};
+
+/// Rebuilds `engine` (and optionally `validator` / `rng`) from `dir`:
+/// restores the newest readable snapshot — checksum-torn snapshots are
+/// skipped (recorded in the report) in favour of older ones; none readable
+/// means recovery starts from the engine's fresh state at seq 0 — then
+/// replays every WAL record at or past the snapshot's sequence, feeding
+/// `sink` (nullable) at each re-evaluated round. The engine passed in must be
+/// freshly created with the SAME options as the original run
+/// (kFailedPrecondition on fingerprint mismatch). Hard kDataLoss: WAL damage
+/// anywhere but the final segment's tail, or a gap between the snapshot's
+/// sequence and the first replayable record.
+Result<RecoveryReport> RecoverEngine(const std::string& dir,
+                                     ScubaEngine* engine,
+                                     UpdateValidator* validator, Rng* rng,
+                                     const ResultSink& sink = nullptr);
+
+}  // namespace scuba
+
+#endif  // SCUBA_PERSIST_DURABILITY_H_

@@ -1,0 +1,138 @@
+// Engine snapshots: versioned, checksummed serialization of the full SCUBA
+// engine state (docs/ARCHITECTURE.md §8).
+//
+// File layout (all integers little-endian):
+//
+//   magic "SCUBSNP1" (8 bytes) | version u32 | payload_len u64
+//   payload (payload_len bytes) | crc32(payload) u32
+//
+// The payload carries, in order: the ScubaOptions fingerprint, the WAL
+// sequence number the snapshot is consistent as of, the evaluation-round
+// count, the ClusterStore (next_cid, attr tables sorted by id, every cluster
+// with its members in order and its grid-registration memo), the engine's
+// EvalStats / phase stats / clusterer stats / shedder state / join counters,
+// and optional UpdateValidator and Rng sections. Every double is persisted as
+// its IEEE-754 bit pattern, so a restored engine is *bit-identical* to the
+// checkpointed one: same digests, same future results.
+//
+// Restore re-registers each cluster in the ClusterGrid from its saved
+// registered_bounds in ascending cid order. Grid cell placement is a pure
+// function of those bounds (GridIndex::CellsForCircle) and cell-entry order
+// is unobservable by contract (FindCompatibleCluster picks the lowest cid;
+// the join's owner-cell rule sorts), so this reproduces the grid exactly as
+// far as any downstream computation can tell.
+
+#ifndef SCUBA_PERSIST_SNAPSHOT_H_
+#define SCUBA_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/scuba_engine.h"
+#include "persist/crash.h"
+#include "persist/serializer.h"
+#include "stream/update_validator.h"
+
+namespace scuba {
+
+/// Descriptive header fields of a snapshot payload.
+struct SnapshotMeta {
+  uint64_t options_fingerprint = 0;
+  /// First WAL sequence number NOT reflected in the snapshot: recovery
+  /// replays WAL records with seq >= wal_next_seq.
+  uint64_t wal_next_seq = 0;
+  /// Evaluation rounds completed at snapshot time.
+  uint64_t rounds = 0;
+};
+
+/// Fingerprint of the *semantic* engine options: every field that can change
+/// results. join_threads / ingest_threads / the checkpoint policy are
+/// excluded — results are bit-identical across them by the parallel
+/// executors' contract, so a snapshot taken at threads=4 restores cleanly
+/// into a threads=1 engine (and the crash harness relies on exactly that).
+uint64_t OptionsFingerprint(const ScubaOptions& options);
+
+/// "snapshot-<seq, zero-padded>.scuba" — lexicographic order == seq order.
+std::string SnapshotFileName(uint64_t wal_next_seq);
+
+/// All snapshot files in `dir` as (wal_next_seq, full path), ascending seq.
+/// An unreadable directory is IoError; an empty/missing one is an empty list.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshots(
+    const std::string& dir);
+
+/// Serializes the complete engine state (plus optional validator / rng
+/// sections) into a snapshot payload.
+std::string SerializeEngineSnapshot(const ScubaEngine& engine,
+                                    uint64_t wal_next_seq,
+                                    const UpdateValidator* validator,
+                                    const Rng* rng);
+
+/// Writes header + payload + CRC to `dir`/SnapshotFileName(seq) atomically
+/// (temp file, fsync, rename, directory fsync). `crash` (nullable) injects
+/// kMidSnapshotWrite (partial temp file, no final file) and
+/// kTornSnapshotRename (final file with a truncated, checksum-failing
+/// payload). Returns the total file size via `*bytes_written` (nullable).
+Status WriteSnapshotFile(const std::string& dir, uint64_t wal_next_seq,
+                         const std::string& payload, CrashInjector* crash,
+                         uint64_t* bytes_written);
+
+/// Reads a snapshot file and verifies magic, version, length and CRC.
+/// kDataLoss on any mismatch or truncation; the payload otherwise.
+Result<std::string> ReadSnapshotPayload(const std::string& path);
+
+/// Parses only the leading meta fields of a verified payload.
+Result<SnapshotMeta> PeekSnapshotMeta(const std::string& payload);
+
+/// FNV-1a 64 hash over the engine's *deterministic* state — the cluster
+/// store (clusters, members in order, attr tables) and grid registrations,
+/// excluding wall-clock timing stats. Two engines with equal hashes are
+/// indistinguishable to every later round; a recovered engine must hash
+/// equal to the uninterrupted one (the CLI prints this for the CI smoke).
+uint64_t EngineStateHash(const ScubaEngine& engine);
+
+/// Replaces `engine`'s entire state with the payload's. The payload's
+/// options fingerprint must match the engine's (kFailedPrecondition); the
+/// engine's thread counts are kept. When the payload carries a validator /
+/// rng section and the matching pointer is non-null, that state is restored
+/// too (a null pointer skips the section). A payload that fails to parse is
+/// kDataLoss; the engine must then be considered unusable (partially
+/// mutated) and discarded.
+Result<SnapshotMeta> ApplySnapshot(const std::string& payload,
+                                   ScubaEngine* engine,
+                                   UpdateValidator* validator, Rng* rng);
+
+/// Serialization back doors into the private state of the engine's
+/// components. Befriended by ScubaEngine, ClusterStore, MovingCluster,
+/// LeaderFollowerClusterer, LoadShedder, ClusterJoinExecutor,
+/// UpdateValidator and QuarantineLog; everything durable flows through these
+/// static helpers so the friend surface stays in one place.
+struct PersistAccess {
+  /// The deterministic subset of SaveEngineState: store tables, clusters and
+  /// grid-registration flags — everything EngineStateHash covers.
+  static void SaveStoreState(const ScubaEngine& engine, ByteWriter* w);
+  static void SaveEngineState(const ScubaEngine& engine, ByteWriter* w);
+  static Status LoadEngineState(ByteReader* r, ScubaEngine* engine);
+  static void SaveCluster(const MovingCluster& cluster, ByteWriter* w);
+  static Result<MovingCluster> LoadCluster(ByteReader* r);
+  static void SaveValidatorState(const UpdateValidator& v, ByteWriter* w);
+  static Status LoadValidatorState(ByteReader* r, UpdateValidator* v);
+  /// WAL replay: an admitted tuple advances the validator's per-entity
+  /// last-timestamp floor exactly as the original screening did.
+  static void NoteAdmitted(UpdateValidator* v, EntityKind kind, uint32_t id,
+                           Timestamp time);
+  /// Durability counters live in the engine's EvalStats; the manager and
+  /// RecoverEngine update them through this accessor.
+  static EvalStats* MutableStats(ScubaEngine* engine);
+};
+
+// ScubaEngine::Checkpoint / ::Restore are declared in core/scuba_engine.h and
+// defined in this library (snapshot.cc): core stays independent of persist,
+// and any binary linking the `scuba` umbrella resolves them.
+
+}  // namespace scuba
+
+#endif  // SCUBA_PERSIST_SNAPSHOT_H_

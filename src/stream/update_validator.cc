@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/memory_usage.h"
+
 namespace scuba {
 
 std::string_view RejectReasonName(RejectReason reason) {
@@ -79,6 +81,14 @@ void QuarantineLog::Clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+}
+
+size_t QuarantineLog::EstimateMemoryUsage() const {
+  size_t bytes = VectorMemoryUsage(ring_);
+  for (const QuarantinedUpdate& entry : ring_) {
+    bytes += StringMemoryUsage(entry.detail);
+  }
+  return bytes;
 }
 
 uint64_t ValidatorStats::TotalRejected() const {
@@ -243,6 +253,11 @@ void UpdateValidator::Reset() {
   log_.Clear();
   last_time_.clear();
   seen_in_batch_.clear();
+}
+
+size_t UpdateValidator::EstimateMemoryUsage() const {
+  return log_.EstimateMemoryUsage() + UnorderedMapMemoryUsage(last_time_) +
+         UnorderedSetMemoryUsage(seen_in_batch_);
 }
 
 }  // namespace scuba

@@ -35,6 +35,8 @@
 
 namespace scuba {
 
+struct PersistAccess;  // snapshot serialization back door (src/persist)
+
 /// The fault taxonomy. Every rejected tuple is counted under exactly one
 /// reason (the first failing check wins; checks run in this order).
 enum class RejectReason : uint8_t {
@@ -91,7 +93,12 @@ class QuarantineLog {
 
   void Clear();
 
+  /// Analytic heap bytes: the ring buffer plus each retained entry's detail
+  /// string.
+  size_t EstimateMemoryUsage() const;
+
  private:
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   size_t capacity_;
   uint64_t total_ = 0;
   size_t next_ = 0;  ///< Ring write position once the buffer is full.
@@ -163,7 +170,13 @@ class UpdateValidator {
   /// Forgets per-entity history, counters and the quarantine log.
   void Reset();
 
+  /// Analytic heap bytes of all validator state: the quarantine ring (detail
+  /// strings included) plus the per-entity last-timestamp map and the
+  /// in-batch dedup set.
+  size_t EstimateMemoryUsage() const;
+
  private:
+  friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   /// Decides one tuple's fate. Returns kOk to admit (fields possibly
   /// repaired in place under kRepair, bumping stats_.repaired) or the
   /// rejection reason via `*reason`.

@@ -44,5 +44,24 @@ TEST(EngineStatsTest, FormatMentionsFields) {
   EXPECT_NE(out.find("pairs=20/80"), std::string::npos);
 }
 
+TEST(EngineStatsTest, FormatAddsDurabilityOnlyWhenPresent) {
+  // Non-durable runs keep the historical line byte for byte.
+  std::string clean = FormatStats("scuba", SampleStats());
+  EXPECT_EQ(clean.find("wal-records="), std::string::npos);
+  EXPECT_EQ(clean.find("replayed-rounds="), std::string::npos);
+
+  EvalStats s = SampleStats();
+  s.wal_records_appended = 8;
+  s.wal_bytes_appended = 4096;
+  s.checkpoints_written = 2;
+  s.recovery_replay_rounds = 3;
+  std::string durable = FormatStats("scuba", s);
+  EXPECT_NE(durable.find("wal-records=8"), std::string::npos);
+  EXPECT_NE(durable.find("wal-bytes=4096"), std::string::npos);
+  EXPECT_NE(durable.find("checkpoints=2"), std::string::npos);
+  EXPECT_NE(durable.find("replayed-rounds=3"), std::string::npos);
+  EXPECT_EQ(durable.find(clean), 0u) << "historical prefix must be intact";
+}
+
 }  // namespace
 }  // namespace scuba

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "stream/update_validator.h"
+
 namespace scuba {
 namespace {
 
@@ -46,6 +50,55 @@ TEST(MemoryUsageTest, FormatBytesUnits) {
   EXPECT_EQ(FormatBytes(1536), "1.50 KB");
   EXPECT_EQ(FormatBytes(1ull << 20), "1.00 MB");
   EXPECT_EQ(FormatBytes(3ull << 29), "1.50 GB");
+}
+
+TEST(MemoryUsageTest, QuarantineLogAccountsRingAndDetails) {
+  QuarantineLog log(32);
+  const size_t empty = log.EstimateMemoryUsage();
+  for (int i = 0; i < 16; ++i) {
+    QuarantinedUpdate entry;
+    entry.detail = std::string(128, 'd');  // force a heap-allocated string
+    log.Push(std::move(entry));
+  }
+  // The ring buffer itself plus every retained detail string is accounted.
+  EXPECT_GE(log.EstimateMemoryUsage(), empty + log.size() * 128);
+}
+
+TEST(MemoryUsageTest, ValidatorAccountsQuarantineAndLastTimeMap) {
+  ValidatorConfig config;
+  config.policy = BadUpdatePolicy::kQuarantine;
+  UpdateValidator validator(config);
+  const size_t empty = validator.EstimateMemoryUsage();
+
+  // Admitting tuples grows the per-entity last-timestamp map; rejecting
+  // tuples grows the quarantine ring. Both must be visible in the estimate.
+  std::vector<LocationUpdate> objects;
+  for (uint32_t i = 0; i < 200; ++i) {
+    LocationUpdate u;
+    u.oid = i;
+    u.position = Point{100.0 + i, 100.0};
+    u.speed = 5.0;
+    u.time = 1;
+    objects.push_back(u);
+  }
+  std::vector<QueryUpdate> queries;
+  ASSERT_TRUE(validator.ScreenBatch(1, &objects, &queries).ok());
+  const size_t after_admits = validator.EstimateMemoryUsage();
+  EXPECT_GT(after_admits, empty) << "last-time map must be accounted";
+
+  std::vector<LocationUpdate> bad;
+  for (uint32_t i = 0; i < 200; ++i) {
+    LocationUpdate u;
+    u.oid = i;
+    u.position = Point{100.0 + i, 100.0};
+    u.speed = -1.0;  // rejected: quarantined with a detail string
+    u.time = 2;
+    bad.push_back(u);
+  }
+  ASSERT_TRUE(validator.ScreenBatch(2, &bad, &queries).ok());
+  ASSERT_GT(validator.stats().TotalRejected(), 0u);
+  EXPECT_GT(validator.EstimateMemoryUsage(), after_admits)
+      << "quarantine ring entries must be accounted";
 }
 
 }  // namespace

@@ -167,6 +167,35 @@ TEST(RngTest, ForkDecorrelates) {
   EXPECT_LE(same, 1);
 }
 
+TEST(RngTest, SaveRestoreResumesStreamExactly) {
+  Rng rng(53);
+  for (int i = 0; i < 17; ++i) rng.NextU64();  // advance off the seed state
+  RngState state = rng.SaveState();
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(rng.NextU64());
+
+  Rng other(99);  // unrelated seed: state must come entirely from the save
+  other.RestoreState(state);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(other.NextU64(), expected[i]) << "draw " << i;
+  }
+  EXPECT_EQ(other.SaveState(), rng.SaveState());
+}
+
+TEST(RngTest, SaveRestoreCarriesCachedGaussian) {
+  // Box-Muller produces two values per round trip through NextU64; the spare
+  // is cached. A snapshot taken between the pair must restore the cache, or
+  // the resumed stream would skip one gaussian and diverge.
+  Rng rng(59);
+  rng.NextGaussian();  // leaves the second value of the pair cached
+  RngState state = rng.SaveState();
+  EXPECT_TRUE(state.has_cached_gaussian);
+  const double expected = rng.NextGaussian();
+  Rng other(1);
+  other.RestoreState(state);
+  EXPECT_EQ(other.NextGaussian(), expected);
+}
+
 TEST(RngTest, SplitMix64IsDeterministic) {
   uint64_t s1 = 42;
   uint64_t s2 = 42;

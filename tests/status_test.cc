@@ -43,6 +43,17 @@ TEST(StatusTest, AllFactoriesMapToPredicates) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::IoError("x").IsIoError());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+}
+
+TEST(StatusTest, DataLossIsDistinctFromCorruption) {
+  // kCorruption flags inconsistent in-memory state; kDataLoss flags durable
+  // bytes that cannot be trusted (torn WAL tail, checksum-failed snapshot).
+  Status s = Status::DataLoss("torn tail");
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_EQ(s.ToString(), "DataLoss: torn tail");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(StatusTest, PredicatesAreExclusive) {

@@ -5,6 +5,9 @@
 //   scuba_cli run            --trace run.trace --engine scuba [--eta 0.5 ...]
 //   scuba_cli compare        --trace run.trace [--eta 0.5 ...]
 //   scuba_cli corrupt-trace  --trace run.trace --out bad.trace [--rate 0.02]
+//   scuba_cli checkpoint     --trace run.trace --durable-dir DIR [...]
+//   scuba_cli restore        --trace run.trace --durable-dir DIR [...]
+//   scuba_cli recover        --trace run.trace --durable-dir DIR [...]
 //
 // `run` replays a trace into one engine and prints per-round results and
 // engine statistics; `compare` replays into SCUBA and the naive oracle and
@@ -13,6 +16,19 @@
 // off-map and unknown-destination checks). `corrupt-trace` rewrites a trace
 // through the deterministic fault injector so hardened runs can be exercised
 // end to end (`run --on-bad-update quarantine` survives it; `strict` fails).
+//
+// Durability (docs/ARCHITECTURE.md §8): `run --durable-dir DIR` write-ahead
+// logs every admitted batch and checkpoints per --checkpoint-every;
+// --crash-at POINT [--crash-after N] injects a crash at the N-th occurrence
+// of that point and exits nonzero, leaving realistic partial state behind.
+// `recover` rebuilds the engine from DIR (newest readable snapshot + WAL
+// replay) and finishes the trace; `checkpoint` / `restore` exercise the bare
+// snapshot round-trip. Each durable command prints a `state-hash:` line —
+// equal hashes mean bit-identical engine state.
+//
+// Exit codes mirror StatusCode (1 = invalid argument, 5 = failed
+// precondition, 7 = internal/injected crash, 11 = data loss, ...); 0 is
+// success only.
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +51,9 @@
 #include "gen/workload_generator.h"
 #include "network/grid_city.h"
 #include "network/network_io.h"
+#include "persist/crash.h"
+#include "persist/durability.h"
+#include "persist/snapshot.h"
 #include "stream/fault_injector.h"
 #include "stream/pipeline.h"
 #include "stream/update_validator.h"
@@ -137,9 +156,13 @@ Rect RegionFromTrace(const Trace& trace, double margin = 300.0) {
               box.max_y + margin};
 }
 
+/// Every error exits with its StatusCode value (kInvalidArgument = 1 ...
+/// kDataLoss = 11), so scripts and the CI smoke can dispatch on the class of
+/// failure without parsing stderr. Never returns 0.
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-  return 1;
+  const int code = static_cast<int>(s.code());
+  return code == 0 ? 1 : code;
 }
 
 int CmdGenerateMap(const Flags& flags) {
@@ -208,26 +231,81 @@ Result<Trace> LoadTrace(const std::string& path) {
   return Trace::Parse(*text);
 }
 
+/// SCUBA engine options shared by run / checkpoint / restore / recover. The
+/// durable commands MUST rebuild the engine with the same options the run
+/// that wrote the directory used — the snapshot's options fingerprint
+/// enforces it — so they all read the same flags through this one helper.
+ScubaOptions ScubaOptionsFromFlags(const Flags& flags, const Rect& region,
+                                   BadUpdatePolicy policy) {
+  ScubaOptions opt;
+  opt.region = region;
+  opt.grid_cells = static_cast<uint32_t>(flags.GetInt("grid-cells", 100));
+  opt.theta_d = flags.GetDouble("theta-d", 100.0);
+  opt.theta_s = flags.GetDouble("theta-s", 10.0);
+  opt.delta = flags.GetInt("delta", 2);
+  opt.enable_cluster_splitting = flags.GetBool("splitting", false);
+  opt.join_threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  opt.ingest_threads =
+      static_cast<uint32_t>(flags.GetInt("ingest-threads", 1));
+  opt.on_bad_update = policy;
+  opt.audit_every_n_rounds =
+      static_cast<uint32_t>(flags.GetInt("audit-every", 0));
+  opt.checkpoint.every_n_rounds =
+      static_cast<uint32_t>(flags.GetInt("checkpoint-every", 0));
+  opt.checkpoint.keep_last_k =
+      static_cast<uint32_t>(flags.GetInt("keep-last", 2));
+  const double eta = flags.GetDouble("eta", 0.0);
+  if (eta > 0.0) {
+    opt.shedding.mode = LoadSheddingMode::kFixed;
+    opt.shedding.eta = eta;
+  }
+  return opt;
+}
+
+/// Region + validator config from --map (road-network bounds; arms the
+/// off-map and unknown-destination checks) or from the trace contents.
+Result<Rect> ResolveRegion(const std::string& map_path, const Trace& trace,
+                           ValidatorConfig* vconfig) {
+  if (map_path.empty()) return RegionFromTrace(trace);
+  Result<RoadNetwork> net = LoadNetwork(map_path);
+  if (!net.ok()) return net.status();
+  const Rect box = net->BoundingBox();
+  constexpr double kMargin = 300.0;
+  const Rect region{box.min_x - kMargin, box.min_y - kMargin,
+                    box.max_x + kMargin, box.max_y + kMargin};
+  vconfig->bounds = region;
+  vconfig->check_bounds = true;
+  vconfig->node_count = net->NodeCount();
+  return region;
+}
+
+/// --crash-at NAME [--crash-after N]: a disarmed injector when absent.
+Result<CrashInjector> CrashInjectorFromFlags(const Flags& flags) {
+  const std::string at = flags.GetString("crash-at", "");
+  const uint64_t after =
+      static_cast<uint64_t>(flags.GetInt("crash-after", 1));
+  if (at.empty()) return CrashInjector();
+  Result<CrashPoint> point = ParseCrashPoint(at);
+  if (!point.ok()) return point.status();
+  return CrashInjector(*point, after);
+}
+
+void PrintStateHash(const ScubaEngine& engine) {
+  std::printf("state-hash: %016llx\n",
+              static_cast<unsigned long long>(EngineStateHash(engine)));
+}
+
 int CmdRun(const Flags& flags) {
   std::string trace_path = flags.GetString("trace", "run.trace");
   std::string engine_name = flags.GetString("engine", "scuba");
   std::string map_path = flags.GetString("map", "");
   Timestamp delta = flags.GetInt("delta", 2);
-  uint32_t grid_cells = static_cast<uint32_t>(flags.GetInt("grid-cells", 100));
-  double theta_d = flags.GetDouble("theta-d", 100.0);
-  double theta_s = flags.GetDouble("theta-s", 10.0);
-  double eta = flags.GetDouble("eta", 0.0);
-  bool splitting = flags.GetBool("splitting", false);
-  uint32_t threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
-  uint32_t ingest_threads =
-      static_cast<uint32_t>(flags.GetInt("ingest-threads", 1));
   bool quiet = flags.GetBool("quiet", false);
   std::string csv_path = flags.GetString("csv", "");
   std::string policy_name = flags.GetString("on-bad-update", "strict");
-  uint32_t audit_every =
-      static_cast<uint32_t>(flags.GetInt("audit-every", 0));
-  Status consumed = flags.CheckAllConsumed();
-  if (!consumed.ok()) return Fail(consumed);
+  std::string durable_dir = flags.GetString("durable-dir", "");
+  Result<CrashInjector> crash = CrashInjectorFromFlags(flags);
+  if (!crash.ok()) return Fail(crash.status());
 
   Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
   if (!policy.ok()) return Fail(policy.status());
@@ -238,22 +316,11 @@ int CmdRun(const Flags& flags) {
   // With a map the region comes from the road network — independent of the
   // (possibly corrupted) trace contents — and arms the validator's off-map
   // and unknown-destination checks.
-  Rect region;
   ValidatorConfig vconfig;
   vconfig.policy = *policy;
-  if (!map_path.empty()) {
-    Result<RoadNetwork> net = LoadNetwork(map_path);
-    if (!net.ok()) return Fail(net.status());
-    const Rect box = net->BoundingBox();
-    constexpr double kMargin = 300.0;
-    region = Rect{box.min_x - kMargin, box.min_y - kMargin,
-                  box.max_x + kMargin, box.max_y + kMargin};
-    vconfig.bounds = region;
-    vconfig.check_bounds = true;
-    vconfig.node_count = net->NodeCount();
-  } else {
-    region = RegionFromTrace(*trace);
-  }
+  Result<Rect> region_result = ResolveRegion(map_path, *trace, &vconfig);
+  if (!region_result.ok()) return Fail(region_result.status());
+  const Rect region = *region_result;
   // The validator screens the stream only under the drop/repair policies; a
   // strict run keeps the legacy path, where the engine's own validation
   // fails the replay on the first bad tuple.
@@ -261,30 +328,21 @@ int CmdRun(const Flags& flags) {
   UpdateValidator* screen =
       *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
 
+  const ScubaOptions scuba_opt = ScubaOptionsFromFlags(flags, region, *policy);
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
   std::unique_ptr<QueryProcessor> engine;
+  ScubaEngine* scuba_engine = nullptr;
   if (engine_name == "scuba") {
-    ScubaOptions opt;
-    opt.region = region;
-    opt.grid_cells = grid_cells;
-    opt.theta_d = theta_d;
-    opt.theta_s = theta_s;
-    opt.delta = delta;
-    opt.enable_cluster_splitting = splitting;
-    opt.join_threads = threads;
-    opt.ingest_threads = ingest_threads;
-    opt.on_bad_update = *policy;
-    opt.audit_every_n_rounds = audit_every;
-    if (eta > 0.0) {
-      opt.shedding.mode = LoadSheddingMode::kFixed;
-      opt.shedding.eta = eta;
-    }
-    Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create(opt);
+    Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create(scuba_opt);
     if (!e.ok()) return Fail(e.status());
+    scuba_engine = e->get();
     engine = std::move(e).value();
   } else if (engine_name == "grid") {
     GridJoinOptions opt;
     opt.region = region;
-    opt.grid_cells = grid_cells;
+    opt.grid_cells = scuba_opt.grid_cells;
     Result<std::unique_ptr<GridJoinEngine>> e = GridJoinEngine::Create(opt);
     if (!e.ok()) return Fail(e.status());
     engine = std::move(e).value();
@@ -293,6 +351,20 @@ int CmdRun(const Flags& flags) {
   } else {
     return Fail(Status::InvalidArgument("unknown engine: " + engine_name +
                                         " (scuba|grid|naive)"));
+  }
+
+  std::unique_ptr<DurabilityManager> durability;
+  if (!durable_dir.empty()) {
+    if (scuba_engine == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--durable-dir requires --engine scuba (snapshots cover SCUBA "
+          "engine state)"));
+    }
+    Result<std::unique_ptr<DurabilityManager>> d = DurabilityManager::Open(
+        durable_dir, scuba_opt.checkpoint, scuba_engine, screen,
+        /*rng=*/nullptr, &*crash);
+    if (!d.ok()) return Fail(d.status());
+    durability = std::move(d).value();
   }
 
   std::ofstream csv;
@@ -315,13 +387,14 @@ int CmdRun(const Flags& flags) {
                                  << ',' << engine->EstimateMemoryUsage() << '\n';
                            }
                          },
-                         screen);
+                         screen, durability.get());
   if (!s.ok()) return Fail(s);
   if (csv.is_open() && !csv.good()) {
     return Fail(Status::IoError("csv write failed: " + csv_path));
   }
   std::printf("%s\n", FormatStats(engine->name(), engine->stats()).c_str());
   std::printf("memory: %s\n", FormatBytes(engine->EstimateMemoryUsage()).c_str());
+  if (scuba_engine != nullptr) PrintStateHash(*scuba_engine);
   if (screen != nullptr) {
     std::printf("validator: %s\n", screen->FormatStats().c_str());
     const QuarantineLog& log = screen->quarantine();
@@ -337,6 +410,145 @@ int CmdRun(const Flags& flags) {
       }
     }
   }
+  return 0;
+}
+
+/// Replays a trace to completion and writes one snapshot of the final engine
+/// state (no WAL) — the bare Checkpoint() surface.
+int CmdCheckpoint(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string map_path = flags.GetString("map", "");
+  std::string durable_dir = flags.GetString("durable-dir", "");
+  Timestamp delta = flags.GetInt("delta", 2);
+  std::string policy_name = flags.GetString("on-bad-update", "strict");
+  Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
+  if (!policy.ok()) return Fail(policy.status());
+  if (durable_dir.empty()) {
+    return Fail(Status::InvalidArgument("--durable-dir is required"));
+  }
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  ValidatorConfig vconfig;
+  vconfig.policy = *policy;
+  Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
+  if (!region.ok()) return Fail(region.status());
+  const ScubaOptions opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  if (!engine.ok()) return Fail(engine.status());
+  UpdateValidator validator(vconfig);
+  UpdateValidator* screen =
+      *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
+  Status s = ReplayTrace(*trace, engine->get(), delta, nullptr, screen);
+  if (!s.ok()) return Fail(s);
+  s = (*engine)->Checkpoint(durable_dir);
+  if (!s.ok()) return Fail(s);
+  std::printf("checkpointed %zu clusters after %llu rounds to %s (%s)\n",
+              (*engine)->ClusterCount(),
+              static_cast<unsigned long long>((*engine)->stats().evaluations),
+              durable_dir.c_str(),
+              FormatBytes((*engine)->stats().last_checkpoint_bytes).c_str());
+  PrintStateHash(**engine);
+  return 0;
+}
+
+/// Loads the newest snapshot into a freshly built engine (no WAL replay) and
+/// prints its state hash — must equal the hash `checkpoint` printed.
+int CmdRestore(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string map_path = flags.GetString("map", "");
+  std::string durable_dir = flags.GetString("durable-dir", "");
+  std::string policy_name = flags.GetString("on-bad-update", "strict");
+  Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
+  if (!policy.ok()) return Fail(policy.status());
+  if (durable_dir.empty()) {
+    return Fail(Status::InvalidArgument("--durable-dir is required"));
+  }
+  // The trace is read only to re-derive the region: the engine must be
+  // rebuilt with the exact options of the run that checkpointed.
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  ValidatorConfig vconfig;
+  vconfig.policy = *policy;
+  Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
+  if (!region.ok()) return Fail(region.status());
+  const ScubaOptions opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  if (!engine.ok()) return Fail(engine.status());
+  Status s = (*engine)->Restore(durable_dir);
+  if (!s.ok()) return Fail(s);
+  InvariantAuditReport audit = (*engine)->AuditInvariants();
+  std::printf("restored %zu clusters (%llu rounds) from %s; audit: %s\n",
+              (*engine)->ClusterCount(),
+              static_cast<unsigned long long>((*engine)->stats().evaluations),
+              durable_dir.c_str(), audit.clean() ? "clean" : "DIRTY");
+  PrintStateHash(**engine);
+  return audit.clean() ? 0 : Fail(Status::Corruption(audit.ToString()));
+}
+
+/// Crash recovery: rebuilds the engine from the durable directory (newest
+/// readable snapshot + WAL replay), then finishes the trace from where the
+/// log ends — WAL-logging and checkpointing the remainder just like `run`.
+int CmdRecover(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string map_path = flags.GetString("map", "");
+  std::string durable_dir = flags.GetString("durable-dir", "");
+  Timestamp delta = flags.GetInt("delta", 2);
+  bool quiet = flags.GetBool("quiet", false);
+  std::string policy_name = flags.GetString("on-bad-update", "strict");
+  Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
+  if (!policy.ok()) return Fail(policy.status());
+  if (durable_dir.empty()) {
+    return Fail(Status::InvalidArgument("--durable-dir is required"));
+  }
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  ValidatorConfig vconfig;
+  vconfig.policy = *policy;
+  Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
+  if (!region.ok()) return Fail(region.status());
+  const ScubaOptions opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  Result<CrashInjector> crash = CrashInjectorFromFlags(flags);
+  if (!crash.ok()) return Fail(crash.status());
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  if (!engine.ok()) return Fail(engine.status());
+  UpdateValidator validator(vconfig);
+  UpdateValidator* screen =
+      *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
+  if (!quiet) std::printf("%8s %10s\n", "tick", "matches");
+  const ResultSink sink = [&](Timestamp now, const ResultSet& r) {
+    if (!quiet) {
+      std::printf("%8lld %10zu\n", static_cast<long long>(now), r.size());
+    }
+  };
+  Result<RecoveryReport> report =
+      RecoverEngine(durable_dir, engine->get(), screen, /*rng=*/nullptr, sink);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", report->ToString().c_str());
+
+  // WAL sequence numbers are global batch indices (seq 0 = trace batch 0),
+  // so the replayed log tells us exactly where to resume the trace.
+  if (report->next_seq < trace->TickCount()) {
+    Result<std::unique_ptr<DurabilityManager>> durability =
+        DurabilityManager::Open(durable_dir, opt.checkpoint, engine->get(),
+                                screen, /*rng=*/nullptr, &*crash);
+    if (!durability.ok()) return Fail(durability.status());
+    Status s = ReplayTrace(*trace, engine->get(), delta, sink, screen,
+                           durability->get(),
+                           static_cast<size_t>(report->next_seq));
+    if (!s.ok()) return Fail(s);
+  }
+  std::printf("%s\n",
+              FormatStats((*engine)->name(), (*engine)->stats()).c_str());
+  PrintStateHash(**engine);
   return 0;
 }
 
@@ -477,12 +689,23 @@ int Usage() {
       "                  --threads N (0 = all cores) --ingest-threads N\n"
       "                  --splitting --quiet --csv FILE --map FILE\n"
       "                  --on-bad-update strict|quarantine|repair\n"
-      "                  --audit-every N]\n"
+      "                  --audit-every N --durable-dir DIR\n"
+      "                  --checkpoint-every N --keep-last K\n"
+      "                  --crash-at POINT --crash-after N]\n"
+      "  checkpoint      --trace FILE --durable-dir DIR [run options]\n"
+      "  restore         --trace FILE --durable-dir DIR [run options]\n"
+      "  recover         --trace FILE --durable-dir DIR [run options]\n"
       "  compare         --trace FILE [--delta N --eta F --threads N\n"
       "                  --ingest-threads N]\n"
       "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n"
       "  corrupt-trace   --trace FILE --out FILE [--rate F --seed N\n"
-      "                  --burst-size N]\n");
+      "                  --burst-size N]\n\n"
+      "run with --durable-dir WAL-logs every admitted batch and snapshots\n"
+      "every --checkpoint-every rounds; recover rebuilds the engine from the\n"
+      "newest readable snapshot + WAL replay, then finishes the trace.\n"
+      "--crash-at points: before-wal-append mid-wal-append after-wal-append\n"
+      "before-snapshot-write mid-snapshot-write torn-snapshot-rename\n"
+      "after-snapshot-write after-wal-prune\n");
   return 1;
 }
 
@@ -494,6 +717,9 @@ int Main(int argc, char** argv) {
   if (command == "generate-map") return CmdGenerateMap(*flags);
   if (command == "generate-trace") return CmdGenerateTrace(*flags);
   if (command == "run") return CmdRun(*flags);
+  if (command == "checkpoint") return CmdCheckpoint(*flags);
+  if (command == "restore") return CmdRestore(*flags);
+  if (command == "recover") return CmdRecover(*flags);
   if (command == "compare") return CmdCompare(*flags);
   if (command == "render") return CmdRender(*flags);
   if (command == "corrupt-trace") return CmdCorruptTrace(*flags);
