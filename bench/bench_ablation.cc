@@ -72,11 +72,11 @@ void Run() {
       acc.Add(CompareResults(truth[i], rounds[i]));
     }
     std::printf("%-20s %10.4f %10.4f %10zu %10.4f %10llu\n", row.name,
-                (*engine)->stats().total_join_seconds,
-                (*engine)->stats().total_maintenance_seconds,
+                (*engine)->StatsSnapshot().eval.total_join_seconds,
+                (*engine)->StatsSnapshot().eval.total_maintenance_seconds,
                 (*engine)->ClusterCount(), acc.total().Recall(),
                 static_cast<unsigned long long>(
-                    (*engine)->stats().total_results));
+                    (*engine)->StatsSnapshot().eval.total_results));
   }
   std::printf("\n(recall vs the naive oracle; the default variant must be "
               "1.0 — paper-pure bounds may drop matches)\n");

@@ -69,7 +69,7 @@ DurableOutcome RunDurable(const ExperimentData& data, const std::string& dir,
   out.wall_seconds = watch.ElapsedSeconds();
   SCUBA_CHECK_MSG(run.ok(), run.ToString().c_str());
 
-  const EvalStats& stats = (*engine)->stats();
+  const EvalStats stats = (*engine)->StatsSnapshot().eval;
   out.wal_records = stats.wal_records_appended;
   out.wal_bytes = stats.wal_bytes_appended;
   out.wal_fsyncs = stats.wal_fsyncs;

@@ -44,8 +44,8 @@ void Run() {
     std::printf("%-8lld %8llu %12.4f %12.4f %14.0f %16.0f\n",
                 static_cast<long long>(delta),
                 static_cast<unsigned long long>(rounds),
-                (*engine)->stats().total_join_seconds,
-                (*engine)->stats().total_maintenance_seconds, avg_matches,
+                (*engine)->StatsSnapshot().eval.total_join_seconds,
+                (*engine)->StatsSnapshot().eval.total_maintenance_seconds, avg_matches,
                 avg_churn);
   }
   std::printf("\n(churn = |added| + |removed| matches between consecutive "

@@ -41,11 +41,11 @@ SheddingRun RunWithEta(const ExperimentData& data, double eta) {
                            run.rounds.push_back(r);
                          });
   SCUBA_CHECK_MSG(s.ok(), s.ToString().c_str());
-  run.join_seconds = (*engine)->stats().total_join_seconds;
-  run.comparisons = (*engine)->stats().comparisons;
+  run.join_seconds = (*engine)->StatsSnapshot().eval.total_join_seconds;
+  run.comparisons = (*engine)->StatsSnapshot().eval.comparisons;
   run.store_memory = (*engine)->store().EstimateMemoryUsage();
-  run.members_shed = (*engine)->clusterer_stats().members_shed +
-                     (*engine)->phase_stats().members_shed_maintenance;
+  run.members_shed = (*engine)->StatsSnapshot().clusterer.members_shed +
+                     (*engine)->StatsSnapshot().phase.members_shed_maintenance;
   return run;
 }
 

@@ -74,7 +74,7 @@ void Run() {
         ReplayTrace(dirty, engine->get(), /*delta=*/2, nullptr, &validator);
     const double wall = sw.ElapsedSeconds();
     SCUBA_CHECK_MSG(s.ok(), s.ToString().c_str());
-    SCUBA_CHECK_MSG((*engine)->stats().invariant_violations == 0,
+    SCUBA_CHECK_MSG((*engine)->StatsSnapshot().eval.invariant_violations == 0,
                     "audit found violations on the quarantine path");
 
     const ValidatorStats& vs = validator.stats();
@@ -84,7 +84,7 @@ void Run() {
                 static_cast<unsigned long long>(vs.TotalRejected()),
                 static_cast<unsigned long long>(faults.TotalInjected()),
                 static_cast<unsigned long long>(
-                    (*engine)->stats().invariant_audits));
+                    (*engine)->StatsSnapshot().eval.invariant_audits));
   }
 }
 

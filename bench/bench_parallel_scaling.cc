@@ -42,6 +42,41 @@ int Main() {
                     "thread counts must not change the answer");
   }
 
+  // Telemetry overhead: the same workload with metrics + trace JSONL output
+  // enabled must stay within a few percent of the plain run (the ≤2% budget
+  // from docs/ARCHITECTURE.md §9). Reps interleave the two configurations and
+  // each side keeps its best, so drifting machine state hits both equally.
+  auto one_run = [&](bool telemetry) {
+    ScubaOptions options;
+    options.join_threads = 4;
+    options.region = data.region;
+    options.delta = 2;
+    if (telemetry) {
+      options.telemetry.metrics_out = "BENCH_telemetry_metrics.jsonl";
+      options.telemetry.trace_out = "BENCH_telemetry_trace.jsonl";
+    }
+    Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(options);
+    SCUBA_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+    Result<EngineRunResult> run = RunOnTrace(engine->get(), data.trace, 2);
+    SCUBA_CHECK_MSG(run.ok(), run.status().ToString().c_str());
+    Status flushed = (*engine)->FlushTelemetry();
+    SCUBA_CHECK_MSG(flushed.ok(), flushed.ToString().c_str());
+    return run->wall_seconds;
+  };
+  double plain_wall = 0.0;
+  double telemetry_wall = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double plain = one_run(false);
+    const double instrumented = one_run(true);
+    if (rep == 0 || plain < plain_wall) plain_wall = plain;
+    if (rep == 0 || instrumented < telemetry_wall) telemetry_wall = instrumented;
+  }
+  const double overhead =
+      plain_wall > 0.0 ? (telemetry_wall - plain_wall) / plain_wall : 0.0;
+  std::printf("\ntelemetry overhead: plain %.4fs, instrumented %.4fs "
+              "(%+.2f%%)\n",
+              plain_wall, telemetry_wall, 100.0 * overhead);
+
   const char* path = "BENCH_parallel.json";
   std::FILE* json = std::fopen(path, "w");
   SCUBA_CHECK_MSG(json != nullptr, "cannot open BENCH_parallel.json");
@@ -71,7 +106,13 @@ int Main() {
                  static_cast<unsigned long long>(out.comparisons),
                  i + 1 < outcomes.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json,
+               "  ],\n"
+               "  \"telemetry\": {\"plain_wall_seconds\": %.6f, "
+               "\"instrumented_wall_seconds\": %.6f, "
+               "\"overhead_fraction\": %.4f}\n"
+               "}\n",
+               plain_wall, telemetry_wall, overhead);
   std::fclose(json);
   std::printf("\nwrote %s\n", path);
   return 0;

@@ -65,7 +65,7 @@ void Run() {
     std::snprintf(label, sizeof(label), "%.0f%%", fraction * 100.0);
     std::printf("%-10s | %10.4f %10.4f | %10.4f %10.4f | %12.4f\n", label,
                 scuba_acc.Accuracy(), scuba_acc.Recall(), lk_acc.Accuracy(),
-                lk_acc.Recall(), (*engine)->stats().total_join_seconds);
+                lk_acc.Recall(), (*engine)->StatsSnapshot().eval.total_join_seconds);
   }
   std::printf("\n(ground truth = naive oracle on the full trace; last-known = "
               "naive oracle fed only the partial trace)\n");

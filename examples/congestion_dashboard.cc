@@ -95,6 +95,6 @@ int main(int argc, char** argv) {
   std::printf("\nclusters: %zu (split %llu times to keep summaries tight)\n",
               (*engine)->ClusterCount(),
               static_cast<unsigned long long>(
-                  (*engine)->phase_stats().clusters_split));
+                  (*engine)->StatsSnapshot().phase.clusters_split));
   return 0;
 }

@@ -68,8 +68,8 @@ int main(int argc, char** argv) {
         AccuracyReport rep = CompareResults(truth[round], r);
         acc.Add(rep);
         ++round;
-        uint64_t shed = (*engine)->clusterer_stats().members_shed +
-                        (*engine)->phase_stats().members_shed_maintenance;
+        uint64_t shed = (*engine)->StatsSnapshot().clusterer.members_shed +
+                        (*engine)->StatsSnapshot().phase.members_shed_maintenance;
         std::printf("%6lld %10zu %10.3f %8.2f %14s %10llu\n",
                     static_cast<long long>(now), r.size(), rep.Accuracy(),
                     (*engine)->shedder().eta(),

@@ -70,7 +70,7 @@ int main() {
   }
 
   // 4. Engine statistics.
-  const EvalStats& stats = scuba.stats();
+  const EvalStats stats = scuba.StatsSnapshot().eval;
   std::printf("cluster pairs tested=%llu overlapping=%llu comparisons=%llu\n",
               static_cast<unsigned long long>(stats.cluster_pairs_tested),
               static_cast<unsigned long long>(stats.cluster_pairs_overlapping),

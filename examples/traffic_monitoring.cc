@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   std::printf("\n%6s %10s %10s %12s %12s\n", "tick", "matches", "clusters",
               "join(ms)", "maint(ms)");
   Status run = pipeline->RunTicks(ticks, [&](Timestamp now, const ResultSet& r) {
-    const EvalStats& stats = (*engine)->stats();
+    const EvalStats stats = (*engine)->StatsSnapshot().eval;
     std::printf("%6lld %10zu %10zu %12.3f %12.3f\n",
                 static_cast<long long>(now), r.size(), (*engine)->ClusterCount(),
                 stats.last_join_seconds * 1e3,
@@ -75,13 +75,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("\n%s\n", FormatStats("scuba", (*engine)->stats()).c_str());
+  const EngineSnapshotStats snapshot = (*engine)->StatsSnapshot();
+  std::printf("\n%s\n", snapshot.Format("scuba").c_str());
   std::printf("join-between selectivity: %.1f%% of tested cluster pairs "
               "overlapped\n",
-              100.0 * JoinBetweenSelectivity((*engine)->stats()));
+              100.0 * snapshot.JoinBetweenSelectivity());
   std::printf("engine memory: %s\n",
               FormatBytes((*engine)->EstimateMemoryUsage()).c_str());
-  const ClustererStats& cs = (*engine)->clusterer_stats();
+  const ClustererStats& cs = snapshot.clusterer;
   std::printf("clustering: %llu created, %llu absorbed, %llu refreshed, "
               "%llu departures\n",
               static_cast<unsigned long long>(cs.clusters_created),

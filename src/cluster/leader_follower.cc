@@ -203,7 +203,7 @@ struct ClusterShard {
 Status LeaderFollowerClusterer::ProcessBatch(
     std::span<const LocationUpdate> objects,
     std::span<const QueryUpdate> queries, ThreadPool* pool, uint32_t tasks,
-    double* worker_seconds) {
+    double* worker_seconds, IngestPhaseTimings* timings) {
   if (worker_seconds != nullptr) *worker_seconds = 0.0;
   if (tasks <= 1 || pool == nullptr || objects.size() + queries.size() <= 1) {
     Stopwatch serial;
@@ -213,9 +213,12 @@ Status LeaderFollowerClusterer::ProcessBatch(
     for (const QueryUpdate& u : queries) {
       SCUBA_RETURN_IF_ERROR(ProcessQueryUpdate(u));
     }
-    if (worker_seconds != nullptr) *worker_seconds = serial.ElapsedSeconds();
+    const double elapsed = serial.ElapsedSeconds();
+    if (worker_seconds != nullptr) *worker_seconds = elapsed;
+    if (timings != nullptr) timings->apply_seconds += elapsed;
     return Status::OK();
   }
+  Stopwatch phase_sw;
 
   std::vector<BatchItem> items;
   items.reserve(objects.size() + queries.size());
@@ -377,6 +380,11 @@ Status LeaderFollowerClusterer::ProcessBatch(
     }
   }
 
+  if (timings != nullptr) {
+    timings->classify_seconds += phase_sw.ElapsedSeconds();
+    phase_sw.Start();
+  }
+
   // ---- Phase B (serial). Attribute-table upserts first: nothing reads the
   // tables mid-batch, and per-entity last-writer order matches delivery
   // order. The residual replay below harmlessly re-upserts its subset.
@@ -407,6 +415,7 @@ Status LeaderFollowerClusterer::ProcessBatch(
     if (!it.residual) continue;
     SCUBA_RETURN_IF_ERROR(ProcessUpdate(it.kind, it.obj, it.qry));
   }
+  if (timings != nullptr) timings->apply_seconds += phase_sw.ElapsedSeconds();
   return Status::OK();
 }
 

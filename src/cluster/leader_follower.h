@@ -43,6 +43,14 @@ struct ClustererOptions {
   double grid_sync_padding = 100.0;
 };
 
+/// Wall-time split of one ProcessBatch call, for the telemetry ingest span
+/// (docs/ARCHITECTURE.md §9). The serial degenerate path reports everything
+/// under apply (there is no separate classification phase to time).
+struct IngestPhaseTimings {
+  double classify_seconds = 0.0;  ///< Parallel read-only phases (A1 + A2).
+  double apply_seconds = 0.0;     ///< Serial publish + residual replay.
+};
+
 /// Counters exposed for tests and the maintenance-cost experiment.
 struct ClustererStats {
   uint64_t clusters_created = 0;
@@ -102,10 +110,12 @@ class LeaderFollowerClusterer {
   ///    allocation identical to serial execution.
   ///
   /// tasks <= 1 (or pool == nullptr) degrades to the plain serial loop.
-  /// `*worker_seconds` (optional) accumulates summed per-task busy time.
+  /// `*worker_seconds` (optional) accumulates summed per-task busy time;
+  /// `*timings` (optional) receives the classify/apply wall-time split.
   Status ProcessBatch(std::span<const LocationUpdate> objects,
                       std::span<const QueryUpdate> queries, ThreadPool* pool,
-                      uint32_t tasks, double* worker_seconds);
+                      uint32_t tasks, double* worker_seconds,
+                      IngestPhaseTimings* timings = nullptr);
 
   /// Current nucleus radius Theta_N for ingest-time load shedding; 0 disables.
   /// (Members landing within the nucleus have their positions discarded

@@ -7,16 +7,113 @@
 
 namespace scuba {
 
+Status Histogram::ValidateBounds(const std::vector<double>& bounds) {
+  if (bounds.empty()) {
+    return Status::InvalidArgument("bucket bounds must be non-empty");
+  }
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (!std::isfinite(bounds[i])) {
+      return Status::InvalidArgument("bucket bounds must be finite");
+    }
+    if (i > 0 && bounds[i] <= bounds[i - 1]) {
+      return Status::InvalidArgument(
+          "bucket bounds must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Histogram> Histogram::WithBuckets(std::vector<double> upper_bounds) {
+  SCUBA_RETURN_IF_ERROR(ValidateBounds(upper_bounds));
+  Histogram h;
+  h.bucketed_ = true;
+  h.bucket_counts_.assign(upper_bounds.size() + 1, 0);
+  h.bounds_ = std::move(upper_bounds);
+  return h;
+}
+
+Result<Histogram> Histogram::FromBucketData(
+    std::vector<double> upper_bounds, std::vector<uint64_t> bucket_counts,
+    double sum) {
+  SCUBA_RETURN_IF_ERROR(ValidateBounds(upper_bounds));
+  if (bucket_counts.size() != upper_bounds.size() + 1) {
+    return Status::InvalidArgument(
+        "bucket_counts must have bounds + 1 entries (the +Inf overflow)");
+  }
+  Histogram h;
+  h.bucketed_ = true;
+  h.bounds_ = std::move(upper_bounds);
+  h.bucket_counts_ = std::move(bucket_counts);
+  for (uint64_t c : h.bucket_counts_) h.count_ += c;
+  h.sum_ = sum;
+  // Reconstructed shards carry no exact extrema; approximate from the
+  // occupied bucket edges so Min/Max stay within the right bucket.
+  if (h.count_ > 0) {
+    for (size_t i = 0; i < h.bucket_counts_.size(); ++i) {
+      if (h.bucket_counts_[i] == 0) continue;
+      h.min_ = i == 0 ? 0.0 : h.bounds_[i - 1];
+      break;
+    }
+    for (size_t i = h.bucket_counts_.size(); i-- > 0;) {
+      if (h.bucket_counts_[i] == 0) continue;
+      h.max_ = i < h.bounds_.size() ? h.bounds_[i] : h.bounds_.back();
+      break;
+    }
+  }
+  return h;
+}
+
 void Histogram::Add(double value) {
+  if (bucketed_) {
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    ++bucket_counts_[idx];
+    if (count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    return;
+  }
   samples_.push_back(value);
   sum_ += value;
   sorted_valid_ = false;
 }
 
-void Histogram::Merge(const Histogram& other) {
+Status Histogram::Merge(const Histogram& other) {
+  if (bucketed_ != other.bucketed_) {
+    return Status::InvalidArgument(
+        "cannot merge a sample-mode histogram with a bucketed one");
+  }
+  if (bucketed_) {
+    if (bounds_ != other.bounds_) {
+      return Status::InvalidArgument(
+          "cannot merge histograms with mismatched bucket layouts");
+    }
+    for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+      bucket_counts_[i] += other.bucket_counts_[i];
+    }
+    if (other.count_ > 0) {
+      if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+      } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+      }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return Status::OK();
+  }
   samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
   sum_ += other.sum_;
   sorted_valid_ = false;
+  return Status::OK();
 }
 
 void Histogram::Clear() {
@@ -24,23 +121,36 @@ void Histogram::Clear() {
   sorted_.clear();
   sum_ = 0.0;
   sorted_valid_ = false;
+  std::fill(bucket_counts_.begin(), bucket_counts_.end(), uint64_t{0});
+  count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+int64_t Histogram::count() const {
+  return bucketed_ ? static_cast<int64_t>(count_)
+                   : static_cast<int64_t>(samples_.size());
 }
 
 double Histogram::Mean() const {
-  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  const int64_t n = count();
+  return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
 }
 
 double Histogram::Min() const {
+  if (bucketed_) return min_;
   if (samples_.empty()) return 0.0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::Max() const {
+  if (bucketed_) return max_;
   if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::StdDev() const {
+  if (bucketed_) return 0.0;
   if (samples_.size() < 2) return 0.0;
   double mean = Mean();
   double acc = 0.0;
@@ -49,13 +159,37 @@ double Histogram::StdDev() const {
 }
 
 double Histogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  if (bucketed_) {
+    if (count_ == 0) return 0.0;
+    // Target rank, 1-based, nearest-rank like the sample path.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+      const uint64_t in_bucket = bucket_counts_[i];
+      if (cumulative + in_bucket < rank) {
+        cumulative += in_bucket;
+        continue;
+      }
+      if (i >= bounds_.size()) return bounds_.back();  // +Inf overflow bucket
+      const double lo = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = in_bucket == 0
+                              ? 1.0
+                              : static_cast<double>(rank - cumulative) /
+                                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    return max_;
+  }
   if (samples_.empty()) return 0.0;
   if (!sorted_valid_) {
     sorted_ = samples_;
     std::sort(sorted_.begin(), sorted_.end());
     sorted_valid_ = true;
   }
-  p = std::clamp(p, 0.0, 100.0);
   // Nearest-rank: ceil(p/100 * N), 1-based.
   size_t rank = static_cast<size_t>(
       std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));

@@ -1,6 +1,16 @@
 // Histogram: streaming summary statistics (count/mean/min/max/stddev and
-// approximate percentiles) used by the experiment harness to report per-phase
-// timings the way the paper reports join times.
+// percentiles) used by the experiment harness to report per-phase timings the
+// way the paper reports join times, and by the observability registry
+// (src/obs) to aggregate per-thread metric shards.
+//
+// Two modes, fixed at construction:
+//  - *sample* (default constructor): every value is retained, percentiles are
+//    exact via nearest-rank. The experiment-harness mode.
+//  - *bucketed* (WithBuckets): fixed upper bounds plus an implicit +Inf
+//    overflow bucket; O(buckets) memory regardless of sample count,
+//    percentiles are linearly interpolated within the containing bucket. The
+//    metrics-registry mode, where per-thread shards are rebuilt with
+//    FromBucketData and combined with Merge.
 
 #ifndef SCUBA_COMMON_HISTOGRAM_H_
 #define SCUBA_COMMON_HISTOGRAM_H_
@@ -9,38 +19,78 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace scuba {
 
-/// Accumulates double-valued samples. Percentiles are exact (samples are
-/// retained); this is an experiment-harness tool, not a hot-path structure.
 class Histogram {
  public:
+  /// Sample mode: percentiles are exact (samples are retained).
+  Histogram() = default;
+
+  /// Bucketed mode. `upper_bounds` are the inclusive upper edges of the
+  /// finite buckets, strictly increasing and finite; a +Inf overflow bucket
+  /// is always appended. InvalidArgument when empty, non-finite, or not
+  /// strictly increasing.
+  static Result<Histogram> WithBuckets(std::vector<double> upper_bounds);
+
+  /// Bucketed mode from pre-counted data (per-thread metric shards).
+  /// `bucket_counts` must have upper_bounds.size() + 1 entries (the last is
+  /// the +Inf overflow bucket); the bounds are validated as in WithBuckets.
+  static Result<Histogram> FromBucketData(std::vector<double> upper_bounds,
+                                          std::vector<uint64_t> bucket_counts,
+                                          double sum);
+
   void Add(double value);
 
-  /// Merges all samples of `other` into this histogram.
-  void Merge(const Histogram& other);
+  /// Merges `other` into this histogram. Both sample-mode histograms merge by
+  /// appending samples; both bucketed-mode histograms merge bucket-wise when
+  /// their bounds are identical. Mixed modes or mismatched bucket layouts
+  /// return kInvalidArgument and leave this histogram untouched.
+  Status Merge(const Histogram& other);
 
   void Clear();
 
-  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  bool bucketed() const { return bucketed_; }
+  /// Bucketed mode: the finite upper bounds (empty in sample mode).
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Bucketed mode: per-bucket counts, bounds().size() + 1 entries (the last
+  /// is the +Inf overflow bucket). Empty in sample mode.
+  const std::vector<uint64_t>& bucket_counts() const { return bucket_counts_; }
+
+  int64_t count() const;
   double sum() const { return sum_; }
   double Mean() const;
   double Min() const;
   double Max() const;
-  /// Population standard deviation; 0 for fewer than 2 samples.
+  /// Population standard deviation; 0 for fewer than 2 samples. Sample mode
+  /// only (bucketed histograms do not retain enough to compute it; 0).
   double StdDev() const;
-  /// Exact percentile via nearest-rank on sorted samples; p in [0,100].
-  /// Returns 0 when empty.
+  /// p in [0,100] (clamped). Sample mode: exact nearest-rank. Bucketed mode:
+  /// linear interpolation inside the containing bucket (overflow bucket
+  /// reports its lower edge). Returns 0 when empty.
   double Percentile(double p) const;
 
   /// One-line summary: "count=.. mean=.. min=.. p50=.. p99=.. max=..".
   std::string ToString() const;
 
  private:
+  static Status ValidateBounds(const std::vector<double>& bounds);
+
+  // Sample mode.
   std::vector<double> samples_;
-  double sum_ = 0.0;
   mutable std::vector<double> sorted_;   // cache for percentile queries
   mutable bool sorted_valid_ = false;
+
+  // Bucketed mode.
+  bool bucketed_ = false;
+  std::vector<double> bounds_;
+  std::vector<uint64_t> bucket_counts_;  // bounds_.size() + 1 (+Inf overflow)
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  double sum_ = 0.0;  // both modes
 };
 
 }  // namespace scuba

@@ -36,6 +36,18 @@ ClusterJoinExecutor::ClusterJoinExecutor(bool query_reach_aware,
 
 ClusterJoinExecutor::~ClusterJoinExecutor() = default;
 
+void ClusterJoinExecutor::AttachTelemetry(MetricsRegistry* registry) {
+  collect_phase_timings_ = true;
+  if (registry != nullptr) {
+    Result<HistogramMetric> hist = registry->RegisterHistogram(
+        "scuba_join_task_busy_seconds",
+        "Busy seconds of one join worker task (one observation per task per "
+        "round)",
+        {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+    if (hist.ok()) task_busy_histogram_ = *hist;
+  }
+}
+
 ClusterJoinExecutor::JoinView ClusterJoinExecutor::BuildView(
     const MovingCluster& cluster, const GridIndex& grid) const {
   JoinView view;
@@ -149,7 +161,8 @@ void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
 void ClusterJoinExecutor::ScanCells(const GridIndex& grid,
                                     std::atomic<uint32_t>* next_chunk,
                                     uint32_t chunk_size, Counters* counters,
-                                    ResultSet* results) const {
+                                    ResultSet* results,
+                                    double* within_seconds) const {
   const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
   for (;;) {
     const uint32_t begin =
@@ -168,7 +181,13 @@ void ClusterJoinExecutor::ScanCells(const GridIndex& grid,
         // its circle overlaps).
         if (lview.mixed && lview.cells.front() == cell) {
           ++counters->within_joins_single;
-          JoinObjectsToQueries(lview, lview, counters, results);
+          if (within_seconds != nullptr) {
+            Stopwatch within_sw;
+            JoinObjectsToQueries(lview, lview, counters, results);
+            *within_seconds += within_sw.ElapsedSeconds();
+          } else {
+            JoinObjectsToQueries(lview, lview, counters, results);
+          }
         }
         for (size_t j = i + 1; j < entries.size(); ++j) {
           auto right_it = slot_of_.find(entries[j]);
@@ -191,8 +210,15 @@ void ClusterJoinExecutor::ScanCells(const GridIndex& grid,
           // Cross combinations only; same-cluster combinations come from the
           // per-cluster join-within above, so the union-based Algorithm 3
           // result is preserved without duplicate work.
-          JoinObjectsToQueries(lview, rview, counters, results);
-          JoinObjectsToQueries(rview, lview, counters, results);
+          if (within_seconds != nullptr) {
+            Stopwatch within_sw;
+            JoinObjectsToQueries(lview, rview, counters, results);
+            JoinObjectsToQueries(rview, lview, counters, results);
+            *within_seconds += within_sw.ElapsedSeconds();
+          } else {
+            JoinObjectsToQueries(lview, rview, counters, results);
+            JoinObjectsToQueries(rview, lview, counters, results);
+          }
         }
       }
     }
@@ -227,6 +253,10 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
   }
 
   last_worker_seconds_ = 0.0;
+  const bool timed = collect_phase_timings_;
+  last_task_busy_seconds_.assign(timed ? tasks : 0, 0.0);
+  std::vector<double> task_within(timed ? tasks : 0, 0.0);
+  last_within_seconds_ = 0.0;
 
   // Phase A: precompute every JoinView in parallel. The table is immutable
   // from here on — the scan below only reads it.
@@ -234,11 +264,12 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     std::atomic<uint32_t> next_slot{0};
     const uint32_t slot_chunk = std::max<uint32_t>(
         1, static_cast<uint32_t>(cids.size()) / (tasks * 8 + 1) + 1);
-    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t) {
+    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
+      Stopwatch busy;
       for (;;) {
         const uint32_t begin =
             next_slot.fetch_add(slot_chunk, std::memory_order_relaxed);
-        if (begin >= cids.size()) return;
+        if (begin >= cids.size()) break;
         const uint32_t end =
             std::min<uint32_t>(begin + slot_chunk,
                                static_cast<uint32_t>(cids.size()));
@@ -248,6 +279,7 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
           views_[slot] = BuildView(*cluster, grid);
         }
       }
+      if (timed) last_task_busy_seconds_[t] += busy.ElapsedSeconds();
     });
   }
 
@@ -262,10 +294,17 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     const uint32_t cell_chunk =
         std::max<uint32_t>(1, cell_count / (tasks * 8 + 1) + 1);
     last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
+      Stopwatch busy;
       ScanCells(grid, &next_chunk, cell_chunk, &task_counters[t],
-                &task_results[t]);
+                &task_results[t], timed ? &task_within[t] : nullptr);
+      if (timed) {
+        const double elapsed = busy.ElapsedSeconds();
+        last_task_busy_seconds_[t] += elapsed;
+        task_busy_histogram_.Observe(elapsed);
+      }
     });
   }
+  for (double w : task_within) last_within_seconds_ += w;
 
   // Merge: one reserve, buffer moves/bulk appends, a single Normalize.
   size_t total = 0;

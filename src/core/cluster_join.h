@@ -33,6 +33,7 @@
 #include "common/thread_pool.h"
 #include "core/result_set.h"
 #include "index/grid_index.h"
+#include "obs/metrics.h"
 
 namespace scuba {
 
@@ -84,6 +85,25 @@ class ClusterJoinExecutor {
   /// thread this tracks the join wall time; the wall/worker ratio is the
   /// parallel-efficiency figure EngineStats reports.
   double last_worker_seconds() const { return last_worker_seconds_; }
+
+  /// Observability (docs/ARCHITECTURE.md §9): turns on per-task phase
+  /// timing (busy time per shard, join-within seconds) and registers the
+  /// executor's task-busy histogram in `registry` (may be null to collect
+  /// timings without a registry). Off by default — the disabled path takes
+  /// no extra clock reads.
+  void AttachTelemetry(MetricsRegistry* registry);
+
+  /// Per-task busy seconds of the last Execute() (empty unless telemetry is
+  /// attached). Index = task/shard id; feeds the join shard spans and the
+  /// per-shard imbalance figure.
+  const std::vector<double>& last_task_busy_seconds() const {
+    return last_task_busy_seconds_;
+  }
+
+  /// Seconds the last Execute() spent inside member-level join-within work,
+  /// summed across tasks (0 unless telemetry is attached). The join-between
+  /// share is last_worker_seconds() minus this.
+  double last_within_seconds() const { return last_within_seconds_; }
 
   /// Scratch-space heap footprint (per-round view table).
   size_t EstimateMemoryUsage() const;
@@ -143,15 +163,23 @@ class ClusterJoinExecutor {
                             const JoinView& queries_view, Counters* counters,
                             ResultSet* results) const;
   /// One worker task's share of the cell scan: drains contiguous cell chunks
-  /// off the shared cursor into task-local buffers.
+  /// off the shared cursor into task-local buffers. `within_seconds`
+  /// (nullable) accumulates time spent in member-level join-within work.
   void ScanCells(const GridIndex& grid, std::atomic<uint32_t>* next_chunk,
-                 uint32_t chunk_size, Counters* counters,
-                 ResultSet* results) const;
+                 uint32_t chunk_size, Counters* counters, ResultSet* results,
+                 double* within_seconds) const;
 
   bool query_reach_aware_;
   uint32_t resolved_threads_;
   Counters counters_;
   double last_worker_seconds_ = 0.0;
+  /// Telemetry (AttachTelemetry): per-task busy + within timings and the
+  /// task-busy histogram workers observe into (a no-op handle when no
+  /// registry was attached).
+  bool collect_phase_timings_ = false;
+  std::vector<double> last_task_busy_seconds_;
+  double last_within_seconds_ = 0.0;
+  HistogramMetric task_busy_histogram_;
   /// Per-round view table (slot-compacted; cluster ids are sparse after long
   /// runs). Rebuilt each Execute(), kept until the next round so the adaptive
   /// load shedder sees the scratch footprint the join really used.

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/scuba_options.h"
+#include "obs/metrics.h"
 
 namespace scuba {
 
@@ -32,12 +33,20 @@ class LoadShedder {
   /// Number of adaptive eta adjustments so far (observability).
   uint64_t adjustments() const { return adjustments_; }
 
+  /// Observability (docs/ARCHITECTURE.md §9): registers the shedder's eta /
+  /// nucleus-radius gauges and adjustment counter in `registry` and keeps
+  /// them current from ObserveMemoryUsage. No-op when registry is null.
+  void AttachMetrics(MetricsRegistry* registry);
+
  private:
   friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   LoadSheddingOptions options_;
   double theta_d_;
   double eta_;
   uint64_t adjustments_ = 0;
+  Gauge eta_gauge_;
+  Gauge nucleus_gauge_;
+  Counter adjustments_counter_;
 };
 
 }  // namespace scuba

@@ -52,8 +52,190 @@ Result<std::unique_ptr<ScubaEngine>> ScubaEngine::Create(
   Result<GridIndex> grid = GridIndex::Create(options.region, options.grid_cells);
   if (!grid.ok()) return grid.status();
   // Not make_unique: the constructor is private.
-  return std::unique_ptr<ScubaEngine>(
+  std::unique_ptr<ScubaEngine> engine(
       new ScubaEngine(options, std::move(grid).value()));
+  if (options.telemetry.Enabled()) {
+    Result<std::unique_ptr<EngineTelemetry>> telemetry =
+        EngineTelemetry::Create(options.telemetry, engine->name());
+    if (!telemetry.ok()) return telemetry.status();
+    engine->InstallTelemetry(std::move(telemetry).value());
+  }
+  return engine;
+}
+
+void ScubaEngine::InstallTelemetry(std::unique_ptr<EngineTelemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+  MetricsRegistry& reg = telemetry_->registry();
+  metrics_.rounds =
+      reg.RegisterCounter("scuba_rounds_total", "Completed evaluation rounds");
+  metrics_.results = reg.RegisterCounter("scuba_results_total",
+                                         "Query-object matches produced");
+  metrics_.join_comparisons = reg.RegisterCounter(
+      "scuba_join_comparisons_total", "Member-level predicate evaluations");
+  metrics_.join_bounds_checks = reg.RegisterCounter(
+      "scuba_join_bounds_checks_total", "Per-query fine-filter pre-checks");
+  metrics_.join_pairs_tested = reg.RegisterCounter(
+      "scuba_join_pairs_tested_total", "Join-between cluster-pair tests");
+  metrics_.join_pairs_overlapping = reg.RegisterCounter(
+      "scuba_join_pairs_overlapping_total", "Join-between positives");
+  metrics_.join_within_single = reg.RegisterCounter(
+      "scuba_join_within_single_total", "Same-cluster join-within runs");
+  metrics_.join_within_pair = reg.RegisterCounter(
+      "scuba_join_within_pair_total", "Cross-cluster join-within runs");
+  metrics_.clusters_created = reg.RegisterCounter(
+      "scuba_clusters_created_total", "Moving clusters created");
+  metrics_.members_absorbed = reg.RegisterCounter(
+      "scuba_members_absorbed_total", "Members absorbed into clusters");
+  metrics_.members_refreshed = reg.RegisterCounter(
+      "scuba_members_refreshed_total", "Members refreshed in place");
+  metrics_.members_departed = reg.RegisterCounter(
+      "scuba_members_departed_total", "Members that left their cluster");
+  metrics_.clusters_dissolved_empty = reg.RegisterCounter(
+      "scuba_clusters_dissolved_empty_total", "Clusters dissolved empty");
+  metrics_.members_shed_ingest = reg.RegisterCounter(
+      "scuba_members_shed_ingest_total", "Positions shed at ingest");
+  metrics_.clusters_dissolved_expired =
+      reg.RegisterCounter("scuba_clusters_dissolved_expired_total",
+                          "Clusters dissolved at their destination");
+  metrics_.members_shed_maintenance = reg.RegisterCounter(
+      "scuba_members_shed_maintenance_total", "Positions shed in maintenance");
+  metrics_.clusters_split = reg.RegisterCounter(
+      "scuba_clusters_split_total", "Oversized clusters split");
+  metrics_.updates_quarantined = reg.RegisterCounter(
+      "scuba_updates_quarantined_total", "Updates dropped by validation");
+  metrics_.invariant_audits = reg.RegisterCounter(
+      "scuba_invariant_audits_total", "Invariant audit passes");
+  metrics_.invariant_violations = reg.RegisterCounter(
+      "scuba_invariant_violations_total", "Invariant violations found");
+  metrics_.invariant_repairs = reg.RegisterCounter(
+      "scuba_invariant_repairs_total", "Grid rebuilds that healed an audit");
+  metrics_.wal_records = reg.RegisterCounter("scuba_wal_records_total",
+                                             "WAL records appended");
+  metrics_.wal_bytes =
+      reg.RegisterCounter("scuba_wal_bytes_total", "WAL bytes appended");
+  metrics_.wal_fsyncs =
+      reg.RegisterCounter("scuba_wal_fsyncs_total", "WAL fsync calls");
+  metrics_.checkpoints = reg.RegisterCounter("scuba_checkpoints_total",
+                                             "Snapshot checkpoints written");
+  metrics_.clusters =
+      reg.RegisterGauge("scuba_clusters", "Live moving clusters");
+  const std::vector<double> kTimeBuckets = {1e-5, 1e-4, 1e-3, 1e-2,
+                                            1e-1, 1.0,  10.0};
+  if (Result<HistogramMetric> h = reg.RegisterHistogram(
+          "scuba_join_wall_seconds", "Join phase wall time per round",
+          kTimeBuckets);
+      h.ok()) {
+    metrics_.join_wall_seconds = *h;
+  }
+  if (Result<HistogramMetric> h = reg.RegisterHistogram(
+          "scuba_ingest_wall_seconds", "Pre-join ingest wall time per round",
+          kTimeBuckets);
+      h.ok()) {
+    metrics_.ingest_wall_seconds = *h;
+  }
+  if (Result<HistogramMetric> h = reg.RegisterHistogram(
+          "scuba_postjoin_wall_seconds",
+          "Post-join maintenance wall time per round", kTimeBuckets);
+      h.ok()) {
+    metrics_.postjoin_wall_seconds = *h;
+  }
+  join_executor_.AttachTelemetry(&reg);
+  shedder_.AttachMetrics(&reg);
+  metrics_.clusters.Set(static_cast<double>(store_.ClusterCount()));
+  telemetry_->SetRoundHook([this] { PushTelemetryDeltas(); });
+}
+
+void ScubaEngine::PushTelemetryDeltas() {
+  const ClusterJoinExecutor::Counters& join = join_executor_.counters();
+  const ClustererStats& clu = clusterer_.stats();
+  metrics_.rounds.Increment(stats_.evaluations - pushed_.eval.evaluations);
+  metrics_.results.Increment(stats_.total_results -
+                             pushed_.eval.total_results);
+  metrics_.join_comparisons.Increment(join.comparisons -
+                                      pushed_.join.comparisons);
+  metrics_.join_bounds_checks.Increment(join.bounds_checks -
+                                        pushed_.join.bounds_checks);
+  metrics_.join_pairs_tested.Increment(join.pairs_tested -
+                                       pushed_.join.pairs_tested);
+  metrics_.join_pairs_overlapping.Increment(join.pairs_overlapping -
+                                            pushed_.join.pairs_overlapping);
+  metrics_.join_within_single.Increment(join.within_joins_single -
+                                        pushed_.join.within_joins_single);
+  metrics_.join_within_pair.Increment(join.within_joins_pair -
+                                      pushed_.join.within_joins_pair);
+  metrics_.clusters_created.Increment(clu.clusters_created -
+                                      pushed_.clusterer.clusters_created);
+  metrics_.members_absorbed.Increment(clu.members_absorbed -
+                                      pushed_.clusterer.members_absorbed);
+  metrics_.members_refreshed.Increment(clu.members_refreshed -
+                                       pushed_.clusterer.members_refreshed);
+  metrics_.members_departed.Increment(clu.members_departed -
+                                      pushed_.clusterer.members_departed);
+  metrics_.clusters_dissolved_empty.Increment(
+      clu.clusters_dissolved_empty - pushed_.clusterer.clusters_dissolved_empty);
+  metrics_.members_shed_ingest.Increment(clu.members_shed -
+                                         pushed_.clusterer.members_shed);
+  metrics_.clusters_dissolved_expired.Increment(
+      phase_stats_.clusters_dissolved_expired -
+      pushed_.phase.clusters_dissolved_expired);
+  metrics_.members_shed_maintenance.Increment(
+      phase_stats_.members_shed_maintenance -
+      pushed_.phase.members_shed_maintenance);
+  metrics_.clusters_split.Increment(phase_stats_.clusters_split -
+                                    pushed_.phase.clusters_split);
+  metrics_.updates_quarantined.Increment(stats_.updates_quarantined -
+                                         pushed_.eval.updates_quarantined);
+  metrics_.invariant_audits.Increment(stats_.invariant_audits -
+                                      pushed_.eval.invariant_audits);
+  metrics_.invariant_violations.Increment(stats_.invariant_violations -
+                                          pushed_.eval.invariant_violations);
+  metrics_.invariant_repairs.Increment(stats_.invariant_repairs -
+                                       pushed_.eval.invariant_repairs);
+  metrics_.wal_records.Increment(stats_.wal_records_appended -
+                                 pushed_.eval.wal_records_appended);
+  metrics_.wal_bytes.Increment(stats_.wal_bytes_appended -
+                               pushed_.eval.wal_bytes_appended);
+  metrics_.wal_fsyncs.Increment(stats_.wal_fsyncs - pushed_.eval.wal_fsyncs);
+  metrics_.checkpoints.Increment(stats_.checkpoints_written -
+                                 pushed_.eval.checkpoints_written);
+  metrics_.clusters.Set(static_cast<double>(store_.ClusterCount()));
+  if (stats_.total_join_seconds > pushed_.join_wall) {
+    metrics_.join_wall_seconds.Observe(stats_.total_join_seconds -
+                                       pushed_.join_wall);
+  }
+  if (stats_.total_ingest_seconds > pushed_.ingest_wall) {
+    metrics_.ingest_wall_seconds.Observe(stats_.total_ingest_seconds -
+                                         pushed_.ingest_wall);
+  }
+  if (stats_.total_postjoin_seconds > pushed_.postjoin_wall) {
+    metrics_.postjoin_wall_seconds.Observe(stats_.total_postjoin_seconds -
+                                           pushed_.postjoin_wall);
+  }
+  pushed_.eval = stats_;
+  pushed_.phase = phase_stats_;
+  pushed_.clusterer = clu;
+  pushed_.join = join;
+  pushed_.join_wall = stats_.total_join_seconds;
+  pushed_.ingest_wall = stats_.total_ingest_seconds;
+  pushed_.postjoin_wall = stats_.total_postjoin_seconds;
+}
+
+EngineSnapshotStats ScubaEngine::StatsSnapshot() const {
+  EngineSnapshotStats snap;
+  snap.eval = stats_;
+  snap.phase = phase_stats_;
+  snap.clusterer = clusterer_.stats();
+  snap.join = join_executor_.counters();
+  snap.shedder = ShedderSnapshotStats{shedder_.mode(), shedder_.eta(),
+                                      shedder_.nucleus_radius(),
+                                      shedder_.adjustments()};
+  snap.clusters = store_.ClusterCount();
+  return snap;
+}
+
+Status ScubaEngine::FlushTelemetry() {
+  if (telemetry_ == nullptr) return Status::OK();
+  return telemetry_->Flush();
 }
 
 ScubaEngine::ScubaEngine(const ScubaOptions& options, GridIndex grid)
@@ -89,11 +271,16 @@ Status ScubaEngine::IngestObjectUpdate(const LocationUpdate& update) {
     ++stats_.updates_quarantined;
     return Status::OK();
   }
+  TelemetryEnsureRound();
   Stopwatch sw;
   Status s = clusterer_.ProcessObjectUpdate(update);
   const double elapsed = sw.ElapsedSeconds();
   pending_prejoin_seconds_ += elapsed;
   pending_prejoin_worker_seconds_ += elapsed;  // serial: busy == wall
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "ingest"), elapsed);
+  }
   return s;
 }
 
@@ -103,11 +290,16 @@ Status ScubaEngine::IngestQueryUpdate(const QueryUpdate& update) {
     ++stats_.updates_quarantined;
     return Status::OK();
   }
+  TelemetryEnsureRound();
   Stopwatch sw;
   Status s = clusterer_.ProcessQueryUpdate(update);
   const double elapsed = sw.ElapsedSeconds();
   pending_prejoin_seconds_ += elapsed;
   pending_prejoin_worker_seconds_ += elapsed;  // serial: busy == wall
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "ingest"), elapsed);
+  }
   return s;
 }
 
@@ -148,12 +340,23 @@ Status ScubaEngine::IngestBatch(std::span<const LocationUpdate> objects,
     objects = kept_objects;
     queries = kept_queries;
   }
+  TelemetryEnsureRound();
   Stopwatch sw;
   double worker = 0.0;
+  IngestPhaseTimings phases;
   Status s = clusterer_.ProcessBatch(objects, queries, IngestPool(),
-                                     resolved_ingest_threads_, &worker);
-  pending_prejoin_seconds_ += sw.ElapsedSeconds();
+                                     resolved_ingest_threads_, &worker,
+                                     telemetry_ != nullptr ? &phases : nullptr);
+  const double wall = sw.ElapsedSeconds();
+  pending_prejoin_seconds_ += wall;
   pending_prejoin_worker_seconds_ += worker;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    const int32_t ingest = tc.EnsureSpan(tc.root(), "ingest");
+    tc.Accumulate(ingest, wall, worker);
+    tc.Accumulate(tc.EnsureSpan(ingest, "classify"), phases.classify_seconds);
+    tc.Accumulate(tc.EnsureSpan(ingest, "apply"), phases.apply_seconds);
+  }
   return s;
 }
 
@@ -161,6 +364,7 @@ Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
   if (results == nullptr) {
     return Status::InvalidArgument("results must be non-null");
   }
+  TelemetryEnsureRound();
 
   // *** Phase 2: cluster-based joining (Algorithm 1, lines 8-21). ***
   // Continuous queries change answers incrementally round to round, so the
@@ -180,11 +384,29 @@ Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
   stats_.bounds_checks = ctr.bounds_checks;
   stats_.cluster_pairs_tested = ctr.pairs_tested;
   stats_.cluster_pairs_overlapping = ctr.pairs_overlapping;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    const int32_t join_span = tc.EnsureSpan(tc.root(), "join");
+    tc.Accumulate(join_span, stats_.last_join_seconds,
+                  stats_.last_join_worker_seconds);
+    const double within = join_executor_.last_within_seconds();
+    tc.Accumulate(
+        tc.EnsureSpan(join_span, "between"),
+        std::max(0.0, stats_.last_join_worker_seconds - within));
+    tc.Accumulate(tc.EnsureSpan(join_span, "within"), within);
+    const std::vector<double>& busy = join_executor_.last_task_busy_seconds();
+    for (size_t t = 0; t < busy.size(); ++t) {
+      tc.Accumulate(tc.EnsureSpan(join_span, "shard", static_cast<int32_t>(t)),
+                    busy[t], busy[t]);
+    }
+  }
 
   // *** Phase 3: cluster post-join maintenance. ***
   Stopwatch maint_sw;
   double postjoin_worker = 0.0;
-  Status s = PostJoinMaintenance(now, &postjoin_worker);
+  PostJoinTimings postjoin_timings;
+  Status s = PostJoinMaintenance(
+      now, &postjoin_worker, telemetry_ != nullptr ? &postjoin_timings : nullptr);
   stats_.last_postjoin_seconds = maint_sw.ElapsedSeconds();
   stats_.total_postjoin_seconds += stats_.last_postjoin_seconds;
   stats_.last_postjoin_worker_seconds = postjoin_worker;
@@ -198,6 +420,17 @@ Status ScubaEngine::Evaluate(Timestamp now, ResultSet* results) {
   stats_.total_maintenance_seconds += stats_.last_maintenance_seconds;
   pending_prejoin_seconds_ = 0.0;
   pending_prejoin_worker_seconds_ = 0.0;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    const int32_t pj = tc.EnsureSpan(tc.root(), "postjoin");
+    tc.Accumulate(pj, stats_.last_postjoin_seconds, postjoin_worker);
+    tc.Accumulate(tc.EnsureSpan(pj, "tighten"),
+                  postjoin_timings.tighten_seconds);
+    tc.Accumulate(tc.EnsureSpan(pj, "shed"), postjoin_timings.shed_seconds);
+    tc.Accumulate(tc.EnsureSpan(pj, "expire"), postjoin_timings.expire_seconds);
+    tc.Accumulate(tc.EnsureSpan(pj, "translate"),
+                  postjoin_timings.translate_seconds);
+  }
   if (s.ok() && options_.audit_every_n_rounds > 0 &&
       stats_.evaluations % options_.audit_every_n_rounds == 0) {
     SCUBA_RETURN_IF_ERROR(AuditAndHeal());
@@ -334,7 +567,8 @@ Status ScubaEngine::SplitOversizedClusters() {
   return Status::OK();
 }
 
-Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds) {
+Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds,
+                                        PostJoinTimings* timings) {
   *worker_seconds = 0.0;
   if (options_.enable_cluster_splitting) {
     SCUBA_RETURN_IF_ERROR(SplitOversizedClusters());
@@ -343,17 +577,28 @@ Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds) {
   // and sharded paths walk the exact same sequence.
   const std::vector<ClusterId> cids = store_.SortedClusterIds();
   const double nucleus = shedder_.nucleus_radius();
+  const bool timed = timings != nullptr;
 
   if (resolved_ingest_threads_ <= 1 || cids.size() <= 1) {
     Stopwatch serial;
+    Stopwatch lap;
+    auto take_lap = [&](double* into) {
+      if (timed) {
+        *into += lap.ElapsedSeconds();
+        lap.Start();
+      }
+    };
     for (ClusterId cid : cids) {
       MovingCluster* cluster = store_.GetCluster(cid);
       SCUBA_CHECK(cluster != nullptr);
+      if (timed) lap.Start();
       cluster->RecomputeTightBounds();
+      take_lap(&timings->tighten_seconds);
       if (nucleus > 0.0) {
         phase_stats_.members_shed_maintenance +=
             cluster->ShedPositions(nucleus);
       }
+      take_lap(&timings->shed_seconds);
       // Dissolve clusters that pass their destination before the next round
       // (paper: "If at time T + Delta the cluster passes its destination
       // node, the cluster gets dissolved."). Members re-cluster with their
@@ -363,14 +608,17 @@ Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds) {
         SCUBA_RETURN_IF_ERROR(grid_.Remove(cid));
         SCUBA_RETURN_IF_ERROR(store_.RemoveCluster(cid));
         ++phase_stats_.clusters_dissolved_expired;
+        take_lap(&timings->expire_seconds);
         continue;
       }
+      take_lap(&timings->expire_seconds);
       // Relocate to the expected position at the next evaluation time.
       cluster->Translate(cluster->Velocity() *
                          static_cast<double>(options_.delta));
       SCUBA_RETURN_IF_ERROR(SyncClusterGrid(&grid_, cluster,
                                             options_.query_reach_aware,
                                             options_.grid_sync_padding));
+      take_lap(&timings->translate_seconds);
     }
     *worker_seconds = serial.ElapsedSeconds();
   } else {
@@ -387,10 +635,14 @@ Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds) {
       Circle registration;
     };
     std::vector<Outcome> outcomes(cids.size());
+    std::vector<PostJoinTimings> task_timings(
+        timed ? resolved_ingest_threads_ : 0);
     std::atomic<size_t> cursor{0};
     constexpr size_t kChunk = 16;
     *worker_seconds = RunTaskSet(
-        IngestPool(), resolved_ingest_threads_, [&](uint32_t) {
+        IngestPool(), resolved_ingest_threads_, [&](uint32_t task) {
+          PostJoinTimings* tt = timed ? &task_timings[task] : nullptr;
+          Stopwatch lap;
           for (;;) {
             size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
             if (begin >= cids.size()) break;
@@ -399,20 +651,43 @@ Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds) {
               MovingCluster* cluster = store_.GetCluster(cids[i]);
               SCUBA_CHECK(cluster != nullptr);
               Outcome& out = outcomes[i];
+              if (tt != nullptr) lap.Start();
               cluster->RecomputeTightBounds();
+              if (tt != nullptr) {
+                tt->tighten_seconds += lap.ElapsedSeconds();
+                lap.Start();
+              }
               if (nucleus > 0.0) out.shed = cluster->ShedPositions(nucleus);
+              if (tt != nullptr) {
+                tt->shed_seconds += lap.ElapsedSeconds();
+                lap.Start();
+              }
               if (cluster->ComputeExpiryTime(now) <= now + options_.delta) {
                 out.dissolve = true;
+                if (tt != nullptr) tt->expire_seconds += lap.ElapsedSeconds();
                 continue;
+              }
+              if (tt != nullptr) {
+                tt->expire_seconds += lap.ElapsedSeconds();
+                lap.Start();
               }
               cluster->Translate(cluster->Velocity() *
                                  static_cast<double>(options_.delta));
               out.resync = PlanClusterGridSync(
                   grid_, cluster, options_.query_reach_aware,
                   options_.grid_sync_padding, &out.registration);
+              if (tt != nullptr) tt->translate_seconds += lap.ElapsedSeconds();
             }
           }
         });
+    if (timed) {
+      for (const PostJoinTimings& tt : task_timings) {
+        timings->tighten_seconds += tt.tighten_seconds;
+        timings->shed_seconds += tt.shed_seconds;
+        timings->expire_seconds += tt.expire_seconds;
+        timings->translate_seconds += tt.translate_seconds;
+      }
+    }
     for (size_t i = 0; i < cids.size(); ++i) {
       phase_stats_.members_shed_maintenance += outcomes[i].shed;
       if (outcomes[i].dissolve) {

@@ -27,21 +27,16 @@
 #include "cluster/leader_follower.h"
 #include "common/thread_pool.h"
 #include "core/cluster_join.h"
+#include "core/engine_snapshot.h"
 #include "core/load_shedder.h"
 #include "core/query_processor.h"
 #include "core/scuba_options.h"
 #include "index/grid_index.h"
+#include "obs/telemetry.h"
 
 namespace scuba {
 
 struct PersistAccess;  // snapshot serialization back door (src/persist)
-
-/// SCUBA-specific counters beyond the uniform EvalStats.
-struct ScubaPhaseStats {
-  uint64_t clusters_dissolved_expired = 0;
-  uint64_t members_shed_maintenance = 0;
-  uint64_t clusters_split = 0;
-};
 
 /// Outcome of one ScubaEngine::AuditInvariants() pass: what was checked and
 /// every divergence found (messages capped at kMaxViolationMessages;
@@ -79,13 +74,32 @@ class ScubaEngine : public QueryProcessor {
                      std::span<const QueryUpdate> queries) override;
   Status Evaluate(Timestamp now, ResultSet* results) override;
   size_t EstimateMemoryUsage() const override;
-  const EvalStats& stats() const override { return stats_; }
 
-  const ScubaPhaseStats& phase_stats() const { return phase_stats_; }
-  const ClustererStats& clusterer_stats() const { return clusterer_.stats(); }
-  const ClusterJoinExecutor::Counters& join_counters() const {
+  /// The unified stats surface: one immutable aggregate of every counter the
+  /// engine and its subsystems maintain (eval + phase + clusterer + join +
+  /// shedder + durability/validator counters inside eval). Cheap to call —
+  /// a handful of struct copies.
+  EngineSnapshotStats StatsSnapshot() const;
+
+  /// Deprecated thin views over StatsSnapshot(); one release of grace.
+  [[deprecated("use StatsSnapshot().eval")]] const EvalStats& stats()
+      const override {
+    return stats_;
+  }
+  [[deprecated("use StatsSnapshot().phase")]] const ScubaPhaseStats&
+  phase_stats() const {
+    return phase_stats_;
+  }
+  [[deprecated("use StatsSnapshot().clusterer")]] const ClustererStats&
+  clusterer_stats() const {
+    return clusterer_.stats();
+  }
+  [[deprecated("use StatsSnapshot().join")]] const ClusterJoinExecutor::
+      Counters&
+      join_counters() const {
     return join_executor_.counters();
   }
+
   const ClusterStore& store() const { return store_; }
   const GridIndex& cluster_grid() const { return grid_; }
   const LoadShedder& shedder() const { return shedder_; }
@@ -118,17 +132,37 @@ class ScubaEngine : public QueryProcessor {
   Status Checkpoint(const std::string& dir);
   Status Restore(const std::string& dir);
 
+  /// Observability (docs/ARCHITECTURE.md §9): non-null iff
+  /// options.telemetry.Enabled(). DurabilityManager and the CLI use it to
+  /// attach checkpoint spans and flush round telemetry.
+  EngineTelemetry* telemetry() { return telemetry_.get(); }
+
+  /// Flushes the in-flight telemetry round and the final exposition dump;
+  /// returns the first telemetry IO error. OK (no-op) when telemetry is off.
+  Status FlushTelemetry();
+
  private:
   friend class ScubaEngineAuditPeer;  ///< Test back door: deliberate desync.
   friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   ScubaEngine(const ScubaOptions& options, GridIndex grid);
 
+  /// Wall-time split of one PostJoinMaintenance call (telemetry only).
+  struct PostJoinTimings {
+    double tighten_seconds = 0.0;
+    double shed_seconds = 0.0;
+    double expire_seconds = 0.0;
+    double translate_seconds = 0.0;
+  };
+
   /// Phase 3 (see class comment). Per-cluster upkeep (tighten, shed, expiry,
   /// translate) is sharded over ingest_threads tasks; dissolutions and grid
   /// re-registrations are planned per task and applied serially in ascending
   /// cid order, so the outcome matches the serial loop exactly.
-  /// `*worker_seconds` receives the summed per-task busy time.
-  Status PostJoinMaintenance(Timestamp now, double* worker_seconds);
+  /// `*worker_seconds` receives the summed per-task busy time; `*timings`
+  /// (nullable) the per-sub-step wall split — null skips all extra clock
+  /// reads, keeping the telemetry-off path cost-free.
+  Status PostJoinMaintenance(Timestamp now, double* worker_seconds,
+                             PostJoinTimings* timings);
 
   /// Splits clusters whose radius deteriorated past the configured bound
   /// (runs inside phase 3 when enable_cluster_splitting is set).
@@ -144,6 +178,20 @@ class ScubaEngine : public QueryProcessor {
   /// resolves to 1 (the serial paths never construct a pool).
   ThreadPool* IngestPool();
 
+  /// Telemetry setup (Create-time): registers the engine's metrics and the
+  /// pre-flush hook that pushes cumulative-counter deltas.
+  void InstallTelemetry(std::unique_ptr<EngineTelemetry> telemetry);
+
+  /// Pre-flush hook body: pushes the per-round deltas of every semantic
+  /// counter (join, clusterer, phase, durability, validator) and refreshes
+  /// the gauges. Runs on the engine thread.
+  void PushTelemetryDeltas();
+
+  /// Opens the telemetry round for the next activity; no-op when off.
+  void TelemetryEnsureRound() {
+    if (telemetry_ != nullptr) telemetry_->EnsureRound(stats_.evaluations + 1);
+  }
+
   ScubaOptions options_;
   GridIndex grid_;
   ClusterStore store_;
@@ -158,6 +206,52 @@ class ScubaEngine : public QueryProcessor {
   /// Evaluate.
   double pending_prejoin_seconds_ = 0.0;
   double pending_prejoin_worker_seconds_ = 0.0;
+
+  /// Observability (null unless options.telemetry.Enabled()). The handles
+  /// are no-op value types, so instrumentation sites stay unconditional.
+  std::unique_ptr<EngineTelemetry> telemetry_;
+  struct EngineMetrics {
+    Counter rounds;
+    Counter results;
+    Counter join_comparisons;
+    Counter join_bounds_checks;
+    Counter join_pairs_tested;
+    Counter join_pairs_overlapping;
+    Counter join_within_single;
+    Counter join_within_pair;
+    Counter clusters_created;
+    Counter members_absorbed;
+    Counter members_refreshed;
+    Counter members_departed;
+    Counter clusters_dissolved_empty;
+    Counter members_shed_ingest;
+    Counter clusters_dissolved_expired;
+    Counter members_shed_maintenance;
+    Counter clusters_split;
+    Counter updates_quarantined;
+    Counter invariant_audits;
+    Counter invariant_violations;
+    Counter invariant_repairs;
+    Counter wal_records;
+    Counter wal_bytes;
+    Counter wal_fsyncs;
+    Counter checkpoints;
+    Gauge clusters;
+    HistogramMetric join_wall_seconds;
+    HistogramMetric ingest_wall_seconds;
+    HistogramMetric postjoin_wall_seconds;
+  } metrics_;
+  /// Cumulative values already pushed into the registry; the pre-flush hook
+  /// adds only the delta since the last round.
+  struct TelemetryBaseline {
+    EvalStats eval;
+    ScubaPhaseStats phase;
+    ClustererStats clusterer;
+    ClusterJoinExecutor::Counters join;
+    double join_wall = 0.0;
+    double ingest_wall = 0.0;
+    double postjoin_wall = 0.0;
+  } pushed_;
 };
 
 }  // namespace scuba

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "geometry/rect.h"
+#include "obs/telemetry.h"
 
 namespace scuba {
 
@@ -133,6 +134,13 @@ struct ScubaOptions {
   CheckpointPolicy checkpoint;
 
   LoadSheddingOptions shedding;
+
+  /// Observability (docs/ARCHITECTURE.md §9): when Enabled(), the engine
+  /// collects metrics and per-round trace spans and, if output paths are
+  /// set, appends one JSON line per round. Purely observational — results
+  /// and engine state are bit-identical with telemetry on or off, and the
+  /// field is excluded from the snapshot options fingerprint.
+  TelemetryOptions telemetry;
 
   /// InvalidArgument when any field is out of range.
   Status Validate() const;

@@ -1,115 +1,49 @@
 #include "eval/engine_stats.h"
 
-#include <cstdio>
-
 namespace scuba {
 
+namespace {
+
+// The shims only carry EvalStats; the other snapshot sections stay
+// default-initialized, which the methods never read for these figures.
+EngineSnapshotStats Wrap(const EvalStats& stats) {
+  EngineSnapshotStats snapshot;
+  snapshot.eval = stats;
+  return snapshot;
+}
+
+}  // namespace
+
 std::string FormatStats(std::string_view engine_name, const EvalStats& stats) {
-  char buf[512];
-  int n = std::snprintf(
-      buf, sizeof(buf),
-      "%-14.*s evals=%llu join=%.4fs maint=%.4fs results=%llu "
-      "comparisons=%llu pairs=%llu/%llu",
-      static_cast<int>(engine_name.size()), engine_name.data(),
-      static_cast<unsigned long long>(stats.evaluations),
-      stats.total_join_seconds, stats.total_maintenance_seconds,
-      static_cast<unsigned long long>(stats.total_results),
-      static_cast<unsigned long long>(stats.comparisons),
-      static_cast<unsigned long long>(stats.cluster_pairs_overlapping),
-      static_cast<unsigned long long>(stats.cluster_pairs_tested));
-  if (stats.join_threads > 1 && n > 0 &&
-      static_cast<size_t>(n) < sizeof(buf)) {
-    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                       " threads=%u speedup=%.2fx", stats.join_threads,
-                       JoinParallelSpeedup(stats));
-  }
-  // The ingest/post-join split appears only for parallel ingest, so serial
-  // configurations keep the historical one-line format byte for byte.
-  if (stats.ingest_threads > 1 && n > 0 &&
-      static_cast<size_t>(n) < sizeof(buf)) {
-    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                       " ingest=%.4fs postjoin=%.4fs ingest-threads=%u "
-                       "ingest-speedup=%.2fx",
-                       stats.total_ingest_seconds, stats.total_postjoin_seconds,
-                       stats.ingest_threads, IngestParallelSpeedup(stats));
-  }
-  // Hardening counters appear only when something actually happened, so
-  // clean serial runs keep the historical one-line format byte for byte.
-  if (stats.updates_quarantined > 0 && n > 0 &&
-      static_cast<size_t>(n) < sizeof(buf)) {
-    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                       " quarantined=%llu",
-                       static_cast<unsigned long long>(
-                           stats.updates_quarantined));
-  }
-  if (stats.invariant_audits > 0 && n > 0 &&
-      static_cast<size_t>(n) < sizeof(buf)) {
-    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                       " audits=%llu violations=%llu repairs=%llu",
-                       static_cast<unsigned long long>(stats.invariant_audits),
-                       static_cast<unsigned long long>(
-                           stats.invariant_violations),
-                       static_cast<unsigned long long>(
-                           stats.invariant_repairs));
-  }
-  // Durability counters appear only once a WAL record or snapshot exists, so
-  // non-durable runs keep the historical format byte for byte.
-  if ((stats.wal_records_appended > 0 || stats.checkpoints_written > 0) &&
-      n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
-    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                       " wal-records=%llu wal-bytes=%llu checkpoints=%llu",
-                       static_cast<unsigned long long>(
-                           stats.wal_records_appended),
-                       static_cast<unsigned long long>(
-                           stats.wal_bytes_appended),
-                       static_cast<unsigned long long>(
-                           stats.checkpoints_written));
-  }
-  if (stats.recovery_replay_rounds > 0 && n > 0 &&
-      static_cast<size_t>(n) < sizeof(buf)) {
-    std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
-                  " replayed-rounds=%llu",
-                  static_cast<unsigned long long>(
-                      stats.recovery_replay_rounds));
-  }
-  return buf;
+  return Wrap(stats).Format(engine_name);
 }
 
 double AvgJoinSeconds(const EvalStats& stats) {
-  if (stats.evaluations == 0) return 0.0;
-  return stats.total_join_seconds / static_cast<double>(stats.evaluations);
+  return Wrap(stats).AvgJoinSeconds();
 }
 
 double AvgMaintenanceSeconds(const EvalStats& stats) {
-  if (stats.evaluations == 0) return 0.0;
-  return stats.total_maintenance_seconds /
-         static_cast<double>(stats.evaluations);
+  return Wrap(stats).AvgMaintenanceSeconds();
 }
 
 double JoinBetweenSelectivity(const EvalStats& stats) {
-  if (stats.cluster_pairs_tested == 0) return 0.0;
-  return static_cast<double>(stats.cluster_pairs_overlapping) /
-         static_cast<double>(stats.cluster_pairs_tested);
+  return Wrap(stats).JoinBetweenSelectivity();
 }
 
 double JoinParallelSpeedup(const EvalStats& stats) {
-  if (stats.total_join_seconds <= 0.0) return 0.0;
-  return stats.total_join_worker_seconds / stats.total_join_seconds;
+  return Wrap(stats).JoinParallelSpeedup();
 }
 
 double JoinParallelEfficiency(const EvalStats& stats) {
-  if (stats.join_threads == 0) return 0.0;
-  return JoinParallelSpeedup(stats) / static_cast<double>(stats.join_threads);
+  return Wrap(stats).JoinParallelEfficiency();
 }
 
 double IngestParallelSpeedup(const EvalStats& stats) {
-  if (stats.total_ingest_seconds <= 0.0) return 0.0;
-  return stats.total_ingest_worker_seconds / stats.total_ingest_seconds;
+  return Wrap(stats).IngestParallelSpeedup();
 }
 
 double PostJoinParallelSpeedup(const EvalStats& stats) {
-  if (stats.total_postjoin_seconds <= 0.0) return 0.0;
-  return stats.total_postjoin_worker_seconds / stats.total_postjoin_seconds;
+  return Wrap(stats).PostJoinParallelSpeedup();
 }
 
 }  // namespace scuba

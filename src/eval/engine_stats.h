@@ -1,11 +1,19 @@
-// Reporting helpers over EvalStats: human-readable summaries and the
-// fixed-width table rows the benchmark binaries print.
+// DEPRECATED reporting shims. The real implementations moved to methods on
+// EngineSnapshotStats (core/engine_snapshot.h) as part of the unified
+// ScubaEngine::StatsSnapshot() surface; these free functions remain for one
+// release so out-of-tree callers keep compiling. New code should call the
+// methods directly:
+//
+//   FormatStats(name, stats)      ->  snapshot.Format(name)
+//   AvgJoinSeconds(stats)         ->  snapshot.AvgJoinSeconds()
+//   JoinParallelSpeedup(stats)    ->  snapshot.JoinParallelSpeedup()   etc.
 
 #ifndef SCUBA_EVAL_ENGINE_STATS_H_
 #define SCUBA_EVAL_ENGINE_STATS_H_
 
 #include <string>
 
+#include "core/engine_snapshot.h"
 #include "core/query_processor.h"
 
 namespace scuba {

@@ -1,0 +1,82 @@
+#include "obs/trace_span.h"
+
+namespace scuba {
+
+void TraceCollector::BeginRound(uint64_t round) {
+  spans_.clear();
+  round_ = round;
+  SpanRecord root;
+  root.name = "round";
+  root.count = 1;
+  spans_.push_back(std::move(root));
+}
+
+int32_t TraceCollector::EnsureSpan(int32_t parent, std::string_view name,
+                                   int32_t index) {
+  if (spans_.empty() || parent < 0 ||
+      parent >= static_cast<int32_t>(spans_.size())) {
+    return -1;
+  }
+  // Linear scan: a round tree holds a few dozen spans at most.
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    if (s.parent == parent && s.index == index && s.name == name) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  SpanRecord span;
+  span.name = std::string(name);
+  span.parent = parent;
+  span.index = index;
+  spans_.push_back(std::move(span));
+  return static_cast<int32_t>(spans_.size() - 1);
+}
+
+void TraceCollector::Accumulate(int32_t id, double wall_seconds,
+                                double worker_seconds, uint64_t count) {
+  if (id < 0 || id >= static_cast<int32_t>(spans_.size())) return;
+  SpanRecord& span = spans_[static_cast<size_t>(id)];
+  span.wall_seconds += wall_seconds;
+  span.worker_seconds += worker_seconds;
+  span.count += count;
+}
+
+void TraceCollector::FinalizeRoot() {
+  if (spans_.empty()) return;
+  double total = 0.0;
+  for (size_t i = 1; i < spans_.size(); ++i) {
+    if (spans_[i].parent == 0) total += spans_[i].wall_seconds;
+  }
+  spans_[0].wall_seconds = total;
+}
+
+TraceSpan::TraceSpan(TraceCollector* collector, std::string_view name,
+                     int32_t index)
+    : collector_(collector) {
+  if (collector_ == nullptr || !collector_->active()) {
+    collector_ = nullptr;
+    return;
+  }
+  id_ = collector_->EnsureSpan(collector_->root(), name, index);
+  running_ = id_ >= 0;
+  stopwatch_.Start();
+}
+
+TraceSpan::TraceSpan(TraceSpan& parent, std::string_view name, int32_t index)
+    : collector_(parent.collector_) {
+  if (collector_ == nullptr || parent.id_ < 0) {
+    collector_ = nullptr;
+    return;
+  }
+  id_ = collector_->EnsureSpan(parent.id_, name, index);
+  running_ = id_ >= 0;
+  stopwatch_.Start();
+}
+
+void TraceSpan::Stop() {
+  if (!running_) return;
+  running_ = false;
+  collector_->Accumulate(id_, stopwatch_.ElapsedSeconds(), worker_seconds_, 1);
+}
+
+}  // namespace scuba

@@ -1,5 +1,6 @@
 #include "persist/durability.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <sstream>
 
@@ -37,7 +38,7 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
       WalWriter::Open(dir, policy.wal_segment_bytes, initial_seq, crash);
   if (!wal.ok()) return wal.status();
   manager->wal_ = std::move(wal).value();
-  const EvalStats& stats = engine->stats();
+  const EvalStats& stats = *PersistAccess::MutableStats(engine);
   manager->base_wal_records_ = stats.wal_records_appended;
   manager->base_wal_fsyncs_ = stats.wal_fsyncs;
   manager->base_wal_bytes_ = stats.wal_bytes_appended;
@@ -47,11 +48,25 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
 Status DurabilityManager::LogBatch(Timestamp batch_time, bool evaluate_after,
                                    std::span<const LocationUpdate> objects,
                                    std::span<const QueryUpdate> queries) {
-  Status s = wal_->Append(batch_time, evaluate_after, objects, queries);
   EvalStats* stats = PersistAccess::MutableStats(engine_);
+  EngineTelemetry* telemetry = engine_->telemetry();
+  Stopwatch sw;
+  if (telemetry != nullptr) {
+    // The append is activity for the upcoming round (the batch it logs).
+    telemetry->EnsureRound(stats->evaluations + 1);
+    sw.Start();
+  }
+  Status s = wal_->Append(batch_time, evaluate_after, objects, queries);
   stats->wal_records_appended = base_wal_records_ + wal_->stats().records_appended;
   stats->wal_fsyncs = base_wal_fsyncs_ + wal_->stats().fsyncs;
   stats->wal_bytes_appended = base_wal_bytes_ + wal_->stats().bytes_appended;
+  if (telemetry != nullptr) {
+    const double elapsed = sw.ElapsedSeconds();
+    TraceCollector& tc = telemetry->trace();
+    const int32_t checkpoint = tc.EnsureSpan(tc.root(), "checkpoint");
+    tc.Accumulate(checkpoint, elapsed);
+    tc.Accumulate(tc.EnsureSpan(checkpoint, "wal"), elapsed);
+  }
   return s;
 }
 
@@ -78,6 +93,16 @@ Status DurabilityManager::ForceCheckpoint() {
   stats->last_checkpoint_bytes = bytes;
   stats->last_checkpoint_seconds = sw.ElapsedSeconds();
   stats->total_checkpoint_seconds += stats->last_checkpoint_seconds;
+  if (EngineTelemetry* telemetry = engine_->telemetry();
+      telemetry != nullptr) {
+    // Post-Evaluate checkpoints belong to the round that just completed.
+    telemetry->EnsureRound(std::max<uint64_t>(1, stats->evaluations));
+    TraceCollector& tc = telemetry->trace();
+    const int32_t checkpoint = tc.EnsureSpan(tc.root(), "checkpoint");
+    tc.Accumulate(checkpoint, stats->last_checkpoint_seconds);
+    tc.Accumulate(tc.EnsureSpan(checkpoint, "snapshot"),
+                  stats->last_checkpoint_seconds);
+  }
   if (crash_ != nullptr &&
       crash_->ShouldCrash(CrashPoint::kAfterSnapshotWrite)) {
     return crash_->CrashStatus();

@@ -570,7 +570,7 @@ std::string SerializeEngineSnapshot(const ScubaEngine& engine,
   ByteWriter w;
   w.PutU64(OptionsFingerprint(engine.options()));
   w.PutU64(wal_next_seq);
-  w.PutU64(engine.stats().evaluations);
+  w.PutU64(engine.StatsSnapshot().eval.evaluations);
   PersistAccess::SaveEngineState(engine, &w);
   w.PutBool(validator != nullptr);
   if (validator != nullptr) PersistAccess::SaveValidatorState(*validator, &w);

@@ -215,7 +215,7 @@ void RecoverAndFinish(const std::vector<Round>& rounds, uint32_t threads,
     ASSERT_LE(covered, base.digests.size());
     EXPECT_EQ(StateDigest(*engine), base.digests[covered - 1]);
   }
-  EXPECT_EQ(engine->stats().evaluations, covered);
+  EXPECT_EQ(engine->StatsSnapshot().eval.evaluations, covered);
   InvariantAuditReport audit = engine->AuditInvariants();
   EXPECT_TRUE(audit.clean()) << audit.ToString();
 

@@ -341,7 +341,7 @@ std::vector<std::string> RunEngineOnDirty(const std::vector<Round>& dirty,
     EXPECT_TRUE(engine->Evaluate(now, &results).ok());
     digests.push_back(StateDigest(*engine));
   }
-  *quarantined_out = engine->stats().updates_quarantined;
+  *quarantined_out = engine->StatsSnapshot().eval.updates_quarantined;
   return digests;
 }
 
@@ -413,10 +413,10 @@ TEST(FaultInjectionEngineTest, ScreenedDirtyStreamMatchesCleanRunBitForBit) {
   }
   // The validator is strictly stricter than the engine's own screen, so the
   // engine-level quarantine never fires on the screened stream.
-  EXPECT_EQ(hardened->stats().updates_quarantined, 0u);
-  EXPECT_EQ(hardened->stats().invariant_audits, rounds.size());
-  EXPECT_EQ(hardened->stats().invariant_violations, 0u);
-  EXPECT_EQ(hardened->stats().invariant_repairs, 0u);
+  EXPECT_EQ(hardened->StatsSnapshot().eval.updates_quarantined, 0u);
+  EXPECT_EQ(hardened->StatsSnapshot().eval.invariant_audits, rounds.size());
+  EXPECT_EQ(hardened->StatsSnapshot().eval.invariant_violations, 0u);
+  EXPECT_EQ(hardened->StatsSnapshot().eval.invariant_repairs, 0u);
 }
 
 TEST(FaultInjectorTest, StatsNameNonzeroClasses) {

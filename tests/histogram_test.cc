@@ -78,11 +78,97 @@ TEST(HistogramTest, Merge) {
   a.Add(2.0);
   Histogram b;
   b.Add(3.0);
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b).ok());
   EXPECT_EQ(a.count(), 3);
   EXPECT_DOUBLE_EQ(a.sum(), 6.0);
   EXPECT_EQ(a.Max(), 3.0);
   EXPECT_EQ(b.count(), 1);  // source untouched
+}
+
+TEST(HistogramTest, BucketedAddAndStats) {
+  Result<Histogram> h = Histogram::WithBuckets({1.0, 2.0, 4.0});
+  ASSERT_TRUE(h.ok());
+  for (double v : {0.5, 1.5, 1.5, 3.0, 10.0}) h->Add(v);
+  EXPECT_TRUE(h->bucketed());
+  EXPECT_EQ(h->count(), 5);
+  EXPECT_DOUBLE_EQ(h->sum(), 16.5);
+  EXPECT_DOUBLE_EQ(h->Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->Max(), 10.0);
+  ASSERT_EQ(h->bucket_counts().size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(h->bucket_counts()[0], 1u);
+  EXPECT_EQ(h->bucket_counts()[1], 2u);
+  EXPECT_EQ(h->bucket_counts()[2], 1u);
+  EXPECT_EQ(h->bucket_counts()[3], 1u);
+}
+
+TEST(HistogramTest, BucketedPercentileInterpolates) {
+  Result<Histogram> h = Histogram::WithBuckets({10.0, 20.0});
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 10; ++i) h->Add(5.0);
+  // All samples in the first bucket: p100 reaches the bucket's upper edge.
+  EXPECT_GT(h->Percentile(50), 0.0);
+  EXPECT_LE(h->Percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, BucketedRejectsBadBounds) {
+  EXPECT_FALSE(Histogram::WithBuckets({}).ok());
+  EXPECT_FALSE(Histogram::WithBuckets({1.0, 1.0}).ok());
+  EXPECT_FALSE(Histogram::WithBuckets({2.0, 1.0}).ok());
+  Result<Histogram> nan = Histogram::WithBuckets({std::nan("")});
+  EXPECT_FALSE(nan.ok());
+  EXPECT_EQ(Histogram::WithBuckets({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, MergeMismatchedBucketLayoutsIsInvalidArgument) {
+  Result<Histogram> a = Histogram::WithBuckets({1.0, 2.0});
+  Result<Histogram> b = Histogram::WithBuckets({1.0, 3.0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->Add(0.5);
+  b->Add(2.5);
+  Status s = a->Merge(*b);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The failed merge left the target untouched.
+  EXPECT_EQ(a->count(), 1);
+  EXPECT_DOUBLE_EQ(a->sum(), 0.5);
+}
+
+TEST(HistogramTest, MergeMixedModesIsInvalidArgument) {
+  Histogram sample;
+  sample.Add(1.0);
+  Result<Histogram> bucketed = Histogram::WithBuckets({1.0});
+  ASSERT_TRUE(bucketed.ok());
+  EXPECT_EQ(sample.Merge(*bucketed).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bucketed->Merge(sample).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, MergeMatchingBucketsSums) {
+  Result<Histogram> a = Histogram::WithBuckets({1.0, 2.0});
+  Result<Histogram> b = Histogram::WithBuckets({1.0, 2.0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->Add(0.5);
+  b->Add(1.5);
+  b->Add(9.0);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->count(), 3);
+  EXPECT_DOUBLE_EQ(a->sum(), 11.0);
+  EXPECT_DOUBLE_EQ(a->Min(), 0.5);
+  EXPECT_DOUBLE_EQ(a->Max(), 9.0);
+  EXPECT_EQ(a->bucket_counts()[2], 1u);  // overflow bucket came across
+}
+
+TEST(HistogramTest, FromBucketDataReconstructsShard) {
+  Result<Histogram> h =
+      Histogram::FromBucketData({1.0, 2.0}, {3, 2, 1}, 7.5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->count(), 6);
+  EXPECT_DOUBLE_EQ(h->sum(), 7.5);
+  // Wrong count vector length is rejected.
+  EXPECT_EQ(Histogram::FromBucketData({1.0, 2.0}, {3, 2}, 5.0).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(HistogramTest, Clear) {

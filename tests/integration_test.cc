@@ -244,10 +244,10 @@ TEST(ScalabilityShapeTest, ScubaDoesFewerComparisonsWhenClusterable) {
   // Cluster pre-filtering slashes individual comparisons versus the
   // unindexed nested loop (|O| x |Q| per round).
   uint64_t naive_comparisons = 300ull * 300ull * (data->trace.TickCount() / 2);
-  EXPECT_LT((*engine)->stats().comparisons, naive_comparisons / 4);
+  EXPECT_LT((*engine)->StatsSnapshot().eval.comparisons, naive_comparisons / 4);
   // The join-between filter actually prunes cluster pairs.
-  EXPECT_LT((*engine)->stats().cluster_pairs_overlapping,
-            (*engine)->stats().cluster_pairs_tested);
+  EXPECT_LT((*engine)->StatsSnapshot().eval.cluster_pairs_overlapping,
+            (*engine)->StatsSnapshot().eval.cluster_pairs_tested);
   // One grid entry per cluster beats one entry per entity on memory.
   EXPECT_LT((*engine)->cluster_grid().size(),
             (*grid)->object_grid().size() + (*grid)->query_grid().size());

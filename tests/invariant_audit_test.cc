@@ -214,8 +214,8 @@ TEST(InvariantAuditTest, PostJoinHealsMissingRegistrationBeforeAudit) {
 
   ASSERT_TRUE(engine->Evaluate(4, &results).ok());
   EXPECT_TRUE(peer.grid().Contains(victim));
-  EXPECT_EQ(engine->stats().invariant_violations, 0u);
-  EXPECT_EQ(engine->stats().invariant_repairs, 0u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_violations, 0u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_repairs, 0u);
 }
 
 TEST(InvariantAuditTest, EvaluateSelfHealsGridDivergence) {
@@ -225,8 +225,8 @@ TEST(InvariantAuditTest, EvaluateSelfHealsGridDivergence) {
   IngestRound(engine.get(), 1);
   ResultSet results;
   ASSERT_TRUE(engine->Evaluate(2, &results).ok());
-  EXPECT_EQ(engine->stats().invariant_audits, 1u);
-  EXPECT_EQ(engine->stats().invariant_violations, 0u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_audits, 1u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_violations, 0u);
 
   // Inflate one cluster's registered-bounds memo without touching its actual
   // cell placement. Post-join cannot notice (the memo claims the cluster is
@@ -242,15 +242,15 @@ TEST(InvariantAuditTest, EvaluateSelfHealsGridDivergence) {
   // The round's audit hook finds the divergence, rebuilds the grid and
   // re-audits clean — Evaluate itself succeeds.
   ASSERT_TRUE(engine->Evaluate(4, &results).ok());
-  EXPECT_EQ(engine->stats().invariant_repairs, 1u);
-  EXPECT_GE(engine->stats().invariant_violations, 1u);
-  EXPECT_EQ(engine->stats().invariant_audits, 3u);  // 1 clean + audit/re-audit
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_repairs, 1u);
+  EXPECT_GE(engine->StatsSnapshot().eval.invariant_violations, 1u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_audits, 3u);  // 1 clean + audit/re-audit
   EXPECT_TRUE(engine->AuditInvariants().clean());
 
   // Subsequent rounds audit clean without further repairs.
   ASSERT_TRUE(engine->Evaluate(6, &results).ok());
-  EXPECT_EQ(engine->stats().invariant_repairs, 1u);
-  EXPECT_EQ(engine->stats().invariant_audits, 4u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_repairs, 1u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_audits, 4u);
 }
 
 TEST(InvariantAuditTest, AuditCadenceFollowsOption) {
@@ -262,7 +262,7 @@ TEST(InvariantAuditTest, AuditCadenceFollowsOption) {
     IngestRound(engine.get(), round);
     ASSERT_TRUE(engine->Evaluate(2 * round, &results).ok());
   }
-  EXPECT_EQ(engine->stats().invariant_audits, 2u);  // rounds 2 and 4 only
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_audits, 2u);  // rounds 2 and 4 only
 }
 
 TEST(InvariantAuditTest, StoreCorruptionSurfacesAsCorruption) {
@@ -286,7 +286,7 @@ TEST(InvariantAuditTest, StoreCorruptionSurfacesAsCorruption) {
   Status s = engine->Evaluate(2, &results);
   EXPECT_FALSE(s.ok());
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
-  EXPECT_EQ(engine->stats().invariant_repairs, 1u);  // the rebuild was tried
+  EXPECT_EQ(engine->StatsSnapshot().eval.invariant_repairs, 1u);  // the rebuild was tried
 }
 
 TEST(InvariantAuditTest, EmptyEngineAuditsClean) {

@@ -104,7 +104,7 @@ SheddingOutcome RunWithEta(const ExperimentData& data, Timestamp delta,
     acc.Add(CompareResults(naive_rounds[i], scuba_rounds[i]));
   }
   out.accuracy = acc.total();
-  out.comparisons = (*engine)->stats().comparisons;
+  out.comparisons = (*engine)->StatsSnapshot().eval.comparisons;
   // Shedding's memory claim is about discarded member position state, so
   // measure the cluster tables, not the grid (whose registrations grow with
   // the nucleus-inflated radii).
@@ -182,8 +182,8 @@ TEST_F(SheddingSweepTest, AdaptiveModeEngagesUnderTightBudget) {
   ASSERT_TRUE(RunOnTrace(engine->get(), data_->trace, 2).ok());
   EXPECT_GT((*engine)->shedder().eta(), 0.0);
   EXPECT_GT((*engine)->shedder().adjustments(), 0u);
-  EXPECT_GT((*engine)->phase_stats().members_shed_maintenance +
-                (*engine)->clusterer_stats().members_shed,
+  EXPECT_GT((*engine)->StatsSnapshot().phase.members_shed_maintenance +
+                (*engine)->StatsSnapshot().clusterer.members_shed,
             0u);
 }
 

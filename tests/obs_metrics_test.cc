@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_span.h"
+
+namespace scuba {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAccumulatesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter counter = registry.RegisterCounter("test_events_total", "events");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "test_events_total");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[0].counter, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter a = registry.RegisterCounter("dup_total", "first");
+  Counter b = registry.RegisterCounter("dup_total", "second");
+  a.Increment(3);
+  b.Increment(4);
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].counter, 7u);  // both handles hit the same storage
+  EXPECT_EQ(snap[0].help, "first");
+  EXPECT_EQ(registry.metric_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindCollisionYieldsDetachedHandle) {
+  MetricsRegistry registry;
+  Counter counter = registry.RegisterCounter("clash", "counter");
+  ASSERT_TRUE(static_cast<bool>(counter));
+  Gauge gauge = registry.RegisterGauge("clash", "gauge");
+  EXPECT_FALSE(static_cast<bool>(gauge));
+  gauge.Set(42.0);  // no-op, must not corrupt the counter
+  Result<HistogramMetric> histogram =
+      registry.RegisterHistogram("clash", "histogram", {1.0, 2.0});
+  EXPECT_TRUE(histogram.status().IsInvalidArgument());
+  counter.Increment();
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[0].counter, 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.RegisterGauge("level", "current level");
+  gauge.Set(1.5);
+  gauge.Set(-2.25);
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].gauge, -2.25);
+}
+
+TEST(MetricsRegistryTest, HistogramMergesShardsInSnapshot) {
+  MetricsRegistry registry;
+  Result<HistogramMetric> histogram =
+      registry.RegisterHistogram("lat_seconds", "latency", {0.1, 1.0});
+  ASSERT_TRUE(histogram.ok()) << histogram.status().ToString();
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      HistogramMetric h = *histogram;
+      h.Observe(0.05);   // first bucket
+      h.Observe(0.5);    // second bucket
+      h.Observe(100.0);  // overflow bucket
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const Histogram& merged = snap[0].histogram;
+  EXPECT_EQ(merged.count(), 3u * kThreads);
+  ASSERT_TRUE(merged.bucketed());
+  ASSERT_EQ(merged.bucket_counts().size(), 3u);
+  EXPECT_EQ(merged.bucket_counts()[0], static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(merged.bucket_counts()[1], static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(merged.bucket_counts()[2], static_cast<uint64_t>(kThreads));
+  EXPECT_NEAR(merged.sum(), kThreads * 100.55, 1e-9);
+}
+
+TEST(MetricsRegistryTest, RejectsBadHistogramBounds) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.RegisterHistogram("h", "x", {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.RegisterHistogram("h", "x", {2.0, 1.0})
+                  .status()
+                  .IsInvalidArgument());
+  // Re-registration with different bounds must not silently alias.
+  ASSERT_TRUE(registry.RegisterHistogram("h", "x", {1.0, 2.0}).ok());
+  EXPECT_TRUE(registry.RegisterHistogram("h", "x", {1.0, 3.0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.RegisterHistogram("h", "x", {1.0, 2.0}).ok());
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("scuba_rounds_total", "rounds").Increment(4);
+  registry.RegisterGauge("scuba_clusters", "clusters").Set(7.0);
+  Result<HistogramMetric> h =
+      registry.RegisterHistogram("scuba_join_seconds", "join", {0.5});
+  ASSERT_TRUE(h.ok());
+  h->Observe(0.05);
+  h->Observe(5.0);
+  const std::string text = registry.PrometheusExposition();
+  EXPECT_NE(text.find("# TYPE scuba_rounds_total counter"), std::string::npos);
+  EXPECT_NE(text.find("scuba_rounds_total 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scuba_clusters gauge"), std::string::npos);
+  EXPECT_NE(text.find("scuba_clusters 7"), std::string::npos);
+  EXPECT_NE(text.find("scuba_join_seconds_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("scuba_join_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("scuba_join_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DetachedHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  HistogramMetric histogram;
+  counter.Increment();
+  gauge.Set(1.0);
+  histogram.Observe(1.0);  // must not crash
+  EXPECT_FALSE(static_cast<bool>(counter));
+  EXPECT_FALSE(static_cast<bool>(gauge));
+  EXPECT_FALSE(static_cast<bool>(histogram));
+}
+
+TEST(TraceCollectorTest, BuildsRoundTree) {
+  TraceCollector tc;
+  EXPECT_FALSE(tc.active());
+  EXPECT_EQ(tc.EnsureSpan(0, "noop"), -1);  // inert before BeginRound
+
+  tc.BeginRound(3);
+  ASSERT_TRUE(tc.active());
+  EXPECT_EQ(tc.round(), 3u);
+  const int32_t join = tc.EnsureSpan(tc.root(), "join");
+  const int32_t within = tc.EnsureSpan(join, "within");
+  tc.Accumulate(join, 1.0, 2.0);
+  tc.Accumulate(within, 0.25);
+  // Re-entering (parent, name) returns the same node and accumulates.
+  EXPECT_EQ(tc.EnsureSpan(join, "within"), within);
+  tc.Accumulate(within, 0.25);
+  const int32_t shard0 = tc.EnsureSpan(join, "shard", 0);
+  const int32_t shard1 = tc.EnsureSpan(join, "shard", 1);
+  EXPECT_NE(shard0, shard1);  // distinct instances by index
+  EXPECT_EQ(tc.EnsureSpan(join, "shard", 1), shard1);
+  const int32_t ingest = tc.EnsureSpan(tc.root(), "ingest");
+  tc.Accumulate(ingest, 0.5);
+  tc.FinalizeRoot();
+
+  const std::vector<SpanRecord>& spans = tc.spans();
+  ASSERT_GE(spans.size(), 5u);
+  EXPECT_EQ(spans[0].name, "round");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_DOUBLE_EQ(spans[0].wall_seconds, 1.5);  // join + ingest
+  EXPECT_EQ(spans[join].parent, 0);
+  EXPECT_DOUBLE_EQ(spans[join].worker_seconds, 2.0);
+  EXPECT_EQ(spans[within].parent, join);
+  EXPECT_DOUBLE_EQ(spans[within].wall_seconds, 0.5);
+  EXPECT_EQ(spans[within].count, 2u);
+  EXPECT_EQ(spans[shard1].index, 1);
+
+  tc.BeginRound(4);  // fresh tree
+  EXPECT_EQ(tc.round(), 4u);
+  EXPECT_EQ(tc.spans().size(), 1u);
+}
+
+TEST(TraceSpanTest, RaiiAccumulatesIntoCollector) {
+  TraceCollector tc;
+  tc.BeginRound(1);
+  {
+    TraceSpan join(&tc, "join");
+    join.AddWorkerSeconds(0.75);
+    { TraceSpan within(join, "within"); }
+    { TraceSpan within(join, "within"); }
+  }
+  tc.FinalizeRoot();
+  const std::vector<SpanRecord>& spans = tc.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "join");
+  EXPECT_EQ(spans[1].count, 1u);
+  EXPECT_GE(spans[1].wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(spans[1].worker_seconds, 0.75);
+  EXPECT_EQ(spans[2].name, "within");
+  EXPECT_EQ(spans[2].parent, 1);
+  EXPECT_EQ(spans[2].count, 2u);
+
+  TraceSpan detached;  // no collector: complete no-op
+  detached.AddWorkerSeconds(1.0);
+  detached.Stop();
+}
+
+}  // namespace
+}  // namespace scuba

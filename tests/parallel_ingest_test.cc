@@ -142,8 +142,8 @@ RunOutcome RunWorkload(const std::vector<Round>& rounds, uint32_t ingest_threads
     out.rounds.push_back(std::move(results));
     out.digests.push_back(StateDigest(*engine));
   }
-  out.clusterer = engine->clusterer_stats();
-  out.dissolved_expired = engine->phase_stats().clusters_dissolved_expired;
+  out.clusterer = engine->StatsSnapshot().clusterer;
+  out.dissolved_expired = engine->StatsSnapshot().phase.clusters_dissolved_expired;
   return out;
 }
 
@@ -212,7 +212,7 @@ TEST(ParallelIngestTest, StatsReportIngestSplit) {
   ASSERT_TRUE(engine->IngestBatch(rounds[0].objects, rounds[0].queries).ok());
   ResultSet results;
   ASSERT_TRUE(engine->Evaluate(2, &results).ok());
-  const EvalStats& stats = engine->stats();
+  const EvalStats stats = engine->StatsSnapshot().eval;
   EXPECT_EQ(stats.ingest_threads, 4u);
   EXPECT_GT(stats.total_ingest_seconds, 0.0);
   EXPECT_GT(stats.total_postjoin_seconds, 0.0);

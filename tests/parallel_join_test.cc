@@ -279,8 +279,8 @@ TEST(ParallelEngineTest, WorkerSecondsAndThreadsReported) {
   ASSERT_TRUE(engine->IngestQueryUpdate(Qry(1, {110, 100}, 80, 80, 2)).ok());
   ResultSet results;
   ASSERT_TRUE(engine->Evaluate(2, &results).ok());
-  EXPECT_EQ(engine->stats().join_threads, 4u);
-  EXPECT_GT(engine->stats().total_join_worker_seconds, 0.0);
+  EXPECT_EQ(engine->StatsSnapshot().eval.join_threads, 4u);
+  EXPECT_GT(engine->StatsSnapshot().eval.total_join_worker_seconds, 0.0);
 }
 
 }  // namespace

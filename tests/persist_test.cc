@@ -201,14 +201,14 @@ TEST(SnapshotTest, RestoreReproducesDigestAndFutureRounds) {
   std::unique_ptr<ScubaEngine> original = MakeEngine(opt);
   Drive(original.get(), rounds, 0, 6);
   ASSERT_TRUE(original->Checkpoint(dir.path()).ok());
-  EXPECT_EQ(original->stats().checkpoints_written, 1u);
-  EXPECT_GT(original->stats().last_checkpoint_bytes, 0u);
+  EXPECT_EQ(original->StatsSnapshot().eval.checkpoints_written, 1u);
+  EXPECT_GT(original->StatsSnapshot().eval.last_checkpoint_bytes, 0u);
 
   std::unique_ptr<ScubaEngine> restored = MakeEngine(opt);
   ASSERT_TRUE(restored->Restore(dir.path()).ok());
   EXPECT_EQ(StateDigest(*restored), StateDigest(*original));
   EXPECT_EQ(EngineStateHash(*restored), EngineStateHash(*original));
-  EXPECT_EQ(restored->stats().evaluations, original->stats().evaluations);
+  EXPECT_EQ(restored->StatsSnapshot().eval.evaluations, original->StatsSnapshot().eval.evaluations);
   InvariantAuditReport audit = restored->AuditInvariants();
   EXPECT_TRUE(audit.clean()) << audit.ToString();
 
@@ -242,8 +242,8 @@ TEST(SnapshotTest, SnapshotIsPortableAcrossThreadCounts) {
   ASSERT_TRUE(parallel->Restore(dir.path()).ok());
   EXPECT_EQ(StateDigest(*parallel), StateDigest(*serial));
   // The live engine's thread configuration survives the restore.
-  EXPECT_EQ(parallel->stats().join_threads, 4u);
-  EXPECT_EQ(parallel->stats().ingest_threads, 4u);
+  EXPECT_EQ(parallel->StatsSnapshot().eval.join_threads, 4u);
+  EXPECT_EQ(parallel->StatsSnapshot().eval.ingest_threads, 4u);
 }
 
 TEST(SnapshotTest, RestoreFromEmptyDirIsNotFound) {
@@ -408,7 +408,7 @@ TEST(SnapshotTest, RepeatedCheckpointsOverwriteAtomically) {
       ListSnapshots(dir.path());
   ASSERT_TRUE(snapshots.ok());
   EXPECT_EQ(snapshots->size(), 1u);
-  EXPECT_EQ(engine->stats().checkpoints_written, 3u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.checkpoints_written, 3u);
   // The surviving snapshot is the newest state, not a stale one.
   std::unique_ptr<ScubaEngine> restored = MakeEngine(ScubaOptions{});
   ASSERT_TRUE(restored->Restore(dir.path()).ok());
@@ -438,14 +438,14 @@ TEST(SnapshotTest, ManagerPrunesSnapshotsToKeepLastK) {
     ASSERT_TRUE((*manager)->OnRoundComplete().ok());
   }
   // 4 checkpoints written (every 2 rounds), only the newest 2 retained.
-  EXPECT_EQ(engine->stats().checkpoints_written, 4u);
+  EXPECT_EQ(engine->StatsSnapshot().eval.checkpoints_written, 4u);
   Result<std::vector<std::pair<uint64_t, std::string>>> snapshots =
       ListSnapshots(dir.path());
   ASSERT_TRUE(snapshots.ok());
   ASSERT_EQ(snapshots->size(), 2u);
   EXPECT_EQ(snapshots->front().first, 6u);
   EXPECT_EQ(snapshots->back().first, 8u);
-  EXPECT_GT(engine->stats().wal_records_appended, 0u);
+  EXPECT_GT(engine->StatsSnapshot().eval.wal_records_appended, 0u);
 }
 
 // ---------------------------------------------------------------------------

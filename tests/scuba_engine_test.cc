@@ -66,7 +66,7 @@ TEST(ScubaEngineTest, EmptyEngineYieldsNoResults) {
   ResultSet results;
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   EXPECT_TRUE(results.empty());
-  EXPECT_EQ(e->stats().evaluations, 1u);
+  EXPECT_EQ(e->StatsSnapshot().eval.evaluations, 1u);
 }
 
 TEST(ScubaEngineTest, SingleClusterWithinJoin) {
@@ -82,7 +82,7 @@ TEST(ScubaEngineTest, SingleClusterWithinJoin) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results.Contains(1, 1));
   EXPECT_FALSE(results.Contains(1, 2));
-  EXPECT_EQ(e->join_counters().within_joins_single, 1u);
+  EXPECT_EQ(e->StatsSnapshot().join.within_joins_single, 1u);
 }
 
 TEST(ScubaEngineTest, CrossClusterJoin) {
@@ -97,9 +97,9 @@ TEST(ScubaEngineTest, CrossClusterJoin) {
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   EXPECT_TRUE(results.Contains(1, 1));
   EXPECT_TRUE(results.Contains(1, 2));
-  EXPECT_GE(e->stats().cluster_pairs_tested, 1u);
-  EXPECT_GE(e->stats().cluster_pairs_overlapping, 1u);
-  EXPECT_EQ(e->join_counters().within_joins_pair, 1u);
+  EXPECT_GE(e->StatsSnapshot().eval.cluster_pairs_tested, 1u);
+  EXPECT_GE(e->StatsSnapshot().eval.cluster_pairs_overlapping, 1u);
+  EXPECT_EQ(e->StatsSnapshot().join.within_joins_pair, 1u);
 }
 
 TEST(ScubaEngineTest, DisjointClustersArePruned) {
@@ -110,8 +110,8 @@ TEST(ScubaEngineTest, DisjointClustersArePruned) {
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   EXPECT_TRUE(results.empty());
   // Far apart: clusters never share a grid cell, so no pair is even tested.
-  EXPECT_EQ(e->stats().cluster_pairs_tested, 0u);
-  EXPECT_EQ(e->stats().comparisons, 0u);
+  EXPECT_EQ(e->StatsSnapshot().eval.cluster_pairs_tested, 0u);
+  EXPECT_EQ(e->StatsSnapshot().eval.comparisons, 0u);
 }
 
 TEST(ScubaEngineTest, SameKindClustersSkipBetweenJoin) {
@@ -121,7 +121,7 @@ TEST(ScubaEngineTest, SameKindClustersSkipBetweenJoin) {
   ASSERT_TRUE(e->IngestObjectUpdate(Obj(2, {110, 100}, 10, 2)).ok());
   ResultSet results;
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
-  EXPECT_EQ(e->stats().cluster_pairs_tested, 0u);
+  EXPECT_EQ(e->StatsSnapshot().eval.cluster_pairs_tested, 0u);
 }
 
 TEST(ScubaEngineTest, QueryReachAwareCatchesFarReachingQuery) {
@@ -181,7 +181,7 @@ TEST(ScubaEngineTest, MaintenanceDissolvesExpiringClusters) {
   ResultSet results;
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   EXPECT_EQ(e->ClusterCount(), 0u);
-  EXPECT_EQ(e->phase_stats().clusters_dissolved_expired, 1u);
+  EXPECT_EQ(e->StatsSnapshot().phase.clusters_dissolved_expired, 1u);
   EXPECT_EQ(e->cluster_grid().size(), 0u);
 }
 
@@ -221,10 +221,10 @@ TEST(ScubaEngineTest, StatsAccumulateAcrossRounds) {
   ASSERT_TRUE(e->IngestObjectUpdate(Obj(1, {100, 100})).ok());
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   ASSERT_TRUE(e->Evaluate(4, &results).ok());
-  EXPECT_EQ(e->stats().evaluations, 2u);
-  EXPECT_GE(e->stats().total_join_seconds, 0.0);
-  EXPECT_GE(e->stats().total_maintenance_seconds,
-            e->stats().last_maintenance_seconds);
+  EXPECT_EQ(e->StatsSnapshot().eval.evaluations, 2u);
+  EXPECT_GE(e->StatsSnapshot().eval.total_join_seconds, 0.0);
+  EXPECT_GE(e->StatsSnapshot().eval.total_maintenance_seconds,
+            e->StatsSnapshot().eval.last_maintenance_seconds);
 }
 
 TEST(ScubaEngineTest, MemoryEstimateGrowsWithEntities) {
@@ -248,7 +248,7 @@ TEST(ScubaEngineTest, ObjectOnlyWorkloadYieldsNothingCheaply) {
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   EXPECT_TRUE(results.empty());
   // No mixed clusters, no complementary pairs: zero member-level work.
-  EXPECT_EQ(e->stats().comparisons, 0u);
+  EXPECT_EQ(e->StatsSnapshot().eval.comparisons, 0u);
 }
 
 TEST(ScubaEngineTest, QueryOnlyWorkloadYieldsNothingCheaply) {
@@ -259,7 +259,7 @@ TEST(ScubaEngineTest, QueryOnlyWorkloadYieldsNothingCheaply) {
   ResultSet results;
   ASSERT_TRUE(e->Evaluate(2, &results).ok());
   EXPECT_TRUE(results.empty());
-  EXPECT_EQ(e->stats().comparisons, 0u);
+  EXPECT_EQ(e->StatsSnapshot().eval.comparisons, 0u);
 }
 
 TEST(ScubaEngineTest, RepeatedEvaluateWithoutUpdatesTracksRelocation) {
@@ -296,7 +296,7 @@ TEST(ScubaEngineTest, DeltaOneEvaluatesEveryTick) {
     ASSERT_TRUE(e->IngestObjectUpdate(Obj(1, {100.0 + t, 100}, 10, 1, t)).ok());
     ASSERT_TRUE(e->Evaluate(t, &results).ok());
   }
-  EXPECT_EQ(e->stats().evaluations, 5u);
+  EXPECT_EQ(e->StatsSnapshot().eval.evaluations, 5u);
 }
 
 TEST(ScubaEngineTest, StoreStaysConsistentUnderChurn) {

@@ -158,7 +158,7 @@ TEST(EngineSplittingTest, EngineSplitsDeterioratedClusters) {
 
   ResultSet results;
   ASSERT_TRUE((*engine)->Evaluate(2, &results).ok());
-  EXPECT_EQ((*engine)->phase_stats().clusters_split, 1u);
+  EXPECT_EQ((*engine)->StatsSnapshot().phase.clusters_split, 1u);
   EXPECT_EQ((*engine)->ClusterCount(), 2u);
   EXPECT_TRUE((*engine)->store().ValidateConsistency().ok());
   EXPECT_EQ((*engine)->cluster_grid().size(), 2u);
@@ -187,7 +187,7 @@ TEST(EngineSplittingTest, SplitIdsAreStable) {
   };
 
   std::unique_ptr<ScubaEngine> engine = build();
-  ASSERT_EQ(engine->phase_stats().clusters_split, 1u);
+  ASSERT_EQ(engine->StatsSnapshot().phase.clusters_split, 1u);
   // The original cluster had id 0; the split consumes ids 1 (left) and 2
   // (right) in that order.
   const std::vector<ClusterId> ids = engine->store().SortedClusterIds();

@@ -259,6 +259,11 @@ ScubaOptions ScubaOptionsFromFlags(const Flags& flags, const Rect& region,
     opt.shedding.mode = LoadSheddingMode::kFixed;
     opt.shedding.eta = eta;
   }
+  // Observability (docs/ARCHITECTURE.md §9). Telemetry never affects engine
+  // results and is excluded from the snapshot options fingerprint, so the
+  // durable commands may freely differ in these flags.
+  opt.telemetry.metrics_out = flags.GetString("metrics-out", "");
+  opt.telemetry.trace_out = flags.GetString("trace-out", "");
   return opt;
 }
 
@@ -392,6 +397,9 @@ int CmdRun(const Flags& flags) {
   if (csv.is_open() && !csv.good()) {
     return Fail(Status::IoError("csv write failed: " + csv_path));
   }
+  if (scuba_engine != nullptr) {
+    if (Status ft = scuba_engine->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  }
   std::printf("%s\n", FormatStats(engine->name(), engine->stats()).c_str());
   std::printf("memory: %s\n", FormatBytes(engine->EstimateMemoryUsage()).c_str());
   if (scuba_engine != nullptr) PrintStateHash(*scuba_engine);
@@ -445,11 +453,13 @@ int CmdCheckpoint(const Flags& flags) {
   if (!s.ok()) return Fail(s);
   s = (*engine)->Checkpoint(durable_dir);
   if (!s.ok()) return Fail(s);
+  if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  const EngineSnapshotStats snapshot = (*engine)->StatsSnapshot();
   std::printf("checkpointed %zu clusters after %llu rounds to %s (%s)\n",
               (*engine)->ClusterCount(),
-              static_cast<unsigned long long>((*engine)->stats().evaluations),
+              static_cast<unsigned long long>(snapshot.eval.evaluations),
               durable_dir.c_str(),
-              FormatBytes((*engine)->stats().last_checkpoint_bytes).c_str());
+              FormatBytes(snapshot.eval.last_checkpoint_bytes).c_str());
   PrintStateHash(**engine);
   return 0;
 }
@@ -485,7 +495,8 @@ int CmdRestore(const Flags& flags) {
   InvariantAuditReport audit = (*engine)->AuditInvariants();
   std::printf("restored %zu clusters (%llu rounds) from %s; audit: %s\n",
               (*engine)->ClusterCount(),
-              static_cast<unsigned long long>((*engine)->stats().evaluations),
+              static_cast<unsigned long long>(
+                  (*engine)->StatsSnapshot().eval.evaluations),
               durable_dir.c_str(), audit.clean() ? "clean" : "DIRTY");
   PrintStateHash(**engine);
   return audit.clean() ? 0 : Fail(Status::Corruption(audit.ToString()));
@@ -546,8 +557,9 @@ int CmdRecover(const Flags& flags) {
                            static_cast<size_t>(report->next_seq));
     if (!s.ok()) return Fail(s);
   }
-  std::printf("%s\n",
-              FormatStats((*engine)->name(), (*engine)->stats()).c_str());
+  if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  std::printf(
+      "%s\n", (*engine)->StatsSnapshot().Format((*engine)->name()).c_str());
   PrintStateHash(**engine);
   return 0;
 }
@@ -634,7 +646,7 @@ int CmdCompare(const Flags& flags) {
   std::printf("rounds: %zu\n", acc.rounds());
   std::printf("%s\n", acc.total().ToString().c_str());
   std::printf("%s\n",
-              FormatStats("scuba", (*scuba_engine)->stats()).c_str());
+              (*scuba_engine)->StatsSnapshot().Format("scuba").c_str());
   std::printf("%s\n", FormatStats("naive", oracle.stats()).c_str());
   return 0;
 }
@@ -691,7 +703,8 @@ int Usage() {
       "                  --on-bad-update strict|quarantine|repair\n"
       "                  --audit-every N --durable-dir DIR\n"
       "                  --checkpoint-every N --keep-last K\n"
-      "                  --crash-at POINT --crash-after N]\n"
+      "                  --crash-at POINT --crash-after N\n"
+      "                  --metrics-out FILE.jsonl --trace-out FILE.jsonl]\n"
       "  checkpoint      --trace FILE --durable-dir DIR [run options]\n"
       "  restore         --trace FILE --durable-dir DIR [run options]\n"
       "  recover         --trace FILE --durable-dir DIR [run options]\n"
@@ -705,7 +718,10 @@ int Usage() {
       "newest readable snapshot + WAL replay, then finishes the trace.\n"
       "--crash-at points: before-wal-append mid-wal-append after-wal-append\n"
       "before-snapshot-write mid-snapshot-write torn-snapshot-rename\n"
-      "after-snapshot-write after-wal-prune\n");
+      "after-snapshot-write after-wal-prune\n"
+      "--metrics-out / --trace-out (scuba engine only) append one JSON line\n"
+      "per round: metric deltas and phase span trees; metrics ends with a\n"
+      "Prometheus exposition line. Telemetry never changes results.\n");
   return 1;
 }
 
