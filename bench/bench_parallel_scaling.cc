@@ -1,6 +1,7 @@
 // Join-phase thread-scaling sweep: replays the §6.1-scale workload (10k
 // objects + 10k queries) through SCUBA at join_threads = 1, 2, 4, 8 and
-// reports join wall time, summed worker time and speedup versus serial.
+// reports join wall time, summed worker time, speedup versus serial and the
+// join phase's share of total run wall time.
 // Besides the printed table it writes BENCH_parallel.json so the perf
 // trajectory is machine-readable across PRs. join_threads only parallelizes
 // the join phase — identical results at every thread count is asserted here
@@ -23,8 +24,9 @@ int Main() {
   ExperimentData data = BuildOrDie(DefaultConfig(/*skew=*/100));
   const std::vector<uint32_t> sweep = {1, 2, 4, 8};
 
-  std::printf("%8s %10s %12s %10s %12s %14s\n", "threads", "join(s)",
-              "worker(s)", "speedup", "efficiency", "results");
+  std::printf("%8s %10s %12s %10s %12s %10s %10s %14s\n", "threads", "join(s)",
+              "worker(s)", "speedup", "efficiency", "wall(s)", "join/wall",
+              "results");
   std::vector<BenchOutcome> outcomes;
   for (uint32_t threads : sweep) {
     ScubaOptions options;
@@ -34,9 +36,12 @@ int Main() {
     double speedup = outcomes.front().join_seconds > 0.0
                          ? outcomes.front().join_seconds / out.join_seconds
                          : 0.0;
-    std::printf("%8u %10.4f %12.4f %9.2fx %11.2f%% %14llu\n", threads,
-                out.join_seconds, out.join_worker_seconds, speedup,
-                100.0 * speedup / threads,
+    double join_share =
+        out.wall_seconds > 0.0 ? out.join_seconds / out.wall_seconds : 0.0;
+    std::printf("%8u %10.4f %12.4f %9.2fx %11.2f%% %10.4f %9.1f%% %14llu\n",
+                threads, out.join_seconds, out.join_worker_seconds, speedup,
+                100.0 * speedup / threads, out.wall_seconds,
+                100.0 * join_share,
                 static_cast<unsigned long long>(out.total_results));
     SCUBA_CHECK_MSG(out.total_results == outcomes.front().total_results,
                     "thread counts must not change the answer");
@@ -95,13 +100,15 @@ int Main() {
     double speedup = outcomes.front().join_seconds > 0.0
                          ? outcomes.front().join_seconds / out.join_seconds
                          : 0.0;
+    double join_share =
+        out.wall_seconds > 0.0 ? out.join_seconds / out.wall_seconds : 0.0;
     std::fprintf(json,
                  "    {\"threads\": %u, \"join_seconds\": %.6f, "
                  "\"worker_seconds\": %.6f, \"speedup_vs_serial\": %.4f, "
-                 "\"wall_seconds\": %.6f, \"results\": %llu, "
-                 "\"comparisons\": %llu}%s\n",
+                 "\"wall_seconds\": %.6f, \"join_share_of_wall\": %.4f, "
+                 "\"results\": %llu, \"comparisons\": %llu}%s\n",
                  sweep[i], out.join_seconds, out.join_worker_seconds, speedup,
-                 out.wall_seconds,
+                 out.wall_seconds, join_share,
                  static_cast<unsigned long long>(out.total_results),
                  static_cast<unsigned long long>(out.comparisons),
                  i + 1 < outcomes.size() ? "," : "");

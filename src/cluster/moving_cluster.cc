@@ -215,6 +215,44 @@ const ClusterMember* MovingCluster::FindMember(EntityRef ref) const {
   return index == members_.size() ? nullptr : &members_[index];
 }
 
+void MovingCluster::CountExactMembers(size_t* exact_objects,
+                                      size_t* exact_queries) const {
+  size_t objects = 0;
+  size_t queries = 0;
+  for (const ClusterMember& m : members_) {
+    if (m.shed) continue;
+    (m.kind == EntityKind::kObject ? objects : queries) += 1;
+  }
+  *exact_objects = objects;
+  *exact_queries = queries;
+}
+
+std::pair<size_t, size_t> MovingCluster::ExportExactMembers(
+    const MemberExportSpans& out) const {
+  size_t objects = 0;
+  size_t queries = 0;
+  for (const ClusterMember& m : members_) {
+    if (m.shed) continue;
+    const Point pos = FromPolar(m.rel, m.anchor + translation_);
+    if (m.kind == EntityKind::kObject) {
+      out.obj_xs[objects] = pos.x;
+      out.obj_ys[objects] = pos.y;
+      out.obj_ids[objects] = m.id;
+      out.obj_attrs[objects] = m.attrs;
+      ++objects;
+    } else {
+      out.qry_xs[queries] = pos.x;
+      out.qry_ys[queries] = pos.y;
+      out.qry_widths[queries] = m.range_width;
+      out.qry_heights[queries] = m.range_height;
+      out.qry_ids[queries] = m.id;
+      out.qry_required[queries] = m.required_attrs;
+      ++queries;
+    }
+  }
+  return {objects, queries};
+}
+
 Vec2 MovingCluster::Velocity() const {
   Vec2 dir = (dest_position_ - centroid_).Normalized();
   return dir * average_speed();

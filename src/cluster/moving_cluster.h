@@ -27,6 +27,7 @@
 #define SCUBA_CLUSTER_MOVING_CLUSTER_H_
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -55,6 +56,24 @@ struct ClusterMember {
   double approx_radius = 0.0; ///< Nucleus radius approximating a shed member.
 
   EntityRef Ref() const { return EntityRef{kind, id}; }
+};
+
+/// Structure-of-arrays destination spans for ExportExactMembers. Each object
+/// pointer must address at least the exact-object count and each query
+/// pointer the exact-query count reported by CountExactMembers; the caller
+/// (the join executor's slab arena) owns the storage. Query positions and
+/// extents are written raw — the join layer derives range rectangles.
+struct MemberExportSpans {
+  double* obj_xs = nullptr;
+  double* obj_ys = nullptr;
+  uint32_t* obj_ids = nullptr;
+  uint64_t* obj_attrs = nullptr;
+  double* qry_xs = nullptr;
+  double* qry_ys = nullptr;
+  double* qry_widths = nullptr;
+  double* qry_heights = nullptr;
+  uint32_t* qry_ids = nullptr;
+  uint64_t* qry_required = nullptr;
 };
 
 /// A moving cluster of objects and queries. Invariants:
@@ -122,6 +141,19 @@ class MovingCluster {
 
   /// Looks up a member by reference; nullptr if absent.
   const ClusterMember* FindMember(EntityRef ref) const;
+
+  /// Tallies the exact (non-shed) members by kind without reconstructing
+  /// positions — the sizing pass for SoA export.
+  void CountExactMembers(size_t* exact_objects, size_t* exact_queries) const;
+
+  /// Writes every exact (non-shed) member into `out` as SoA columns, in
+  /// members() order (objects and queries each keep their relative order),
+  /// reconstructing absolute positions exactly as MemberPosition does.
+  /// Returns {objects written, queries written} — the CountExactMembers
+  /// tallies. Shed members are skipped; the join reads those through the
+  /// nucleus.
+  std::pair<size_t, size_t> ExportExactMembers(
+      const MemberExportSpans& out) const;
 
   /// Cluster velocity: average speed towards the destination node.
   Vec2 Velocity() const;

@@ -2,20 +2,25 @@
 
 #include <algorithm>
 
+#include "cluster/moving_cluster.h"
 #include "common/check.h"
 #include "common/memory_usage.h"
 #include "common/stopwatch.h"
+#include "core/join_kernels.h"
 
 namespace scuba {
 namespace {
 
-/// Smallest cell present in both sorted cell lists, or UINT32_MAX if none.
+/// slot_by_cid_ sentinel: cid not registered this round.
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
+/// Smallest cell present in both sorted cell spans, or UINT32_MAX if none.
 /// Registered clusters always have >= 1 cell, so a shared-cell pair resolves
 /// to a real owner. Two-pointer scan: cell lists are a handful of entries.
-uint32_t MinCommonCell(const std::vector<uint32_t>& a,
-                       const std::vector<uint32_t>& b) {
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
+uint32_t MinCommonCell(const uint32_t* a, uint32_t na, const uint32_t* b,
+                       uint32_t nb) {
+  uint32_t i = 0, j = 0;
+  while (i < na && j < nb) {
     if (a[i] == b[j]) return a[i];
     if (a[i] < b[j]) {
       ++i;
@@ -48,33 +53,89 @@ void ClusterJoinExecutor::AttachTelemetry(MetricsRegistry* registry) {
   }
 }
 
-ClusterJoinExecutor::JoinView ClusterJoinExecutor::BuildView(
-    const MovingCluster& cluster, const GridIndex& grid) const {
-  JoinView view;
+void ClusterJoinExecutor::SlabArena::Resize(size_t objects, size_t queries,
+                                            size_t cell_slots) {
+  // resize() keeps capacity on shrink, so a steady-state round allocates
+  // nothing — that is the arena-reuse contract.
+  obj_xs.resize(objects);
+  obj_ys.resize(objects);
+  obj_ids.resize(objects);
+  obj_attrs.resize(objects);
+  qry_xs.resize(queries);
+  qry_ys.resize(queries);
+  qry_widths.resize(queries);
+  qry_heights.resize(queries);
+  qry_min_xs.resize(queries);
+  qry_min_ys.resize(queries);
+  qry_max_xs.resize(queries);
+  qry_max_ys.resize(queries);
+  qry_ids.resize(queries);
+  qry_required.resize(queries);
+  cells.resize(cell_slots);
+}
+
+size_t ClusterJoinExecutor::SlabArena::EstimateMemoryUsage() const {
+  return VectorMemoryUsage(obj_xs) + VectorMemoryUsage(obj_ys) +
+         VectorMemoryUsage(obj_ids) + VectorMemoryUsage(obj_attrs) +
+         VectorMemoryUsage(qry_xs) + VectorMemoryUsage(qry_ys) +
+         VectorMemoryUsage(qry_widths) + VectorMemoryUsage(qry_heights) +
+         VectorMemoryUsage(qry_min_xs) + VectorMemoryUsage(qry_min_ys) +
+         VectorMemoryUsage(qry_max_xs) + VectorMemoryUsage(qry_max_ys) +
+         VectorMemoryUsage(qry_ids) + VectorMemoryUsage(qry_required) +
+         VectorMemoryUsage(cells);
+}
+
+void ClusterJoinExecutor::FillView(uint32_t slot,
+                                   const MovingCluster& cluster) {
+  JoinView& view = views_[slot];
   view.bounds = cluster.Bounds();
   view.coarse = query_reach_aware_ ? cluster.JoinBounds() : cluster.Bounds();
   view.mixed = cluster.HasMixedKinds();
   view.has_objects = cluster.object_count() > 0;
   view.has_queries = cluster.query_count() > 0;
-  const std::vector<uint32_t>* cells = grid.CellsOf(cluster.cid());
-  SCUBA_CHECK_MSG(cells != nullptr && !cells->empty(),
-                  "view built for an unregistered cluster");
-  view.cells = *cells;
-  std::sort(view.cells.begin(), view.cells.end());
+
+  // Cell list: copy into the arena span, sorted ascending (owner-cell rule).
+  const std::vector<uint32_t>& cells = *cell_lists_[slot];
+  uint32_t* cell_span = arena_.cells.data() + view.cells_begin;
+  std::copy(cells.begin(), cells.end(), cell_span);
+  std::sort(cell_span, cell_span + view.cells_count);
+
+  // Exact members into the SoA slabs (members() order, shed skipped).
+  MemberExportSpans spans;
+  spans.obj_xs = arena_.obj_xs.data() + view.obj_begin;
+  spans.obj_ys = arena_.obj_ys.data() + view.obj_begin;
+  spans.obj_ids = arena_.obj_ids.data() + view.obj_begin;
+  spans.obj_attrs = arena_.obj_attrs.data() + view.obj_begin;
+  spans.qry_xs = arena_.qry_xs.data() + view.qry_begin;
+  spans.qry_ys = arena_.qry_ys.data() + view.qry_begin;
+  spans.qry_widths = arena_.qry_widths.data() + view.qry_begin;
+  spans.qry_heights = arena_.qry_heights.data() + view.qry_begin;
+  spans.qry_ids = arena_.qry_ids.data() + view.qry_begin;
+  spans.qry_required = arena_.qry_required.data() + view.qry_begin;
+  const auto [exported_objects, exported_queries] =
+      cluster.ExportExactMembers(spans);
+  SCUBA_CHECK(exported_objects == view.obj_count &&
+              exported_queries == view.qry_count);
+
+  // Hoisted range rectangles: Rect::Centered of every exact query, computed
+  // once per round here instead of once per view pass in the join-within.
+  for (uint32_t i = 0; i < view.qry_count; ++i) {
+    const size_t q = view.qry_begin + i;
+    arena_.qry_min_xs[q] = arena_.qry_xs[q] - arena_.qry_widths[q] / 2;
+    arena_.qry_min_ys[q] = arena_.qry_ys[q] - arena_.qry_heights[q] / 2;
+    arena_.qry_max_xs[q] = arena_.qry_xs[q] + arena_.qry_widths[q] / 2;
+    arena_.qry_max_ys[q] = arena_.qry_ys[q] + arena_.qry_heights[q] / 2;
+  }
+
+  // Shed members: group by nucleus. Only walked when the cluster actually
+  // has shed members (exact counts short of the member total). Members shed
+  // into the same nucleus share a bit-identical reconstructed center, so a
+  // linear scan over the handful of nuclei suffices.
+  view.nuclei.clear();
+  if (exported_objects + exported_queries == cluster.size()) return;
   for (const ClusterMember& m : cluster.members()) {
-    Point pos = cluster.MemberPosition(m);
-    if (!m.shed) {
-      if (m.kind == EntityKind::kObject) {
-        view.objects.push_back(ExactObject{pos, m.id, m.attrs});
-      } else {
-        view.queries.push_back(ExactQuery{pos, m.range_width, m.range_height,
-                                          m.id, m.required_attrs});
-      }
-      continue;
-    }
-    // Shed member: group by nucleus. Members shed into the same nucleus share
-    // a bit-identical reconstructed center, so a linear scan over the handful
-    // of nuclei suffices.
+    if (!m.shed) continue;
+    const Point pos = cluster.MemberPosition(m);
     NucleusGroup* group = nullptr;
     for (NucleusGroup& g : view.nuclei) {
       if (g.center == pos && g.radius == m.approx_radius) {
@@ -93,39 +154,79 @@ ClusterJoinExecutor::JoinView ClusterJoinExecutor::BuildView(
                                           m.id, m.required_attrs});
     }
   }
-  return view;
+}
+
+void ClusterJoinExecutor::EmitObjectMatches(const JoinView& objects_view,
+                                            const Rect& range, QueryId qid,
+                                            uint64_t required_attrs,
+                                            JoinScratch* scratch,
+                                            Counters* counters,
+                                            ResultSet* results) const {
+  // Exact objects through the batched kernels: rect-contains over the whole
+  // slab, then the attrs-mask compaction (skipped for unfiltered queries —
+  // required_attrs 0 admits everything). Indices come out ascending, so the
+  // Add order matches the scalar member loop exactly.
+  const uint32_t count = objects_view.obj_count;
+  if (count > 0) {
+    counters->comparisons += count;
+    ObjectSlabView objects;
+    objects.xs = arena_.obj_xs.data() + objects_view.obj_begin;
+    objects.ys = arena_.obj_ys.data() + objects_view.obj_begin;
+    objects.oids = arena_.obj_ids.data() + objects_view.obj_begin;
+    objects.attrs = arena_.obj_attrs.data() + objects_view.obj_begin;
+    objects.count = count;
+    size_t matches = RectContainsPoints(range, objects, scratch->indices.data());
+    if (required_attrs != 0) {
+      matches = FilterByAttrs(objects.attrs, required_attrs,
+                              scratch->indices.data(), matches);
+    }
+    for (size_t k = 0; k < matches; ++k) {
+      results->Add(qid, objects.oids[scratch->indices[k]]);
+    }
+  }
+  // Object nuclei: one predicate per shed group (scalar; rarely populated).
+  for (const NucleusGroup& nuc : objects_view.nuclei) {
+    if (nuc.objects.empty()) continue;
+    ++counters->comparisons;
+    if (Intersects(range, Circle{nuc.center, nuc.radius})) {
+      for (const NucleusObject& o : nuc.objects) {
+        if ((o.attrs & required_attrs) == required_attrs) {
+          results->Add(qid, o.oid);
+        }
+      }
+    }
+  }
 }
 
 void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
                                                const JoinView& queries_view,
+                                               JoinScratch* scratch,
                                                Counters* counters,
                                                ResultSet* results) const {
-  // Exact queries against exact objects and object nuclei.
-  for (const ExactQuery& q : queries_view.queries) {
-    Rect range = Rect::Centered(q.position, q.width, q.height);
-    // Fine filter: the coarse join-between admits the cluster pair, but this
-    // particular query may still be unable to reach the object cluster. A
-    // bounds check, not a member comparison — counted apart so the paper's
-    // Fig. 11 cost model (per-member predicate work) maps onto `comparisons`.
-    ++counters->bounds_checks;
-    if (!Intersects(range, objects_view.bounds)) continue;
-    for (const ExactObject& o : objects_view.objects) {
-      ++counters->comparisons;
-      if (range.Contains(o.position) &&
-          (o.attrs & q.required_attrs) == q.required_attrs) {
-        results->Add(q.qid, o.oid);
-      }
-    }
-    for (const NucleusGroup& nuc : objects_view.nuclei) {
-      if (nuc.objects.empty()) continue;
-      ++counters->comparisons;
-      if (Intersects(range, Circle{nuc.center, nuc.radius})) {
-        for (const NucleusObject& o : nuc.objects) {
-          if ((o.attrs & q.required_attrs) == q.required_attrs) {
-            results->Add(q.qid, o.oid);
-          }
-        }
-      }
+  // Exact queries: one batched circle/rect pre-filter over the whole query
+  // slab. The fine filter is a bounds check, not a member comparison —
+  // counted apart so the paper's Fig. 11 cost model (per-member predicate
+  // work) maps onto `comparisons`. Admitted queries then run the member
+  // kernels; emission order matches the scalar path (queries in member
+  // order, each: exact objects, then object nuclei).
+  const uint32_t qry_count = queries_view.qry_count;
+  if (qry_count > 0) {
+    counters->bounds_checks += qry_count;
+    const uint32_t qry_begin = queries_view.qry_begin;
+    QueryRectSlabView rects;
+    rects.min_xs = arena_.qry_min_xs.data() + qry_begin;
+    rects.min_ys = arena_.qry_min_ys.data() + qry_begin;
+    rects.max_xs = arena_.qry_max_xs.data() + qry_begin;
+    rects.max_ys = arena_.qry_max_ys.data() + qry_begin;
+    rects.count = qry_count;
+    RectCircleOverlap(rects, objects_view.bounds, scratch->mask.data());
+    for (uint32_t i = 0; i < qry_count; ++i) {
+      if (!scratch->mask[i]) continue;
+      const size_t q = qry_begin + i;
+      const Rect range{arena_.qry_min_xs[q], arena_.qry_min_ys[q],
+                       arena_.qry_max_xs[q], arena_.qry_max_ys[q]};
+      EmitObjectMatches(objects_view, range, arena_.qry_ids[q],
+                        arena_.qry_required[q], scratch, counters, results);
     }
   }
   // Shed queries: approximated at the nucleus center with their original
@@ -136,68 +237,62 @@ void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
       Rect range = Rect::Centered(q.position, q.width, q.height);
       ++counters->bounds_checks;
       if (!Intersects(range, objects_view.bounds)) continue;
-      for (const ExactObject& o : objects_view.objects) {
-        ++counters->comparisons;
-        if (range.Contains(o.position) &&
-            (o.attrs & q.required_attrs) == q.required_attrs) {
-          results->Add(q.qid, o.oid);
-        }
-      }
-      for (const NucleusGroup& onuc : objects_view.nuclei) {
-        if (onuc.objects.empty()) continue;
-        ++counters->comparisons;
-        if (Intersects(range, Circle{onuc.center, onuc.radius})) {
-          for (const NucleusObject& o : onuc.objects) {
-            if ((o.attrs & q.required_attrs) == q.required_attrs) {
-              results->Add(q.qid, o.oid);
-            }
-          }
-        }
-      }
+      EmitObjectMatches(objects_view, range, q.qid, q.required_attrs, scratch,
+                        counters, results);
     }
   }
 }
 
-void ClusterJoinExecutor::ScanCells(const GridIndex& grid,
-                                    std::atomic<uint32_t>* next_chunk,
-                                    uint32_t chunk_size, Counters* counters,
-                                    ResultSet* results,
+void ClusterJoinExecutor::ScanCells(std::atomic<uint32_t>* next_chunk,
+                                    uint32_t chunk_size, JoinScratch* scratch,
+                                    Counters* counters, ResultSet* results,
                                     double* within_seconds) const {
-  const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
+  const uint32_t cell_count =
+      static_cast<uint32_t>(cell_offsets_.size() - 1);
+  const uint32_t* entries_base = cell_entries_.data();
+  const uint32_t* all_cells = arena_.cells.data();
   for (;;) {
     const uint32_t begin =
         next_chunk->fetch_add(chunk_size, std::memory_order_relaxed);
     if (begin >= cell_count) return;
     const uint32_t end = std::min(begin + chunk_size, cell_count);
     for (uint32_t cell = begin; cell < end; ++cell) {
-      const std::vector<uint32_t>& entries = grid.CellEntries(cell);
-      for (size_t i = 0; i < entries.size(); ++i) {
-        auto left_it = slot_of_.find(entries[i]);
-        SCUBA_CHECK_MSG(left_it != slot_of_.end(),
+      const uint32_t* entries = entries_base + cell_offsets_[cell];
+      const uint32_t entry_count = cell_offsets_[cell + 1] - cell_offsets_[cell];
+      for (uint32_t i = 0; i < entry_count; ++i) {
+        const uint32_t left_cid = entries[i];
+        SCUBA_CHECK_MSG(left_cid < slot_by_cid_.size() &&
+                            slot_by_cid_[left_cid] != kNoSlot,
                         "grid references a missing cluster");
-        const JoinView& lview = views_[left_it->second];
+        const JoinView& lview = views_[slot_by_cid_[left_cid]];
+        const uint32_t* lcells = all_cells + lview.cells_begin;
         // Same-cluster join-within, evaluated only in the cluster's lowest
         // cell (once per round, even though the cluster appears in every cell
         // its circle overlaps).
-        if (lview.mixed && lview.cells.front() == cell) {
+        if (lview.mixed && lcells[0] == cell) {
           ++counters->within_joins_single;
           if (within_seconds != nullptr) {
             Stopwatch within_sw;
-            JoinObjectsToQueries(lview, lview, counters, results);
+            JoinObjectsToQueries(lview, lview, scratch, counters, results);
             *within_seconds += within_sw.ElapsedSeconds();
           } else {
-            JoinObjectsToQueries(lview, lview, counters, results);
+            JoinObjectsToQueries(lview, lview, scratch, counters, results);
           }
         }
-        for (size_t j = i + 1; j < entries.size(); ++j) {
-          auto right_it = slot_of_.find(entries[j]);
-          SCUBA_CHECK_MSG(right_it != slot_of_.end(),
+        for (uint32_t j = i + 1; j < entry_count; ++j) {
+          const uint32_t right_cid = entries[j];
+          SCUBA_CHECK_MSG(right_cid < slot_by_cid_.size() &&
+                              slot_by_cid_[right_cid] != kNoSlot,
                           "grid references a missing cluster");
-          const JoinView& rview = views_[right_it->second];
+          const JoinView& rview = views_[slot_by_cid_[right_cid]];
           // Owner-cell rule: only the lowest cell both clusters co-reside in
           // evaluates the pair. Every other co-resident cell skips it, so no
           // cross-task seen-set is needed and every pair runs exactly once.
-          if (MinCommonCell(lview.cells, rview.cells) != cell) continue;
+          if (MinCommonCell(lcells, lview.cells_count,
+                            all_cells + rview.cells_begin,
+                            rview.cells_count) != cell) {
+            continue;
+          }
           // Only kind-complementary pairs can produce results (Alg. 1
           // line 18).
           bool complementary = (lview.has_objects && rview.has_queries) ||
@@ -212,12 +307,12 @@ void ClusterJoinExecutor::ScanCells(const GridIndex& grid,
           // result is preserved without duplicate work.
           if (within_seconds != nullptr) {
             Stopwatch within_sw;
-            JoinObjectsToQueries(lview, rview, counters, results);
-            JoinObjectsToQueries(rview, lview, counters, results);
+            JoinObjectsToQueries(lview, rview, scratch, counters, results);
+            JoinObjectsToQueries(rview, lview, scratch, counters, results);
             *within_seconds += within_sw.ElapsedSeconds();
           } else {
-            JoinObjectsToQueries(lview, rview, counters, results);
-            JoinObjectsToQueries(rview, lview, counters, results);
+            JoinObjectsToQueries(lview, rview, scratch, counters, results);
+            JoinObjectsToQueries(rview, lview, scratch, counters, results);
           }
         }
       }
@@ -232,19 +327,20 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
     return Status::InvalidArgument("results must be non-null");
   }
   results->Clear();
-  views_.clear();
-  slot_of_.clear();
 
   // Round setup (serial): enumerate the clusters registered in the grid and
   // assign each a dense view slot. Sorted by cid so slot assignment — and
   // with it every downstream buffer — is independent of hash-map iteration
-  // order.
+  // order. The cid→slot mapping is a dense table (cids are compact enough
+  // that one uint32 per id beats per-entry hashing in the scan by a wide
+  // margin); kNoSlot marks ids absent this round.
   std::vector<ClusterId> cids = store.SortedClusterIds();
   std::erase_if(cids, [&grid](ClusterId cid) { return !grid.Contains(cid); });
-  views_.resize(cids.size());
-  slot_of_.reserve(cids.size());
-  for (uint32_t slot = 0; slot < cids.size(); ++slot) {
-    slot_of_.emplace(cids[slot], slot);
+  const uint32_t view_count = static_cast<uint32_t>(cids.size());
+  views_.resize(view_count);
+  slot_by_cid_.assign(cids.empty() ? 0 : cids.back() + 1, kNoSlot);
+  for (uint32_t slot = 0; slot < view_count; ++slot) {
+    slot_by_cid_[cids[slot]] = slot;
   }
 
   const uint32_t tasks = resolved_threads_;
@@ -258,30 +354,94 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
   std::vector<double> task_within(timed ? tasks : 0, 0.0);
   last_within_seconds_ = 0.0;
 
-  // Phase A: precompute every JoinView in parallel. The table is immutable
-  // from here on — the scan below only reads it.
+  const uint32_t slot_chunk = std::max<uint32_t>(
+      1, view_count / (tasks * 8 + 1) + 1);
+
+  // Phase A1 (parallel): per-slot sizing — cluster pointer, exact-member
+  // counts and grid cell list, no position reconstruction yet.
+  cluster_refs_.resize(view_count);
+  cell_lists_.resize(view_count);
+  obj_counts_.resize(view_count);
+  qry_counts_.resize(view_count);
   {
     std::atomic<uint32_t> next_slot{0};
-    const uint32_t slot_chunk = std::max<uint32_t>(
-        1, static_cast<uint32_t>(cids.size()) / (tasks * 8 + 1) + 1);
     last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       Stopwatch busy;
       for (;;) {
         const uint32_t begin =
             next_slot.fetch_add(slot_chunk, std::memory_order_relaxed);
-        if (begin >= cids.size()) break;
-        const uint32_t end =
-            std::min<uint32_t>(begin + slot_chunk,
-                               static_cast<uint32_t>(cids.size()));
+        if (begin >= view_count) break;
+        const uint32_t end = std::min(begin + slot_chunk, view_count);
         for (uint32_t slot = begin; slot < end; ++slot) {
           const MovingCluster* cluster = store.GetCluster(cids[slot]);
           SCUBA_CHECK(cluster != nullptr);
-          views_[slot] = BuildView(*cluster, grid);
+          cluster_refs_[slot] = cluster;
+          const std::vector<uint32_t>* cells = grid.CellsOf(cids[slot]);
+          SCUBA_CHECK_MSG(cells != nullptr && !cells->empty(),
+                          "view built for an unregistered cluster");
+          cell_lists_[slot] = cells;
+          size_t exact_objects = 0;
+          size_t exact_queries = 0;
+          cluster->CountExactMembers(&exact_objects, &exact_queries);
+          obj_counts_[slot] = static_cast<uint32_t>(exact_objects);
+          qry_counts_[slot] = static_cast<uint32_t>(exact_queries);
         }
       }
       if (timed) last_task_busy_seconds_[t] += busy.ElapsedSeconds();
     });
   }
+
+  // Phase A2 (serial): prefix sums assign every view its disjoint arena
+  // spans; one arena resize replaces the per-view vector allocations.
+  size_t obj_total = 0;
+  size_t qry_total = 0;
+  size_t cell_total = 0;
+  max_view_objects_ = 0;
+  max_view_queries_ = 0;
+  for (uint32_t slot = 0; slot < view_count; ++slot) {
+    JoinView& view = views_[slot];
+    view.obj_begin = static_cast<uint32_t>(obj_total);
+    view.obj_count = obj_counts_[slot];
+    view.qry_begin = static_cast<uint32_t>(qry_total);
+    view.qry_count = qry_counts_[slot];
+    view.cells_begin = static_cast<uint32_t>(cell_total);
+    view.cells_count = static_cast<uint32_t>(cell_lists_[slot]->size());
+    obj_total += view.obj_count;
+    qry_total += view.qry_count;
+    cell_total += view.cells_count;
+    max_view_objects_ = std::max(max_view_objects_, view.obj_count);
+    max_view_queries_ = std::max(max_view_queries_, view.qry_count);
+  }
+  arena_.Resize(obj_total, qry_total, cell_total);
+  scratch_.resize(tasks);
+  for (JoinScratch& scratch : scratch_) {
+    scratch.indices.resize(max_view_objects_);
+    scratch.mask.resize(max_view_queries_);
+  }
+
+  // Phase A3 (parallel): fill every JoinView — metadata, SoA slabs, hoisted
+  // query rects, nuclei. The table is immutable from here on — the scan
+  // below only reads it.
+  {
+    std::atomic<uint32_t> next_slot{0};
+    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
+      Stopwatch busy;
+      for (;;) {
+        const uint32_t begin =
+            next_slot.fetch_add(slot_chunk, std::memory_order_relaxed);
+        if (begin >= view_count) break;
+        const uint32_t end = std::min(begin + slot_chunk, view_count);
+        for (uint32_t slot = begin; slot < end; ++slot) {
+          FillView(slot, *cluster_refs_[slot]);
+        }
+      }
+      if (timed) last_task_busy_seconds_[t] += busy.ElapsedSeconds();
+    });
+  }
+
+  // CSR snapshot of the grid for the scan: contiguous entry slab, no
+  // per-cell heap buffer chasing. Buffers are reused across rounds.
+  grid.FlattenEntries(&cell_offsets_, &cell_entries_);
 
   // Phase B: sharded cell scan into per-task buffers.
   const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
@@ -295,7 +455,7 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
         std::max<uint32_t>(1, cell_count / (tasks * 8 + 1) + 1);
     last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       Stopwatch busy;
-      ScanCells(grid, &next_chunk, cell_chunk, &task_counters[t],
+      ScanCells(&next_chunk, cell_chunk, &scratch_[t], &task_counters[t],
                 &task_results[t], timed ? &task_within[t] : nullptr);
       if (timed) {
         const double elapsed = busy.ElapsedSeconds();
@@ -319,11 +479,27 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
 }
 
 size_t ClusterJoinExecutor::EstimateMemoryUsage() const {
-  size_t bytes =
-      VectorMemoryUsage(views_) + UnorderedMapMemoryUsage(slot_of_);
+  size_t bytes = VectorMemoryUsage(views_) + arena_.EstimateMemoryUsage() +
+                 VectorMemoryUsage(slot_by_cid_) +
+                 VectorMemoryUsage(cell_offsets_) +
+                 VectorMemoryUsage(cell_entries_) +
+                 VectorMemoryUsage(cluster_refs_) +
+                 VectorMemoryUsage(cell_lists_) +
+                 VectorMemoryUsage(obj_counts_) + VectorMemoryUsage(qry_counts_);
+  bytes += VectorMemoryUsage(scratch_);
+  for (const JoinScratch& scratch : scratch_) {
+    bytes += VectorMemoryUsage(scratch.indices) +
+             VectorMemoryUsage(scratch.mask);
+  }
+  // Nucleus groups are the one remaining per-view heap allocation (present
+  // only under load shedding); member and cell data is all arena-accounted
+  // above, so no per-view member walk remains.
   for (const JoinView& view : views_) {
-    bytes += VectorMemoryUsage(view.objects) + VectorMemoryUsage(view.queries) +
-             VectorMemoryUsage(view.nuclei) + VectorMemoryUsage(view.cells);
+    bytes += VectorMemoryUsage(view.nuclei);
+    for (const NucleusGroup& group : view.nuclei) {
+      bytes += VectorMemoryUsage(group.objects) +
+               VectorMemoryUsage(group.queries);
+    }
   }
   return bytes;
 }

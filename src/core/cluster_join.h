@@ -8,10 +8,22 @@
 // themselves) proceed to the member-level join-within. Shed members are
 // grouped per nucleus so one predicate covers the whole group (§5).
 //
+// Member state is laid out as structure-of-arrays slabs: one per-executor
+// arena holds every view's exact-object columns (xs/ys/ids/attrs), exact-
+// query columns (xs/ys/widths/heights/qids/required_attrs plus the hoisted
+// range rectangles) and sorted cell lists as contiguous spans, reused across
+// rounds instead of reallocated per view. The member-level predicates run as
+// batched kernels over those slabs (core/join_kernels.h) with match indices
+// emitted into per-task scratch — same comparisons and emission order as the
+// scalar loops they replaced, so results, counters and EngineStateHash stay
+// bit-identical at every thread count (docs/ARCHITECTURE.md §10).
+//
 // Execution is sharded: all JoinViews are precomputed once per round into an
 // immutable per-round table, grid cells are carved into contiguous chunks
 // pulled by worker tasks off a shared atomic cursor, and each task emits into
-// its own ResultSet/Counters, merged (and Normalize()d once) at the end.
+// its own ResultSet/Counters, merged (and Normalize()d once) at the end. The
+// scan resolves cluster ids through a dense cid→slot table (no hashing) and
+// walks a flattened CSR snapshot of the grid's cell entries.
 // Cross-cell deduplication needs no shared state: a cluster pair is evaluated
 // only in the lowest-numbered grid cell where both clusters co-reside (the
 // owner cell); a mixed cluster self-joins only in its own lowest cell. Cells
@@ -25,7 +37,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_store.h"
@@ -105,17 +116,14 @@ class ClusterJoinExecutor {
   /// share is last_worker_seconds() minus this.
   double last_within_seconds() const { return last_within_seconds_; }
 
-  /// Scratch-space heap footprint (per-round view table).
+  /// Scratch-space heap footprint: the SoA slab arena, view table, dense
+  /// cid→slot table, CSR grid snapshot and per-task kernel scratch.
   size_t EstimateMemoryUsage() const;
 
  private:
-  /// An exact (non-shed) object member, position precomputed.
-  struct ExactObject {
-    Point position;
-    ObjectId oid;
-    uint64_t attrs;  ///< For query attribute predicates.
-  };
-  /// An exact (non-shed) query member, position precomputed.
+  /// An exact (non-shed) query member, position precomputed. Survives only on
+  /// the shed path (queries approximated at a nucleus); exact queries live in
+  /// the slab arena.
   struct ExactQuery {
     Point position;
     double width;
@@ -136,37 +144,86 @@ class ClusterJoinExecutor {
     std::vector<NucleusObject> objects;
     std::vector<ExactQuery> queries;  ///< Shed queries (center = nucleus).
   };
-  /// Per-cluster join-side view, built once per Execute() for every cluster
-  /// registered in the grid. Immutable during the sharded scan.
+  /// Per-cluster join-side view, rebuilt once per Execute() for every cluster
+  /// registered in the grid. Immutable during the sharded scan. Member and
+  /// cell data live in the executor's slab arena; the view only carries
+  /// [begin, begin + count) spans into it. Nucleus groups (load-shedding
+  /// only) remain per-view vectors — they are rare and tiny.
   struct JoinView {
     /// The cluster's member circle (covers every member position including
     /// nucleus disks); used as a per-query fine filter: a query whose
     /// rectangle misses this circle cannot match any member, even when the
     /// coarse cluster-pair bounds overlapped.
     Circle bounds;
-    std::vector<ExactObject> objects;
-    std::vector<ExactQuery> queries;
-    std::vector<NucleusGroup> nuclei;
     /// Join-between bounds, snapshotted so the sharded scan never touches the
     /// MovingCluster: JoinBounds() when query-reach-aware, Bounds() otherwise.
     Circle coarse;
-    /// The cluster's grid cells, sorted ascending; cells.front() owns the
-    /// self-join, the smallest common cell of a pair owns the pair join.
-    std::vector<uint32_t> cells;
+    uint32_t obj_begin = 0;    ///< Exact-object span in the arena.
+    uint32_t obj_count = 0;
+    uint32_t qry_begin = 0;    ///< Exact-query span in the arena.
+    uint32_t qry_count = 0;
+    /// The cluster's grid cells (arena span), sorted ascending;
+    /// cell 0 of the span owns the self-join, the smallest common cell of a
+    /// pair owns the pair join.
+    uint32_t cells_begin = 0;
+    uint32_t cells_count = 0;
+    std::vector<NucleusGroup> nuclei;
     bool mixed = false;       ///< HasMixedKinds(), snapshotted.
     bool has_objects = false;
     bool has_queries = false;
   };
+  /// The per-executor slab arena: every view's member columns and cell lists
+  /// concatenated. Resized (never shrunk below capacity) once per round in
+  /// the serial sizing pass, then filled by the parallel view build — each
+  /// view writes only its own disjoint spans.
+  struct SlabArena {
+    // Exact objects, all views concatenated.
+    std::vector<double> obj_xs;
+    std::vector<double> obj_ys;
+    std::vector<uint32_t> obj_ids;
+    std::vector<uint64_t> obj_attrs;
+    // Exact queries: raw member state plus the hoisted range rectangles
+    // (Rect::Centered computed once per round, not once per view pass).
+    std::vector<double> qry_xs;
+    std::vector<double> qry_ys;
+    std::vector<double> qry_widths;
+    std::vector<double> qry_heights;
+    std::vector<double> qry_min_xs;
+    std::vector<double> qry_min_ys;
+    std::vector<double> qry_max_xs;
+    std::vector<double> qry_max_ys;
+    std::vector<uint32_t> qry_ids;
+    std::vector<uint64_t> qry_required;
+    // Per-view sorted grid-cell lists.
+    std::vector<uint32_t> cells;
 
-  JoinView BuildView(const MovingCluster& cluster, const GridIndex& grid) const;
+    void Resize(size_t objects, size_t queries, size_t cell_slots);
+    size_t EstimateMemoryUsage() const;
+  };
+  /// Per-task kernel scratch, reused across rounds: match-index buffer sized
+  /// to the largest object slab, query pre-filter mask sized to the largest
+  /// query slab.
+  struct JoinScratch {
+    std::vector<uint32_t> indices;
+    std::vector<uint8_t> mask;
+  };
+
+  /// Builds views_[slot] from `cluster` into the pre-sized arena spans.
+  void FillView(uint32_t slot, const MovingCluster& cluster);
   void JoinObjectsToQueries(const JoinView& objects_view,
-                            const JoinView& queries_view, Counters* counters,
-                            ResultSet* results) const;
+                            const JoinView& queries_view, JoinScratch* scratch,
+                            Counters* counters, ResultSet* results) const;
+  /// Kernel-driven inner join of one query rectangle against a view's object
+  /// slab and object nuclei; emits matches in slab order, nuclei after.
+  void EmitObjectMatches(const JoinView& objects_view, const Rect& range,
+                         QueryId qid, uint64_t required_attrs,
+                         JoinScratch* scratch, Counters* counters,
+                         ResultSet* results) const;
   /// One worker task's share of the cell scan: drains contiguous cell chunks
   /// off the shared cursor into task-local buffers. `within_seconds`
   /// (nullable) accumulates time spent in member-level join-within work.
-  void ScanCells(const GridIndex& grid, std::atomic<uint32_t>* next_chunk,
-                 uint32_t chunk_size, Counters* counters, ResultSet* results,
+  void ScanCells(std::atomic<uint32_t>* next_chunk, uint32_t chunk_size,
+                 JoinScratch* scratch, Counters* counters, ResultSet* results,
                  double* within_seconds) const;
 
   bool query_reach_aware_;
@@ -184,7 +241,22 @@ class ClusterJoinExecutor {
   /// runs). Rebuilt each Execute(), kept until the next round so the adaptive
   /// load shedder sees the scratch footprint the join really used.
   std::vector<JoinView> views_;
-  std::unordered_map<ClusterId, uint32_t> slot_of_;
+  SlabArena arena_;
+  /// Dense cid→slot table (kNoSlot = absent), rebuilt each round; replaces
+  /// the per-entry hash lookup the cell scan used to pay.
+  std::vector<uint32_t> slot_by_cid_;
+  /// CSR snapshot of the grid's cell entries for the round (FlattenEntries).
+  std::vector<uint32_t> cell_offsets_;
+  std::vector<uint32_t> cell_entries_;
+  /// Sizing-pass scratch (slot-indexed), reused across rounds.
+  std::vector<const MovingCluster*> cluster_refs_;
+  std::vector<const std::vector<uint32_t>*> cell_lists_;
+  std::vector<uint32_t> obj_counts_;
+  std::vector<uint32_t> qry_counts_;
+  /// Largest single-view slab sizes this round (scratch sizing).
+  uint32_t max_view_objects_ = 0;
+  uint32_t max_view_queries_ = 0;
+  std::vector<JoinScratch> scratch_;  ///< One per worker task.
   /// Created on first parallel Execute(); never for resolved_threads_ == 1.
   std::unique_ptr<ThreadPool> pool_;
 };

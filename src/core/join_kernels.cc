@@ -1,0 +1,79 @@
+#include "core/join_kernels.h"
+
+#include <algorithm>
+
+namespace scuba {
+
+// The emission loops below use the branchless conditional-append idiom
+// (`out[n] = i; n += matched;`): the store always happens, the cursor only
+// advances on a match. No branch, no misprediction on random data, and the
+// predicate half of the body is a straight-line comparison chain the
+// autovectorizer handles. Indices come out ascending by construction.
+
+size_t RectContainsPoints(const Rect& range, const ObjectSlabView& objects,
+                          uint32_t* out_indices) {
+  const double min_x = range.min_x;
+  const double max_x = range.max_x;
+  const double min_y = range.min_y;
+  const double max_y = range.max_y;
+  const double* xs = objects.xs;
+  const double* ys = objects.ys;
+  size_t n = 0;
+  for (uint32_t i = 0; i < objects.count; ++i) {
+    // Same comparisons as Rect::Contains(Point), with & in place of && so
+    // the body stays branch-free (the operands are plain bools; no
+    // side effects to short-circuit away).
+    const bool inside = (xs[i] >= min_x) & (xs[i] <= max_x) &
+                        (ys[i] >= min_y) & (ys[i] <= max_y);
+    out_indices[n] = i;
+    n += inside;
+  }
+  return n;
+}
+
+size_t FilterByAttrs(const uint64_t* attrs, uint64_t required_attrs,
+                     uint32_t* indices, size_t count) {
+  // In-place compaction is safe: the write cursor never passes the read
+  // cursor, so indices[n] only overwrites entries already consumed.
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t idx = indices[i];
+    indices[n] = idx;
+    n += ((attrs[idx] & required_attrs) == required_attrs);
+  }
+  return n;
+}
+
+void RectCircleOverlap(const QueryRectSlabView& rects, const Circle& c,
+                       uint8_t* __restrict out_mask) {
+  // out_mask is a byte pointer and would otherwise be assumed to alias the
+  // coordinate slabs (char types alias everything), serializing the loop;
+  // __restrict restores the disjointness the arena layout guarantees.
+  const double* __restrict min_xs = rects.min_xs;
+  const double* __restrict min_ys = rects.min_ys;
+  const double* __restrict max_xs = rects.max_xs;
+  const double* __restrict max_ys = rects.max_ys;
+  const double cx = c.center.x;
+  const double cy = c.center.y;
+  const double r2 = c.radius * c.radius;
+  for (uint32_t i = 0; i < rects.count; ++i) {
+    // Branchless restatement of Intersects(Rect, Circle): min/max produce
+    // the same closest point as ClosestPointInRect's std::clamp on every
+    // non-empty rectangle, and the same subtraction/square/sum then runs
+    // with the same rounding — so hit matches the scalar predicate decision
+    // for decision. Empty rectangles (min > max) are masked out by the
+    // trailing comparisons instead of an early return, mirroring the
+    // Empty() guard without control flow.
+    const double lo_x = min_xs[i];
+    const double hi_x = max_xs[i];
+    const double lo_y = min_ys[i];
+    const double hi_y = max_ys[i];
+    const double dx = std::min(std::max(cx, lo_x), hi_x) - cx;
+    const double dy = std::min(std::max(cy, lo_y), hi_y) - cy;
+    const bool hit =
+        (dx * dx + dy * dy <= r2) & (lo_x <= hi_x) & (lo_y <= hi_y);
+    out_mask[i] = static_cast<uint8_t>(hit);
+  }
+}
+
+}  // namespace scuba

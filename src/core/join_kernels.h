@@ -1,0 +1,73 @@
+// Batched member-level kernels for the cluster join hot path.
+//
+// The join-within step (paper Algorithm 3) evaluates the same tiny predicates
+// — point-in-rectangle, attribute-mask subset, rectangle/circle overlap —
+// over every member of a cluster pair. The ClusterJoinExecutor lays member
+// state out as structure-of-arrays slabs (see cluster_join.h) so these
+// kernels can sweep a whole block per call: contiguous loads, no per-member
+// branches on the emission path, and loop bodies simple enough for the
+// compiler to autovectorize (plain loops by design — no intrinsics; see
+// bench/bench_join_kernels.cc for the measured win over the scalar path).
+//
+// Contract (the bit-identity guarantee the join relies on): every kernel
+// evaluates exactly the geometry/bit predicates of the scalar reference —
+// Rect::Contains, Intersects(Rect, Circle), (attrs & required) == required —
+// on elements in ascending index order, and emits match indices in that
+// order. Driving ResultSet::Add from kernel output therefore reproduces the
+// pre-SoA scalar loops bit for bit: same comparisons, same emission order.
+
+#ifndef SCUBA_CORE_JOIN_KERNELS_H_
+#define SCUBA_CORE_JOIN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/circle.h"
+#include "geometry/rect.h"
+
+namespace scuba {
+
+/// One cluster's exact (non-shed) object members as SoA spans. Pointers alias
+/// the executor's slab arena; `count` elements each.
+struct ObjectSlabView {
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  const uint32_t* oids = nullptr;
+  const uint64_t* attrs = nullptr;
+  uint32_t count = 0;
+};
+
+/// One cluster's exact query members as precomputed range rectangles (the
+/// hoisted Rect::Centered of each query), SoA spans into the slab arena.
+struct QueryRectSlabView {
+  const double* min_xs = nullptr;
+  const double* min_ys = nullptr;
+  const double* max_xs = nullptr;
+  const double* max_ys = nullptr;
+  uint32_t count = 0;
+};
+
+/// Rect-contains-points kernel: writes the indices i (ascending) whose point
+/// (xs[i], ys[i]) lies in the closed rectangle `range` — exactly
+/// Rect::Contains — into `out_indices` (capacity >= objects.count).
+/// Returns the number of matches.
+size_t RectContainsPoints(const Rect& range, const ObjectSlabView& objects,
+                          uint32_t* out_indices);
+
+/// Attrs-mask filter kernel: compacts `indices` (in place, order preserved)
+/// down to those i with (attrs[i] & required_attrs) == required_attrs.
+/// Returns the new count. `required_attrs` of 0 admits everything (callers
+/// skip the call).
+size_t FilterByAttrs(const uint64_t* attrs, uint64_t required_attrs,
+                     uint32_t* indices, size_t count);
+
+/// Circle/rect overlap pre-filter kernel: out_mask[i] = 1 iff rectangle i
+/// intersects disk `c` — exactly Intersects(Rect, Circle), empty rectangles
+/// excluded. `out_mask` must hold rects.count bytes. This is the per-query
+/// fine filter batched over a whole query slab.
+void RectCircleOverlap(const QueryRectSlabView& rects, const Circle& c,
+                       uint8_t* out_mask);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_JOIN_KERNELS_H_

@@ -165,6 +165,23 @@ void GridIndex::CollectInRect(const Rect& r, std::vector<uint32_t>* out) const {
   out->erase(std::unique(out->begin() + first_new, out->end()), out->end());
 }
 
+void GridIndex::FlattenEntries(std::vector<uint32_t>* offsets,
+                               std::vector<uint32_t>* entries) const {
+  offsets->clear();
+  entries->clear();
+  offsets->reserve(cells_.size() + 1);
+  size_t total = 0;
+  for (const auto& cell : cells_) total += cell.size();
+  entries->reserve(total);
+  uint32_t offset = 0;
+  for (const auto& cell : cells_) {
+    offsets->push_back(offset);
+    entries->insert(entries->end(), cell.begin(), cell.end());
+    offset += static_cast<uint32_t>(cell.size());
+  }
+  offsets->push_back(offset);
+}
+
 std::vector<uint32_t> GridIndex::Keys() const {
   std::vector<uint32_t> keys;
   keys.reserve(placements_.size());

@@ -82,6 +82,15 @@ class GridIndex {
     return cells_[CellIndexOf(p)];
   }
 
+  /// Snapshots every cell's entry list into one contiguous CSR slab: cell c's
+  /// keys occupy entries[offsets[c] .. offsets[c+1]), in CellEntries order.
+  /// `offsets` gets CellCount() + 1 values. Both vectors are cleared first;
+  /// callers that reuse the same buffers every round keep their capacity, so
+  /// a steady-state snapshot allocates nothing. Lets a scan walk the whole
+  /// grid without chasing a per-cell heap buffer.
+  void FlattenEntries(std::vector<uint32_t>* offsets,
+                      std::vector<uint32_t>* entries) const;
+
   /// Every indexed key, ascending. Lets auditors enumerate the index without
   /// walking all cells (a key in many cells appears once).
   std::vector<uint32_t> Keys() const;

@@ -1,0 +1,624 @@
+// Coverage for the batched SoA join kernels (core/join_kernels.h) and the
+// bit-identity contract of the SoA-backed ClusterJoinExecutor.
+//
+// Each kernel is checked element for element against the scalar predicate it
+// replaced, on adversarial inputs: points exactly on closed-rectangle edges,
+// zero-extent query rectangles, all-bits and no-bits attribute masks, and
+// every block length from 0 to 17 (covers empty, sub-vector-width and
+// remainder-loop lengths). On top of that, a faithful reimplementation of the
+// pre-SoA scalar executor (AoS views, per-member predicate loops, serial
+// ascending cell scan) is run against the production executor: normalized
+// per-round ResultSets and every semantic counter must match at several
+// thread counts, and two engines differing only in join_threads must agree
+// on per-round results and EngineStateHash.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster_join.h"
+#include "core/join_kernels.h"
+#include "core/scuba_engine.h"
+#include "persist/snapshot.h"
+
+namespace scuba {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel units vs scalar references.
+
+/// SoA block builder for kernel inputs.
+struct SlabBuilder {
+  std::vector<double> xs, ys;
+  std::vector<uint32_t> oids;
+  std::vector<uint64_t> attrs;
+
+  void Add(double x, double y, uint64_t a = 0) {
+    oids.push_back(static_cast<uint32_t>(xs.size()));
+    xs.push_back(x);
+    ys.push_back(y);
+    attrs.push_back(a);
+  }
+  ObjectSlabView View() const {
+    return ObjectSlabView{xs.data(), ys.data(), oids.data(), attrs.data(),
+                          static_cast<uint32_t>(xs.size())};
+  }
+};
+
+std::vector<uint32_t> ScalarRectContains(const Rect& range,
+                                         const SlabBuilder& b) {
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 0; i < b.xs.size(); ++i) {
+    if (range.Contains(Point{b.xs[i], b.ys[i]})) expected.push_back(i);
+  }
+  return expected;
+}
+
+TEST(RectContainsPointsTest, PointsExactlyOnClosedEdgesAreInside) {
+  const Rect range{0.0, 0.0, 10.0, 10.0};
+  SlabBuilder b;
+  b.Add(0.0, 0.0);     // corner: inside (closed)
+  b.Add(10.0, 10.0);   // opposite corner
+  b.Add(0.0, 5.0);     // left edge
+  b.Add(10.0, 5.0);    // right edge
+  b.Add(5.0, 0.0);     // bottom edge
+  b.Add(5.0, 10.0);    // top edge
+  b.Add(5.0, 5.0);     // interior
+  b.Add(-1.0, 5.0);    // just left
+  b.Add(11.0, 5.0);    // just right
+  b.Add(5.0, -1.0);    // below
+  b.Add(5.0, 11.0);    // above
+  b.Add(-1.0, -1.0);   // outside both axes
+
+  std::vector<uint32_t> out(b.xs.size());
+  size_t n = RectContainsPoints(range, b.View(), out.data());
+  out.resize(n);
+  EXPECT_EQ(out, ScalarRectContains(range, b));
+  EXPECT_EQ(n, 7u);
+}
+
+TEST(RectContainsPointsTest, ZeroExtentRangeIsASinglePoint) {
+  // A query of width = height = 0 degenerates to the closed point rectangle
+  // [c, c] x [c, c]: it must match exactly the objects sitting on c.
+  const Rect range = Rect::Centered(Point{4.0, 4.0}, 0.0, 0.0);
+  SlabBuilder b;
+  b.Add(4.0, 4.0);
+  b.Add(4.0, 4.0000001);
+  b.Add(3.9999999, 4.0);
+  b.Add(4.0, 4.0);
+
+  std::vector<uint32_t> out(b.xs.size());
+  size_t n = RectContainsPoints(range, b.View(), out.data());
+  out.resize(n);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 3}));
+}
+
+TEST(RectContainsPointsTest, MatchesScalarOnAllBlockLengths0To17) {
+  Rng rng(0xB10C);
+  const Rect range{-3.0, -3.0, 3.0, 3.0};
+  for (uint32_t len = 0; len <= 17; ++len) {
+    SlabBuilder b;
+    for (uint32_t i = 0; i < len; ++i) {
+      // Integer-valued coordinates land many points exactly on the edges.
+      b.Add(static_cast<double>(rng.NextInt(-4, 4)),
+            static_cast<double>(rng.NextInt(-4, 4)));
+    }
+    std::vector<uint32_t> out(len + 1);
+    size_t n = RectContainsPoints(range, b.View(), out.data());
+    out.resize(n);
+    EXPECT_EQ(out, ScalarRectContains(range, b)) << "len=" << len;
+  }
+}
+
+TEST(FilterByAttrsTest, AllBitsAndNoBitsMasks) {
+  const std::vector<uint64_t> attrs = {~0ull, 0ull, 0x5ull, ~0ull, 0xF0ull};
+  {
+    // required = all bits: only members carrying every attribute survive.
+    std::vector<uint32_t> idx = {0, 1, 2, 3, 4};
+    size_t n = FilterByAttrs(attrs.data(), ~0ull, idx.data(), idx.size());
+    idx.resize(n);
+    EXPECT_EQ(idx, (std::vector<uint32_t>{0, 3}));
+  }
+  {
+    // required = 0: admits everything, order untouched (the executor skips
+    // the call entirely on this mask, but the kernel must still be exact).
+    std::vector<uint32_t> idx = {4, 2, 0};
+    size_t n = FilterByAttrs(attrs.data(), 0ull, idx.data(), idx.size());
+    idx.resize(n);
+    EXPECT_EQ(idx, (std::vector<uint32_t>{4, 2, 0}));
+  }
+  {
+    // Partial mask, compaction preserves relative order.
+    std::vector<uint32_t> idx = {0, 1, 2, 3, 4};
+    size_t n = FilterByAttrs(attrs.data(), 0x5ull, idx.data(), idx.size());
+    idx.resize(n);
+    EXPECT_EQ(idx, (std::vector<uint32_t>{0, 2, 3}));
+  }
+}
+
+TEST(FilterByAttrsTest, MatchesScalarOnAllBlockLengths0To17) {
+  Rng rng(0xA77);
+  for (uint32_t len = 0; len <= 17; ++len) {
+    std::vector<uint64_t> attrs;
+    std::vector<uint32_t> idx;
+    for (uint32_t i = 0; i < len; ++i) {
+      attrs.push_back(rng.NextU64() & 0xFFull);
+      idx.push_back(i);
+    }
+    const uint64_t required = rng.NextU64() & 0xFFull;
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < len; ++i) {
+      if ((attrs[i] & required) == required) expected.push_back(i);
+    }
+    size_t n = FilterByAttrs(attrs.data(), required, idx.data(), idx.size());
+    idx.resize(n);
+    EXPECT_EQ(idx, expected) << "len=" << len << " required=" << required;
+  }
+}
+
+TEST(RectCircleOverlapTest, MatchesIntersectsIncludingTangentAndZeroExtent) {
+  // Integer-valued geometry makes the tangent cases exact: a rect whose
+  // nearest edge is at distance == radius must be admitted (closed shapes),
+  // one unit further must not.
+  const Circle c{Point{0.0, 0.0}, 5.0};
+  std::vector<Rect> rects = {
+      {2.0, 2.0, 3.0, 3.0},     // fully inside
+      {5.0, -1.0, 7.0, 1.0},    // touches at (5, 0): tangent, admitted
+      {6.0, -1.0, 7.0, 1.0},    // nearest point at distance 6: out
+      {3.0, 4.0, 9.0, 9.0},     // corner (3,4) at distance exactly 5: tangent
+      {4.0, 4.0, 9.0, 9.0},     // corner (4,4) at distance sqrt(32) > 5: out
+      {-9.0, -9.0, 9.0, 9.0},   // contains the whole disk
+      {5.0, 5.0, 5.0, 5.0},     // zero-extent rect at distance sqrt(50): out
+      {3.0, 4.0, 3.0, 4.0},     // zero-extent rect exactly on the circle
+      {1.0, 1.0, -1.0, -1.0},   // empty rect (min > max): never intersects
+  };
+  QueryRectSlabView view;
+  std::vector<double> min_xs, min_ys, max_xs, max_ys;
+  for (const Rect& r : rects) {
+    min_xs.push_back(r.min_x);
+    min_ys.push_back(r.min_y);
+    max_xs.push_back(r.max_x);
+    max_ys.push_back(r.max_y);
+  }
+  view.min_xs = min_xs.data();
+  view.min_ys = min_ys.data();
+  view.max_xs = max_xs.data();
+  view.max_ys = max_ys.data();
+  view.count = static_cast<uint32_t>(rects.size());
+
+  std::vector<uint8_t> mask(rects.size(), 0xCC);
+  RectCircleOverlap(view, c, mask.data());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(mask[i] != 0, Intersects(rects[i], c)) << "rect " << i;
+  }
+}
+
+TEST(RectCircleOverlapTest, MatchesScalarOnAllBlockLengths0To17) {
+  Rng rng(0xC1C);
+  const Circle c{Point{0.0, 0.0}, 4.0};
+  for (uint32_t len = 0; len <= 17; ++len) {
+    std::vector<double> min_xs, min_ys, max_xs, max_ys;
+    std::vector<Rect> rects;
+    for (uint32_t i = 0; i < len; ++i) {
+      Point center{static_cast<double>(rng.NextInt(-6, 6)),
+                   static_cast<double>(rng.NextInt(-6, 6))};
+      double w = static_cast<double>(rng.NextInt(0, 4));
+      double h = static_cast<double>(rng.NextInt(0, 4));
+      Rect r = Rect::Centered(center, w, h);
+      rects.push_back(r);
+      min_xs.push_back(r.min_x);
+      min_ys.push_back(r.min_y);
+      max_xs.push_back(r.max_x);
+      max_ys.push_back(r.max_y);
+    }
+    QueryRectSlabView view{min_xs.data(), min_ys.data(), max_xs.data(),
+                           max_ys.data(), len};
+    std::vector<uint8_t> mask(len, 0xCC);
+    RectCircleOverlap(view, c, mask.data());
+    for (uint32_t i = 0; i < len; ++i) {
+      EXPECT_EQ(mask[i] != 0, Intersects(rects[i], c))
+          << "len=" << len << " rect " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-SoA scalar reference executor: a faithful reimplementation of the AoS
+// executor this PR replaced (per-member scalar loops, serial ascending cell
+// scan, owner-cell dedup). The production executor must reproduce its
+// normalized results and every semantic counter bit for bit.
+
+using Counters = ClusterJoinExecutor::Counters;
+
+struct RefObject {
+  Point position;
+  ObjectId oid;
+  uint64_t attrs;
+};
+struct RefQuery {
+  Point position;
+  double width, height;
+  QueryId qid;
+  uint64_t required;
+};
+struct RefNucleusObject {
+  ObjectId oid;
+  uint64_t attrs;
+};
+struct RefNucleus {
+  Point center;
+  double radius = 0.0;
+  std::vector<RefNucleusObject> objects;
+  std::vector<RefQuery> queries;
+};
+struct RefView {
+  Circle bounds;
+  Circle coarse;
+  std::vector<RefObject> objects;
+  std::vector<RefQuery> queries;
+  std::vector<RefNucleus> nuclei;
+  std::vector<uint32_t> cells;
+  bool mixed = false;
+  bool has_objects = false;
+  bool has_queries = false;
+};
+
+RefView BuildRefView(const MovingCluster& cluster, const GridIndex& grid) {
+  RefView view;
+  view.bounds = cluster.Bounds();
+  view.coarse = cluster.JoinBounds();  // query_reach_aware default
+  view.mixed = cluster.HasMixedKinds();
+  view.has_objects = cluster.object_count() > 0;
+  view.has_queries = cluster.query_count() > 0;
+  const std::vector<uint32_t>* cells = grid.CellsOf(cluster.cid());
+  EXPECT_NE(cells, nullptr);
+  view.cells = *cells;
+  std::sort(view.cells.begin(), view.cells.end());
+  for (const ClusterMember& m : cluster.members()) {
+    Point pos = cluster.MemberPosition(m);
+    if (!m.shed) {
+      if (m.kind == EntityKind::kObject) {
+        view.objects.push_back(RefObject{pos, m.id, m.attrs});
+      } else {
+        view.queries.push_back(
+            RefQuery{pos, m.range_width, m.range_height, m.id,
+                     m.required_attrs});
+      }
+      continue;
+    }
+    RefNucleus* group = nullptr;
+    for (RefNucleus& g : view.nuclei) {
+      if (g.center == pos && g.radius == m.approx_radius) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      view.nuclei.push_back(RefNucleus{pos, m.approx_radius, {}, {}});
+      group = &view.nuclei.back();
+    }
+    if (m.kind == EntityKind::kObject) {
+      group->objects.push_back(RefNucleusObject{m.id, m.attrs});
+    } else {
+      group->queries.push_back(RefQuery{pos, m.range_width, m.range_height,
+                                        m.id, m.required_attrs});
+    }
+  }
+  return view;
+}
+
+void RefQueryAgainstObjects(const RefQuery& q, const RefView& objects_view,
+                            Counters* counters, ResultSet* results) {
+  Rect range = Rect::Centered(q.position, q.width, q.height);
+  ++counters->bounds_checks;
+  if (!Intersects(range, objects_view.bounds)) return;
+  for (const RefObject& o : objects_view.objects) {
+    ++counters->comparisons;
+    if (range.Contains(o.position) &&
+        (o.attrs & q.required) == q.required) {
+      results->Add(q.qid, o.oid);
+    }
+  }
+  for (const RefNucleus& nuc : objects_view.nuclei) {
+    if (nuc.objects.empty()) continue;
+    ++counters->comparisons;
+    if (Intersects(range, Circle{nuc.center, nuc.radius})) {
+      for (const RefNucleusObject& o : nuc.objects) {
+        if ((o.attrs & q.required) == q.required) {
+          results->Add(q.qid, o.oid);
+        }
+      }
+    }
+  }
+}
+
+void RefJoinObjectsToQueries(const RefView& objects_view,
+                             const RefView& queries_view, Counters* counters,
+                             ResultSet* results) {
+  for (const RefQuery& q : queries_view.queries) {
+    RefQueryAgainstObjects(q, objects_view, counters, results);
+  }
+  for (const RefNucleus& qnuc : queries_view.nuclei) {
+    for (const RefQuery& q : qnuc.queries) {
+      RefQueryAgainstObjects(q, objects_view, counters, results);
+    }
+  }
+}
+
+uint32_t RefMinCommonCell(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return a[i];
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return UINT32_MAX;
+}
+
+void ReferenceJoin(const ClusterStore& store, const GridIndex& grid,
+                   Counters* counters, ResultSet* results) {
+  results->Clear();
+  std::vector<ClusterId> cids = store.SortedClusterIds();
+  std::erase_if(cids, [&grid](ClusterId cid) { return !grid.Contains(cid); });
+  std::vector<RefView> views;
+  std::unordered_map<ClusterId, uint32_t> slot_of;
+  views.reserve(cids.size());
+  for (uint32_t slot = 0; slot < cids.size(); ++slot) {
+    const MovingCluster* cluster = store.GetCluster(cids[slot]);
+    ASSERT_NE(cluster, nullptr);
+    views.push_back(BuildRefView(*cluster, grid));
+    slot_of.emplace(cids[slot], slot);
+  }
+  const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
+  for (uint32_t cell = 0; cell < cell_count; ++cell) {
+    const std::vector<uint32_t>& entries = grid.CellEntries(cell);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const RefView& lview = views[slot_of.at(entries[i])];
+      if (lview.mixed && lview.cells.front() == cell) {
+        ++counters->within_joins_single;
+        RefJoinObjectsToQueries(lview, lview, counters, results);
+      }
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        const RefView& rview = views[slot_of.at(entries[j])];
+        if (RefMinCommonCell(lview.cells, rview.cells) != cell) continue;
+        bool complementary = (lview.has_objects && rview.has_queries) ||
+                             (lview.has_queries && rview.has_objects);
+        if (!complementary) continue;
+        ++counters->pairs_tested;
+        if (!Overlaps(lview.coarse, rview.coarse)) continue;
+        ++counters->pairs_overlapping;
+        ++counters->within_joins_pair;
+        RefJoinObjectsToQueries(lview, rview, counters, results);
+        RefJoinObjectsToQueries(rview, lview, counters, results);
+      }
+    }
+  }
+  results->Normalize();
+}
+
+// Workload helpers (same shape as parallel_join_test).
+
+LocationUpdate Obj(ObjectId oid, Point p, NodeId dest = 1,
+                   uint64_t attrs = kAttrNone) {
+  LocationUpdate u;
+  u.oid = oid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  u.attrs = attrs;
+  return u;
+}
+
+QueryUpdate Qry(QueryId qid, Point p, double w = 60, double h = 60,
+                NodeId dest = 1, uint64_t required = 0) {
+  QueryUpdate u;
+  u.qid = qid;
+  u.position = p;
+  u.speed = 10.0;
+  u.dest_node = dest;
+  u.dest_position = Point{9000, 9000};
+  u.range_width = w;
+  u.range_height = h;
+  u.required_attrs = required;
+  return u;
+}
+
+struct JoinFixture {
+  ClusterStore store;
+  GridIndex grid =
+      std::move(GridIndex::Create(Rect{0, 0, 10000, 10000}, 100).value());
+
+  MovingCluster* Add(MovingCluster cluster) {
+    ClusterId cid = cluster.cid();
+    cluster.RecomputeTightBounds();
+    EXPECT_TRUE(grid.Insert(cid, cluster.JoinBounds()).ok());
+    EXPECT_TRUE(store.AddCluster(std::move(cluster)).ok());
+    return store.GetCluster(cid);
+  }
+};
+
+/// Seeded mixed workload with attribute filters, multi-cell clusters, mixed
+/// kinds and shed nuclei — every code path the kernels feed.
+void PopulateSeededWorkload(JoinFixture* f, uint64_t seed) {
+  Rng rng(seed);
+  uint32_t next_oid = 1, next_qid = 1;
+  for (int i = 0; i < 80; ++i) {
+    f->Add(MovingCluster::FromObject(
+        f->store.NextClusterId(),
+        Obj(next_oid++, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+            static_cast<NodeId>(i), rng.NextU64() & 0xFull)));
+  }
+  for (int i = 0; i < 60; ++i) {
+    f->Add(MovingCluster::FromQuery(
+        f->store.NextClusterId(),
+        Qry(next_qid++, {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+            rng.NextDouble(20, 400), rng.NextDouble(20, 400),
+            static_cast<NodeId>(1000 + i),
+            i % 3 == 0 ? (rng.NextU64() & 0x3ull) : 0)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    Point c{rng.NextDouble(500, 9500), rng.NextDouble(500, 9500)};
+    MovingCluster cluster = MovingCluster::FromObject(
+        f->store.NextClusterId(),
+        Obj(next_oid++, c, static_cast<NodeId>(2000 + i)));
+    for (int m = 0; m < 6; ++m) {
+      cluster.AbsorbObject(Obj(next_oid++,
+                               {c.x + rng.NextDouble(-350, 350),
+                                c.y + rng.NextDouble(-350, 350)},
+                               static_cast<NodeId>(2000 + i),
+                               rng.NextU64() & 0xFull));
+    }
+    if (i % 3 == 0) {
+      cluster.AbsorbQuery(Qry(next_qid++, {c.x + 30, c.y - 30}, 150, 150,
+                              static_cast<NodeId>(2000 + i),
+                              i % 6 == 0 ? 0x1ull : 0));
+    }
+    if (i % 5 == 0) {
+      cluster.ShedPositions(80.0);
+    }
+    f->Add(std::move(cluster));
+  }
+  for (int i = 0; i < 12; ++i) {
+    Point c{rng.NextDouble(500, 9500), rng.NextDouble(500, 9500)};
+    MovingCluster cluster = MovingCluster::FromQuery(
+        f->store.NextClusterId(),
+        Qry(next_qid++, c, 120, 120, static_cast<NodeId>(3000 + i)));
+    for (int m = 0; m < 4; ++m) {
+      cluster.AbsorbQuery(Qry(next_qid++,
+                              {c.x + rng.NextDouble(-250, 250),
+                               c.y + rng.NextDouble(-250, 250)},
+                              rng.NextDouble(40, 200), rng.NextDouble(40, 200),
+                              static_cast<NodeId>(3000 + i)));
+    }
+    f->Add(std::move(cluster));
+  }
+}
+
+bool CountersEqual(const Counters& a, const Counters& b) {
+  return a.comparisons == b.comparisons && a.bounds_checks == b.bounds_checks &&
+         a.pairs_tested == b.pairs_tested &&
+         a.pairs_overlapping == b.pairs_overlapping &&
+         a.within_joins_single == b.within_joins_single &&
+         a.within_joins_pair == b.within_joins_pair;
+}
+
+class SoaBitIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoaBitIdentityTest, ExecutorMatchesScalarReferenceExactly) {
+  JoinFixture f;
+  PopulateSeededWorkload(&f, GetParam());
+
+  Counters ref_counters;
+  ResultSet expected;
+  ReferenceJoin(f.store, f.grid, &ref_counters, &expected);
+  EXPECT_GT(expected.size(), 0u) << "workload must produce matches";
+
+  for (uint32_t threads : {1u, 4u}) {
+    ClusterJoinExecutor executor(/*query_reach_aware=*/true, threads);
+    ResultSet results;
+    ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
+    EXPECT_EQ(results, expected) << "threads=" << threads;
+    EXPECT_TRUE(CountersEqual(executor.counters(), ref_counters))
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoaBitIdentityTest,
+                         ::testing::Values(3, 17, 77, 4242));
+
+TEST(SoaBitIdentityTest, RoundsAndStateHashMatchAcrossThreadCounts) {
+  // End to end through ScubaEngine: identical ingests, several evaluation
+  // rounds; per-round ResultSets, the cumulative comparison counter and the
+  // final EngineStateHash must be independent of join_threads.
+  struct RunOutput {
+    std::vector<ResultSet> rounds;
+    uint64_t comparisons = 0;
+    uint64_t state_hash = 0;
+  };
+  auto run = [](uint32_t threads) {
+    ScubaOptions opt;
+    opt.join_threads = threads;
+    std::unique_ptr<ScubaEngine> engine =
+        std::move(ScubaEngine::Create(opt).value());
+    Rng rng(777);
+    RunOutput out;
+    for (Timestamp now = 2; now <= 6; now += 2) {
+      for (uint32_t i = 0; i < 150; ++i) {
+        LocationUpdate u = Obj(i,
+                               {rng.NextDouble(0, 10000),
+                                rng.NextDouble(0, 10000)},
+                               static_cast<NodeId>(i % 30),
+                               rng.NextU64() & 0x7ull);
+        u.time = now - 1;
+        EXPECT_TRUE(engine->IngestObjectUpdate(u).ok());
+      }
+      for (uint32_t i = 0; i < 100; ++i) {
+        QueryUpdate u = Qry(i,
+                            {rng.NextDouble(0, 10000),
+                             rng.NextDouble(0, 10000)},
+                            rng.NextDouble(50, 300), rng.NextDouble(50, 300),
+                            static_cast<NodeId>(30 + i % 30),
+                            i % 4 == 0 ? 0x1ull : 0);
+        u.time = now - 1;
+        EXPECT_TRUE(engine->IngestQueryUpdate(u).ok());
+      }
+      ResultSet results;
+      EXPECT_TRUE(engine->Evaluate(now, &results).ok());
+      out.rounds.push_back(std::move(results));
+    }
+    out.comparisons = engine->StatsSnapshot().eval.comparisons;
+    out.state_hash = EngineStateHash(*engine);
+    return out;
+  };
+
+  RunOutput serial = run(1);
+  size_t total = 0;
+  for (const ResultSet& r : serial.rounds) total += r.size();
+  EXPECT_GT(total, 0u);
+  RunOutput parallel = run(4);
+  ASSERT_EQ(parallel.rounds.size(), serial.rounds.size());
+  for (size_t i = 0; i < serial.rounds.size(); ++i) {
+    EXPECT_EQ(parallel.rounds[i], serial.rounds[i]) << "round=" << i;
+  }
+  EXPECT_EQ(parallel.comparisons, serial.comparisons);
+  EXPECT_EQ(parallel.state_hash, serial.state_hash);
+}
+
+TEST(SoaBitIdentityTest, MemoryAccountingCoversTheSlabArena) {
+  // After a round, EstimateMemoryUsage must reflect at least the SoA columns
+  // the arena provably holds: per exact object two coordinate doubles, an id
+  // and an attrs word; per exact query eight doubles (position, extent and
+  // the hoisted rectangle) plus id and mask.
+  JoinFixture f;
+  PopulateSeededWorkload(&f, 5);
+  size_t exact_objects = 0, exact_queries = 0;
+  for (ClusterId cid : f.store.SortedClusterIds()) {
+    for (const ClusterMember& m : f.store.GetCluster(cid)->members()) {
+      if (m.shed) continue;
+      (m.kind == EntityKind::kObject ? exact_objects : exact_queries) += 1;
+    }
+  }
+  ASSERT_GT(exact_objects, 0u);
+  ASSERT_GT(exact_queries, 0u);
+
+  ClusterJoinExecutor executor(true, 2);
+  ResultSet results;
+  ASSERT_TRUE(executor.Execute(f.store, f.grid, &results).ok());
+  const size_t arena_lower_bound =
+      exact_objects * (2 * sizeof(double) + sizeof(uint32_t) +
+                       sizeof(uint64_t)) +
+      exact_queries * (8 * sizeof(double) + sizeof(uint32_t) +
+                       sizeof(uint64_t));
+  EXPECT_GE(executor.EstimateMemoryUsage(), arena_lower_bound);
+}
+
+}  // namespace
+}  // namespace scuba
