@@ -1,6 +1,7 @@
 #include "core/cluster_join.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "cluster/moving_cluster.h"
 #include "common/check.h"
@@ -244,18 +245,17 @@ void ClusterJoinExecutor::JoinObjectsToQueries(const JoinView& objects_view,
 }
 
 void ClusterJoinExecutor::ScanCells(std::atomic<uint32_t>* next_chunk,
-                                    uint32_t chunk_size, JoinScratch* scratch,
-                                    Counters* counters, ResultSet* results,
+                                    uint32_t chunk_size, uint32_t cell_limit,
+                                    JoinScratch* scratch, Counters* counters,
+                                    ResultSet* results,
                                     double* within_seconds) const {
-  const uint32_t cell_count =
-      static_cast<uint32_t>(cell_offsets_.size() - 1);
   const uint32_t* entries_base = cell_entries_.data();
   const uint32_t* all_cells = arena_.cells.data();
   for (;;) {
     const uint32_t begin =
         next_chunk->fetch_add(chunk_size, std::memory_order_relaxed);
-    if (begin >= cell_count) return;
-    const uint32_t end = std::min(begin + chunk_size, cell_count);
+    if (begin >= cell_limit) return;
+    const uint32_t end = std::min(begin + chunk_size, cell_limit);
     for (uint32_t cell = begin; cell < end; ++cell) {
       const uint32_t* entries = entries_base + cell_offsets_[cell];
       const uint32_t entry_count = cell_offsets_[cell + 1] - cell_offsets_[cell];
@@ -323,6 +323,17 @@ void ClusterJoinExecutor::ScanCells(std::atomic<uint32_t>* next_chunk,
 Status ClusterJoinExecutor::Execute(const ClusterStore& store,
                                     const GridIndex& grid,
                                     ResultSet* results) {
+  return ExecuteScoped(store, nullptr, grid,
+                       /*cell_begin=*/0,
+                       static_cast<uint32_t>(grid.CellCount()), results);
+}
+
+Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
+                                          const ClusterStore* ghosts,
+                                          const GridIndex& grid,
+                                          uint32_t cell_begin,
+                                          uint32_t cell_end,
+                                          ResultSet* results) {
   if (results == nullptr) {
     return Status::InvalidArgument("results must be non-null");
   }
@@ -335,6 +346,18 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
   // that one uint32 per id beats per-entry hashing in the scan by a wide
   // margin); kNoSlot marks ids absent this round.
   std::vector<ClusterId> cids = store.SortedClusterIds();
+  if (ghosts != nullptr) {
+    // Owned + ghost clusters, merged ascending. The two stores are disjoint
+    // by the ghost protocol (a shard never ghosts a cluster it owns), but a
+    // unique() pass keeps a violation from corrupting slot assignment.
+    std::vector<ClusterId> ghost_cids = ghosts->SortedClusterIds();
+    std::vector<ClusterId> merged;
+    merged.reserve(cids.size() + ghost_cids.size());
+    std::merge(cids.begin(), cids.end(), ghost_cids.begin(), ghost_cids.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    cids = std::move(merged);
+  }
   std::erase_if(cids, [&grid](ClusterId cid) { return !grid.Contains(cid); });
   const uint32_t view_count = static_cast<uint32_t>(cids.size());
   views_.resize(view_count);
@@ -374,6 +397,9 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
         const uint32_t end = std::min(begin + slot_chunk, view_count);
         for (uint32_t slot = begin; slot < end; ++slot) {
           const MovingCluster* cluster = store.GetCluster(cids[slot]);
+          if (cluster == nullptr && ghosts != nullptr) {
+            cluster = ghosts->GetCluster(cids[slot]);
+          }
           SCUBA_CHECK(cluster != nullptr);
           cluster_refs_[slot] = cluster;
           const std::vector<uint32_t>* cells = grid.CellsOf(cids[slot]);
@@ -440,23 +466,36 @@ Status ClusterJoinExecutor::Execute(const ClusterStore& store,
   }
 
   // CSR snapshot of the grid for the scan: contiguous entry slab, no
-  // per-cell heap buffer chasing. Buffers are reused across rounds.
-  grid.FlattenEntries(&cell_offsets_, &cell_entries_);
+  // per-cell heap buffer chasing. Buffers are reused across rounds, and the
+  // rebuild is skipped entirely when the grid's generation counter shows no
+  // mutation since the snapshot was last taken.
+  if (cached_grid_ != &grid || cached_generation_ != grid.generation()) {
+    grid.FlattenEntries(&cell_offsets_, &cell_entries_);
+    cached_grid_ = &grid;
+    cached_generation_ = grid.generation();
+  } else {
+    ++flatten_reuses_;
+  }
 
-  // Phase B: sharded cell scan into per-task buffers.
-  const uint32_t cell_count = static_cast<uint32_t>(grid.CellCount());
+  // Phase B: sharded cell scan into per-task buffers, restricted to the
+  // caller's cell window.
+  const uint32_t cell_limit =
+      std::min(cell_end, static_cast<uint32_t>(grid.CellCount()));
+  const uint32_t window =
+      cell_begin < cell_limit ? cell_limit - cell_begin : 0;
   std::vector<ResultSet> task_results(tasks);
   std::vector<Counters> task_counters(tasks);
   {
-    std::atomic<uint32_t> next_chunk{0};
+    std::atomic<uint32_t> next_chunk{cell_begin};
     // Several chunks per task so one dense chunk cannot serialize the round;
     // contiguous so neighbouring cells (which share clusters) stay together.
     const uint32_t cell_chunk =
-        std::max<uint32_t>(1, cell_count / (tasks * 8 + 1) + 1);
+        std::max<uint32_t>(1, window / (tasks * 8 + 1) + 1);
     last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       Stopwatch busy;
-      ScanCells(&next_chunk, cell_chunk, &scratch_[t], &task_counters[t],
-                &task_results[t], timed ? &task_within[t] : nullptr);
+      ScanCells(&next_chunk, cell_chunk, cell_limit, &scratch_[t],
+                &task_counters[t], &task_results[t],
+                timed ? &task_within[t] : nullptr);
       if (timed) {
         const double elapsed = busy.ElapsedSeconds();
         last_task_busy_seconds_[t] += elapsed;

@@ -87,7 +87,22 @@ class ClusterJoinExecutor {
   Status Execute(const ClusterStore& store, const GridIndex& grid,
                  ResultSet* results);
 
+  /// Sharded-execution entry: like Execute(), but a cluster referenced by the
+  /// grid may live in `ghosts` (read-only replicas of clusters owned by
+  /// another shard, nullable) when absent from `store`, and only cells in
+  /// [cell_begin, cell_end) are scanned. The owner-cell rule still resolves
+  /// against each cluster's full cell list, so disjoint windows over the same
+  /// geometry partition the pair work exactly — each pair is evaluated by the
+  /// one window containing its owner cell.
+  Status ExecuteScoped(const ClusterStore& store, const ClusterStore* ghosts,
+                       const GridIndex& grid, uint32_t cell_begin,
+                       uint32_t cell_end, ResultSet* results);
+
   const Counters& counters() const { return counters_; }
+
+  /// Rounds whose CSR grid snapshot was reused because the grid's generation
+  /// counter had not moved since the previous Execute() against it.
+  uint64_t flatten_reuses() const { return flatten_reuses_; }
 
   /// Worker tasks Execute() fans out to (>= 1).
   uint32_t resolved_threads() const { return resolved_threads_; }
@@ -223,8 +238,8 @@ class ClusterJoinExecutor {
   /// off the shared cursor into task-local buffers. `within_seconds`
   /// (nullable) accumulates time spent in member-level join-within work.
   void ScanCells(std::atomic<uint32_t>* next_chunk, uint32_t chunk_size,
-                 JoinScratch* scratch, Counters* counters, ResultSet* results,
-                 double* within_seconds) const;
+                 uint32_t cell_limit, JoinScratch* scratch, Counters* counters,
+                 ResultSet* results, double* within_seconds) const;
 
   bool query_reach_aware_;
   uint32_t resolved_threads_;
@@ -245,9 +260,15 @@ class ClusterJoinExecutor {
   /// Dense cid→slot table (kNoSlot = absent), rebuilt each round; replaces
   /// the per-entry hash lookup the cell scan used to pay.
   std::vector<uint32_t> slot_by_cid_;
-  /// CSR snapshot of the grid's cell entries for the round (FlattenEntries).
+  /// CSR snapshot of the grid's cell entries for the round (FlattenEntries),
+  /// keyed by (grid identity, generation): when the same grid arrives with an
+  /// unchanged generation counter the previous snapshot is still valid and
+  /// the rebuild is skipped.
   std::vector<uint32_t> cell_offsets_;
   std::vector<uint32_t> cell_entries_;
+  const GridIndex* cached_grid_ = nullptr;
+  uint64_t cached_generation_ = 0;
+  uint64_t flatten_reuses_ = 0;
   /// Sizing-pass scratch (slot-indexed), reused across rounds.
   std::vector<const MovingCluster*> cluster_refs_;
   std::vector<const std::vector<uint32_t>*> cell_lists_;

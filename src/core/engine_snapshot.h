@@ -1,7 +1,8 @@
 // EngineSnapshotStats: the one-stop immutable aggregate of everything the
-// SCUBA engine counts, returned by ScubaEngine::StatsSnapshot(). Replaces the
+// SCUBA engine counts, returned by ScubaEngine::StatsSnapshot(). Replaced the
 // four legacy per-subsystem accessors (stats / phase_stats / clusterer_stats
-// / join_counters), which remain as deprecated thin views for one release.
+// / join_counters), whose deprecated public shims are now removed; only the
+// QueryProcessor-interface stats() override remains, private on ScubaEngine.
 //
 // Reporting helpers (Format, averages, speedups) live here as methods so the
 // derived figures come from one struct instead of reaching into EvalStats

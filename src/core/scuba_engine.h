@@ -81,25 +81,6 @@ class ScubaEngine : public QueryProcessor {
   /// a handful of struct copies.
   EngineSnapshotStats StatsSnapshot() const;
 
-  /// Deprecated thin views over StatsSnapshot(); one release of grace.
-  [[deprecated("use StatsSnapshot().eval")]] const EvalStats& stats()
-      const override {
-    return stats_;
-  }
-  [[deprecated("use StatsSnapshot().phase")]] const ScubaPhaseStats&
-  phase_stats() const {
-    return phase_stats_;
-  }
-  [[deprecated("use StatsSnapshot().clusterer")]] const ClustererStats&
-  clusterer_stats() const {
-    return clusterer_.stats();
-  }
-  [[deprecated("use StatsSnapshot().join")]] const ClusterJoinExecutor::
-      Counters&
-      join_counters() const {
-    return join_executor_.counters();
-  }
-
   const ClusterStore& store() const { return store_; }
   const GridIndex& cluster_grid() const { return grid_; }
   const LoadShedder& shedder() const { return shedder_; }
@@ -145,6 +126,13 @@ class ScubaEngine : public QueryProcessor {
   friend class ScubaEngineAuditPeer;  ///< Test back door: deliberate desync.
   friend struct PersistAccess;  ///< Snapshot serialization (src/persist).
   ScubaEngine(const ScubaOptions& options, GridIndex grid);
+
+  /// QueryProcessor's polymorphic stats surface (the experiment harness reads
+  /// engines through the base interface). Private on the concrete type:
+  /// direct ScubaEngine callers use StatsSnapshot() — the deprecated public
+  /// forwarding shims (stats/phase_stats/clusterer_stats/join_counters) are
+  /// gone after their one release of grace.
+  const EvalStats& stats() const override { return stats_; }
 
   /// Wall-time split of one PostJoinMaintenance call (telemetry only).
   struct PostJoinTimings {

@@ -23,6 +23,23 @@ Result<BadUpdatePolicy> ParseBadUpdatePolicy(std::string_view name) {
                                  " (strict|quarantine|repair)");
 }
 
+std::string_view RebalanceModeName(RebalanceMode mode) {
+  switch (mode) {
+    case RebalanceMode::kOff:
+      return "off";
+    case RebalanceMode::kObserve:
+      return "observe";
+  }
+  return "unknown";
+}
+
+Result<RebalanceMode> ParseRebalanceMode(std::string_view name) {
+  if (name == "off") return RebalanceMode::kOff;
+  if (name == "observe") return RebalanceMode::kObserve;
+  return Status::InvalidArgument("unknown rebalance mode: " +
+                                 std::string(name) + " (off|observe)");
+}
+
 Status ScubaOptions::Validate() const {
   if (theta_d < 0.0) {
     return Status::InvalidArgument("theta_d must be non-negative");
@@ -52,6 +69,11 @@ Status ScubaOptions::Validate() const {
   }
   if (ingest_threads > 1024) {
     return Status::InvalidArgument("ingest_threads must be in [0, 1024]");
+  }
+  // Stripes beyond the row count are zero-area and legal (they simply own no
+  // cells); the cap catches garbage values like the thread counts above.
+  if (shards == 0 || shards > 1024) {
+    return Status::InvalidArgument("shards must be in [1, 1024]");
   }
   if (checkpoint.keep_last_k == 0) {
     return Status::InvalidArgument("checkpoint.keep_last_k must be >= 1");

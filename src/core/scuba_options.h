@@ -39,6 +39,22 @@ std::string_view BadUpdatePolicyName(BadUpdatePolicy policy);
 /// Parses a policy name; InvalidArgument on anything else.
 Result<BadUpdatePolicy> ParseBadUpdatePolicy(std::string_view name);
 
+/// What a ShardedEngine does with per-shard load observations (see
+/// docs/ARCHITECTURE.md §11). Pure observation for now: no mode changes what
+/// the engine computes.
+enum class RebalanceMode : uint8_t {
+  kOff = 0,     ///< Collect per-shard load metrics only.
+  /// Additionally log a recommended stripe split whenever the per-shard load
+  /// imbalance of a round crosses the advisory threshold.
+  kObserve,
+};
+
+/// Stable lowercase name ("off", "observe").
+std::string_view RebalanceModeName(RebalanceMode mode);
+
+/// Parses a rebalance mode name; InvalidArgument on anything else.
+Result<RebalanceMode> ParseRebalanceMode(std::string_view name);
+
 enum class LoadSheddingMode : uint8_t {
   kNone = 0,   ///< Keep every member position (eta = 0).
   kFixed,      ///< Shed with a fixed nucleus fraction eta.
@@ -117,6 +133,17 @@ struct ScubaOptions {
   /// 0 = hardware concurrency; 1 (default) = the historical serial
   /// per-update path. Output is bit-identical for every value.
   uint32_t ingest_threads = 1;
+  /// Spatial shards for ShardedEngine execution: the grid's rows are carved
+  /// into this many contiguous stripes, each owned by one EngineShard with
+  /// its own ClusterStore slice, grid, shedder and join arena
+  /// (docs/ARCHITECTURE.md §11). 1 (default) = the single-engine layout.
+  /// Ignored by a plain ScubaEngine; results are bit-identical for every
+  /// value.
+  uint32_t shards = 1;
+  /// Per-shard load handling for ShardedEngine runs. kObserve logs
+  /// recommended stripe splits from the per-round load imbalance; kOff
+  /// (default) only collects the metrics. Never changes results.
+  RebalanceMode rebalance = RebalanceMode::kOff;
   /// What the engine's ingest paths do with updates that fail ValidateUpdate.
   /// kStrict (default) keeps the historical reject-the-call behaviour;
   /// kQuarantine/kRepair drop the tuple, bump EvalStats::updates_quarantined

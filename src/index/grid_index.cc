@@ -73,6 +73,7 @@ Status GridIndex::InsertIntoCells(uint32_t key, std::vector<uint32_t> cell_ids) 
   }
   for (uint32_t cell : cell_ids) cells_[cell].push_back(key);
   placements_.emplace(key, std::move(cell_ids));
+  ++generation_;
   return Status::OK();
 }
 
@@ -123,6 +124,7 @@ Status GridIndex::Remove(uint32_t key) {
     entries.pop_back();
   }
   placements_.erase(it);
+  ++generation_;
   return Status::OK();
 }
 
@@ -196,6 +198,7 @@ std::vector<uint32_t> GridIndex::Keys() const {
 void GridIndex::Clear() {
   for (auto& cell : cells_) cell.clear();
   placements_.clear();
+  ++generation_;
 }
 
 size_t GridIndex::EstimateMemoryUsage() const {

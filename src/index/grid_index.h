@@ -38,6 +38,12 @@ class GridIndex {
   size_t size() const { return placements_.size(); }
   bool Contains(uint32_t key) const { return placements_.contains(key); }
 
+  /// Monotonic counter bumped by every successful mutation (Insert, Remove,
+  /// Update, Clear). Two reads returning the same value bracket a span with
+  /// no cell-content change, so derived snapshots (FlattenEntries CSR) taken
+  /// inside it are still valid and need not be rebuilt.
+  uint64_t generation() const { return generation_; }
+
   /// Index of the cell containing `p` (clamped into the region).
   uint32_t CellIndexOf(Point p) const;
 
@@ -135,6 +141,7 @@ class GridIndex {
   double cell_height_ = 0.0;
   std::vector<std::vector<uint32_t>> cells_;
   std::unordered_map<uint32_t, std::vector<uint32_t>> placements_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace scuba

@@ -2,25 +2,33 @@
 // trees, plus a final Prometheus-style exposition dump
 // (docs/ARCHITECTURE.md §9).
 //
-// Output schema (schema_version 1). Every line is one JSON object with
+// Output schema (schema_version 2). Every line is one JSON object with
 // "schema_version" and "kind":
 //
 //  metrics file (--metrics-out):
-//   {"schema_version":1,"kind":"meta","stream":"metrics","engine":...}
-//   {"schema_version":1,"kind":"round","round":N,"metrics":[
+//   {"schema_version":2,"kind":"meta","stream":"metrics","engine":...}
+//   {"schema_version":2,"kind":"round","round":N,"metrics":[
 //      {"name":..,"kind":"counter","delta":D,"total":T},
 //      {"name":..,"kind":"gauge","value":V},
 //      {"name":..,"kind":"histogram","delta_count":C,"delta_sum":S,
 //       "total_count":TC,"total_sum":TS}]}
-//   {"schema_version":1,"kind":"exposition","prometheus":"..."}
+//   {"schema_version":2,"kind":"exposition","prometheus":"..."}
 //
 //  trace file (--trace-out):
-//   {"schema_version":1,"kind":"meta","stream":"trace","engine":...}
-//   {"schema_version":1,"kind":"round","round":N,"spans":[
+//   {"schema_version":2,"kind":"meta","stream":"trace","engine":...}
+//   {"schema_version":2,"kind":"round","round":N,"spans":[
 //      {"id":0,"name":"round","parent":-1,"wall_seconds":W,"count":1},
 //      {"id":..,"name":..,"parent":..,"wall_seconds":..,"count":..,
 //       ("index":I,)? ("worker_seconds":S)?}...],
 //    ("join":{"shards":K,"imbalance":X})?}
+//
+// v1 -> v2 migration: the line shapes are unchanged; v2 adds the sharded
+// engine's surface (docs/ARCHITECTURE.md §11) — per-shard "engine_shard"
+// spans under "join" (indexed by shard id) and a root-level "handoff" span,
+// plus the scuba_shard_handoffs_total / scuba_shard_ghosts_total /
+// scuba_rebalance_recommendations_total counters and the scuba_shards gauge.
+// v1 consumers only need to accept the new names; tools/check_telemetry.py
+// now validates them (and rejects unknown span names).
 //
 // Counters with a zero round delta and histograms with no new observations
 // are omitted from the round line; gauges are always present. Content is
@@ -45,7 +53,7 @@
 
 namespace scuba {
 
-inline constexpr int kTelemetrySchemaVersion = 1;
+inline constexpr int kTelemetrySchemaVersion = 2;
 
 /// ScubaOptions::telemetry. Purely observational: never changes what the
 /// engine computes, and is excluded from the snapshot options fingerprint.

@@ -203,9 +203,10 @@ uint64_t OptionsFingerprint(const ScubaOptions& options) {
   w.PutU64(options.shedding.memory_budget_bytes);
   w.PutDouble(options.shedding.eta_step);
   w.PutDouble(options.shedding.relax_fraction);
-  // join_threads / ingest_threads / checkpoint policy deliberately excluded:
-  // results are bit-identical across them, so snapshots stay portable across
-  // thread counts and retention settings.
+  // join_threads / ingest_threads / shards / rebalance / checkpoint policy
+  // deliberately excluded: results are bit-identical across them, so
+  // snapshots stay portable across thread counts, shard counts and retention
+  // settings.
   return Fnv1a64(w.bytes());
 }
 
@@ -356,6 +357,42 @@ void PersistAccess::SaveStoreState(const ScubaEngine& e, ByteWriter* w) {
     SCUBA_CHECK(cluster != nullptr);
     SaveCluster(*cluster, w);
     w->PutBool(e.grid_.Contains(cid));
+  }
+}
+
+void PersistAccess::SaveShardedStoreState(
+    const ClusterStore& meta, const std::vector<const ClusterStore*>& stores,
+    const std::vector<const GridIndex*>& grids, ByteWriter* w) {
+  // Byte-for-byte the SaveStoreState layout: the meta store carries the id
+  // allocator and attr tables, the shard stores partition the clusters, and
+  // a cluster counts as grid-registered when any shard grid holds it (the
+  // mirror invariant makes that equivalent to the single grid's Contains).
+  w->PutU32(meta.next_cid_);
+  PutAttrTable(w, meta.objects_);
+  PutAttrTable(w, meta.queries_);
+  std::vector<ClusterId> cids;
+  for (const ClusterStore* store : stores) {
+    const std::vector<ClusterId> own = store->SortedClusterIds();
+    cids.insert(cids.end(), own.begin(), own.end());
+  }
+  std::sort(cids.begin(), cids.end());
+  w->PutU64(cids.size());
+  for (ClusterId cid : cids) {
+    const MovingCluster* cluster = nullptr;
+    for (const ClusterStore* store : stores) {
+      cluster = store->GetCluster(cid);
+      if (cluster != nullptr) break;
+    }
+    SCUBA_CHECK(cluster != nullptr);
+    SaveCluster(*cluster, w);
+    bool registered = false;
+    for (const GridIndex* grid : grids) {
+      if (grid->Contains(cid)) {
+        registered = true;
+        break;
+      }
+    }
+    w->PutBool(registered);
   }
 }
 
@@ -667,6 +704,14 @@ Result<std::string> ReadSnapshotPayload(const std::string& path) {
 uint64_t EngineStateHash(const ScubaEngine& engine) {
   ByteWriter w;
   PersistAccess::SaveStoreState(engine, &w);
+  return Fnv1a64(w.bytes());
+}
+
+uint64_t ShardedStateHash(const ClusterStore& meta,
+                          const std::vector<const ClusterStore*>& stores,
+                          const std::vector<const GridIndex*>& grids) {
+  ByteWriter w;
+  PersistAccess::SaveShardedStoreState(meta, stores, grids, &w);
   return Fnv1a64(w.bytes());
 }
 

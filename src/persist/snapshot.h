@@ -94,6 +94,16 @@ Result<SnapshotMeta> PeekSnapshotMeta(const std::string& payload);
 /// equal to the uninterrupted one (the CLI prints this for the CI smoke).
 uint64_t EngineStateHash(const ScubaEngine& engine);
 
+/// EngineStateHash over a spatially sharded engine: the same FNV-1a 64 over
+/// the same byte layout, assembled from the coordinator's meta store (id
+/// allocator + attr tables) and the per-shard cluster stores and grids
+/// (src/shard). A sharded engine in the same logical state as a single
+/// engine hashes equal — the sharded determinism contract's hash basis
+/// (docs/ARCHITECTURE.md §11).
+uint64_t ShardedStateHash(const ClusterStore& meta,
+                          const std::vector<const ClusterStore*>& stores,
+                          const std::vector<const GridIndex*>& grids);
+
 /// Replaces `engine`'s entire state with the payload's. The payload's
 /// options fingerprint must match the engine's (kFailedPrecondition); the
 /// engine's thread counts are kept. When the payload carries a validator /
@@ -114,6 +124,14 @@ struct PersistAccess {
   /// The deterministic subset of SaveEngineState: store tables, clusters and
   /// grid-registration flags — everything EngineStateHash covers.
   static void SaveStoreState(const ScubaEngine& engine, ByteWriter* w);
+  /// SaveStoreState's byte layout assembled from a sharded engine's parts:
+  /// meta store (id allocator, attr tables) + per-shard stores and grids.
+  /// Clusters serialize in globally ascending cid order; the registered flag
+  /// is true when any shard grid holds the cluster.
+  static void SaveShardedStoreState(const ClusterStore& meta,
+                                    const std::vector<const ClusterStore*>& stores,
+                                    const std::vector<const GridIndex*>& grids,
+                                    ByteWriter* w);
   static void SaveEngineState(const ScubaEngine& engine, ByteWriter* w);
   static Status LoadEngineState(ByteReader* r, ScubaEngine* engine);
   static void SaveCluster(const MovingCluster& cluster, ByteWriter* w);

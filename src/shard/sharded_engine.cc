@@ -1,0 +1,801 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "cluster/splitter.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "persist/snapshot.h"
+
+namespace scuba {
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const ScubaOptions& options) {
+  SCUBA_RETURN_IF_ERROR(options.Validate());
+  Result<ShardRouter> router =
+      ShardRouter::Create(options.region, options.grid_cells, options.shards);
+  if (!router.ok()) return router.status();
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(options, std::move(router).value()));
+  for (uint32_t s = 0; s < options.shards; ++s) {
+    Result<GridIndex> grid =
+        GridIndex::Create(options.region, options.grid_cells);
+    if (!grid.ok()) return grid.status();
+    engine->shards_.push_back(std::make_unique<EngineShard>(
+        s, engine->router_.CellBegin(s), engine->router_.CellEnd(s),
+        std::move(grid).value(), options));
+  }
+  if (options.telemetry.Enabled()) {
+    Result<std::unique_ptr<EngineTelemetry>> telemetry =
+        EngineTelemetry::Create(options.telemetry, engine->name());
+    if (!telemetry.ok()) return telemetry.status();
+    engine->InstallTelemetry(std::move(telemetry).value());
+  }
+  return engine;
+}
+
+ShardedEngine::ShardedEngine(const ScubaOptions& options, ShardRouter router)
+    : options_(options),
+      router_(std::move(router)),
+      resolved_join_threads_(options.join_threads == 0
+                                 ? ThreadPool::DefaultThreadCount()
+                                 : options.join_threads) {
+  stats_.join_threads = resolved_join_threads_;
+  // Sharded ingest replays the per-update procedure serially (the shard fan
+  // is a join/post-join device); the bit-identity contract does not depend
+  // on it.
+  stats_.ingest_threads = 1;
+}
+
+ThreadPool* ShardedEngine::JoinPool() {
+  if (resolved_join_threads_ <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min<uint32_t>(resolved_join_threads_, shard_count()));
+  }
+  return pool_.get();
+}
+
+size_t ShardedEngine::ClusterCount() const {
+  size_t total = 0;
+  for (const auto& sp : shards_) total += sp->store.ClusterCount();
+  return total;
+}
+
+std::vector<ClusterId> ShardedEngine::GlobalSortedClusterIds() const {
+  std::vector<ClusterId> cids;
+  for (const auto& sp : shards_) {
+    const std::vector<ClusterId> own = sp->store.SortedClusterIds();
+    cids.insert(cids.end(), own.begin(), own.end());
+  }
+  // Shard stores partition the cluster set, so a plain sort merges them.
+  std::sort(cids.begin(), cids.end());
+  return cids;
+}
+
+ClusterId ShardedEngine::HomeOfAnywhere(EntityRef ref,
+                                        EngineShard** owner_out) {
+  for (auto& sp : shards_) {
+    const ClusterId home = sp->store.HomeOf(ref);
+    if (home != kInvalidClusterId) {
+      *owner_out = sp.get();
+      return home;
+    }
+  }
+  *owner_out = nullptr;
+  return kInvalidClusterId;
+}
+
+MovingCluster* ShardedEngine::GetClusterAnywhere(ClusterId cid,
+                                                 EngineShard** owner_out) {
+  for (auto& sp : shards_) {
+    if (MovingCluster* cluster = sp->store.GetCluster(cid)) {
+      *owner_out = sp.get();
+      return cluster;
+    }
+  }
+  *owner_out = nullptr;
+  return nullptr;
+}
+
+const MovingCluster* ShardedEngine::GetClusterAnywhere(ClusterId cid) const {
+  for (const auto& sp : shards_) {
+    if (const MovingCluster* cluster = sp->store.GetCluster(cid)) {
+      return cluster;
+    }
+  }
+  return nullptr;
+}
+
+bool ShardedEngine::AnyGridContains(ClusterId cid) const {
+  for (const auto& sp : shards_) {
+    if (sp->grid.Contains(cid)) return true;
+  }
+  return false;
+}
+
+Status ShardedEngine::ApplyRegistration(ClusterId cid, const Circle& padded) {
+  // Cell placement is pure geometry, identical on every grid; compute it once
+  // to learn which stripes the circle touches, then let each touched grid
+  // re-derive the same full cell list through its own Insert/Update (the
+  // mirror invariant in engine_shard.h).
+  scratch_cells_.clear();
+  shards_[0]->grid.CellsForCircle(padded, &scratch_cells_);
+  scratch_touched_.assign(shards_.size(), 0);
+  for (uint32_t cell : scratch_cells_) {
+    scratch_touched_[router_.ShardOfCell(cell)] = 1;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    GridIndex& grid = shards_[s]->grid;
+    const bool present = grid.Contains(cid);
+    if (scratch_touched_[s]) {
+      SCUBA_RETURN_IF_ERROR(present ? grid.Update(cid, padded)
+                                    : grid.Insert(cid, padded));
+    } else if (present) {
+      SCUBA_RETURN_IF_ERROR(grid.Remove(cid));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RemoveFromAllGrids(ClusterId cid) {
+  bool removed = false;
+  for (auto& sp : shards_) {
+    if (sp->grid.Contains(cid)) {
+      SCUBA_RETURN_IF_ERROR(sp->grid.Remove(cid));
+      removed = true;
+    }
+  }
+  if (!removed) {
+    return Status::NotFound("cluster " + std::to_string(cid) +
+                            " registered in no shard grid");
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::SyncAllGrids(MovingCluster* cluster) {
+  // PlanClusterGridSync's exact float semantics against the union grid:
+  // Contains == registered in any stripe, covered-check on the cluster's own
+  // registered_bounds memo.
+  const Circle needed = options_.query_reach_aware ? cluster->JoinBounds()
+                                                   : cluster->Bounds();
+  if (AnyGridContains(cluster->cid()) &&
+      ContainsCircle(cluster->registered_bounds(), needed)) {
+    return Status::OK();
+  }
+  const Circle padded{needed.center,
+                      needed.radius + options_.grid_sync_padding};
+  cluster->set_registered_bounds(padded);
+  return ApplyRegistration(cluster->cid(), padded);
+}
+
+ClusterId ShardedEngine::FindCompatibleCluster(Point position, double speed,
+                                               NodeId dest,
+                                               EngineShard** owner_out) {
+  auto check = [&](ClusterId cid, EngineShard** own) {
+    const MovingCluster* c = GetClusterAnywhere(cid, own);
+    return c != nullptr &&
+           c->SatisfiesJoinConditions(position, speed, dest, options_.theta_d,
+                                      options_.theta_s);
+  };
+
+  // The minimum compatible cid wins (the clusterer's rule), which also makes
+  // the choice independent of the entry-order differences between a stripe
+  // grid and the single grid — their cell entry sets are equal by the mirror
+  // invariant.
+  ClusterId best = kInvalidClusterId;
+  EngineShard* best_owner = nullptr;
+  if (!options_.probe_theta_d_disk) {
+    const EngineShard& probe = *shards_[router_.ShardOfPoint(position)];
+    for (uint32_t cid : probe.grid.EntriesNear(position)) {
+      EngineShard* own = nullptr;
+      if ((best == kInvalidClusterId || cid < best) && check(cid, &own)) {
+        best = cid;
+        best_owner = own;
+      }
+    }
+    *owner_out = best_owner;
+    return best;
+  }
+
+  // Ablation variant: gather candidates from every cell within theta_d, each
+  // read from its stripe owner's grid.
+  scratch_cells_.clear();
+  const Rect probe{position.x - options_.theta_d, position.y - options_.theta_d,
+                   position.x + options_.theta_d,
+                   position.y + options_.theta_d};
+  shards_[0]->grid.CellsForRect(probe, &scratch_cells_);
+  for (uint32_t cell : scratch_cells_) {
+    const EngineShard& shard = *shards_[router_.ShardOfCell(cell)];
+    for (uint32_t cid : shard.grid.CellEntries(cell)) {
+      EngineShard* own = nullptr;
+      if ((best == kInvalidClusterId || cid < best) && check(cid, &own)) {
+        best = cid;
+        best_owner = own;
+      }
+    }
+  }
+  *owner_out = best_owner;
+  return best;
+}
+
+Status ShardedEngine::ReplayUpdate(EntityKind kind, const LocationUpdate* obj,
+                                   const QueryUpdate* qry) {
+  // Line-for-line mirror of LeaderFollowerClusterer::ProcessUpdate with the
+  // store/grid operations resolved across the shard set. Any drift here
+  // breaks the sharded-vs-single bit-identity contract.
+  const Point position =
+      (kind == EntityKind::kObject) ? obj->position : qry->position;
+  const double speed = (kind == EntityKind::kObject) ? obj->speed : qry->speed;
+  const NodeId dest =
+      (kind == EntityKind::kObject) ? obj->dest_node : qry->dest_node;
+  const uint32_t id = (kind == EntityKind::kObject) ? obj->oid : qry->qid;
+  const EntityRef ref{kind, id};
+
+  if (kind == EntityKind::kObject) {
+    meta_.UpsertObjectAttrs(obj->oid, obj->attrs);
+  } else {
+    meta_.UpsertQueryAttrs(qry->qid, qry->attrs);
+  }
+
+  EngineShard* owner = nullptr;
+  const ClusterId home = HomeOfAnywhere(ref, &owner);
+  if (home != kInvalidClusterId) {
+    MovingCluster* cluster = owner->store.GetCluster(home);
+    SCUBA_CHECK_MSG(cluster != nullptr,
+                    "ClusterHome points at a missing cluster");
+    if (cluster->SatisfiesJoinConditions(position, speed, dest,
+                                         options_.theta_d, options_.theta_s)) {
+      Status s = (kind == EntityKind::kObject)
+                     ? cluster->UpdateObjectMember(*obj)
+                     : cluster->UpdateQueryMember(*qry);
+      SCUBA_RETURN_IF_ERROR(s);
+      ++clusterer_stats_.members_refreshed;
+      if (owner->nucleus_radius > 0.0 &&
+          cluster->ShedMemberIfInNucleus(ref, owner->nucleus_radius)) {
+        ++clusterer_stats_.members_shed;
+      }
+      return SyncAllGrids(cluster);
+    }
+    SCUBA_RETURN_IF_ERROR(cluster->RemoveMember(ref));
+    SCUBA_RETURN_IF_ERROR(owner->store.ClearHome(ref));
+    ++clusterer_stats_.members_departed;
+    if (cluster->size() == 0) {
+      SCUBA_RETURN_IF_ERROR(RemoveFromAllGrids(home));
+      SCUBA_RETURN_IF_ERROR(owner->store.RemoveCluster(home));
+      ++clusterer_stats_.clusters_dissolved_empty;
+    } else {
+      SCUBA_RETURN_IF_ERROR(SyncAllGrids(cluster));
+    }
+  }
+
+  EngineShard* target_owner = nullptr;
+  const ClusterId target =
+      FindCompatibleCluster(position, speed, dest, &target_owner);
+  if (target != kInvalidClusterId) {
+    MovingCluster* cluster = target_owner->store.GetCluster(target);
+    if (kind == EntityKind::kObject) {
+      cluster->AbsorbObject(*obj);
+    } else {
+      cluster->AbsorbQuery(*qry);
+    }
+    SCUBA_RETURN_IF_ERROR(target_owner->store.SetHome(ref, target));
+    ++clusterer_stats_.members_absorbed;
+    if (target_owner->nucleus_radius > 0.0 &&
+        cluster->ShedMemberIfInNucleus(ref, target_owner->nucleus_radius)) {
+      ++clusterer_stats_.members_shed;
+    }
+    return SyncAllGrids(cluster);
+  }
+
+  const ClusterId cid = meta_.NextClusterId();
+  MovingCluster fresh = (kind == EntityKind::kObject)
+                            ? MovingCluster::FromObject(cid, *obj)
+                            : MovingCluster::FromQuery(cid, *qry);
+  SCUBA_RETURN_IF_ERROR(SyncAllGrids(&fresh));
+  EngineShard* fresh_owner = OwnerShardFor(fresh);
+  SCUBA_RETURN_IF_ERROR(fresh_owner->store.AddCluster(std::move(fresh)));
+  ++clusterer_stats_.clusters_created;
+  return Status::OK();
+}
+
+Status ShardedEngine::IngestObjectUpdate(const LocationUpdate& update) {
+  if (Status v = ValidateUpdate(update); !v.ok()) {
+    if (options_.on_bad_update == BadUpdatePolicy::kStrict) return v;
+    ++stats_.updates_quarantined;
+    return Status::OK();
+  }
+  TelemetryEnsureRound();
+  Stopwatch sw;
+  Status s = ReplayUpdate(EntityKind::kObject, &update, nullptr);
+  const double elapsed = sw.ElapsedSeconds();
+  pending_prejoin_seconds_ += elapsed;
+  pending_prejoin_worker_seconds_ += elapsed;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "ingest"), elapsed);
+  }
+  return s;
+}
+
+Status ShardedEngine::IngestQueryUpdate(const QueryUpdate& update) {
+  if (Status v = ValidateUpdate(update); !v.ok()) {
+    if (options_.on_bad_update == BadUpdatePolicy::kStrict) return v;
+    ++stats_.updates_quarantined;
+    return Status::OK();
+  }
+  TelemetryEnsureRound();
+  Stopwatch sw;
+  Status s = ReplayUpdate(EntityKind::kQuery, nullptr, &update);
+  const double elapsed = sw.ElapsedSeconds();
+  pending_prejoin_seconds_ += elapsed;
+  pending_prejoin_worker_seconds_ += elapsed;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "ingest"), elapsed);
+  }
+  return s;
+}
+
+Status ShardedEngine::IngestBatch(std::span<const LocationUpdate> objects,
+                                  std::span<const QueryUpdate> queries) {
+  // ScubaEngine::IngestBatch's validation contract: the whole batch screens
+  // up front; strict rejects on the first offender, quarantine drops exactly
+  // the tuples the per-update path would skip.
+  size_t bad = 0;
+  Status first_bad = Status::OK();
+  for (const LocationUpdate& u : objects) {
+    if (Status v = ValidateUpdate(u); !v.ok()) {
+      if (first_bad.ok()) first_bad = std::move(v);
+      ++bad;
+    }
+  }
+  for (const QueryUpdate& u : queries) {
+    if (Status v = ValidateUpdate(u); !v.ok()) {
+      if (first_bad.ok()) first_bad = std::move(v);
+      ++bad;
+    }
+  }
+  std::vector<LocationUpdate> kept_objects;
+  std::vector<QueryUpdate> kept_queries;
+  if (bad > 0) {
+    if (options_.on_bad_update == BadUpdatePolicy::kStrict) return first_bad;
+    stats_.updates_quarantined += bad;
+    kept_objects.reserve(objects.size());
+    for (const LocationUpdate& u : objects) {
+      if (ValidateUpdate(u).ok()) kept_objects.push_back(u);
+    }
+    kept_queries.reserve(queries.size());
+    for (const QueryUpdate& u : queries) {
+      if (ValidateUpdate(u).ok()) kept_queries.push_back(u);
+    }
+    objects = kept_objects;
+    queries = kept_queries;
+  }
+  TelemetryEnsureRound();
+  Stopwatch sw;
+  for (const LocationUpdate& u : objects) {
+    SCUBA_RETURN_IF_ERROR(ReplayUpdate(EntityKind::kObject, &u, nullptr));
+  }
+  for (const QueryUpdate& u : queries) {
+    SCUBA_RETURN_IF_ERROR(ReplayUpdate(EntityKind::kQuery, nullptr, &u));
+  }
+  const double wall = sw.ElapsedSeconds();
+  pending_prejoin_seconds_ += wall;
+  pending_prejoin_worker_seconds_ += wall;  // serial replay: busy == wall
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    const int32_t ingest = tc.EnsureSpan(tc.root(), "ingest");
+    tc.Accumulate(ingest, wall, wall);
+    tc.Accumulate(tc.EnsureSpan(ingest, "apply"), wall);
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RunShardJoin(EngineShard& shard) {
+  Stopwatch sw;
+  shard.results.Clear();
+  shard.ghosts.Clear();
+  shard.last_ghosts = 0;
+  const uint64_t comparisons_before = shard.join.counters().comparisons;
+
+  // Ghost publication: every cluster registered in this stripe but owned by
+  // a neighbor is copied through the snapshot serializer (IEEE-754 bit
+  // patterns — the copy is bit-exact, LoadCluster rebuilds the member index).
+  // Reads only other shards' stores, which are immutable for the whole join
+  // phase; writes only shard-local state — no locks anywhere on this path.
+  for (uint32_t key : shard.grid.Keys()) {
+    if (shard.store.GetCluster(key) != nullptr) continue;
+    const MovingCluster* source = nullptr;
+    for (const auto& other : shards_) {
+      if (other.get() == &shard) continue;
+      source = other->store.GetCluster(key);
+      if (source != nullptr) break;
+    }
+    SCUBA_CHECK_MSG(source != nullptr,
+                    "shard grid key names no stored cluster");
+    ByteWriter w;
+    PersistAccess::SaveCluster(*source, &w);
+    ByteReader r(w.bytes());
+    Result<MovingCluster> ghost = PersistAccess::LoadCluster(&r);
+    if (!ghost.ok()) return ghost.status();
+    SCUBA_RETURN_IF_ERROR(shard.ghosts.AddCluster(std::move(ghost).value()));
+    ++shard.last_ghosts;
+  }
+
+  Status s = shard.join.ExecuteScoped(shard.store, &shard.ghosts, shard.grid,
+                                      shard.cell_begin, shard.cell_end,
+                                      &shard.results);
+  shard.last_comparisons =
+      shard.join.counters().comparisons - comparisons_before;
+  shard.last_busy_seconds = sw.ElapsedSeconds();
+  return s;
+}
+
+Status ShardedEngine::Evaluate(Timestamp now, ResultSet* results) {
+  if (results == nullptr) {
+    return Status::InvalidArgument("results must be non-null");
+  }
+  TelemetryEnsureRound();
+
+  results->Reserve(stats_.last_result_count);
+  Stopwatch join_sw;
+  const uint32_t n = shard_count();
+  std::vector<Status> shard_status(n);
+  auto run = [&](uint32_t s) { shard_status[s] = RunShardJoin(*shards_[s]); };
+  if (resolved_join_threads_ > 1 && n > 1) {
+    RunTaskSet(JoinPool(), n, run);
+  } else {
+    for (uint32_t s = 0; s < n; ++s) run(s);
+  }
+  double busy = 0.0;
+  size_t merged = 0;
+  uint64_t round_ghosts = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    SCUBA_RETURN_IF_ERROR(shard_status[s]);
+    busy += shards_[s]->last_busy_seconds;
+    merged += shards_[s]->results.size();
+    round_ghosts += shards_[s]->last_ghosts;
+  }
+  ghosts_published_ += round_ghosts;
+  // The single engine's Execute clears the caller's set every round; a
+  // reused ResultSet must not accumulate across rounds here either.
+  results->Clear();
+  // Owner-cell dedup makes per-shard slices disjoint up to the duplicates
+  // Normalize removes in the single engine too; one normalize seals the
+  // merged set.
+  results->Reserve(merged);
+  for (uint32_t s = 0; s < n; ++s) {
+    results->AppendFrom(std::move(shards_[s]->results));
+  }
+  results->Normalize();
+
+  stats_.last_join_seconds = join_sw.ElapsedSeconds();
+  stats_.total_join_seconds += stats_.last_join_seconds;
+  stats_.last_join_worker_seconds = busy;
+  stats_.total_join_worker_seconds += busy;
+  stats_.last_result_count = results->size();
+  stats_.total_results += results->size();
+  ++stats_.evaluations;
+  ClusterJoinExecutor::Counters ctr;
+  for (const auto& sp : shards_) ctr += sp->join.counters();
+  stats_.comparisons = ctr.comparisons;
+  stats_.bounds_checks = ctr.bounds_checks;
+  stats_.cluster_pairs_tested = ctr.pairs_tested;
+  stats_.cluster_pairs_overlapping = ctr.pairs_overlapping;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    const int32_t join_span = tc.EnsureSpan(tc.root(), "join");
+    tc.Accumulate(join_span, stats_.last_join_seconds, busy);
+    for (uint32_t s = 0; s < n; ++s) {
+      tc.Accumulate(
+          tc.EnsureSpan(join_span, "engine_shard", static_cast<int32_t>(s)),
+          shards_[s]->last_busy_seconds, shards_[s]->last_busy_seconds);
+    }
+  }
+
+  Stopwatch maint_sw;
+  double postjoin_worker = 0.0;
+  last_handoff_seconds_ = 0.0;
+  Status s = PostJoinMaintenance(now, &postjoin_worker);
+  stats_.last_postjoin_seconds = maint_sw.ElapsedSeconds();
+  stats_.total_postjoin_seconds += stats_.last_postjoin_seconds;
+  stats_.last_postjoin_worker_seconds = postjoin_worker;
+  stats_.total_postjoin_worker_seconds += postjoin_worker;
+  stats_.last_ingest_seconds = pending_prejoin_seconds_;
+  stats_.total_ingest_seconds += pending_prejoin_seconds_;
+  stats_.last_ingest_worker_seconds = pending_prejoin_worker_seconds_;
+  stats_.total_ingest_worker_seconds += pending_prejoin_worker_seconds_;
+  stats_.last_maintenance_seconds =
+      stats_.last_ingest_seconds + stats_.last_postjoin_seconds;
+  stats_.total_maintenance_seconds += stats_.last_maintenance_seconds;
+  pending_prejoin_seconds_ = 0.0;
+  pending_prejoin_worker_seconds_ = 0.0;
+  if (telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "postjoin"),
+                  stats_.last_postjoin_seconds, postjoin_worker);
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "handoff"), last_handoff_seconds_);
+  }
+  if (s.ok() && options_.rebalance == RebalanceMode::kObserve) {
+    ObserveBalance();
+  }
+  return s;
+}
+
+Status ShardedEngine::SplitOversizedClusters() {
+  const double max_radius = options_.split_radius_factor * options_.theta_d;
+  const std::vector<ClusterId> cids = GlobalSortedClusterIds();
+  for (ClusterId cid : cids) {
+    EngineShard* owner = nullptr;
+    MovingCluster* cluster = GetClusterAnywhere(cid, &owner);
+    SCUBA_CHECK(cluster != nullptr);
+    cluster->RecomputeTightBounds();
+    if (!ShouldSplit(*cluster, max_radius)) continue;
+    // Named locals: id assignment order must match the single engine's.
+    const ClusterId left_id = meta_.NextClusterId();
+    const ClusterId right_id = meta_.NextClusterId();
+    Result<SplitResult> split = SplitCluster(*cluster, left_id, right_id);
+    if (!split.ok()) continue;  // co-located members etc.: keep as-is
+    SCUBA_RETURN_IF_ERROR(RemoveFromAllGrids(cid));
+    SCUBA_RETURN_IF_ERROR(owner->store.RemoveCluster(cid));
+    SCUBA_RETURN_IF_ERROR(SyncAllGrids(&split->left));
+    SCUBA_RETURN_IF_ERROR(SyncAllGrids(&split->right));
+    EngineShard* left_owner = OwnerShardFor(split->left);
+    EngineShard* right_owner = OwnerShardFor(split->right);
+    SCUBA_RETURN_IF_ERROR(left_owner->store.AddCluster(std::move(split->left)));
+    SCUBA_RETURN_IF_ERROR(
+        right_owner->store.AddCluster(std::move(split->right)));
+    ++phase_stats_.clusters_split;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::MigrateOwnership() {
+  // Serial, globally cid-ordered: deterministic regardless of which shard
+  // performed the round's upkeep first. Ownership is unobservable to results
+  // and state hashes (the serializer round trip is bit-exact and homes move
+  // with the cluster), so migration cannot break bit-identity.
+  const std::vector<ClusterId> cids = GlobalSortedClusterIds();
+  for (ClusterId cid : cids) {
+    EngineShard* owner = nullptr;
+    MovingCluster* cluster = GetClusterAnywhere(cid, &owner);
+    SCUBA_CHECK(cluster != nullptr);
+    EngineShard* desired = OwnerShardFor(*cluster);
+    if (desired == owner) continue;
+    ByteWriter w;
+    PersistAccess::SaveCluster(*cluster, &w);
+    ByteReader r(w.bytes());
+    Result<MovingCluster> copy = PersistAccess::LoadCluster(&r);
+    if (!copy.ok()) return copy.status();
+    SCUBA_RETURN_IF_ERROR(owner->store.RemoveCluster(cid));
+    SCUBA_RETURN_IF_ERROR(desired->store.AddCluster(std::move(copy).value()));
+    ++handoffs_;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::PostJoinMaintenance(Timestamp now,
+                                          double* worker_seconds) {
+  *worker_seconds = 0.0;
+  if (options_.enable_cluster_splitting) {
+    SCUBA_RETURN_IF_ERROR(SplitOversizedClusters());
+  }
+  // Per-cluster upkeep runs as one task per shard over that shard's own
+  // clusters (clusters are store-disjoint; grids are only read); the
+  // mutations below apply serially in globally ascending cid order, exactly
+  // the single engine's sequence.
+  const std::vector<ClusterId> cids = GlobalSortedClusterIds();
+  struct Outcome {
+    uint64_t shed = 0;
+    bool dissolve = false;
+    bool resync = false;
+    Circle registration;
+  };
+  std::vector<Outcome> outcomes(cids.size());
+  std::vector<EngineShard*> owners(cids.size(), nullptr);
+  auto upkeep = [&](uint32_t s) {
+    EngineShard& shard = *shards_[s];
+    for (ClusterId cid : shard.store.SortedClusterIds()) {
+      const size_t slot = static_cast<size_t>(
+          std::lower_bound(cids.begin(), cids.end(), cid) - cids.begin());
+      owners[slot] = &shard;
+      MovingCluster* cluster = shard.store.GetCluster(cid);
+      SCUBA_CHECK(cluster != nullptr);
+      Outcome& out = outcomes[slot];
+      cluster->RecomputeTightBounds();
+      if (shard.nucleus_radius > 0.0) {
+        out.shed = cluster->ShedPositions(shard.nucleus_radius);
+      }
+      if (cluster->ComputeExpiryTime(now) <= now + options_.delta) {
+        out.dissolve = true;
+        continue;
+      }
+      cluster->Translate(cluster->Velocity() *
+                         static_cast<double>(options_.delta));
+      const Circle needed = options_.query_reach_aware ? cluster->JoinBounds()
+                                                       : cluster->Bounds();
+      if (AnyGridContains(cid) &&
+          ContainsCircle(cluster->registered_bounds(), needed)) {
+        continue;  // still covered by the previous registration
+      }
+      const Circle padded{needed.center,
+                          needed.radius + options_.grid_sync_padding};
+      cluster->set_registered_bounds(padded);
+      out.resync = true;
+      out.registration = padded;
+    }
+  };
+  const uint32_t n = shard_count();
+  if (resolved_join_threads_ > 1 && n > 1 && cids.size() > 1) {
+    *worker_seconds = RunTaskSet(JoinPool(), n, upkeep);
+  } else {
+    Stopwatch serial;
+    for (uint32_t s = 0; s < n; ++s) upkeep(s);
+    *worker_seconds = serial.ElapsedSeconds();
+  }
+  for (size_t i = 0; i < cids.size(); ++i) {
+    phase_stats_.members_shed_maintenance += outcomes[i].shed;
+    if (outcomes[i].dissolve) {
+      SCUBA_RETURN_IF_ERROR(RemoveFromAllGrids(cids[i]));
+      SCUBA_RETURN_IF_ERROR(owners[i]->store.RemoveCluster(cids[i]));
+      ++phase_stats_.clusters_dissolved_expired;
+    } else if (outcomes[i].resync) {
+      SCUBA_RETURN_IF_ERROR(ApplyRegistration(cids[i], outcomes[i].registration));
+    }
+  }
+
+  Stopwatch handoff_sw;
+  SCUBA_RETURN_IF_ERROR(MigrateOwnership());
+  last_handoff_seconds_ = handoff_sw.ElapsedSeconds();
+
+  // Per-shard shedder feedback with shard-local memory estimates. kFixed /
+  // kNone radii are position-independent constants (bit-identical to the
+  // single engine); kAdaptive legitimately diverges — see the class comment.
+  for (auto& sp : shards_) {
+    sp->shedder.ObserveMemoryUsage(
+        sizeof(EngineShard) + sp->store.EstimateMemoryUsage() +
+        sp->grid.EstimateMemoryUsage() + sp->join.EstimateMemoryUsage());
+    sp->nucleus_radius = sp->shedder.nucleus_radius();
+  }
+  return Status::OK();
+}
+
+void ShardedEngine::ObserveBalance() {
+  const uint32_t n = shard_count();
+  if (n <= 1) return;
+  // Join comparisons are the deterministic load signal (same on every run of
+  // a fixed workload); cluster counts stand in when a round compared nothing.
+  bool use_comparisons = false;
+  for (const auto& sp : shards_) {
+    use_comparisons = use_comparisons || sp->last_comparisons > 0;
+  }
+  double total = 0.0;
+  double max_load = -1.0;
+  uint32_t max_shard = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    const double load =
+        use_comparisons ? static_cast<double>(shards_[s]->last_comparisons)
+                        : static_cast<double>(shards_[s]->store.ClusterCount());
+    total += load;
+    if (load > max_load) {
+      max_load = load;
+      max_shard = s;
+    }
+  }
+  if (total <= 0.0) return;
+  const double imbalance = max_load * n / total;
+  constexpr double kImbalanceThreshold = 1.5;
+  if (imbalance <= kImbalanceThreshold) return;
+  // Only a stripe with at least two rows can be split.
+  if (router_.RowEnd(max_shard) - router_.RowBegin(max_shard) < 2) return;
+  const uint32_t split_row =
+      (router_.RowBegin(max_shard) + router_.RowEnd(max_shard)) / 2;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "shard %u carries %.2fx the mean %s load; consider splitting "
+                "rows [%u, %u) at row %u",
+                max_shard, imbalance,
+                use_comparisons ? "join-comparison" : "cluster",
+                router_.RowBegin(max_shard), router_.RowEnd(max_shard),
+                split_row);
+  last_recommendation_ = buf;
+  ++recommendations_;
+  std::fprintf(stderr, "[rebalance] round %llu: %s\n",
+               static_cast<unsigned long long>(stats_.evaluations),
+               last_recommendation_.c_str());
+}
+
+size_t ShardedEngine::EstimateMemoryUsage() const {
+  size_t total = sizeof(ShardedEngine) + meta_.EstimateMemoryUsage();
+  for (const auto& sp : shards_) {
+    total += sizeof(EngineShard) + sp->store.EstimateMemoryUsage() +
+             sp->ghosts.EstimateMemoryUsage() + sp->grid.EstimateMemoryUsage() +
+             sp->join.EstimateMemoryUsage();
+  }
+  return total;
+}
+
+EngineSnapshotStats ShardedEngine::StatsSnapshot() const {
+  EngineSnapshotStats snap;
+  snap.eval = stats_;
+  snap.phase = phase_stats_;
+  snap.clusterer = clusterer_stats_;
+  for (const auto& sp : shards_) snap.join += sp->join.counters();
+  const LoadShedder& shedder = shards_[0]->shedder;
+  snap.shedder = ShedderSnapshotStats{shedder.mode(), shedder.eta(),
+                                      shedder.nucleus_radius(),
+                                      shedder.adjustments()};
+  snap.clusters = ClusterCount();
+  return snap;
+}
+
+void ShardedEngine::InstallTelemetry(
+    std::unique_ptr<EngineTelemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+  MetricsRegistry& reg = telemetry_->registry();
+  metrics_.rounds =
+      reg.RegisterCounter("scuba_rounds_total", "Completed evaluation rounds");
+  metrics_.results = reg.RegisterCounter("scuba_results_total",
+                                         "Query-object matches produced");
+  metrics_.join_comparisons = reg.RegisterCounter(
+      "scuba_join_comparisons_total", "Member-level predicate evaluations");
+  metrics_.handoffs = reg.RegisterCounter(
+      "scuba_shard_handoffs_total",
+      "Cluster ownership migrations between shards");
+  metrics_.ghosts = reg.RegisterCounter(
+      "scuba_shard_ghosts_total",
+      "Ghost cluster copies published across shard borders");
+  metrics_.recommendations = reg.RegisterCounter(
+      "scuba_rebalance_recommendations_total",
+      "Stripe-split recommendations issued in observe mode");
+  metrics_.clusters =
+      reg.RegisterGauge("scuba_clusters", "Live moving clusters");
+  metrics_.shards =
+      reg.RegisterGauge("scuba_shards", "Engine shards (row stripes)");
+  metrics_.shards.Set(static_cast<double>(shard_count()));
+  metrics_.clusters.Set(static_cast<double>(ClusterCount()));
+  telemetry_->SetRoundHook([this] { PushTelemetryDeltas(); });
+}
+
+void ShardedEngine::PushTelemetryDeltas() {
+  metrics_.rounds.Increment(stats_.evaluations - pushed_.rounds);
+  metrics_.results.Increment(stats_.total_results - pushed_.results);
+  metrics_.join_comparisons.Increment(stats_.comparisons -
+                                      pushed_.comparisons);
+  metrics_.handoffs.Increment(handoffs_ - pushed_.handoffs);
+  metrics_.ghosts.Increment(ghosts_published_ - pushed_.ghosts);
+  metrics_.recommendations.Increment(recommendations_ -
+                                     pushed_.recommendations);
+  metrics_.clusters.Set(static_cast<double>(ClusterCount()));
+  metrics_.shards.Set(static_cast<double>(shard_count()));
+  pushed_.rounds = stats_.evaluations;
+  pushed_.results = stats_.total_results;
+  pushed_.comparisons = stats_.comparisons;
+  pushed_.handoffs = handoffs_;
+  pushed_.ghosts = ghosts_published_;
+  pushed_.recommendations = recommendations_;
+}
+
+Status ShardedEngine::FlushTelemetry() {
+  if (telemetry_ == nullptr) return Status::OK();
+  return telemetry_->Flush();
+}
+
+uint64_t EngineStateHash(const ShardedEngine& engine) {
+  std::vector<const ClusterStore*> stores;
+  std::vector<const GridIndex*> grids;
+  stores.reserve(engine.shard_count());
+  grids.reserve(engine.shard_count());
+  for (uint32_t s = 0; s < engine.shard_count(); ++s) {
+    stores.push_back(&engine.shard(s).store);
+    grids.push_back(&engine.shard(s).grid);
+  }
+  return ShardedStateHash(engine.meta_store(), stores, grids);
+}
+
+}  // namespace scuba

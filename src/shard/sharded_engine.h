@@ -1,0 +1,221 @@
+// ShardedEngine: spatially sharded multi-engine execution of the SCUBA round
+// (docs/ARCHITECTURE.md §11).
+//
+// The map is carved into N contiguous row stripes (ShardRouter); each stripe
+// is an EngineShard with its own ClusterStore slice, GridIndex mirror, load
+// shedder and join executor. A round runs the same three phases as
+// ScubaEngine:
+//
+//  1. *Ingest* replays the Leader-Follower procedure serially at the
+//     coordinator, with every grid operation mirrored into the shard grids a
+//     cluster's registered circle touches (the mirror invariant in
+//     engine_shard.h) and cluster ownership assigned by stripe.
+//  2. *Join* runs one independent task per shard: the shard publishes
+//     read-only ghosts of border-crossing clusters owned by neighbors
+//     (serializer round trip — bit-exact), then scans only its own cell
+//     window. No cross-shard locking anywhere on this path; the only barrier
+//     is the fork/join around the task set. Per-shard ResultSets merge under
+//     the owner-cell dedup discipline (each pair's MinCommonCell lies in
+//     exactly one stripe), then one Normalize.
+//  3. *Post-join* computes per-cluster upkeep as one task per shard and
+//     applies dissolutions/re-registrations serially in globally ascending
+//     cid order; ownership migration (handoff) then walks the same global
+//     cid order serially, moving each cluster to the stripe owning its
+//     registered center.
+//
+// Determinism contract: for identical input streams, a ShardedEngine at any
+// (shards, join_threads) produces per-round ResultSets, join counters and
+// state hashes bit-identical to a single ScubaEngine — with one documented
+// exception: kAdaptive load shedding feeds each shard's shedder shard-local
+// memory estimates, so adaptive eta trajectories legitimately diverge.
+// kNone/kFixed shedding stay bit-identical.
+
+#ifndef SCUBA_SHARD_SHARDED_ENGINE_H_
+#define SCUBA_SHARD_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_store.h"
+#include "cluster/leader_follower.h"
+#include "common/thread_pool.h"
+#include "core/engine_snapshot.h"
+#include "core/query_processor.h"
+#include "core/scuba_options.h"
+#include "obs/telemetry.h"
+#include "shard/engine_shard.h"
+#include "shard/shard_router.h"
+
+namespace scuba {
+
+class ShardedEngine : public QueryProcessor {
+ public:
+  /// Validates options and builds a coordinator with options.shards stripes.
+  /// shards == 1 is valid (one stripe owning the whole map) and useful as the
+  /// determinism matrix's base case.
+  static Result<std::unique_ptr<ShardedEngine>> Create(
+      const ScubaOptions& options);
+
+  std::string_view name() const override { return "scuba-sharded"; }
+  Status IngestObjectUpdate(const LocationUpdate& update) override;
+  Status IngestQueryUpdate(const QueryUpdate& update) override;
+  /// Batched ingest: validated up front exactly like ScubaEngine::IngestBatch
+  /// (strict rejects the batch, quarantine drops the bad tuples), then
+  /// replayed serially in delivery order — bit-identical to the per-update
+  /// calls by construction.
+  Status IngestBatch(std::span<const LocationUpdate> objects,
+                     std::span<const QueryUpdate> queries) override;
+  Status Evaluate(Timestamp now, ResultSet* results) override;
+  size_t EstimateMemoryUsage() const override;
+
+  /// Unified stats aggregate (same shape as ScubaEngine::StatsSnapshot):
+  /// join counters are the sum over shards, shedder state is shard 0's.
+  EngineSnapshotStats StatsSnapshot() const;
+
+  const ScubaOptions& options() const { return options_; }
+  const ShardRouter& router() const { return router_; }
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  const EngineShard& shard(uint32_t s) const { return *shards_[s]; }
+  /// Coordinator store: cluster-id allocator + the paper's Objects/Queries
+  /// attr tables. Holds no clusters — those live in the shard stores.
+  const ClusterStore& meta_store() const { return meta_; }
+
+  /// Total clusters across all shard stores.
+  size_t ClusterCount() const;
+  /// All cluster ids across all shard stores, ascending (the global
+  /// enumeration the serial phases walk).
+  std::vector<ClusterId> GlobalSortedClusterIds() const;
+
+  /// Ownership migrations performed by the post-join handoff step so far.
+  uint64_t handoffs() const { return handoffs_; }
+  /// Ghost copies published across all shards so far.
+  uint64_t ghosts_published() const { return ghosts_published_; }
+  /// --rebalance=observe: recommendations issued so far, and the latest one
+  /// ("" when none yet).
+  uint64_t rebalance_recommendations() const { return recommendations_; }
+  const std::string& last_recommendation() const {
+    return last_recommendation_;
+  }
+
+  /// Observability; non-null iff options.telemetry.Enabled().
+  EngineTelemetry* telemetry() { return telemetry_.get(); }
+  Status FlushTelemetry();
+
+ private:
+  friend struct PersistAccess;
+  ShardedEngine(const ScubaOptions& options, ShardRouter router);
+
+  const EvalStats& stats() const override { return stats_; }
+
+  /// Mirror of LeaderFollowerClusterer::ProcessUpdate over the shard set:
+  /// same decision sequence, same counters, with HomeOf/GetCluster resolved
+  /// across shard stores and grid syncs fanned out to every touched stripe.
+  Status ReplayUpdate(EntityKind kind, const LocationUpdate* obj,
+                      const QueryUpdate* qry);
+
+  /// Lowest compatible cid near `position` (mirror of the clusterer's
+  /// FindCompatibleCluster; identical choice because stripe-local cell entry
+  /// sets equal the single grid's). `*owner_out` receives the owning shard.
+  ClusterId FindCompatibleCluster(Point position, double speed, NodeId dest,
+                                  EngineShard** owner_out);
+
+  /// HomeOf across all shard stores (at most one shard knows any entity).
+  ClusterId HomeOfAnywhere(EntityRef ref, EngineShard** owner_out);
+  MovingCluster* GetClusterAnywhere(ClusterId cid, EngineShard** owner_out);
+  const MovingCluster* GetClusterAnywhere(ClusterId cid) const;
+  bool AnyGridContains(ClusterId cid) const;
+
+  /// Mirror of SyncClusterGrid against the union of shard grids: plans with
+  /// the exact single-engine float semantics, then registers the padded
+  /// circle in every stripe it touches and removes it from the rest.
+  Status SyncAllGrids(MovingCluster* cluster);
+  /// Applies a planned registration: Insert/Update in touched stripes,
+  /// Remove elsewhere.
+  Status ApplyRegistration(ClusterId cid, const Circle& padded);
+  Status RemoveFromAllGrids(ClusterId cid);
+
+  /// The shard owning a fresh/migrated cluster: the stripe containing its
+  /// registered circle's center (always one of its registered cells).
+  EngineShard* OwnerShardFor(const MovingCluster& cluster) {
+    return shards_[router_.ShardOfPoint(cluster.registered_bounds().center)]
+        .get();
+  }
+
+  /// One shard's join task: rebuild ghosts, run the scoped join over the
+  /// stripe's cell window. Reads neighbor stores (immutable during the join
+  /// phase), writes only shard-local state.
+  Status RunShardJoin(EngineShard& shard);
+
+  /// Phase 3 across shards: per-shard parallel upkeep compute, serial
+  /// cid-ordered apply, serial cid-ordered ownership handoff, per-shard
+  /// shedder feedback.
+  Status PostJoinMaintenance(Timestamp now, double* worker_seconds);
+  Status SplitOversizedClusters();
+  Status MigrateOwnership();
+
+  /// --rebalance=observe: compares per-shard load (join comparisons, falling
+  /// back to cluster counts) and logs a recommended stripe split when the
+  /// max/mean imbalance exceeds the threshold.
+  void ObserveBalance();
+
+  ThreadPool* JoinPool();
+  void InstallTelemetry(std::unique_ptr<EngineTelemetry> telemetry);
+  void PushTelemetryDeltas();
+  void TelemetryEnsureRound() {
+    if (telemetry_ != nullptr) telemetry_->EnsureRound(stats_.evaluations + 1);
+  }
+
+  ScubaOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  /// Id allocator + attr tables only; never holds clusters.
+  ClusterStore meta_;
+  EvalStats stats_;
+  ScubaPhaseStats phase_stats_;
+  ClustererStats clusterer_stats_;
+  uint32_t resolved_join_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  double pending_prejoin_seconds_ = 0.0;
+  double pending_prejoin_worker_seconds_ = 0.0;
+  double last_handoff_seconds_ = 0.0;
+  uint64_t handoffs_ = 0;
+  uint64_t ghosts_published_ = 0;
+  uint64_t recommendations_ = 0;
+  std::string last_recommendation_;
+
+  /// Scratch buffers reused across grid mirror operations.
+  std::vector<uint32_t> scratch_cells_;
+  std::vector<char> scratch_touched_;
+
+  std::unique_ptr<EngineTelemetry> telemetry_;
+  struct ShardMetrics {
+    Counter rounds;
+    Counter results;
+    Counter join_comparisons;
+    Counter handoffs;
+    Counter ghosts;
+    Counter recommendations;
+    Gauge clusters;
+    Gauge shards;
+  } metrics_;
+  struct TelemetryBaseline {
+    uint64_t rounds = 0;
+    uint64_t results = 0;
+    uint64_t comparisons = 0;
+    uint64_t handoffs = 0;
+    uint64_t ghosts = 0;
+    uint64_t recommendations = 0;
+  } pushed_;
+};
+
+/// EngineStateHash for the sharded engine: same hash, same byte layout as the
+/// single-engine overload (persist/snapshot.h), assembled from the meta store
+/// and the per-shard stores/grids. Equal hashes across shard counts are the
+/// determinism matrix's acceptance bar.
+uint64_t EngineStateHash(const ShardedEngine& engine);
+
+}  // namespace scuba
+
+#endif  // SCUBA_SHARD_SHARDED_ENGINE_H_

@@ -226,5 +226,28 @@ TEST_P(GridIndexPropertyTest, CollectMatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexPropertyTest,
                          ::testing::Values(101, 202, 303));
 
+TEST(GridIndexTest, GenerationCountsEveryMutation) {
+  GridIndex grid = GridIndex::Create(Rect{0, 0, 1000, 1000}, 10).value();
+  EXPECT_EQ(grid.generation(), 0u);
+  ASSERT_TRUE(grid.Insert(1, Point{100, 100}).ok());
+  const uint64_t after_insert = grid.generation();
+  EXPECT_GT(after_insert, 0u);
+  // Update re-places the key: the generation must advance (consumers caching
+  // FlattenEntries snapshots key on it).
+  ASSERT_TRUE(grid.Update(1, Point{900, 900}).ok());
+  const uint64_t after_update = grid.generation();
+  EXPECT_GT(after_update, after_insert);
+  ASSERT_TRUE(grid.Remove(1).ok());
+  const uint64_t after_remove = grid.generation();
+  EXPECT_GT(after_remove, after_update);
+  // Reads leave the generation alone.
+  std::vector<uint32_t> offsets, entries;
+  grid.FlattenEntries(&offsets, &entries);
+  (void)grid.CellEntries(0);
+  EXPECT_EQ(grid.generation(), after_remove);
+  grid.Clear();
+  EXPECT_GT(grid.generation(), after_remove);
+}
+
 }  // namespace
 }  // namespace scuba

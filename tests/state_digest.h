@@ -1,8 +1,11 @@
 // Bit-exact textual digest of all cluster/grid state reachable from a
-// ScubaEngine, shared by the determinism tests (parallel ingest, fault
-// injection). Two engines with equal digests are indistinguishable to every
-// later round: every cluster field, member order included, plus the grid
-// registration, serialized with hex-float formatting.
+// ScubaEngine or ShardedEngine, shared by the determinism tests (parallel
+// ingest, fault injection, shard matrix). Two engines with equal digests are
+// indistinguishable to every later round: every cluster field, member order
+// included, plus the grid registration, serialized with hex-float
+// formatting. The sharded digest reads each cluster's cells from its owning
+// shard's grid, so equal digests prove the mirror registration matches the
+// single grid cell for cell.
 
 #ifndef SCUBA_TESTS_STATE_DIGEST_H_
 #define SCUBA_TESTS_STATE_DIGEST_H_
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "core/scuba_engine.h"
+#include "shard/sharded_engine.h"
 
 namespace scuba {
 
@@ -24,12 +28,48 @@ inline void AppendDouble(std::string* out, double v) {
   *out += buf;
 }
 
+inline void AppendClusterDigest(std::string* out, const MovingCluster* c,
+                                const std::vector<uint32_t>* cells);
+
 inline std::string StateDigest(const ScubaEngine& engine) {
   std::string d;
   const ClusterStore& store = engine.store();
   EXPECT_TRUE(store.ValidateConsistency().ok());
   for (ClusterId cid : store.SortedClusterIds()) {
-    const MovingCluster* c = store.GetCluster(cid);
+    AppendClusterDigest(&d, store.GetCluster(cid),
+                        engine.cluster_grid().CellsOf(cid));
+  }
+  return d;
+}
+
+/// Same digest over the shard set: clusters in global cid order, cells taken
+/// from the owning shard's grid (every registering shard holds the full cell
+/// list, so any would do — the owner always registers its own clusters).
+inline std::string StateDigest(const ShardedEngine& engine) {
+  std::string d;
+  for (uint32_t s = 0; s < engine.shard_count(); ++s) {
+    EXPECT_TRUE(engine.shard(s).store.ValidateConsistency().ok());
+  }
+  for (ClusterId cid : engine.GlobalSortedClusterIds()) {
+    const MovingCluster* cluster = nullptr;
+    const std::vector<uint32_t>* cells = nullptr;
+    for (uint32_t s = 0; s < engine.shard_count(); ++s) {
+      cluster = engine.shard(s).store.GetCluster(cid);
+      if (cluster != nullptr) {
+        cells = engine.shard(s).grid.CellsOf(cid);
+        break;
+      }
+    }
+    AppendClusterDigest(&d, cluster, cells);
+  }
+  return d;
+}
+
+inline void AppendClusterDigest(std::string* out, const MovingCluster* c,
+                                const std::vector<uint32_t>* cells) {
+  std::string& d = *out;
+  {
+    const ClusterId cid = c->cid();
     d += "c" + std::to_string(cid) + ":";
     AppendDouble(&d, c->centroid().x);
     AppendDouble(&d, c->centroid().y);
@@ -63,7 +103,6 @@ inline std::string StateDigest(const ScubaEngine& engine) {
            (m.shed ? ",s" : ",-");
       AppendDouble(&d, m.approx_radius);
     }
-    const std::vector<uint32_t>* cells = engine.cluster_grid().CellsOf(cid);
     EXPECT_NE(cells, nullptr);
     std::vector<uint32_t> sorted = *cells;
     std::sort(sorted.begin(), sorted.end());
@@ -71,7 +110,6 @@ inline std::string StateDigest(const ScubaEngine& engine) {
     for (uint32_t cell : sorted) d += std::to_string(cell) + ".";
     d += ";";
   }
-  return d;
 }
 
 }  // namespace scuba

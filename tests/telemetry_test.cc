@@ -331,7 +331,7 @@ TEST(TelemetryTest, MetricsAndTraceFilesValidateAgainstSchema) {
     const std::string kind = FieldValue(lines[i], "kind");
     if (i == 0) {
       EXPECT_EQ(kind, "meta");
-      EXPECT_EQ(FieldValue(lines[i], "schema_version"), "1");
+      EXPECT_EQ(FieldValue(lines[i], "schema_version"), "2");
       EXPECT_EQ(FieldValue(lines[i], "stream"), "metrics");
     } else if (i + 1 == lines.size()) {
       EXPECT_EQ(kind, "exposition");
@@ -480,32 +480,6 @@ TEST(TelemetryTest, OpenFailureSurfacesAtCreate) {
   Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
   EXPECT_FALSE(engine.ok());
 }
-
-// The four legacy accessors stay functional during the deprecation window
-// (docs/ARCHITECTURE.md §9); this is the one sanctioned use outside shims.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(TelemetryTest, DeprecatedAccessorsMatchSnapshot) {
-  std::unique_ptr<ScubaEngine> engine =
-      std::move(ScubaEngine::Create({}).value());
-  const std::vector<Round> rounds = MakeRounds(53, 2);
-  Timestamp now = 0;
-  for (const Round& round : rounds) {
-    now += 2;
-    ASSERT_TRUE(engine->IngestBatch(round.objects, round.queries).ok());
-    ResultSet results;
-    ASSERT_TRUE(engine->Evaluate(now, &results).ok());
-  }
-  const EngineSnapshotStats snapshot = engine->StatsSnapshot();
-  EXPECT_EQ(engine->stats().evaluations, snapshot.eval.evaluations);
-  EXPECT_EQ(engine->stats().total_results, snapshot.eval.total_results);
-  EXPECT_EQ(engine->phase_stats().clusters_dissolved_expired,
-            snapshot.phase.clusters_dissolved_expired);
-  EXPECT_EQ(engine->clusterer_stats().clusters_created,
-            snapshot.clusterer.clusters_created);
-  EXPECT_EQ(engine->join_counters().pairs_tested, snapshot.join.pairs_tested);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace scuba

@@ -2,11 +2,19 @@
 """Validate SCUBA telemetry JSONL output (docs/ARCHITECTURE.md §9).
 
 Checks a --metrics-out / --trace-out pair produced by scuba_cli or the
-benches against the v1 schema: every line must parse, carry only known
+benches against the v2 schema: every line must parse, carry only known
 keys, and keep the per-round invariants (monotone rounds, monotone counter
 totals, finite non-negative timings, well-formed span trees). Optionally
 gates the telemetry overhead measured by bench_parallel_scaling and writes
 a machine-readable summary (BENCH_telemetry.json).
+
+v1 -> v2 migration: line shapes are unchanged; v2 adds the sharded engine's
+surface — per-shard "engine_shard" spans under "join" (indexed by shard id),
+a root-level "handoff" span, the scuba_shard_handoffs_total /
+scuba_shard_ghosts_total / scuba_rebalance_recommendations_total counters
+and the scuba_shards gauge. This checker now also pins the span-name
+universe (unknown span names fail) and validates the shard-level spans and
+counters; v1 files fail only on their schema_version field.
 
 Exit code 0 = all checks passed, 1 = validation failure.
 """
@@ -16,7 +24,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 META_KEYS = {"schema_version", "kind", "stream", "engine"}
 ROUND_METRICS_KEYS = {"schema_version", "kind", "round", "metrics"}
@@ -31,6 +39,24 @@ SPAN_KEYS = {"id", "name", "parent", "wall_seconds", "count", "index",
              "worker_seconds"}
 SPAN_REQUIRED = {"id", "name", "parent", "wall_seconds", "count"}
 JOIN_KEYS = {"shards", "imbalance"}
+
+# The complete span-name universe emitted by the engines (v2). "shard" is the
+# single engine's per-task join span; "engine_shard" and "handoff" belong to
+# the sharded engine.
+KNOWN_SPAN_NAMES = {
+    "round", "ingest", "classify", "apply", "join", "between", "within",
+    "shard", "engine_shard", "postjoin", "tighten", "shed", "expire",
+    "translate", "handoff", "checkpoint", "wal", "snapshot",
+}
+# Per-shard spans must be indexed (the shard id) so consumers can attribute
+# load; their parent must be the phase span named here.
+INDEXED_SPAN_PARENT = {"shard": "join", "engine_shard": "join"}
+# Sharded-engine counters (v2): any of these present => the scuba_shards
+# gauge must appear too, so per-shard rates can be normalized.
+SHARD_COUNTER_NAMES = {
+    "scuba_shard_handoffs_total", "scuba_shard_ghosts_total",
+    "scuba_rebalance_recommendations_total",
+}
 
 
 class CheckFailure(Exception):
@@ -138,6 +164,12 @@ def check_metrics_file(path):
                 check_keys(path, line_no, entry, GAUGE_KEYS, "gauge")
                 check_finite(path, line_no, entry.get("value"),
                              f"{name}: gauge value")
+                if name == "scuba_shards":
+                    value = entry.get("value")
+                    if value != int(value) or value < 1:
+                        fail(path, line_no,
+                             f"scuba_shards must be a positive integer, "
+                             f"got {value!r}")
             elif kind == "histogram":
                 check_keys(path, line_no, entry, HISTOGRAM_KEYS, "histogram")
                 delta_count = entry.get("delta_count")
@@ -160,6 +192,11 @@ def check_metrics_file(path):
                 fail(path, line_no, f"{name}: unknown metric kind {kind!r}")
     if rounds == 0:
         fail(path, 0, "metrics file contains no round lines")
+    shard_counters = metric_names & SHARD_COUNTER_NAMES
+    if shard_counters and "scuba_shards" not in metric_names:
+        fail(path, 0,
+             f"shard counters {sorted(shard_counters)} present but the "
+             "scuba_shards gauge never appeared")
     return {"rounds": rounds, "metric_names": sorted(metric_names)}
 
 
@@ -188,13 +225,27 @@ def check_trace_file(path):
             if span["id"] != pos:
                 fail(path, line_no,
                      f"span id {span['id']} != position {pos}")
+            name = span["name"]
+            if name not in KNOWN_SPAN_NAMES:
+                fail(path, line_no, f"unknown span name {name!r}")
             parent = span["parent"]
             if pos == 0:
-                if span["name"] != "round" or parent != -1:
+                if name != "round" or parent != -1:
                     fail(path, line_no, "first span must be the 'round' root")
             elif not 0 <= parent < pos:
                 fail(path, line_no,
-                     f"span {span['name']!r} parent {parent} must precede it")
+                     f"span {name!r} parent {parent} must precede it")
+            if name in INDEXED_SPAN_PARENT:
+                if "index" not in span or not isinstance(span["index"], int) \
+                        or span["index"] < 0:
+                    fail(path, line_no,
+                         f"per-shard span {name!r} must carry a non-negative "
+                         "integer index")
+                want_parent = INDEXED_SPAN_PARENT[name]
+                if spans[parent]["name"] != want_parent:
+                    fail(path, line_no,
+                         f"span {name!r} parent is "
+                         f"{spans[parent]['name']!r}, want {want_parent!r}")
             check_timing(path, line_no, span["wall_seconds"],
                          f"span {span['name']!r} wall_seconds")
             if "worker_seconds" in span:

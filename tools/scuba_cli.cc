@@ -54,6 +54,7 @@
 #include "persist/crash.h"
 #include "persist/durability.h"
 #include "persist/snapshot.h"
+#include "shard/sharded_engine.h"
 #include "stream/fault_injector.h"
 #include "stream/pipeline.h"
 #include "stream/update_validator.h"
@@ -235,8 +236,9 @@ Result<Trace> LoadTrace(const std::string& path) {
 /// durable commands MUST rebuild the engine with the same options the run
 /// that wrote the directory used — the snapshot's options fingerprint
 /// enforces it — so they all read the same flags through this one helper.
-ScubaOptions ScubaOptionsFromFlags(const Flags& flags, const Rect& region,
-                                   BadUpdatePolicy policy) {
+Result<ScubaOptions> ScubaOptionsFromFlags(const Flags& flags,
+                                           const Rect& region,
+                                           BadUpdatePolicy policy) {
   ScubaOptions opt;
   opt.region = region;
   opt.grid_cells = static_cast<uint32_t>(flags.GetInt("grid-cells", 100));
@@ -247,6 +249,13 @@ ScubaOptions ScubaOptionsFromFlags(const Flags& flags, const Rect& region,
   opt.join_threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
   opt.ingest_threads =
       static_cast<uint32_t>(flags.GetInt("ingest-threads", 1));
+  // Sharding (docs/ARCHITECTURE.md §11). Bit-identical to --shards 1, so the
+  // snapshot options fingerprint excludes both flags.
+  opt.shards = static_cast<uint32_t>(flags.GetInt("shards", 1));
+  Result<RebalanceMode> rebalance =
+      ParseRebalanceMode(flags.GetString("rebalance", "off"));
+  if (!rebalance.ok()) return rebalance.status();
+  opt.rebalance = *rebalance;
   opt.on_bad_update = policy;
   opt.audit_every_n_rounds =
       static_cast<uint32_t>(flags.GetInt("audit-every", 0));
@@ -333,13 +342,22 @@ int CmdRun(const Flags& flags) {
   UpdateValidator* screen =
       *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
 
-  const ScubaOptions scuba_opt = ScubaOptionsFromFlags(flags, region, *policy);
+  Result<ScubaOptions> scuba_opt_result =
+      ScubaOptionsFromFlags(flags, region, *policy);
+  if (!scuba_opt_result.ok()) return Fail(scuba_opt_result.status());
+  const ScubaOptions scuba_opt = *scuba_opt_result;
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
   std::unique_ptr<QueryProcessor> engine;
   ScubaEngine* scuba_engine = nullptr;
-  if (engine_name == "scuba") {
+  ShardedEngine* sharded_engine = nullptr;
+  if (engine_name == "scuba" && scuba_opt.shards > 1) {
+    Result<std::unique_ptr<ShardedEngine>> e = ShardedEngine::Create(scuba_opt);
+    if (!e.ok()) return Fail(e.status());
+    sharded_engine = e->get();
+    engine = std::move(e).value();
+  } else if (engine_name == "scuba") {
     Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create(scuba_opt);
     if (!e.ok()) return Fail(e.status());
     scuba_engine = e->get();
@@ -360,6 +378,11 @@ int CmdRun(const Flags& flags) {
 
   std::unique_ptr<DurabilityManager> durability;
   if (!durable_dir.empty()) {
+    if (sharded_engine != nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--durable-dir does not support --shards > 1 (the sharded engine "
+          "has no checkpoint/restore surface yet)"));
+    }
     if (scuba_engine == nullptr) {
       return Fail(Status::InvalidArgument(
           "--durable-dir requires --engine scuba (snapshots cover SCUBA "
@@ -400,9 +423,28 @@ int CmdRun(const Flags& flags) {
   if (scuba_engine != nullptr) {
     if (Status ft = scuba_engine->FlushTelemetry(); !ft.ok()) return Fail(ft);
   }
+  if (sharded_engine != nullptr) {
+    if (Status ft = sharded_engine->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  }
   std::printf("%s\n", FormatStats(engine->name(), engine->stats()).c_str());
   std::printf("memory: %s\n", FormatBytes(engine->EstimateMemoryUsage()).c_str());
   if (scuba_engine != nullptr) PrintStateHash(*scuba_engine);
+  if (sharded_engine != nullptr) {
+    std::printf("shards: %u  handoffs: %llu  ghosts: %llu\n",
+                sharded_engine->shard_count(),
+                static_cast<unsigned long long>(sharded_engine->handoffs()),
+                static_cast<unsigned long long>(
+                    sharded_engine->ghosts_published()));
+    if (sharded_engine->rebalance_recommendations() > 0) {
+      std::printf("rebalance: %llu recommendation(s); last: %s\n",
+                  static_cast<unsigned long long>(
+                      sharded_engine->rebalance_recommendations()),
+                  sharded_engine->last_recommendation().c_str());
+    }
+    std::printf("state-hash: %016llx\n",
+                static_cast<unsigned long long>(
+                    EngineStateHash(*sharded_engine)));
+  }
   if (screen != nullptr) {
     std::printf("validator: %s\n", screen->FormatStats().c_str());
     const QuarantineLog& log = screen->quarantine();
@@ -440,7 +482,15 @@ int CmdCheckpoint(const Flags& flags) {
   vconfig.policy = *policy;
   Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
   if (!region.ok()) return Fail(region.status());
-  const ScubaOptions opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  Result<ScubaOptions> opt_result =
+      ScubaOptionsFromFlags(flags, *region, *policy);
+  if (!opt_result.ok()) return Fail(opt_result.status());
+  const ScubaOptions opt = *opt_result;
+  if (opt.shards > 1) {
+    return Fail(Status::InvalidArgument(
+        "durable commands do not support --shards > 1 (the sharded engine "
+        "has no checkpoint/restore surface yet)"));
+  }
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
@@ -484,7 +534,15 @@ int CmdRestore(const Flags& flags) {
   vconfig.policy = *policy;
   Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
   if (!region.ok()) return Fail(region.status());
-  const ScubaOptions opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  Result<ScubaOptions> opt_result =
+      ScubaOptionsFromFlags(flags, *region, *policy);
+  if (!opt_result.ok()) return Fail(opt_result.status());
+  const ScubaOptions opt = *opt_result;
+  if (opt.shards > 1) {
+    return Fail(Status::InvalidArgument(
+        "durable commands do not support --shards > 1 (the sharded engine "
+        "has no checkpoint/restore surface yet)"));
+  }
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
@@ -523,7 +581,15 @@ int CmdRecover(const Flags& flags) {
   vconfig.policy = *policy;
   Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
   if (!region.ok()) return Fail(region.status());
-  const ScubaOptions opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  Result<ScubaOptions> opt_result =
+      ScubaOptionsFromFlags(flags, *region, *policy);
+  if (!opt_result.ok()) return Fail(opt_result.status());
+  const ScubaOptions opt = *opt_result;
+  if (opt.shards > 1) {
+    return Fail(Status::InvalidArgument(
+        "durable commands do not support --shards > 1 (the sharded engine "
+        "has no checkpoint/restore surface yet)"));
+  }
   Result<CrashInjector> crash = CrashInjectorFromFlags(flags);
   if (!crash.ok()) return Fail(crash.status());
   Status consumed = flags.CheckAllConsumed();
@@ -699,6 +765,7 @@ int Usage() {
       "  run             --trace FILE [--engine scuba|grid|naive --delta N\n"
       "                  --grid-cells N --theta-d F --theta-s F --eta F\n"
       "                  --threads N (0 = all cores) --ingest-threads N\n"
+      "                  --shards N --rebalance off|observe\n"
       "                  --splitting --quiet --csv FILE --map FILE\n"
       "                  --on-bad-update strict|quarantine|repair\n"
       "                  --audit-every N --durable-dir DIR\n"
@@ -721,7 +788,10 @@ int Usage() {
       "after-snapshot-write after-wal-prune\n"
       "--metrics-out / --trace-out (scuba engine only) append one JSON line\n"
       "per round: metric deltas and phase span trees; metrics ends with a\n"
-      "Prometheus exposition line. Telemetry never changes results.\n");
+      "Prometheus exposition line. Telemetry never changes results.\n"
+      "--shards N > 1 runs the round over N row-stripe engine shards with\n"
+      "bit-identical results; --rebalance observe logs stripe-split\n"
+      "recommendations on skew. Sharded runs do not take --durable-dir.\n");
   return 1;
 }
 
