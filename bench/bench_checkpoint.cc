@@ -17,6 +17,8 @@
 #include "common/stopwatch.h"
 #include "persist/durability.h"
 #include "persist/snapshot.h"
+#include "shard/shard_durability.h"
+#include "shard/sharded_engine.h"
 #include "stream/pipeline.h"
 
 namespace scuba::bench {
@@ -82,6 +84,46 @@ DurableOutcome RunDurable(const ExperimentData& data, const std::string& dir,
   return out;
 }
 
+/// The sharded twin of RunDurable: same trace, same policy, one WAL chain
+/// per shard under manifest-committed checkpoints.
+DurableOutcome RunShardedDurable(const ExperimentData& data,
+                                 const std::string& dir,
+                                 const CheckpointPolicy& policy,
+                                 uint32_t shards) {
+  ScubaOptions options = MakeOptions(data, policy);
+  options.shards = shards;
+  Result<std::unique_ptr<ShardedEngine>> engine =
+      ShardedEngine::Create(options);
+  SCUBA_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+  Result<std::unique_ptr<ShardedDurabilityManager>> durability =
+      ShardedDurabilityManager::Open(dir, policy, engine->get(),
+                                     /*validator=*/nullptr, /*rng=*/nullptr,
+                                     /*crash=*/nullptr);
+  SCUBA_CHECK_MSG(durability.ok(), durability.status().ToString().c_str());
+
+  DurableOutcome out;
+  ResultSink sink = [&out](Timestamp, const ResultSet& results) {
+    out.total_results += results.size();
+  };
+  Stopwatch watch;
+  Status run = ReplayTrace(data.trace, engine->get(), /*delta=*/2, sink,
+                           /*validator=*/nullptr, durability->get());
+  out.wall_seconds = watch.ElapsedSeconds();
+  SCUBA_CHECK_MSG(run.ok(), run.ToString().c_str());
+
+  const EvalStats stats = (*engine)->StatsSnapshot().eval;
+  out.wal_records = stats.wal_records_appended;
+  out.wal_bytes = stats.wal_bytes_appended;
+  out.wal_fsyncs = stats.wal_fsyncs;
+  out.checkpoints_written = stats.checkpoints_written;
+  out.last_checkpoint_bytes = stats.last_checkpoint_bytes;
+  out.last_checkpoint_seconds = stats.last_checkpoint_seconds;
+  out.total_checkpoint_seconds = stats.total_checkpoint_seconds;
+  out.state_hash = EngineStateHash(**engine);
+  out.clusters = (*engine)->ClusterCount();
+  return out;
+}
+
 int Main() {
   PrintBanner("checkpoint",
               "durability overhead: WAL append, snapshot write/restore, "
@@ -95,6 +137,7 @@ int Main() {
   fs::remove_all(root, ec);
   const std::string wal_dir = (root / "wal-only").string();
   const std::string ckpt_dir = (root / "checkpointed").string();
+  const std::string sharded_dir = (root / "sharded").string();
 
   // 1. Baseline: the identical replay with durability disabled.
   BenchOutcome base = RunScuba(data, /*delta=*/2);
@@ -135,6 +178,27 @@ int Main() {
   SCUBA_CHECK_MSG(ckpt.total_results == base.total_results,
                   "checkpointing must not change the answer");
   SCUBA_CHECK_MSG(ckpt.checkpoints_written > 0, "no snapshots were written");
+
+  // 3b. Sharded durability: the same policy over 4 shards — one WAL chain
+  // per shard, manifest-committed generations. Same answer, same state hash
+  // as the single-engine run (the sharded determinism contract).
+  constexpr uint32_t kBenchShards = 4;
+  DurableOutcome sharded =
+      RunShardedDurable(data, sharded_dir, ckpt_policy, kBenchShards);
+  double sharded_overhead_pct =
+      base.wall_seconds > 0.0
+          ? (sharded.wall_seconds / base.wall_seconds - 1.0) * 100.0
+          : 0.0;
+  std::printf("%-14s %10.4f %11.1f%% %14llu %12llu\n", "sharded(4)",
+              sharded.wall_seconds, sharded_overhead_pct,
+              static_cast<unsigned long long>(sharded.wal_bytes),
+              static_cast<unsigned long long>(sharded.checkpoints_written));
+  SCUBA_CHECK_MSG(sharded.total_results == base.total_results,
+                  "sharded durability must not change the answer");
+  SCUBA_CHECK_MSG(sharded.state_hash == ckpt.state_hash,
+                  "sharded durable run diverged from the single-engine run");
+  SCUBA_CHECK_MSG(sharded.checkpoints_written > 0,
+                  "sharded run wrote no checkpoint generations");
 
   // 4. Cold restore of the newest snapshot into a fresh engine.
   ScubaOptions restore_options = MakeOptions(data, ckpt_policy);
@@ -184,6 +248,30 @@ int Main() {
               static_cast<unsigned long long>(report->rounds_replayed),
               recover_seconds, records_per_second);
 
+  // 6. Sharded recovery: newest committed generation + cross-chain WAL
+  // merge, restored into a DIFFERENT shard count to price re-partition.
+  ScubaOptions sharded_recover_options = MakeOptions(data, ckpt_policy);
+  sharded_recover_options.shards = 2;
+  Result<std::unique_ptr<ShardedEngine>> sharded_recovered =
+      ShardedEngine::Create(sharded_recover_options);
+  SCUBA_CHECK_MSG(sharded_recovered.ok(),
+                  sharded_recovered.status().ToString().c_str());
+  Stopwatch sharded_recover_watch;
+  Result<ShardedRecoveryReport> sharded_report = RecoverShardedEngine(
+      sharded_dir, sharded_recovered->get(), /*validator=*/nullptr,
+      /*rng=*/nullptr);
+  const double sharded_recover_seconds =
+      sharded_recover_watch.ElapsedSeconds();
+  SCUBA_CHECK_MSG(sharded_report.ok(),
+                  sharded_report.status().ToString().c_str());
+  SCUBA_CHECK_MSG(EngineStateHash(**sharded_recovered) == sharded.state_hash,
+                  "sharded recovery (4 -> 2 shards) diverged");
+  std::printf("sharded recovery (4 -> 2 shards): generation %llu + %llu "
+              "batches in %.4fs, state hash ok\n",
+              static_cast<unsigned long long>(sharded_report->generation),
+              static_cast<unsigned long long>(sharded_report->batches_replayed),
+              sharded_recover_seconds);
+
   const char* path = "BENCH_checkpoint.json";
   std::FILE* json = std::fopen(path, "w");
   SCUBA_CHECK_MSG(json != nullptr, "cannot open BENCH_checkpoint.json");
@@ -212,6 +300,17 @@ int Main() {
       static_cast<unsigned long long>(ckpt.checkpoints_written),
       static_cast<unsigned long long>(ckpt.last_checkpoint_bytes),
       ckpt.last_checkpoint_seconds, ckpt.total_checkpoint_seconds);
+  std::fprintf(
+      json,
+      "  \"sharded\": {\"shards\": %u, \"wall_seconds\": %.6f, "
+      "\"overhead_pct\": %.2f, \"wal_bytes\": %llu, \"fsyncs\": %llu, "
+      "\"checkpoints\": %llu, \"recover_seconds\": %.6f, "
+      "\"recover_shards\": 2},\n",
+      kBenchShards, sharded.wall_seconds, sharded_overhead_pct,
+      static_cast<unsigned long long>(sharded.wal_bytes),
+      static_cast<unsigned long long>(sharded.wal_fsyncs),
+      static_cast<unsigned long long>(sharded.checkpoints_written),
+      sharded_recover_seconds);
   std::fprintf(json,
                "  \"restore\": {\"seconds\": %.6f, \"clusters\": %zu},\n",
                restore_seconds, (*restored)->ClusterCount());

@@ -22,6 +22,22 @@ std::string_view CrashPointName(CrashPoint point) {
       return "after-snapshot-write";
     case CrashPoint::kAfterWalPrune:
       return "after-wal-prune";
+    case CrashPoint::kMidShardSnapshotWrite:
+      return "mid-shard-snapshot-write";
+    case CrashPoint::kBetweenShardSnapshots:
+      return "between-shard-snapshots";
+    case CrashPoint::kBeforeManifestRename:
+      return "before-manifest-rename";
+    case CrashPoint::kTornManifestRename:
+      return "torn-manifest-rename";
+    case CrashPoint::kAfterManifestRename:
+      return "after-manifest-rename";
+    case CrashPoint::kMidShardWalAppend:
+      return "mid-shard-wal-append";
+    case CrashPoint::kBetweenShardWalAppends:
+      return "between-shard-wal-appends";
+    case CrashPoint::kMidManifestPrune:
+      return "mid-manifest-prune";
   }
   return "unknown";
 }

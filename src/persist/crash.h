@@ -49,9 +49,41 @@ enum class CrashPoint : uint8_t {
   kAfterSnapshotWrite,
   /// After pruning completes (the checkpoint is fully finished).
   kAfterWalPrune,
+  // --- Sharded durability points (docs/ARCHITECTURE.md §12). ---
+  /// Mid-write of one shard's snapshot: a partial temp file in that shard's
+  /// directory, no final file, no manifest — the previous generation stays
+  /// the recovery base.
+  kMidShardSnapshotWrite,
+  /// Between two shard snapshot writes: some shards hold the new
+  /// generation's snapshot, others do not. No manifest references the new
+  /// files, so they are orphans until the next successful checkpoint prunes
+  /// them. Never fires at shards == 1.
+  kBetweenShardSnapshots,
+  /// Every shard snapshot is durable but the manifest was never published
+  /// (only its temp file exists): the previous generation remains committed.
+  kBeforeManifestRename,
+  /// A torn manifest publish: the final manifest name exists but holds a
+  /// truncated payload; its CRC cannot match and recovery must fall back a
+  /// generation.
+  kTornManifestRename,
+  /// The new manifest is durable — the generation is committed — but the
+  /// prune step never ran: older generations and covered WAL segments linger.
+  kAfterManifestRename,
+  /// Mid-append of one per-shard WAL chain record: that chain ends in a torn
+  /// tail while earlier chains already hold the batch's sub-record. The
+  /// batch is incomplete across chains and recovery discards it (it was
+  /// never acknowledged).
+  kMidShardWalAppend,
+  /// Between two chains' appends of the same batch: chains 0..s hold the
+  /// sub-record intact, chains s+1.. have nothing. Same incomplete-batch
+  /// residue, no torn bytes. Never fires at shards == 1.
+  kBetweenShardWalAppends,
+  /// Mid-prune after a committed manifest: obsolete manifests are gone but
+  /// unreferenced shard snapshots / covered WAL segments survive as orphans.
+  kMidManifestPrune,
 };
 
-inline constexpr size_t kCrashPointCount = 9;
+inline constexpr size_t kCrashPointCount = 17;
 
 /// Stable kebab-case name ("mid-wal-append", ...).
 std::string_view CrashPointName(CrashPoint point);

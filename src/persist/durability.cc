@@ -162,6 +162,39 @@ std::string RecoveryReport::ToString() const {
   return out.str();
 }
 
+std::string RecoveryReport::ToJson() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "{\"snapshot_path\":\"" << escape(snapshot_path) << "\""
+      << ",\"snapshot_seq\":" << snapshot_seq
+      << ",\"snapshot_rounds\":" << snapshot_rounds
+      << ",\"records_replayed\":" << records_replayed
+      << ",\"rounds_replayed\":" << rounds_replayed
+      << ",\"next_seq\":" << next_seq
+      << ",\"wal_torn_tail\":" << (wal_torn_tail ? "true" : "false")
+      << ",\"data_loss\":[";
+  for (size_t i = 0; i < data_loss.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << escape(data_loss[i]) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
 Result<RecoveryReport> RecoverEngine(const std::string& dir,
                                      ScubaEngine* engine,
                                      UpdateValidator* validator, Rng* rng,

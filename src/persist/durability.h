@@ -108,6 +108,8 @@ struct RecoveryReport {
   std::vector<std::string> data_loss;
 
   std::string ToString() const;
+  /// One JSON object (stable key order) for `scuba_cli recover --json`.
+  std::string ToJson() const;
 };
 
 /// Rebuilds `engine` (and optionally `validator` / `rng`) from `dir`:

@@ -13,6 +13,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "persist/fsio.h"
 
 namespace scuba {
 
@@ -132,51 +133,6 @@ void PutAttrTable(ByteWriter* w, const std::unordered_map<Id, uint64_t>& t) {
     w->PutU32(id);
     w->PutU64(attrs);
   }
-}
-
-/// Writes `data` to `path` (create/truncate), then fdatasync. IoError with
-/// errno text on failure. `length` caps the bytes written (torn-write
-/// simulation); npos writes everything.
-Status WriteFileDurably(const std::string& path, const std::string& data,
-                        size_t length = std::string::npos) {
-  const size_t n = std::min(length, data.size());
-  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) {
-    return Status::IoError("open " + path + ": " + std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < n) {
-    ssize_t rc = ::write(fd, data.data() + written, n - written);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      Status s = Status::IoError("write " + path + ": " + std::strerror(errno));
-      ::close(fd);
-      return s;
-    }
-    written += static_cast<size_t>(rc);
-  }
-  if (::fdatasync(fd) != 0) {
-    Status s = Status::IoError("fdatasync " + path + ": " + std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  ::close(fd);
-  return Status::OK();
-}
-
-/// fsync on a directory, making renames/creations within it durable.
-Status SyncDirectory(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
-  }
-  if (::fsync(fd) != 0 && errno != EINVAL) {  // EINVAL: fs without dir fsync
-    Status s = Status::IoError("fsync dir " + dir + ": " + std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  ::close(fd);
-  return Status::OK();
 }
 
 }  // namespace
@@ -599,6 +555,14 @@ void PersistAccess::NoteAdmitted(UpdateValidator* v, EntityKind kind,
 }
 
 EvalStats* PersistAccess::MutableStats(ScubaEngine* e) { return &e->stats_; }
+
+void PersistAccess::SaveEvalStats(const EvalStats& stats, ByteWriter* w) {
+  PutEvalStats(w, stats);
+}
+
+Status PersistAccess::LoadEvalStats(ByteReader* r, EvalStats* stats) {
+  return GetEvalStats(r, stats);
+}
 
 std::string SerializeEngineSnapshot(const ScubaEngine& engine,
                                     uint64_t wal_next_seq,

@@ -39,6 +39,8 @@
 
 namespace scuba {
 
+class ShardedEngine;  // src/shard; persist never links it.
+
 /// Descriptive header fields of a snapshot payload.
 struct SnapshotMeta {
   uint64_t options_fingerprint = 0;
@@ -145,6 +147,45 @@ struct PersistAccess {
   /// Durability counters live in the engine's EvalStats; the manager and
   /// RecoverEngine update them through this accessor.
   static EvalStats* MutableStats(ScubaEngine* engine);
+
+  /// The snapshot payload's EvalStats section, exposed so the sharded
+  /// coordinator-state blob shares one field order with engine snapshots.
+  static void SaveEvalStats(const EvalStats& stats, ByteWriter* w);
+  static Status LoadEvalStats(ByteReader* r, EvalStats* stats);
+
+  // --- Sharded durability (defined in src/shard/shard_durability.cc; the
+  // persist library declares but never links them — only binaries linking
+  // scuba_shard resolve these). ---
+
+  /// One shard's snapshot payload: the PeekSnapshotMeta header (fingerprint,
+  /// wal_next_seq, rounds), the saved shard layout, the shard store's
+  /// clusters with their grid-registration flags, and the shard's join
+  /// counters / shedder state.
+  static std::string SerializeShardSnapshot(const ShardedEngine& engine,
+                                            uint32_t shard_index,
+                                            uint64_t wal_next_seq,
+                                            uint64_t rounds);
+  /// Applies one shard snapshot payload into `engine`'s CURRENT layout:
+  /// every cluster routes to the stripe owning its registered center, so an
+  /// N-shard checkpoint restores into an M-shard engine (re-partition on
+  /// recovery). Per-shard counters/shedder state restore in place when the
+  /// layouts match; under a re-partition the counters accumulate onto shard 0
+  /// (sums — the observable aggregate — are preserved) and shard 0's saved
+  /// shedder state seeds every stripe.
+  static Status ApplyShardSnapshot(const std::string& payload,
+                                   ShardedEngine* engine);
+  /// Coordinator state: meta store (id allocator + attr tables), aggregate
+  /// EvalStats / phase / clusterer stats, handoff + ghost + rebalance
+  /// counters, and optional validator / rng sections — everything durable
+  /// that lives outside the shard stores.
+  static void SaveShardedCoordinatorState(const ShardedEngine& engine,
+                                          const UpdateValidator* validator,
+                                          const Rng* rng, ByteWriter* w);
+  static Status LoadShardedCoordinatorState(ByteReader* r,
+                                            ShardedEngine* engine,
+                                            UpdateValidator* validator,
+                                            Rng* rng);
+  static EvalStats* MutableShardedStats(ShardedEngine* engine);
 };
 
 // ScubaEngine::Checkpoint / ::Restore are declared in core/scuba_engine.h and

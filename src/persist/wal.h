@@ -14,10 +14,24 @@
 // Payload: type u8 (1 = batch) | seq u64 | batch_time i64 | evaluate_after u8
 //          | object count u64 | objects | query count u64 | queries
 //
+// Type 2 ("routed sub-batch", docs/ARCHITECTURE.md §12) carries one shard's
+// slice of a batch in a per-shard chain: after evaluate_after it adds
+// shard_index u32 | shard_count u32 | total_objects u64 | total_queries u64,
+// and every tuple is preceded by its u64 slot — the tuple's position in the
+// original batch. Recovery merges the sub-records of a seq across all chains
+// back into the exact original batch; the slots must form a full permutation
+// of [0, total), which doubles as the batch-completeness check (a crash
+// mid-fanout leaves the final seq short of shard_count sub-records and it is
+// discarded — that batch was never acknowledged).
+//
 // A torn frame at the very tail of the *last* segment is the expected residue
 // of a crash mid-append: ReadWal tolerates it, reports it, and never ingests
 // any part of it. A bad frame anywhere else — or a sequence-number gap — is
-// genuine corruption and fails the whole read with kDataLoss.
+// genuine corruption and fails the whole read with kDataLoss. (Routed chains
+// may carry a forward seq jump exactly at a segment boundary — the residue of
+// an N→M re-partition, where a chain sits out the epochs that did not fan out
+// to it; ReadWal tolerates it only when asked, and the cross-chain slot
+// merge supplies the integrity check a per-chain gap check cannot.)
 
 #ifndef SCUBA_PERSIST_WAL_H_
 #define SCUBA_PERSIST_WAL_H_
@@ -43,6 +57,19 @@ struct WalRecord {
   bool evaluate_after = false;
   std::vector<LocationUpdate> objects;
   std::vector<QueryUpdate> queries;
+
+  /// Type-2 fields (routed sub-batch in a per-shard chain); unset on type-1
+  /// records. `object_slots` / `query_slots` run parallel to `objects` /
+  /// `queries` and name each tuple's position in the original batch;
+  /// `total_*` count the whole batch across all chains; `shard_count` says
+  /// how many sibling sub-records the seq fanned out to.
+  bool routed = false;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
+  uint64_t total_objects = 0;
+  uint64_t total_queries = 0;
+  std::vector<uint64_t> object_slots;
+  std::vector<uint64_t> query_slots;
 };
 
 /// Appends WalRecords to a directory of rotating segment files. Not
@@ -78,6 +105,19 @@ class WalWriter {
                 std::span<const LocationUpdate> objects,
                 std::span<const QueryUpdate> queries);
 
+  /// Appends one type-2 routed sub-batch record (stamped with next_seq()).
+  /// `object_slots` / `query_slots` must parallel `objects` / `queries`.
+  /// Injects the same three append points plus kMidShardWalAppend (the
+  /// sharded-fanout torn tail — identical on-disk residue to kMidWalAppend,
+  /// counted per chain append).
+  Status AppendRouted(Timestamp batch_time, bool evaluate_after,
+                      uint32_t shard_index, uint32_t shard_count,
+                      uint64_t total_objects, uint64_t total_queries,
+                      std::span<const uint64_t> object_slots,
+                      std::span<const LocationUpdate> objects,
+                      std::span<const uint64_t> query_slots,
+                      std::span<const QueryUpdate> queries);
+
   /// Sequence number the next Append will write.
   uint64_t next_seq() const { return next_seq_; }
   const Stats& stats() const { return stats_; }
@@ -90,6 +130,10 @@ class WalWriter {
  private:
   WalWriter(std::string dir, uint64_t segment_bytes, CrashInjector* crash)
       : dir_(std::move(dir)), segment_bytes_(segment_bytes), crash_(crash) {}
+
+  /// Shared frame path behind Append / AppendRouted: rotation, crash
+  /// injection, write + fdatasync, counters.
+  Status AppendFrame(const std::string& payload);
 
   /// Opens (or creates) the segment that starts at `first_seq` for append.
   Status OpenSegment(uint64_t first_seq);
@@ -113,6 +157,9 @@ struct WalContents {
   /// The torn bytes are reported, never parsed into a record.
   bool torn_tail = false;
   std::string torn_detail;
+  /// Tolerated forward seq jumps at segment boundaries of routed chains
+  /// (re-partition residue); empty unless ReadWal was asked to allow them.
+  std::vector<std::string> route_gap_notes;
 };
 
 /// All WAL segment files in `dir` as (first_seq, path), ascending.
@@ -123,7 +170,23 @@ Result<std::vector<std::pair<uint64_t, std::string>>> ListWalSegments(
 /// tail of the final segment is tolerated as a torn tail; a bad frame
 /// anywhere else, a CRC/parse failure mid-log, or a seq discontinuity is
 /// kDataLoss. A missing directory reads as an empty log.
-Result<WalContents> ReadWal(const std::string& dir);
+///
+/// `tolerate_routed_segment_gaps`: a per-shard chain of routed records may
+/// legitimately skip forward exactly at a segment boundary — the chain sat
+/// out the epochs between two shard layouts (N→M re-partition). When set, a
+/// forward jump at a segment boundary between two routed records is noted
+/// instead of failing; every other discontinuity is still kDataLoss. The
+/// sharded recovery's cross-chain slot merge supplies the integrity check.
+Result<WalContents> ReadWal(const std::string& dir,
+                            bool tolerate_routed_segment_gaps = false);
+
+/// Physically drops every record with seq >= `first_seq_to_drop`: truncates
+/// the segment holding the first such record at its frame boundary (removing
+/// the file entirely if nothing precedes it) and deletes all later segments.
+/// The sharded durability manager uses this to discard an incomplete batch —
+/// one whose fan-out crashed between chains — so every chain resumes on the
+/// same sequence. A no-op when the log ends before `first_seq_to_drop`.
+Status TruncateWalAfter(const std::string& dir, uint64_t first_seq_to_drop);
 
 }  // namespace scuba
 

@@ -103,6 +103,18 @@ class ShardedEngine : public QueryProcessor {
   EngineTelemetry* telemetry() { return telemetry_.get(); }
   Status FlushTelemetry();
 
+  /// Writes one complete manifest-committed checkpoint of the sharded state
+  /// into `dir` (per-shard snapshots first, manifest last). Stand-alone
+  /// convenience mirroring ScubaEngine::Checkpoint; runs with a durable
+  /// directory should use ShardedDurabilityManager instead. Declared here,
+  /// defined in shard_durability.cc.
+  Status Checkpoint(const std::string& dir);
+  /// Restores from the NEWEST manifest in `dir` only — no silent fallback to
+  /// older generations (RecoverShardedEngine implements the explicit-fallback
+  /// policy). A checkpoint taken at any shard count restores into this
+  /// engine's layout.
+  Status Restore(const std::string& dir);
+
  private:
   friend struct PersistAccess;
   ShardedEngine(const ScubaOptions& options, ShardRouter router);

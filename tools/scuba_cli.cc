@@ -22,9 +22,14 @@
 // --crash-at POINT [--crash-after N] injects a crash at the N-th occurrence
 // of that point and exits nonzero, leaving realistic partial state behind.
 // `recover` rebuilds the engine from DIR (newest readable snapshot + WAL
-// replay) and finishes the trace; `checkpoint` / `restore` exercise the bare
-// snapshot round-trip. Each durable command prints a `state-hash:` line —
-// equal hashes mean bit-identical engine state.
+// replay; --json prints the report as one JSON object) and finishes the
+// trace; `checkpoint` / `restore` exercise the bare snapshot round-trip. Each
+// durable command prints a `state-hash:` line — equal hashes mean
+// bit-identical engine state. All four durable commands accept --shards N:
+// sharded runs log per-shard WAL chains under manifest-committed checkpoint
+// generations (docs/ARCHITECTURE.md §12), and a directory written at one
+// shard count recovers into any other. `fsck DIR` verifies a durable
+// directory read-only and exits with a distinct code per damage class.
 //
 // Exit codes mirror StatusCode (1 = invalid argument, 5 = failed
 // precondition, 7 = internal/injected crash, 11 = data loss, ...); 0 is
@@ -53,7 +58,9 @@
 #include "network/network_io.h"
 #include "persist/crash.h"
 #include "persist/durability.h"
+#include "persist/fsck.h"
 #include "persist/snapshot.h"
+#include "shard/shard_durability.h"
 #include "shard/sharded_engine.h"
 #include "stream/fault_injector.h"
 #include "stream/pipeline.h"
@@ -309,6 +316,11 @@ void PrintStateHash(const ScubaEngine& engine) {
               static_cast<unsigned long long>(EngineStateHash(engine)));
 }
 
+void PrintStateHash(const ShardedEngine& engine) {
+  std::printf("state-hash: %016llx\n",
+              static_cast<unsigned long long>(EngineStateHash(engine)));
+}
+
 int CmdRun(const Flags& flags) {
   std::string trace_path = flags.GetString("trace", "run.trace");
   std::string engine_name = flags.GetString("engine", "scuba");
@@ -376,23 +388,26 @@ int CmdRun(const Flags& flags) {
                                         " (scuba|grid|naive)"));
   }
 
-  std::unique_ptr<DurabilityManager> durability;
+  std::unique_ptr<DurabilitySink> durability;
   if (!durable_dir.empty()) {
     if (sharded_engine != nullptr) {
-      return Fail(Status::InvalidArgument(
-          "--durable-dir does not support --shards > 1 (the sharded engine "
-          "has no checkpoint/restore surface yet)"));
-    }
-    if (scuba_engine == nullptr) {
+      Result<std::unique_ptr<ShardedDurabilityManager>> d =
+          ShardedDurabilityManager::Open(durable_dir, scuba_opt.checkpoint,
+                                         sharded_engine, screen,
+                                         /*rng=*/nullptr, &*crash);
+      if (!d.ok()) return Fail(d.status());
+      durability = std::move(d).value();
+    } else if (scuba_engine != nullptr) {
+      Result<std::unique_ptr<DurabilityManager>> d = DurabilityManager::Open(
+          durable_dir, scuba_opt.checkpoint, scuba_engine, screen,
+          /*rng=*/nullptr, &*crash);
+      if (!d.ok()) return Fail(d.status());
+      durability = std::move(d).value();
+    } else {
       return Fail(Status::InvalidArgument(
           "--durable-dir requires --engine scuba (snapshots cover SCUBA "
           "engine state)"));
     }
-    Result<std::unique_ptr<DurabilityManager>> d = DurabilityManager::Open(
-        durable_dir, scuba_opt.checkpoint, scuba_engine, screen,
-        /*rng=*/nullptr, &*crash);
-    if (!d.ok()) return Fail(d.status());
-    durability = std::move(d).value();
   }
 
   std::ofstream csv;
@@ -486,19 +501,33 @@ int CmdCheckpoint(const Flags& flags) {
       ScubaOptionsFromFlags(flags, *region, *policy);
   if (!opt_result.ok()) return Fail(opt_result.status());
   const ScubaOptions opt = *opt_result;
-  if (opt.shards > 1) {
-    return Fail(Status::InvalidArgument(
-        "durable commands do not support --shards > 1 (the sharded engine "
-        "has no checkpoint/restore surface yet)"));
-  }
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
-  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
-  if (!engine.ok()) return Fail(engine.status());
   UpdateValidator validator(vconfig);
   UpdateValidator* screen =
       *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
+  if (opt.shards > 1) {
+    Result<std::unique_ptr<ShardedEngine>> engine = ShardedEngine::Create(opt);
+    if (!engine.ok()) return Fail(engine.status());
+    Status s = ReplayTrace(*trace, engine->get(), delta, nullptr, screen);
+    if (!s.ok()) return Fail(s);
+    s = (*engine)->Checkpoint(durable_dir);
+    if (!s.ok()) return Fail(s);
+    if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
+    const EngineSnapshotStats snapshot = (*engine)->StatsSnapshot();
+    std::printf(
+        "checkpointed %zu clusters after %llu rounds to %s (%s; %u shards)\n",
+        (*engine)->ClusterCount(),
+        static_cast<unsigned long long>(snapshot.eval.evaluations),
+        durable_dir.c_str(),
+        FormatBytes(snapshot.eval.last_checkpoint_bytes).c_str(),
+        (*engine)->shard_count());
+    PrintStateHash(**engine);
+    return 0;
+  }
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  if (!engine.ok()) return Fail(engine.status());
   Status s = ReplayTrace(*trace, engine->get(), delta, nullptr, screen);
   if (!s.ok()) return Fail(s);
   s = (*engine)->Checkpoint(durable_dir);
@@ -538,14 +567,24 @@ int CmdRestore(const Flags& flags) {
       ScubaOptionsFromFlags(flags, *region, *policy);
   if (!opt_result.ok()) return Fail(opt_result.status());
   const ScubaOptions opt = *opt_result;
-  if (opt.shards > 1) {
-    return Fail(Status::InvalidArgument(
-        "durable commands do not support --shards > 1 (the sharded engine "
-        "has no checkpoint/restore surface yet)"));
-  }
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
+  if (opt.shards > 1) {
+    // A sharded restore reads the NEWEST manifest only and re-partitions the
+    // saved clusters into this engine's stripe layout.
+    Result<std::unique_ptr<ShardedEngine>> engine = ShardedEngine::Create(opt);
+    if (!engine.ok()) return Fail(engine.status());
+    Status s = (*engine)->Restore(durable_dir);
+    if (!s.ok()) return Fail(s);
+    std::printf("restored %zu clusters (%llu rounds) from %s into %u shards\n",
+                (*engine)->ClusterCount(),
+                static_cast<unsigned long long>(
+                    (*engine)->StatsSnapshot().eval.evaluations),
+                durable_dir.c_str(), (*engine)->shard_count());
+    PrintStateHash(**engine);
+    return 0;
+  }
   Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
   if (!engine.ok()) return Fail(engine.status());
   Status s = (*engine)->Restore(durable_dir);
@@ -569,6 +608,7 @@ int CmdRecover(const Flags& flags) {
   std::string durable_dir = flags.GetString("durable-dir", "");
   Timestamp delta = flags.GetInt("delta", 2);
   bool quiet = flags.GetBool("quiet", false);
+  bool json = flags.GetBool("json", false);
   std::string policy_name = flags.GetString("on-bad-update", "strict");
   Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
   if (!policy.ok()) return Fail(policy.status());
@@ -585,18 +625,11 @@ int CmdRecover(const Flags& flags) {
       ScubaOptionsFromFlags(flags, *region, *policy);
   if (!opt_result.ok()) return Fail(opt_result.status());
   const ScubaOptions opt = *opt_result;
-  if (opt.shards > 1) {
-    return Fail(Status::InvalidArgument(
-        "durable commands do not support --shards > 1 (the sharded engine "
-        "has no checkpoint/restore surface yet)"));
-  }
   Result<CrashInjector> crash = CrashInjectorFromFlags(flags);
   if (!crash.ok()) return Fail(crash.status());
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
-  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
-  if (!engine.ok()) return Fail(engine.status());
   UpdateValidator validator(vconfig);
   UpdateValidator* screen =
       *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
@@ -606,10 +639,43 @@ int CmdRecover(const Flags& flags) {
       std::printf("%8lld %10zu\n", static_cast<long long>(now), r.size());
     }
   };
+
+  if (opt.shards > 1) {
+    // Sharded recovery: newest manifest whose artifacts all verify, with
+    // generation-by-generation fallback, then cross-chain WAL merge. A
+    // directory written at any shard count recovers into --shards N.
+    Result<std::unique_ptr<ShardedEngine>> engine = ShardedEngine::Create(opt);
+    if (!engine.ok()) return Fail(engine.status());
+    Result<ShardedRecoveryReport> report = RecoverShardedEngine(
+        durable_dir, engine->get(), screen, /*rng=*/nullptr, sink);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s\n",
+                json ? report->ToJson().c_str() : report->ToString().c_str());
+    if (report->next_seq < trace->TickCount()) {
+      Result<std::unique_ptr<ShardedDurabilityManager>> durability =
+          ShardedDurabilityManager::Open(durable_dir, opt.checkpoint,
+                                         engine->get(), screen,
+                                         /*rng=*/nullptr, &*crash);
+      if (!durability.ok()) return Fail(durability.status());
+      Status s = ReplayTrace(*trace, engine->get(), delta, sink, screen,
+                             durability->get(),
+                             static_cast<size_t>(report->next_seq));
+      if (!s.ok()) return Fail(s);
+    }
+    if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
+    std::printf(
+        "%s\n", (*engine)->StatsSnapshot().Format((*engine)->name()).c_str());
+    PrintStateHash(**engine);
+    return 0;
+  }
+
+  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  if (!engine.ok()) return Fail(engine.status());
   Result<RecoveryReport> report =
       RecoverEngine(durable_dir, engine->get(), screen, /*rng=*/nullptr, sink);
   if (!report.ok()) return Fail(report.status());
-  std::printf("%s\n", report->ToString().c_str());
+  std::printf("%s\n",
+              json ? report->ToJson().c_str() : report->ToString().c_str());
 
   // WAL sequence numbers are global batch indices (seq 0 = trace batch 0),
   // so the replayed log tells us exactly where to resume the trace.
@@ -752,6 +818,31 @@ int CmdRender(const Flags& flags) {
   return 0;
 }
 
+/// Read-only verification of a durable directory: `scuba_cli fsck DIR`.
+/// Exits 0 when clean, else with the worst damage class found (values 20-25,
+/// persist/fsck.h) — distinct from the StatusCode exit codes so scripts can
+/// tell "the directory is damaged" from "fsck itself failed". Never mutates.
+int CmdFsck(int argc, char** argv) {
+  std::string dir;
+  int first = 2;
+  if (argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
+    dir = argv[2];
+    first = 3;
+  }
+  Result<Flags> flags = Flags::Parse(argc, argv, first);
+  if (!flags.ok()) return Fail(flags.status());
+  if (dir.empty()) dir = flags->GetString("dir", "");
+  Status consumed = flags->CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+  if (dir.empty()) {
+    return Fail(Status::InvalidArgument("usage: scuba_cli fsck <dir>"));
+  }
+  Result<FsckReport> report = FsckDurableDir(dir);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", report->ToString().c_str());
+  return report->exit_code;
+}
+
 int Usage() {
   std::printf(
       "scuba_cli — continuous spatio-temporal query engine toolbox\n\n"
@@ -774,7 +865,9 @@ int Usage() {
       "                  --metrics-out FILE.jsonl --trace-out FILE.jsonl]\n"
       "  checkpoint      --trace FILE --durable-dir DIR [run options]\n"
       "  restore         --trace FILE --durable-dir DIR [run options]\n"
-      "  recover         --trace FILE --durable-dir DIR [run options]\n"
+      "  recover         --trace FILE --durable-dir DIR [--json]\n"
+      "                  [run options]\n"
+      "  fsck            DIR (read-only; exit 0 clean, 20-25 per damage class)\n"
       "  compare         --trace FILE [--delta N --eta F --threads N\n"
       "                  --ingest-threads N]\n"
       "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n"
@@ -785,19 +878,25 @@ int Usage() {
       "newest readable snapshot + WAL replay, then finishes the trace.\n"
       "--crash-at points: before-wal-append mid-wal-append after-wal-append\n"
       "before-snapshot-write mid-snapshot-write torn-snapshot-rename\n"
-      "after-snapshot-write after-wal-prune\n"
+      "after-snapshot-write after-wal-prune; sharded runs add\n"
+      "mid-shard-snapshot-write between-shard-snapshots before-manifest-rename\n"
+      "torn-manifest-rename after-manifest-rename mid-shard-wal-append\n"
+      "between-shard-wal-appends mid-manifest-prune\n"
       "--metrics-out / --trace-out (scuba engine only) append one JSON line\n"
       "per round: metric deltas and phase span trees; metrics ends with a\n"
       "Prometheus exposition line. Telemetry never changes results.\n"
       "--shards N > 1 runs the round over N row-stripe engine shards with\n"
       "bit-identical results; --rebalance observe logs stripe-split\n"
-      "recommendations on skew. Sharded runs do not take --durable-dir.\n");
+      "recommendations on skew. Sharded durable runs keep one WAL chain per\n"
+      "shard under manifest-committed checkpoint generations; a directory\n"
+      "written at one shard count recovers into any other.\n");
   return 1;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (command == "fsck") return CmdFsck(argc, argv);
   Result<Flags> flags = Flags::Parse(argc, argv, 2);
   if (!flags.ok()) return Fail(flags.status());
   if (command == "generate-map") return CmdGenerateMap(*flags);
