@@ -245,7 +245,7 @@ Status LeaderFollowerClusterer::ProcessBatch(
   {
     std::atomic<size_t> cursor{0};
     constexpr size_t kChunk = 256;
-    *worker_seconds += RunTaskSet(pool, tasks, [&](uint32_t) {
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(pool, tasks, [&](uint32_t) {
       for (;;) {
         size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
         if (begin >= items.size()) break;
@@ -264,7 +264,7 @@ Status LeaderFollowerClusterer::ProcessBatch(
           }
         }
       }
-    });
+    }, worker_seconds));
   }
 
   // Group refresh candidates by home cluster, preserving batch order inside
@@ -295,7 +295,7 @@ Status LeaderFollowerClusterer::ProcessBatch(
   // the residual replay — its live state stays untouched.
   {
     std::atomic<size_t> cursor{0};
-    *worker_seconds += RunTaskSet(pool, tasks, [&](uint32_t) {
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(pool, tasks, [&](uint32_t) {
       for (;;) {
         size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
         if (s >= shards.size()) break;
@@ -348,7 +348,7 @@ Status LeaderFollowerClusterer::ProcessBatch(
                                   shard.cells_union.end());
         }
       }
-    });
+    }, worker_seconds));
   }
 
   // ---- Eligibility (serial): a simulated cluster may publish only if no

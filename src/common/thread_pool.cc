@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <cstdint>
+#include <exception>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -63,26 +65,60 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-double RunTaskSet(ThreadPool* pool, uint32_t tasks,
-                  const std::function<void(uint32_t)>& fn) {
-  if (tasks <= 1) {
+namespace {
+
+/// Runs one task under the exception barrier, recording any failure message
+/// into its private slot. Slots (not a shared first-error) keep the surfaced
+/// failure deterministic: after the drain, the lowest failed index wins
+/// regardless of completion order.
+void RunGuarded(const std::function<void(uint32_t)>& fn, uint32_t t,
+                std::vector<std::string>* errors) {
+  try {
+    fn(t);
+  } catch (const std::exception& e) {
+    (*errors)[t] = e.what()[0] == '\0' ? "unknown std::exception" : e.what();
+  } catch (...) {
+    (*errors)[t] = "non-standard exception";
+  }
+}
+
+Status FirstFailure(const std::vector<std::string>& errors) {
+  for (uint32_t t = 0; t < errors.size(); ++t) {
+    if (!errors[t].empty()) {
+      return Status::Internal("task " + std::to_string(t) +
+                              " failed: " + errors[t]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunTaskSet(ThreadPool* pool, uint32_t tasks,
+                  const std::function<void(uint32_t)>& fn,
+                  double* busy_seconds) {
+  if (tasks == 0) return Status::OK();
+  std::vector<std::string> errors(tasks);
+  if (tasks == 1) {
     Stopwatch sw;
-    fn(0);
-    return sw.ElapsedSeconds();
+    RunGuarded(fn, 0, &errors);
+    if (busy_seconds != nullptr) *busy_seconds += sw.ElapsedSeconds();
+    return FirstFailure(errors);
   }
   SCUBA_CHECK_MSG(pool != nullptr, "parallel task set needs a pool");
   std::vector<double> busy(tasks, 0.0);
   for (uint32_t t = 0; t < tasks; ++t) {
-    pool->Submit([&fn, &busy, t] {
+    pool->Submit([&fn, &busy, &errors, t] {
       Stopwatch sw;
-      fn(t);
+      RunGuarded(fn, t, &errors);
       busy[t] = sw.ElapsedSeconds();
     });
   }
   pool->Wait();
-  double total = 0.0;
-  for (double s : busy) total += s;
-  return total;
+  if (busy_seconds != nullptr) {
+    for (double s : busy) *busy_seconds += s;
+  }
+  return FirstFailure(errors);
 }
 
 }  // namespace scuba

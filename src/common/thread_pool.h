@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace scuba {
 
 class ThreadPool {
@@ -58,14 +60,22 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// Runs `fn(0) .. fn(tasks - 1)` as one fork/join round and returns the
-/// summed per-task busy seconds (the wall/busy ratio is the realized parallel
-/// speedup). With tasks == 1 the single task runs inline on the calling
-/// thread and `pool` may be null — the serial fast path never pays for a
-/// pool. Task indices identify private buffer slots, not threads: the pool
-/// may run several tasks on one worker.
-double RunTaskSet(ThreadPool* pool, uint32_t tasks,
-                  const std::function<void(uint32_t)>& fn);
+/// Runs `fn(0) .. fn(tasks - 1)` as one fork/join round. With tasks == 1 the
+/// single task runs inline on the calling thread and `pool` may be null — the
+/// serial fast path never pays for a pool. Task indices identify private
+/// buffer slots, not threads: the pool may run several tasks on one worker.
+///
+/// Exception barrier: a throwing task no longer terminates the process. Every
+/// task still runs to completion (a failure never leaves tasks queued on the
+/// pool), each task's exception is caught at the task boundary, and the
+/// failure of the LOWEST task index is surfaced as `Status::Internal` — the
+/// same task set fails the same way at every thread count. When non-null,
+/// `busy_seconds` accumulates (+=) the summed per-task busy seconds (the
+/// wall/busy ratio is the realized parallel speedup); it is updated even on
+/// failure.
+Status RunTaskSet(ThreadPool* pool, uint32_t tasks,
+                  const std::function<void(uint32_t)>& fn,
+                  double* busy_seconds = nullptr);
 
 }  // namespace scuba
 

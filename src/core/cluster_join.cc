@@ -388,7 +388,7 @@ Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
   qry_counts_.resize(view_count);
   {
     std::atomic<uint32_t> next_slot{0};
-    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       Stopwatch busy;
       for (;;) {
         const uint32_t begin =
@@ -414,7 +414,7 @@ Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
         }
       }
       if (timed) last_task_busy_seconds_[t] += busy.ElapsedSeconds();
-    });
+    }, &last_worker_seconds_));
   }
 
   // Phase A2 (serial): prefix sums assign every view its disjoint arena
@@ -450,7 +450,7 @@ Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
   // below only reads it.
   {
     std::atomic<uint32_t> next_slot{0};
-    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       Stopwatch busy;
       for (;;) {
         const uint32_t begin =
@@ -462,7 +462,7 @@ Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
         }
       }
       if (timed) last_task_busy_seconds_[t] += busy.ElapsedSeconds();
-    });
+    }, &last_worker_seconds_));
   }
 
   // CSR snapshot of the grid for the scan: contiguous entry slab, no
@@ -491,7 +491,7 @@ Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
     // contiguous so neighbouring cells (which share clusters) stay together.
     const uint32_t cell_chunk =
         std::max<uint32_t>(1, window / (tasks * 8 + 1) + 1);
-    last_worker_seconds_ += RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(pool_.get(), tasks, [&](uint32_t t) {
       Stopwatch busy;
       ScanCells(&next_chunk, cell_chunk, cell_limit, &scratch_[t],
                 &task_counters[t], &task_results[t],
@@ -501,7 +501,7 @@ Status ClusterJoinExecutor::ExecuteScoped(const ClusterStore& store,
         last_task_busy_seconds_[t] += elapsed;
         task_busy_histogram_.Observe(elapsed);
       }
-    });
+    }, &last_worker_seconds_));
   }
   for (double w : task_within) last_within_seconds_ += w;
 

@@ -27,7 +27,10 @@ class ResultSet {
  public:
   void Add(QueryId qid, ObjectId oid) { matches_.push_back(Match{qid, oid}); }
 
-  void Clear() { matches_.clear(); }
+  void Clear() {
+    matches_.clear();
+    degraded_shards_.clear();
+  }
 
   /// Pre-sizes the match buffer (capacity only; size is untouched). Engines
   /// seed this with the previous round's match count — continuous queries
@@ -65,14 +68,28 @@ class ResultSet {
                               Match{qid, oid});
   }
 
+  /// Degraded-mode provenance (docs/ARCHITECTURE.md §13): shard indices whose
+  /// slice of this round's answer is the shard's last successfully published
+  /// results rather than a fresh join. Empty on every clean round. Provenance,
+  /// not content: operator== ignores it so twin-comparison tests compare
+  /// answers only.
+  void MarkDegraded(uint32_t shard) { degraded_shards_.push_back(shard); }
+  const std::vector<uint32_t>& degraded_shards() const {
+    return degraded_shards_;
+  }
+  bool degraded() const { return !degraded_shards_.empty(); }
+
   friend bool operator==(const ResultSet& a, const ResultSet& b) {
     return a.matches_ == b.matches_;
   }
 
-  size_t EstimateMemoryUsage() const { return VectorMemoryUsage(matches_); }
+  size_t EstimateMemoryUsage() const {
+    return VectorMemoryUsage(matches_) + VectorMemoryUsage(degraded_shards_);
+  }
 
  private:
   std::vector<Match> matches_;
+  std::vector<uint32_t> degraded_shards_;
 };
 
 }  // namespace scuba

@@ -639,7 +639,8 @@ Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds,
         timed ? resolved_ingest_threads_ : 0);
     std::atomic<size_t> cursor{0};
     constexpr size_t kChunk = 16;
-    *worker_seconds = RunTaskSet(
+    *worker_seconds = 0.0;
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(
         IngestPool(), resolved_ingest_threads_, [&](uint32_t task) {
           PostJoinTimings* tt = timed ? &task_timings[task] : nullptr;
           Stopwatch lap;
@@ -679,7 +680,7 @@ Status ScubaEngine::PostJoinMaintenance(Timestamp now, double* worker_seconds,
               if (tt != nullptr) tt->translate_seconds += lap.ElapsedSeconds();
             }
           }
-        });
+        }, worker_seconds));
     if (timed) {
       for (const PostJoinTimings& tt : task_timings) {
         timings->tighten_seconds += tt.tighten_seconds;

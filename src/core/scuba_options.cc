@@ -23,6 +23,27 @@ Result<BadUpdatePolicy> ParseBadUpdatePolicy(std::string_view name) {
                                  " (strict|quarantine|repair)");
 }
 
+std::string_view ShardFailurePolicyName(ShardFailurePolicy policy) {
+  switch (policy) {
+    case ShardFailurePolicy::kFail:
+      return "fail";
+    case ShardFailurePolicy::kDegrade:
+      return "degrade";
+    case ShardFailurePolicy::kReassign:
+      return "reassign";
+  }
+  return "unknown";
+}
+
+Result<ShardFailurePolicy> ParseShardFailurePolicy(std::string_view name) {
+  if (name == "fail") return ShardFailurePolicy::kFail;
+  if (name == "degrade") return ShardFailurePolicy::kDegrade;
+  if (name == "reassign") return ShardFailurePolicy::kReassign;
+  return Status::InvalidArgument("unknown shard-failure policy: " +
+                                 std::string(name) +
+                                 " (fail|degrade|reassign)");
+}
+
 std::string_view RebalanceModeName(RebalanceMode mode) {
   switch (mode) {
     case RebalanceMode::kOff:
@@ -74,6 +95,21 @@ Status ScubaOptions::Validate() const {
   // cells); the cap catches garbage values like the thread counts above.
   if (shards == 0 || shards > 1024) {
     return Status::InvalidArgument("shards must be in [1, 1024]");
+  }
+  if (supervision.max_recovery_attempts == 0) {
+    return Status::InvalidArgument(
+        "supervision.max_recovery_attempts must be >= 1");
+  }
+  if (supervision.backoff_base_rounds == 0) {
+    return Status::InvalidArgument(
+        "supervision.backoff_base_rounds must be >= 1");
+  }
+  if (supervision.round_deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "supervision.round_deadline_seconds must be non-negative");
+  }
+  if (supervision.fault_rate < 0.0 || supervision.fault_rate > 1.0) {
+    return Status::InvalidArgument("supervision.fault_rate must be in [0, 1]");
   }
   if (checkpoint.keep_last_k == 0) {
     return Status::InvalidArgument("checkpoint.keep_last_k must be >= 1");

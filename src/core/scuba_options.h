@@ -6,6 +6,7 @@
 #define SCUBA_CORE_SCUBA_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -54,6 +55,63 @@ std::string_view RebalanceModeName(RebalanceMode mode);
 
 /// Parses a rebalance mode name; InvalidArgument on anything else.
 Result<RebalanceMode> ParseRebalanceMode(std::string_view name);
+
+/// What a ShardedEngine round does when one shard's supervised task fails
+/// (throws, stalls past the round deadline, or corrupts its state); see
+/// docs/ARCHITECTURE.md §13.
+enum class ShardFailurePolicy : uint8_t {
+  /// Propagate the shard failure as the round's error (the historical
+  /// behaviour: one failing shard takes the engine down).
+  kFail = 0,
+  /// Complete the round in degraded mode — the failed shard contributes its
+  /// last-published results and is quarantined — and retry online recovery
+  /// between rounds; after max_recovery_attempts failures the shard is
+  /// evicted in place and keeps serving its stale slice.
+  kDegrade,
+  /// Like kDegrade, but after max_recovery_attempts failed recoveries the
+  /// evicted shard's stripe is reassigned to its neighbors via the N->M
+  /// reshard routing (graceful degradation to one fewer shard).
+  kReassign,
+};
+
+/// Stable lowercase name ("fail", "degrade", "reassign").
+std::string_view ShardFailurePolicyName(ShardFailurePolicy policy);
+
+/// Parses a policy name; InvalidArgument on anything else.
+Result<ShardFailurePolicy> ParseShardFailurePolicy(std::string_view name);
+
+/// Shard supervision knobs (ShardedEngine only; docs/ARCHITECTURE.md §13).
+/// Like thread counts and telemetry, none of these fields are semantic: a
+/// clean run is bit-identical under every setting, so the snapshot options
+/// fingerprint excludes them all.
+struct ShardSupervisionOptions {
+  ShardFailurePolicy on_failure = ShardFailurePolicy::kFail;
+  /// Failed recovery attempts before the shard is evicted (kDegrade) or its
+  /// stripe reassigned (kReassign).
+  uint32_t max_recovery_attempts = 3;
+  /// Round-based backoff: after the a-th failed attempt the next one waits
+  /// backoff_base_rounds << (a-1) rounds.
+  uint32_t backoff_base_rounds = 1;
+  /// Wall-clock budget for one shard's join task; a task that finishes past
+  /// it counts as stalled and fails the supervised round. 0 (default)
+  /// disables the deadline.
+  double round_deadline_seconds = 0.0;
+  /// Deterministic fault injection (tests / chaos drills). A non-empty spec
+  /// ("round:shard:class[,...]") or a positive rate arms the injector; the
+  /// seed fixes the rate-based roll sequence.
+  uint64_t fault_seed = 0x5C0BA;
+  double fault_rate = 0.0;
+  std::string fault_spec;
+
+  /// True when fault injection is configured.
+  bool FaultsArmed() const { return fault_rate > 0.0 || !fault_spec.empty(); }
+  /// True when the engine should build a ShardSupervisor at all: any
+  /// non-default failure handling, deadline, or armed injector.
+  bool Enabled() const {
+    return on_failure != ShardFailurePolicy::kFail ||
+           round_deadline_seconds > 0.0 || FaultsArmed();
+  }
+};
 
 enum class LoadSheddingMode : uint8_t {
   kNone = 0,   ///< Keep every member position (eta = 0).
@@ -154,6 +212,13 @@ struct ScubaOptions {
   /// grid/store divergence via RebuildGridFromStore(). 0 (default) disables
   /// the continuous audit; 1 audits every round.
   uint32_t audit_every_n_rounds = 0;
+
+  /// Shard fault isolation for ShardedEngine runs (docs/ARCHITECTURE.md §13):
+  /// failure policy, recovery retry schedule, round deadline, deterministic
+  /// fault injection. Plain ScubaEngine ignores it. Excluded from the
+  /// snapshot options fingerprint — a clean run is bit-identical under every
+  /// setting.
+  ShardSupervisionOptions supervision;
 
   /// Snapshot cadence / retention for runs with a durable directory attached
   /// (StreamPipeline / ReplayTrace with a DurabilityManager). Ignored — and

@@ -2,21 +2,21 @@
 // trees, plus a final Prometheus-style exposition dump
 // (docs/ARCHITECTURE.md §9).
 //
-// Output schema (schema_version 2). Every line is one JSON object with
+// Output schema (schema_version 3). Every line is one JSON object with
 // "schema_version" and "kind":
 //
 //  metrics file (--metrics-out):
-//   {"schema_version":2,"kind":"meta","stream":"metrics","engine":...}
-//   {"schema_version":2,"kind":"round","round":N,"metrics":[
+//   {"schema_version":3,"kind":"meta","stream":"metrics","engine":...}
+//   {"schema_version":3,"kind":"round","round":N,"metrics":[
 //      {"name":..,"kind":"counter","delta":D,"total":T},
 //      {"name":..,"kind":"gauge","value":V},
 //      {"name":..,"kind":"histogram","delta_count":C,"delta_sum":S,
 //       "total_count":TC,"total_sum":TS}]}
-//   {"schema_version":2,"kind":"exposition","prometheus":"..."}
+//   {"schema_version":3,"kind":"exposition","prometheus":"..."}
 //
 //  trace file (--trace-out):
-//   {"schema_version":2,"kind":"meta","stream":"trace","engine":...}
-//   {"schema_version":2,"kind":"round","round":N,"spans":[
+//   {"schema_version":3,"kind":"meta","stream":"trace","engine":...}
+//   {"schema_version":3,"kind":"round","round":N,"spans":[
 //      {"id":0,"name":"round","parent":-1,"wall_seconds":W,"count":1},
 //      {"id":..,"name":..,"parent":..,"wall_seconds":..,"count":..,
 //       ("index":I,)? ("worker_seconds":S)?}...],
@@ -27,8 +27,16 @@
 // spans under "join" (indexed by shard id) and a root-level "handoff" span,
 // plus the scuba_shard_handoffs_total / scuba_shard_ghosts_total /
 // scuba_rebalance_recommendations_total counters and the scuba_shards gauge.
-// v1 consumers only need to accept the new names; tools/check_telemetry.py
-// now validates them (and rejects unknown span names).
+//
+// v2 -> v3 migration: line shapes again unchanged; v3 adds the shard fault
+// isolation surface (docs/ARCHITECTURE.md §13) — the
+// scuba_shard_failures_total / scuba_shard_recoveries_total /
+// scuba_shard_evictions_total / scuba_degraded_rounds_total counters, the
+// per-stripe scuba_shard_health_<s> gauges (0 healthy, 1 degraded,
+// 2 recovering, 3 evicted), and a root-level "recovery" span covering online
+// stripe rebuilds. v2 consumers only need to accept the new names;
+// tools/check_telemetry.py now validates them (and rejects unknown span
+// names).
 //
 // Counters with a zero round delta and histograms with no new observations
 // are omitted from the round line; gauges are always present. Content is
@@ -53,7 +61,7 @@
 
 namespace scuba {
 
-inline constexpr int kTelemetrySchemaVersion = 2;
+inline constexpr int kTelemetrySchemaVersion = 3;
 
 /// ScubaOptions::telemetry. Purely observational: never changes what the
 /// engine computes, and is excluded from the snapshot options fingerprint.

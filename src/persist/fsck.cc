@@ -1,6 +1,7 @@
 #include "persist/fsck.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
@@ -22,6 +23,39 @@ namespace fs = std::filesystem;
 void Problem(FsckReport* report, int code, std::string message) {
   report->problems.push_back(std::move(message));
   report->exit_code = std::max(report->exit_code, code);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonStrings(std::ostringstream* out, const char* key,
+                       const std::vector<std::string>& values) {
+  *out << "\"" << key << "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out << ",";
+    *out << "\"" << JsonEscape(values[i]) << "\"";
+  }
+  *out << "]";
 }
 
 /// "shard-<index>" directories under `dir`, ascending index.
@@ -255,6 +289,24 @@ std::string FsckReport::ToString() const {
   out << (problems.empty() ? "\nclean" : "");
   for (const std::string& p : problems) out << "\nproblem: " << p;
   for (const std::string& n : notes) out << "\nnote: " << n;
+  return out.str();
+}
+
+std::string FsckReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"sharded\":" << (sharded ? "true" : "false")
+      << ",\"manifests_scanned\":" << manifests_scanned
+      << ",\"manifests_valid\":" << manifests_valid
+      << ",\"snapshots_scanned\":" << snapshots_scanned
+      << ",\"snapshots_valid\":" << snapshots_valid
+      << ",\"wal_segments_scanned\":" << wal_segments_scanned
+      << ",\"wal_records_scanned\":" << wal_records_scanned
+      << ",\"exit_code\":" << exit_code << ",\"clean\":"
+      << (problems.empty() ? "true" : "false") << ",";
+  AppendJsonStrings(&out, "problems", problems);
+  out << ",";
+  AppendJsonStrings(&out, "notes", notes);
+  out << "}";
   return out.str();
 }
 

@@ -55,6 +55,12 @@ struct FsckReport {
   int exit_code = kFsckOk;
 
   std::string ToString() const;
+  /// One JSON object (stable key order) for `scuba_cli fsck --json`:
+  /// {"sharded":...,"manifests_scanned":...,"manifests_valid":...,
+  ///  "snapshots_scanned":...,"snapshots_valid":...,
+  ///  "wal_segments_scanned":...,"wal_records_scanned":...,
+  ///  "exit_code":...,"clean":...,"problems":[...],"notes":[...]}
+  std::string ToJson() const;
 };
 
 /// Verifies everything under `dir` without mutating it. The Result is an

@@ -159,10 +159,10 @@ uint64_t OptionsFingerprint(const ScubaOptions& options) {
   w.PutU64(options.shedding.memory_budget_bytes);
   w.PutDouble(options.shedding.eta_step);
   w.PutDouble(options.shedding.relax_fraction);
-  // join_threads / ingest_threads / shards / rebalance / checkpoint policy
-  // deliberately excluded: results are bit-identical across them, so
-  // snapshots stay portable across thread counts, shard counts and retention
-  // settings.
+  // join_threads / ingest_threads / shards / rebalance / supervision /
+  // checkpoint policy deliberately excluded: results are bit-identical across
+  // them, so snapshots stay portable across thread counts, shard counts,
+  // supervision settings and retention settings.
   return Fnv1a64(w.bytes());
 }
 

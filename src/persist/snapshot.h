@@ -174,6 +174,16 @@ struct PersistAccess {
   /// shedder state seeds every stripe.
   static Status ApplyShardSnapshot(const std::string& payload,
                                    ShardedEngine* engine);
+  /// Online stripe transplant (docs/ARCHITECTURE.md §13): replaces stripe
+  /// `shard`'s store slice and grid mirror with the clusters of a shard
+  /// snapshot payload (taken from a recovered twin at the same layout),
+  /// leaving every other stripe's store untouched. Drops the stripe's own
+  /// clusters from every grid, wipes the stripe's grid outright (corrupt
+  /// residue included), applies the payload, then re-registers the other
+  /// stripes' clusters so the stripe's mirror entries for neighbor-owned
+  /// border clusters come back.
+  static Status ReplaceShardStripe(ShardedEngine* engine, uint32_t shard,
+                                   const std::string& payload);
   /// Coordinator state: meta store (id allocator + attr tables), aggregate
   /// EvalStats / phase / clusterer stats, handoff + ghost + rebalance
   /// counters, and optional validator / rng sections — everything durable

@@ -65,6 +65,10 @@ struct EngineShard {
   ClusterJoinExecutor join;
   /// This shard's slice of the round's matches, merged by the coordinator.
   ResultSet results;
+  /// Last successfully published slice. Maintained only under supervision
+  /// (ShardSupervisor): a degraded round serves this copy for a quarantined
+  /// stripe so the round still answers, marked via ResultSet::MarkDegraded.
+  ResultSet last_good_results;
   /// Shed radius applied to clusters owned by this shard (cached from the
   /// shard's shedder after each maintenance round).
   double nucleus_radius = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <unordered_map>
@@ -391,6 +392,51 @@ Status PersistAccess::ApplyShardSnapshot(const std::string& payload,
   return Status::OK();
 }
 
+Status PersistAccess::ReplaceShardStripe(ShardedEngine* e, uint32_t shard,
+                                         const std::string& payload) {
+  if (e == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (shard >= e->shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  EngineShard& victim = *e->shards_[shard];
+  // 1. Drop the stripe's own clusters: from every grid they touch, then from
+  // the stripe's store.
+  for (ClusterId cid : victim.store.SortedClusterIds()) {
+    for (auto& sp : e->shards_) {
+      if (!sp->grid.Contains(cid)) continue;
+      SCUBA_RETURN_IF_ERROR(sp->grid.Remove(cid));
+    }
+    SCUBA_RETURN_IF_ERROR(victim.store.RemoveCluster(cid));
+  }
+  // 2. Wipe the stripe's mirror outright: neighbor-owned border entries come
+  // back in step 4; corrupt residue never does. Stale ghosts go with it
+  // (they are rebuilt before every join anyway).
+  victim.grid.Clear();
+  victim.ghosts.Clear();
+  // 3. Re-add the stripe's clusters from the twin payload. Same layout, so
+  // every cluster routes back to this stripe; each registration fans out to
+  // every stripe its circle touches, this one included. The same-layout
+  // branch also restores the stripe's join counters and shedder state.
+  SCUBA_RETURN_IF_ERROR(ApplyShardSnapshot(payload, e));
+  // 4. Restore this stripe's mirror entries for the OTHER stripes' clusters:
+  // re-apply every registered cluster's placement (cell placement is pure
+  // geometry, so stripes already holding the cluster just recompute the same
+  // cells).
+  for (auto& sp : e->shards_) {
+    if (sp.get() == &victim) continue;
+    for (ClusterId cid : sp->store.SortedClusterIds()) {
+      const MovingCluster* cluster = sp->store.GetCluster(cid);
+      SCUBA_CHECK(cluster != nullptr);
+      if (!e->AnyGridContains(cid)) continue;  // unregistered cluster
+      SCUBA_RETURN_IF_ERROR(
+          e->ApplyRegistration(cid, cluster->registered_bounds()));
+    }
+  }
+  return Status::OK();
+}
+
 void PersistAccess::SaveShardedCoordinatorState(const ShardedEngine& e,
                                                 const UpdateValidator* validator,
                                                 const Rng* rng, ByteWriter* w) {
@@ -762,6 +808,28 @@ Status ShardedDurabilityManager::ForceCheckpoint() {
   return Status::OK();
 }
 
+Status ShardedDurabilityManager::OnLayoutChanged() {
+  const uint32_t n = engine_->shard_count();
+  // Surplus chains close; their on-disk records survive (recovery merges
+  // every shard directory, extinct layouts included). Missing chains open at
+  // the current global sequence.
+  while (chains_.size() > n) chains_.pop_back();
+  for (uint32_t s = static_cast<uint32_t>(chains_.size()); s < n; ++s) {
+    Result<std::unique_ptr<WalWriter>> chain = WalWriter::Open(
+        ChainDir(dir_, s), policy_.wal_segment_bytes, next_seq_, crash_);
+    if (!chain.ok()) return chain.status();
+    chains_.push_back(std::move(chain).value());
+  }
+  object_slot_scratch_.resize(n);
+  object_scratch_.resize(n);
+  query_slot_scratch_.resize(n);
+  query_scratch_.resize(n);
+  // Commit the new layout before any further append (mirrors Open's
+  // layout-change handling): every batch logged from here on has a manifest
+  // matching its fanout.
+  return ForceCheckpoint();
+}
+
 Status ShardedDurabilityManager::Prune() {
   Result<std::vector<std::pair<uint64_t, std::string>>> manifests =
       ListManifests(dir_);
@@ -1028,6 +1096,53 @@ Result<ShardedRecoveryReport> RecoverShardedEngine(
   PersistAccess::MutableShardedStats(engine)->recovery_replay_rounds +=
       report.rounds_replayed;
   return report;
+}
+
+Status RecoverShardStripe(const std::string& dir, ShardedEngine* engine,
+                          uint32_t shard,
+                          const ValidatorConfig* validator_config) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (shard >= engine->shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  // Recover a pristine twin at the live engine's layout. Supervision and
+  // telemetry are stripped (both are fingerprint-excluded, so the twin still
+  // passes the recovery fingerprint check) — the twin must replay clean, not
+  // re-inject faults or emit telemetry.
+  ScubaOptions twin_options = engine->options();
+  twin_options.supervision = ShardSupervisionOptions{};
+  twin_options.telemetry = TelemetryOptions{};
+  Result<std::unique_ptr<ShardedEngine>> twin =
+      ShardedEngine::Create(twin_options);
+  if (!twin.ok()) return twin.status();
+  std::optional<UpdateValidator> scratch_validator;
+  UpdateValidator* validator = nullptr;
+  if (validator_config != nullptr) {
+    scratch_validator.emplace(*validator_config);
+    validator = &*scratch_validator;
+  }
+  Result<ShardedRecoveryReport> replay =
+      RecoverShardedEngine(dir, twin->get(), validator, nullptr);
+  if (!replay.ok()) return replay.status();
+  if (replay->manifest_path.empty() && replay->batches_replayed == 0) {
+    // An empty root would "recover" the stripe to empty — data loss, not
+    // recovery. Refuse instead.
+    return Status::NotFound("durable root " + dir +
+                            " holds no recoverable state");
+  }
+  const uint64_t live_rounds = engine->StatsSnapshot().eval.evaluations;
+  const uint64_t twin_rounds = (*twin)->StatsSnapshot().eval.evaluations;
+  if (twin_rounds != live_rounds) {
+    return Status::FailedPrecondition(
+        "durable root replays to round " + std::to_string(twin_rounds) +
+        " but the live engine is at round " + std::to_string(live_rounds) +
+        "; online stripe recovery needs every round logged");
+  }
+  const std::string payload =
+      PersistAccess::SerializeShardSnapshot(**twin, shard, 0, 0);
+  return PersistAccess::ReplaceShardStripe(engine, shard, payload);
 }
 
 }  // namespace scuba

@@ -79,6 +79,14 @@ class ShardedDurabilityManager : public DurabilitySink {
   /// snapshot or WAL segment a retained manifest references is ever deleted).
   Status ForceCheckpoint();
 
+  /// The engine resharded in place (a reassign eviction dropped a stripe):
+  /// realigns the chain set with the new layout — surplus chains close (their
+  /// records stay on disk; recovery merges every shard directory), missing
+  /// chains open at the current sequence — and forces a checkpoint so a
+  /// manifest commits the new layout before any further append. Wired as
+  /// ShardedEngine::set_on_layout_changed.
+  Status OnLayoutChanged();
+
   /// Global sequence number the next LogBatch stamps on every chain.
   uint64_t next_seq() const { return next_seq_; }
   const std::string& dir() const { return dir_; }
@@ -167,6 +175,22 @@ struct ShardedRecoveryReport {
 Result<ShardedRecoveryReport> RecoverShardedEngine(
     const std::string& dir, ShardedEngine* engine, UpdateValidator* validator,
     Rng* rng, const ResultSink& sink = nullptr);
+
+/// Online per-stripe recovery (docs/ARCHITECTURE.md §13): rebuilds stripe
+/// `shard` of the LIVE `engine` from the durable root, between rounds,
+/// without touching the other stripes' stores. Recovers a pristine twin
+/// engine from `dir` (same semantic options; supervision and telemetry
+/// stripped), checks that the twin caught up to the live engine's round count
+/// (kFailedPrecondition when the durable root lags — e.g. rounds ran without
+/// being logged), then transplants the twin's stripe via
+/// PersistAccess::ReplaceShardStripe. `validator_config` (nullable) must echo
+/// the run's screening config when the root's checkpoints carry validator
+/// state (LoadShardedCoordinatorState rejects a validator-bearing payload
+/// otherwise). Wired as ShardedEngine::set_stripe_recovery by callers owning
+/// a durable directory.
+Status RecoverShardStripe(const std::string& dir, ShardedEngine* engine,
+                          uint32_t shard,
+                          const ValidatorConfig* validator_config);
 
 }  // namespace scuba
 

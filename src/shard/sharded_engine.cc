@@ -12,6 +12,35 @@
 
 namespace scuba {
 
+namespace {
+
+/// Mirrors the single-engine audit tolerance (core/scuba_engine.cc): audits
+/// recompute derived quantities in a different floating-point order.
+constexpr double kAuditEps = 1e-6;
+
+void AddViolation(InvariantAuditReport* report, std::string msg) {
+  ++report->violations_total;
+  if (report->violations.size() < InvariantAuditReport::kMaxViolationMessages) {
+    report->violations.push_back(std::move(msg));
+  }
+}
+
+void MergeAuditReports(const InvariantAuditReport& part,
+                       InvariantAuditReport* total) {
+  total->clusters_checked += part.clusters_checked;
+  total->members_checked += part.members_checked;
+  total->grid_keys_checked += part.grid_keys_checked;
+  total->violations_total += part.violations_total;
+  for (const std::string& v : part.violations) {
+    if (total->violations.size() <
+        InvariantAuditReport::kMaxViolationMessages) {
+      total->violations.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
     const ScubaOptions& options) {
   SCUBA_RETURN_IF_ERROR(options.Validate());
@@ -28,6 +57,12 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
     engine->shards_.push_back(std::make_unique<EngineShard>(
         s, engine->router_.CellBegin(s), engine->router_.CellEnd(s),
         std::move(grid).value(), options));
+  }
+  if (options.supervision.Enabled()) {
+    Result<std::unique_ptr<ShardSupervisor>> supervisor =
+        ShardSupervisor::Create(options.supervision, engine->shard_count());
+    if (!supervisor.ok()) return supervisor.status();
+    engine->supervisor_ = std::move(supervisor).value();
   }
   if (options.telemetry.Enabled()) {
     Result<std::unique_ptr<EngineTelemetry>> telemetry =
@@ -442,21 +477,80 @@ Status ShardedEngine::Evaluate(Timestamp now, ResultSet* results) {
   }
   TelemetryEnsureRound();
 
+  const uint32_t n = shard_count();
+  const bool supervised = supervisor_ != nullptr;
+  if (supervised) {
+    // Rounds count Evaluate calls from 1. The fault schedule is rolled (and
+    // any corrupt-state injection applied) serially before workers start, so
+    // it is a pure function of (seed, round index, shard count).
+    supervisor_->BeginRound(stats_.evaluations + 1);
+    ApplyInjectedCorruption();
+  }
+
   results->Reserve(stats_.last_result_count);
   Stopwatch join_sw;
-  const uint32_t n = shard_count();
   std::vector<Status> shard_status(n);
-  auto run = [&](uint32_t s) { shard_status[s] = RunShardJoin(*shards_[s]); };
+  // Stale slices: quarantined before the round, or failed during it under a
+  // non-fail policy. Sized before the fan-out so workers never touch
+  // supervisor state.
+  std::vector<char> stale(n, 0);
+  if (supervised) {
+    for (uint32_t s = 0; s < n; ++s) {
+      if (supervisor_->Quarantined(s)) stale[s] = 1;
+    }
+  }
+  auto run = [&](uint32_t s) {
+    if (stale[s]) return;  // quarantined: serves its last-published slice
+    if (!supervised) {
+      shard_status[s] = RunShardJoin(*shards_[s]);
+      return;
+    }
+    shard_status[s] = supervisor_->SuperviseJoinTask(s, [this, s]() -> Status {
+      // Detection half of the barrier: a stripe whose invariants fail must
+      // not publish a slice computed over damaged state.
+      const InvariantAuditReport audit = AuditShardStripe(s);
+      if (!audit.clean()) {
+        return Status::DataLoss("shard " + std::to_string(s) +
+                                " failed its stripe audit: " +
+                                audit.ToString());
+      }
+      return RunShardJoin(*shards_[s]);
+    });
+  };
   if (resolved_join_threads_ > 1 && n > 1) {
-    RunTaskSet(JoinPool(), n, run);
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(JoinPool(), n, run));
   } else {
     for (uint32_t s = 0; s < n; ++s) run(s);
+  }
+  // Serial triage: injection accounting and quarantine transitions happen
+  // only at the coordinator.
+  if (supervised) {
+    for (uint32_t s = 0; s < n; ++s) {
+      if (stale[s] || shard_status[s].ok()) continue;
+      const std::optional<ShardFaultClass> fault = supervisor_->PlannedFault(s);
+      if (fault == ShardFaultClass::kTaskFailure ||
+          fault == ShardFaultClass::kStall) {
+        supervisor_->injector()->NoteInjected(*fault);
+      }
+      supervisor_->NoteJoinFailure(s, shard_status[s]);
+      if (options_.supervision.on_failure == ShardFailurePolicy::kFail) {
+        return shard_status[s];
+      }
+      stale[s] = 1;
+    }
+  } else {
+    for (uint32_t s = 0; s < n; ++s) SCUBA_RETURN_IF_ERROR(shard_status[s]);
   }
   double busy = 0.0;
   size_t merged = 0;
   uint64_t round_ghosts = 0;
+  uint32_t stale_count = 0;
   for (uint32_t s = 0; s < n; ++s) {
-    SCUBA_RETURN_IF_ERROR(shard_status[s]);
+    if (stale[s]) {
+      ++stale_count;
+      merged += shards_[s]->last_good_results.size();
+      continue;
+    }
     busy += shards_[s]->last_busy_seconds;
     merged += shards_[s]->results.size();
     round_ghosts += shards_[s]->last_ghosts;
@@ -467,12 +561,23 @@ Status ShardedEngine::Evaluate(Timestamp now, ResultSet* results) {
   results->Clear();
   // Owner-cell dedup makes per-shard slices disjoint up to the duplicates
   // Normalize removes in the single engine too; one normalize seals the
-  // merged set.
+  // merged set. A stale slice may overlap fresh ones (its pairs' owner cells
+  // can have migrated since it was published) — Normalize covers that too.
   results->Reserve(merged);
   for (uint32_t s = 0; s < n; ++s) {
+    if (stale[s]) {
+      ResultSet slice = shards_[s]->last_good_results;
+      results->AppendFrom(std::move(slice));
+      continue;
+    }
+    if (supervised) shards_[s]->last_good_results = shards_[s]->results;
     results->AppendFrom(std::move(shards_[s]->results));
   }
   results->Normalize();
+  for (uint32_t s = 0; s < n; ++s) {
+    if (stale[s]) results->MarkDegraded(s);
+  }
+  if (stale_count > 0) supervisor_->NoteDegradedRound();
 
   stats_.last_join_seconds = join_sw.ElapsedSeconds();
   stats_.total_join_seconds += stats_.last_join_seconds;
@@ -492,6 +597,7 @@ Status ShardedEngine::Evaluate(Timestamp now, ResultSet* results) {
     const int32_t join_span = tc.EnsureSpan(tc.root(), "join");
     tc.Accumulate(join_span, stats_.last_join_seconds, busy);
     for (uint32_t s = 0; s < n; ++s) {
+      if (stale[s]) continue;  // no fresh work this round
       tc.Accumulate(
           tc.EnsureSpan(join_span, "engine_shard", static_cast<int32_t>(s)),
           shards_[s]->last_busy_seconds, shards_[s]->last_busy_seconds);
@@ -523,6 +629,12 @@ Status ShardedEngine::Evaluate(Timestamp now, ResultSet* results) {
   }
   if (s.ok() && options_.rebalance == RebalanceMode::kObserve) {
     ObserveBalance();
+  }
+  if (s.ok() && supervised) {
+    // Online recovery between rounds: a failure's first attempt runs here,
+    // at the end of the SAME round — no ingest has interleaved, so a
+    // successful rebuild converges exactly to the uninterrupted twin.
+    SCUBA_RETURN_IF_ERROR(RunScheduledRecoveries());
   }
   return s;
 }
@@ -632,7 +744,7 @@ Status ShardedEngine::PostJoinMaintenance(Timestamp now,
   };
   const uint32_t n = shard_count();
   if (resolved_join_threads_ > 1 && n > 1 && cids.size() > 1) {
-    *worker_seconds = RunTaskSet(JoinPool(), n, upkeep);
+    SCUBA_RETURN_IF_ERROR(RunTaskSet(JoinPool(), n, upkeep, worker_seconds));
   } else {
     Stopwatch serial;
     for (uint32_t s = 0; s < n; ++s) upkeep(s);
@@ -710,6 +822,263 @@ void ShardedEngine::ObserveBalance() {
                last_recommendation_.c_str());
 }
 
+InvariantAuditReport ShardedEngine::AuditInvariants() const {
+  InvariantAuditReport total;
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    MergeAuditReports(AuditShardStripe(s), &total);
+  }
+  return total;
+}
+
+InvariantAuditReport ShardedEngine::AuditShardStripe(uint32_t shard) const {
+  InvariantAuditReport report;
+  const EngineShard& self = *shards_[shard];
+  const std::string prefix = "stripe " + std::to_string(shard);
+
+  // Store side: this stripe's own clusters, with the single engine's
+  // per-cluster rules (core/scuba_engine.cc AuditInvariants).
+  if (Status s = self.store.ValidateConsistency(); !s.ok()) {
+    AddViolation(&report, prefix + " store: " + s.message());
+  }
+  for (ClusterId cid : self.store.SortedClusterIds()) {
+    const MovingCluster* cluster = self.store.GetCluster(cid);
+    SCUBA_CHECK(cluster != nullptr);
+    ++report.clusters_checked;
+    const std::string tag = prefix + " cluster " + std::to_string(cid);
+    if (Status s = cluster->ValidateMemberIndex(); !s.ok()) {
+      AddViolation(&report, tag + ": " + s.message());
+    }
+    for (const ClusterMember& m : cluster->members()) {
+      ++report.members_checked;
+      const double d =
+          Distance(cluster->centroid(), cluster->MemberPosition(m));
+      if (d > cluster->radius() + kAuditEps) {
+        AddViolation(&report, tag + ": member (" +
+                                  std::to_string(static_cast<int>(m.kind)) +
+                                  "," + std::to_string(m.id) + ") lies " +
+                                  std::to_string(d - cluster->radius()) +
+                                  " outside the radius");
+        break;  // one radius violation per cluster is enough signal
+      }
+    }
+    if (!AnyGridContains(cid)) {
+      AddViolation(&report, tag + ": missing from every shard grid");
+      continue;
+    }
+    const Circle needed =
+        options_.query_reach_aware ? cluster->JoinBounds() : cluster->Bounds();
+    const Circle& reg = cluster->registered_bounds();
+    if (Distance(reg.center, needed.center) + needed.radius >
+        reg.radius + kAuditEps) {
+      AddViolation(&report,
+                   tag + ": registered bounds no longer cover the cluster");
+    }
+  }
+
+  // Grid side, self-blaming: this stripe's mirror must hold exactly the
+  // registered clusters — whichever stripe owns them — whose circle touches
+  // the stripe, each under its full global cell list (the mirror invariant
+  // in engine_shard.h). Damage to stripe s's grid is always reported here,
+  // by s, never attributed to the owner. Local scratch keeps this const and
+  // safe from concurrent worker tasks (stores and grids are immutable for
+  // the whole join phase).
+  std::vector<uint32_t> expected_cells;
+  for (const auto& sp : shards_) {
+    for (ClusterId cid : sp->store.SortedClusterIds()) {
+      const MovingCluster* cluster = sp->store.GetCluster(cid);
+      SCUBA_CHECK(cluster != nullptr);
+      if (!AnyGridContains(cid)) continue;  // flagged by the owner's audit
+      const std::string tag = prefix + " cluster " + std::to_string(cid);
+      expected_cells.clear();
+      self.grid.CellsForCircle(cluster->registered_bounds(), &expected_cells);
+      bool touches = false;
+      for (uint32_t cell : expected_cells) {
+        if (cell >= self.cell_begin && cell < self.cell_end) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) {
+        if (self.grid.Contains(cid)) {
+          AddViolation(&report, tag +
+                                    ": registered in the stripe's grid but "
+                                    "touches none of its cells");
+        }
+        continue;
+      }
+      if (!self.grid.Contains(cid)) {
+        AddViolation(
+            &report,
+            tag + ": touches the stripe but is missing from its grid");
+        continue;
+      }
+      const std::vector<uint32_t>* actual = self.grid.CellsOf(cid);
+      SCUBA_CHECK(actual != nullptr);  // Contains(cid) held above
+      std::vector<uint32_t> actual_sorted = *actual;
+      std::sort(actual_sorted.begin(), actual_sorted.end());
+      std::sort(expected_cells.begin(), expected_cells.end());
+      if (actual_sorted != expected_cells) {
+        AddViolation(&report, tag + ": grid cell placement diverges (" +
+                                  std::to_string(actual_sorted.size()) +
+                                  " cells occupied, " +
+                                  std::to_string(expected_cells.size()) +
+                                  " expected)");
+      }
+    }
+  }
+  // Reverse direction: every key in the stripe's grid must name a cluster
+  // stored somewhere.
+  for (uint32_t key : self.grid.Keys()) {
+    ++report.grid_keys_checked;
+    if (GetClusterAnywhere(key) == nullptr) {
+      AddViolation(&report, prefix + " grid: orphan key " +
+                                std::to_string(key) +
+                                " names no stored cluster");
+    }
+  }
+  return report;
+}
+
+void ShardedEngine::ApplyInjectedCorruption() {
+  ShardFaultInjector* injector = supervisor_->injector();
+  if (injector == nullptr) return;
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    if (supervisor_->Quarantined(s)) continue;
+    if (injector->FaultFor(s) != ShardFaultClass::kCorruptState) continue;
+    // Damage model: drop the lowest-cid border cluster (one also registered
+    // in another stripe's grid) from this stripe's mirror. The store stays
+    // intact and the other stripes still serve the cluster, so the round's
+    // post-join runs unmodified and state stays convergent with an
+    // uninterrupted twin; the stripe's own audit catches the hole before its
+    // join can publish. A stripe with no border cluster simply doesn't get
+    // corrupted this round (the injection is not counted as applied).
+    GridIndex& grid = shards_[s]->grid;
+    uint32_t victim = 0;
+    bool found = false;
+    for (uint32_t key : grid.Keys()) {
+      if (found && key >= victim) continue;
+      bool elsewhere = false;
+      for (const auto& other : shards_) {
+        if (other.get() == shards_[s].get()) continue;
+        if (other->grid.Contains(key)) {
+          elsewhere = true;
+          break;
+        }
+      }
+      if (elsewhere) {
+        victim = key;
+        found = true;
+      }
+    }
+    if (!found) continue;
+    const Status removed = grid.Remove(victim);
+    SCUBA_CHECK_MSG(removed.ok(),
+                    "corrupt-state injection failed to remove its victim");
+    injector->NoteInjected(ShardFaultClass::kCorruptState);
+  }
+}
+
+Status ShardedEngine::RunScheduledRecoveries() {
+  Stopwatch clock;
+  bool attempted = false;
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    if (!supervisor_->RecoveryDue(s)) continue;
+    attempted = true;
+    supervisor_->BeginRecoveryAttempt(s);
+    const Status attempt = AttemptStripeRecovery(s);
+    if (attempt.ok()) {
+      supervisor_->NoteRecoverySuccess(s);
+      continue;
+    }
+    if (!supervisor_->NoteRecoveryFailure(s, attempt)) continue;
+    // Attempt budget exhausted: evict. Under kReassign (with a neighbor to
+    // take the stripe) the whole engine reshards to one fewer stripe; under
+    // kDegrade the stripe stays quarantined in place forever.
+    supervisor_->NoteEvicted(s);
+    if (options_.supervision.on_failure == ShardFailurePolicy::kReassign &&
+        shard_count() > 1) {
+      SCUBA_RETURN_IF_ERROR(EvictShard(s));
+      break;  // shard indices changed; this sweep is over
+    }
+  }
+  if (attempted && telemetry_ != nullptr) {
+    TraceCollector& tc = telemetry_->trace();
+    tc.Accumulate(tc.EnsureSpan(tc.root(), "recovery"),
+                  clock.ElapsedSeconds());
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::AttemptStripeRecovery(uint32_t shard) {
+  if (ShardFaultInjector* injector = supervisor_->injector()) {
+    if (injector->FaultFor(shard) == ShardFaultClass::kRecoveryFailure) {
+      injector->NoteInjected(ShardFaultClass::kRecoveryFailure);
+      return Status::Internal("injected recovery failure: shard " +
+                              std::to_string(shard));
+    }
+  }
+  // Probe first: task failures and stalls leave state intact, so most
+  // recoveries are a clean audit away — no durable rebuild, no hook needed.
+  const InvariantAuditReport probe = AuditShardStripe(shard);
+  if (probe.clean()) return Status::OK();
+  if (!stripe_recovery_) {
+    return Status::FailedPrecondition(
+        "stripe " + std::to_string(shard) +
+        " needs a durable rebuild but no recovery hook is attached: " +
+        probe.ToString());
+  }
+  SCUBA_RETURN_IF_ERROR(stripe_recovery_(this, shard));
+  const InvariantAuditReport verify = AuditShardStripe(shard);
+  if (!verify.clean()) {
+    return Status::Corruption(
+        "stripe audit still failing after durable rebuild: " +
+        verify.ToString());
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::EvictShard(uint32_t victim) {
+  const uint32_t old_count = shard_count();
+  SCUBA_CHECK_MSG(old_count >= 2, "cannot evict the last stripe");
+  (void)victim;  // every stripe re-routes; the victim's identity dissolves
+  // Serialize every stripe through the shard-snapshot path. The victim's
+  // STORE is intact even when its grid mirror is damaged, and applying a
+  // snapshot re-registers each cluster from its registered_bounds — so the
+  // rebuild below also heals whatever corruption got the stripe evicted.
+  std::vector<std::string> payloads;
+  payloads.reserve(old_count);
+  for (uint32_t s = 0; s < old_count; ++s) {
+    payloads.push_back(PersistAccess::SerializeShardSnapshot(*this, s, 0, 0));
+  }
+  const uint32_t new_count = old_count - 1;
+  Result<ShardRouter> router =
+      ShardRouter::Create(options_.region, options_.grid_cells, new_count);
+  if (!router.ok()) return router.status();
+  router_ = std::move(router).value();
+  std::vector<std::unique_ptr<EngineShard>> fresh;
+  fresh.reserve(new_count);
+  for (uint32_t s = 0; s < new_count; ++s) {
+    Result<GridIndex> grid =
+        GridIndex::Create(options_.region, options_.grid_cells);
+    if (!grid.ok()) return grid.status();
+    fresh.push_back(std::make_unique<EngineShard>(
+        s, router_.CellBegin(s), router_.CellEnd(s), std::move(grid).value(),
+        options_));
+  }
+  shards_ = std::move(fresh);
+  options_.shards = new_count;  // excluded from the options fingerprint
+  pool_.reset();                // JoinPool re-caps itself at the new count
+  scratch_touched_.assign(new_count, 0);
+  for (const std::string& payload : payloads) {
+    SCUBA_RETURN_IF_ERROR(PersistAccess::ApplyShardSnapshot(payload, this));
+  }
+  supervisor_->OnLayoutChanged(new_count);
+  if (on_layout_changed_) {
+    SCUBA_RETURN_IF_ERROR(on_layout_changed_());
+  }
+  return Status::OK();
+}
+
 size_t ShardedEngine::EstimateMemoryUsage() const {
   size_t total = sizeof(ShardedEngine) + meta_.EstimateMemoryUsage();
   for (const auto& sp : shards_) {
@@ -753,10 +1122,29 @@ void ShardedEngine::InstallTelemetry(
   metrics_.recommendations = reg.RegisterCounter(
       "scuba_rebalance_recommendations_total",
       "Stripe-split recommendations issued in observe mode");
+  metrics_.shard_failures = reg.RegisterCounter(
+      "scuba_shard_failures_total",
+      "Supervised shard join tasks that failed (thrown, stalled, or audit)");
+  metrics_.shard_recoveries = reg.RegisterCounter(
+      "scuba_shard_recoveries_total",
+      "Online shard recoveries that verified clean");
+  metrics_.shard_evictions = reg.RegisterCounter(
+      "scuba_shard_evictions_total",
+      "Shards evicted after exhausting their recovery attempts");
+  metrics_.degraded_rounds = reg.RegisterCounter(
+      "scuba_degraded_rounds_total",
+      "Rounds answered with at least one stale shard slice");
   metrics_.clusters =
       reg.RegisterGauge("scuba_clusters", "Live moving clusters");
   metrics_.shards =
       reg.RegisterGauge("scuba_shards", "Engine shards (row stripes)");
+  metrics_.shard_health.resize(shard_count());
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    metrics_.shard_health[s] = reg.RegisterGauge(
+        "scuba_shard_health_" + std::to_string(s),
+        "Stripe health: 0 healthy, 1 degraded, 2 recovering, 3 evicted");
+    metrics_.shard_health[s].Set(0.0);
+  }
   metrics_.shards.Set(static_cast<double>(shard_count()));
   metrics_.clusters.Set(static_cast<double>(ClusterCount()));
   telemetry_->SetRoundHook([this] { PushTelemetryDeltas(); });
@@ -773,6 +1161,33 @@ void ShardedEngine::PushTelemetryDeltas() {
                                      pushed_.recommendations);
   metrics_.clusters.Set(static_cast<double>(ClusterCount()));
   metrics_.shards.Set(static_cast<double>(shard_count()));
+  if (supervisor_ != nullptr) {
+    const SupervisionStats& sup = supervisor_->stats();
+    metrics_.shard_failures.Increment(sup.shard_failures -
+                                      pushed_.shard_failures);
+    metrics_.shard_recoveries.Increment(sup.shard_recoveries -
+                                        pushed_.shard_recoveries);
+    metrics_.shard_evictions.Increment(sup.shard_evictions -
+                                       pushed_.shard_evictions);
+    metrics_.degraded_rounds.Increment(sup.degraded_rounds -
+                                       pushed_.degraded_rounds);
+    pushed_.shard_failures = sup.shard_failures;
+    pushed_.shard_recoveries = sup.shard_recoveries;
+    pushed_.shard_evictions = sup.shard_evictions;
+    pushed_.degraded_rounds = sup.degraded_rounds;
+  }
+  for (size_t s = 0; s < metrics_.shard_health.size(); ++s) {
+    // Indices beyond the current layout (after a reassign reshard) report
+    // evicted: that stripe identity no longer exists.
+    double level = 3.0;
+    if (s < shard_count()) {
+      level = supervisor_ == nullptr
+                  ? 0.0
+                  : static_cast<double>(static_cast<int>(
+                        supervisor_->record(static_cast<uint32_t>(s)).health));
+    }
+    metrics_.shard_health[s].Set(level);
+  }
   pushed_.rounds = stats_.evaluations;
   pushed_.results = stats_.total_results;
   pushed_.comparisons = stats_.comparisons;

@@ -33,6 +33,7 @@
 #ifndef SCUBA_SHARD_SHARDED_ENGINE_H_
 #define SCUBA_SHARD_SHARDED_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -43,10 +44,12 @@
 #include "common/thread_pool.h"
 #include "core/engine_snapshot.h"
 #include "core/query_processor.h"
+#include "core/scuba_engine.h"
 #include "core/scuba_options.h"
 #include "obs/telemetry.h"
 #include "shard/engine_shard.h"
 #include "shard/shard_router.h"
+#include "shard/shard_supervisor.h"
 
 namespace scuba {
 
@@ -115,6 +118,43 @@ class ShardedEngine : public QueryProcessor {
   /// engine's layout.
   Status Restore(const std::string& dir);
 
+  // --- Shard supervision (docs/ARCHITECTURE.md §13) ---
+
+  /// Non-null iff options.supervision.Enabled() at Create time. Supervised
+  /// rounds wrap each shard's join task in a failure barrier, serve degraded
+  /// results for quarantined stripes, and run online recovery between rounds.
+  ShardSupervisor* supervisor() { return supervisor_.get(); }
+  const ShardSupervisor* supervisor() const { return supervisor_.get(); }
+
+  /// Full-engine invariant audit: the union of AuditShardStripe over every
+  /// stripe (counters summed, violations concatenated up to the report cap).
+  InvariantAuditReport AuditInvariants() const;
+  /// Scoped audit of one stripe: the per-cluster store checks of
+  /// ScubaEngine::AuditInvariants over the stripe's own clusters, plus the
+  /// stripe's grid mirror — every registered cluster (any owner) whose
+  /// circle touches the stripe must appear in its grid under the full global
+  /// cell list, no cluster that touches it nowhere may, and no key may be an
+  /// orphan. Self-blaming: damage to stripe s's grid is reported by
+  /// AuditShardStripe(s) regardless of which stripe owns the damaged
+  /// cluster. Read-only; safe from worker tasks during the join phase.
+  InvariantAuditReport AuditShardStripe(uint32_t shard) const;
+
+  /// Online per-stripe recovery hook, wired by callers owning a durable
+  /// directory (the CLI wires RecoverShardStripe). Recovery probes run
+  /// without it; only a stripe whose audit stays dirty needs the rebuild —
+  /// absent the hook such a stripe fails its attempts and is evicted.
+  using StripeRecoveryFn = std::function<Status(ShardedEngine*, uint32_t)>;
+  void set_stripe_recovery(StripeRecoveryFn fn) {
+    stripe_recovery_ = std::move(fn);
+  }
+  /// Invoked after a reassign eviction reshards the engine, so the
+  /// durability manager can realign its WAL chains and force a checkpoint
+  /// under the new layout.
+  using LayoutChangedFn = std::function<Status()>;
+  void set_on_layout_changed(LayoutChangedFn fn) {
+    on_layout_changed_ = std::move(fn);
+  }
+
  private:
   friend struct PersistAccess;
   ShardedEngine(const ScubaOptions& options, ShardRouter router);
@@ -172,6 +212,23 @@ class ShardedEngine : public QueryProcessor {
   /// max/mean imbalance exceeds the threshold.
   void ObserveBalance();
 
+  /// Serial, pre-join: applies this round's kCorruptState injections by
+  /// dropping a border cluster from the victim stripe's grid mirror (caught
+  /// by the supervised task's stripe audit; post-join runs unmodified).
+  void ApplyInjectedCorruption();
+  /// End-of-round: runs every due recovery attempt. A stripe that exhausts
+  /// its attempt budget is evicted — under kReassign by resharding the
+  /// engine to one fewer stripe, otherwise in place.
+  Status RunScheduledRecoveries();
+  /// One recovery attempt: injected-failure check, audit probe, then (only
+  /// if the audit is dirty) the durable rebuild hook plus a verify audit.
+  Status AttemptStripeRecovery(uint32_t shard);
+  /// Reassign eviction: restripes the whole engine to shard_count()-1
+  /// stripes through the shard-snapshot serializer (the same N->M routing
+  /// the reshard-on-restore path uses), then resets supervision state and
+  /// fires the layout-changed hook.
+  Status EvictShard(uint32_t victim);
+
   ThreadPool* JoinPool();
   void InstallTelemetry(std::unique_ptr<EngineTelemetry> telemetry);
   void PushTelemetryDeltas();
@@ -197,6 +254,11 @@ class ShardedEngine : public QueryProcessor {
   uint64_t recommendations_ = 0;
   std::string last_recommendation_;
 
+  /// Null unless options.supervision.Enabled() at Create time.
+  std::unique_ptr<ShardSupervisor> supervisor_;
+  StripeRecoveryFn stripe_recovery_;
+  LayoutChangedFn on_layout_changed_;
+
   /// Scratch buffers reused across grid mirror operations.
   std::vector<uint32_t> scratch_cells_;
   std::vector<char> scratch_touched_;
@@ -209,8 +271,16 @@ class ShardedEngine : public QueryProcessor {
     Counter handoffs;
     Counter ghosts;
     Counter recommendations;
+    Counter shard_failures;
+    Counter shard_recoveries;
+    Counter shard_evictions;
+    Counter degraded_rounds;
     Gauge clusters;
     Gauge shards;
+    /// One per stripe of the ORIGINAL layout: 0 healthy, 1 degraded,
+    /// 2 recovering, 3 evicted. Indices beyond the current layout (after a
+    /// reassign reshard) report 3 — that stripe identity is gone.
+    std::vector<Gauge> shard_health;
   } metrics_;
   struct TelemetryBaseline {
     uint64_t rounds = 0;
@@ -219,6 +289,10 @@ class ShardedEngine : public QueryProcessor {
     uint64_t handoffs = 0;
     uint64_t ghosts = 0;
     uint64_t recommendations = 0;
+    uint64_t shard_failures = 0;
+    uint64_t shard_recoveries = 0;
+    uint64_t shard_evictions = 0;
+    uint64_t degraded_rounds = 0;
   } pushed_;
 };
 

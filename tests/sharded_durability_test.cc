@@ -329,6 +329,48 @@ TEST(ShardedDurabilityTest, FsckVerdictsPerDamageClass) {
   EXPECT_EQ(report->exit_code, kFsckBadManifest) << report->ToString();
 }
 
+TEST(ShardedDurabilityTest, FsckReportToJsonMirrorsTheReport) {
+  std::vector<Round> rounds = MakeRounds(4);
+  ScopedTempDir dir("fsck_json");
+  const ScubaOptions opt = MakeOptions(2);
+  RunDurably(rounds, opt, dir.path());
+
+  // Clean directory: the JSON mirrors the counters and carries empty lists.
+  Result<FsckReport> report = FsckDurableDir(dir.path());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->exit_code, kFsckOk) << report->ToString();
+  std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"sharded\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"problems\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"manifests_valid\":" +
+                      std::to_string(report->manifests_valid)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wal_records_scanned\":" +
+                      std::to_string(report->wal_records_scanned)),
+            std::string::npos)
+      << json;
+
+  // Damage the directory: the verdict and the problem text (JSON-escaped,
+  // quoted) must appear.
+  const std::string tmp =
+      (fs::path(dir.path()) / ShardDirName(0) / "snapshot-junk.tmp").string();
+  { std::ofstream(tmp, std::ios::binary) << "partial"; }
+  report = FsckDurableDir(dir.path());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->exit_code, kFsckOrphan);
+  json = report->ToJson();
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":" + std::to_string(kFsckOrphan)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("snapshot-junk.tmp"), std::string::npos) << json;
+  ASSERT_FALSE(report->problems.empty());
+  EXPECT_NE(json.find("\"problems\":[\""), std::string::npos) << json;
+}
+
 TEST(ShardedDurabilityTest, PruneRetainsOnlyManifestReferencedGenerations) {
   // 10 rounds, checkpoint every 2, keep 2 -> generations 1..5 written,
   // {4, 5} retained.

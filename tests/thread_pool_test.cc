@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace scuba {
@@ -73,6 +75,93 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
     // No Wait(): the destructor must finish the queue before joining.
   }
   EXPECT_EQ(ran.load(), 50);
+}
+
+// --- RunTaskSet exception barrier ---
+
+TEST(RunTaskSetTest, CleanTaskSetRunsEveryIndexAndReturnsOk) {
+  ThreadPool pool(4);
+  std::vector<int> hit(16, 0);
+  Status s = RunTaskSet(&pool, 16, [&hit](uint32_t t) { hit[t] = 1; });
+  EXPECT_TRUE(s.ok());
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(RunTaskSetTest, ThrowingTaskBecomesInternalStatusNotTermination) {
+  ThreadPool pool(4);
+  Status s = RunTaskSet(&pool, 8, [](uint32_t t) {
+    if (t == 5) throw std::runtime_error("task 5 blew up");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("task 5 blew up"), std::string::npos);
+}
+
+TEST(RunTaskSetTest, EveryTaskRunsEvenWhenOneThrows) {
+  // A failure must not leave tasks queued on the pool: the pool has to be a
+  // clean barrier for the next batch.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Status s = RunTaskSet(&pool, 32, [&ran](uint32_t t) {
+    ran.fetch_add(1);
+    if (t % 7 == 0) throw std::runtime_error("boom");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(ran.load(), 32);
+  // The pool is reusable after the failed round.
+  std::atomic<int> again{0};
+  EXPECT_TRUE(RunTaskSet(&pool, 8, [&again](uint32_t) {
+                again.fetch_add(1);
+              }).ok());
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(RunTaskSetTest, LowestFailingIndexWinsAtEveryThreadCount) {
+  // Deterministic failure surfacing: tasks 3 and 11 both throw; the reported
+  // error must be task 3's regardless of scheduling.
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 10; ++round) {
+      Status s = RunTaskSet(&pool, 16, [](uint32_t t) {
+        if (t == 3) throw std::runtime_error("first");
+        if (t == 11) throw std::runtime_error("second");
+      });
+      ASSERT_EQ(s.code(), StatusCode::kInternal);
+      EXPECT_NE(s.message().find("first"), std::string::npos) << s.ToString();
+      EXPECT_EQ(s.message().find("second"), std::string::npos) << s.ToString();
+    }
+  }
+}
+
+TEST(RunTaskSetTest, SingleTaskRunsInlineWithoutAPool) {
+  int hits = 0;
+  EXPECT_TRUE(RunTaskSet(nullptr, 1, [&hits](uint32_t) { ++hits; }).ok());
+  EXPECT_EQ(hits, 1);
+  Status s = RunTaskSet(nullptr, 1, [](uint32_t) {
+    throw std::runtime_error("inline failure");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("inline failure"), std::string::npos);
+}
+
+TEST(RunTaskSetTest, NonStandardExceptionIsCaughtToo) {
+  ThreadPool pool(2);
+  Status s = RunTaskSet(&pool, 4, [](uint32_t t) {
+    if (t == 2) throw 42;  // not derived from std::exception
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(RunTaskSetTest, BusySecondsAccumulateOnSuccessAndFailure) {
+  ThreadPool pool(2);
+  double busy = 0.0;
+  EXPECT_TRUE(RunTaskSet(&pool, 4, [](uint32_t) {}, &busy).ok());
+  EXPECT_GE(busy, 0.0);
+  const double before = busy;
+  Status s = RunTaskSet(&pool, 4, [](uint32_t t) {
+    if (t == 0) throw std::runtime_error("boom");
+  }, &busy);
+  EXPECT_FALSE(s.ok());
+  EXPECT_GE(busy, before);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 """Validate SCUBA telemetry JSONL output (docs/ARCHITECTURE.md §9).
 
 Checks a --metrics-out / --trace-out pair produced by scuba_cli or the
-benches against the v2 schema: every line must parse, carry only known
+benches against the v3 schema: every line must parse, carry only known
 keys, and keep the per-round invariants (monotone rounds, monotone counter
 totals, finite non-negative timings, well-formed span trees). Optionally
 gates the telemetry overhead measured by bench_parallel_scaling and writes
@@ -12,9 +12,16 @@ v1 -> v2 migration: line shapes are unchanged; v2 adds the sharded engine's
 surface — per-shard "engine_shard" spans under "join" (indexed by shard id),
 a root-level "handoff" span, the scuba_shard_handoffs_total /
 scuba_shard_ghosts_total / scuba_rebalance_recommendations_total counters
-and the scuba_shards gauge. This checker now also pins the span-name
-universe (unknown span names fail) and validates the shard-level spans and
-counters; v1 files fail only on their schema_version field.
+and the scuba_shards gauge. This checker also pins the span-name universe
+(unknown span names fail) and validates the shard-level spans and counters.
+
+v2 -> v3 migration: line shapes again unchanged; v3 adds the shard fault
+isolation surface — the scuba_shard_failures_total /
+scuba_shard_recoveries_total / scuba_shard_evictions_total /
+scuba_degraded_rounds_total counters, per-stripe scuba_shard_health_<s>
+gauges (validated to hold one of the health-state codes 0-3), and a
+root-level "recovery" span covering online stripe rebuilds. Files from
+older engines fail only on their schema_version field.
 
 Exit code 0 = all checks passed, 1 = validation failure.
 """
@@ -24,7 +31,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 META_KEYS = {"schema_version", "kind", "stream", "engine"}
 ROUND_METRICS_KEYS = {"schema_version", "kind", "round", "metrics"}
@@ -40,23 +47,28 @@ SPAN_KEYS = {"id", "name", "parent", "wall_seconds", "count", "index",
 SPAN_REQUIRED = {"id", "name", "parent", "wall_seconds", "count"}
 JOIN_KEYS = {"shards", "imbalance"}
 
-# The complete span-name universe emitted by the engines (v2). "shard" is the
-# single engine's per-task join span; "engine_shard" and "handoff" belong to
-# the sharded engine.
+# The complete span-name universe emitted by the engines (v3). "shard" is the
+# single engine's per-task join span; "engine_shard", "handoff" and
+# "recovery" belong to the sharded engine.
 KNOWN_SPAN_NAMES = {
     "round", "ingest", "classify", "apply", "join", "between", "within",
     "shard", "engine_shard", "postjoin", "tighten", "shed", "expire",
-    "translate", "handoff", "checkpoint", "wal", "snapshot",
+    "translate", "handoff", "recovery", "checkpoint", "wal", "snapshot",
 }
 # Per-shard spans must be indexed (the shard id) so consumers can attribute
 # load; their parent must be the phase span named here.
 INDEXED_SPAN_PARENT = {"shard": "join", "engine_shard": "join"}
-# Sharded-engine counters (v2): any of these present => the scuba_shards
+# Sharded-engine counters (v2/v3): any of these present => the scuba_shards
 # gauge must appear too, so per-shard rates can be normalized.
 SHARD_COUNTER_NAMES = {
     "scuba_shard_handoffs_total", "scuba_shard_ghosts_total",
     "scuba_rebalance_recommendations_total",
+    "scuba_shard_failures_total", "scuba_shard_recoveries_total",
+    "scuba_shard_evictions_total", "scuba_degraded_rounds_total",
 }
+# v3 per-stripe health gauge values (ShardHealth in src/shard).
+SHARD_HEALTH_PREFIX = "scuba_shard_health_"
+SHARD_HEALTH_VALUES = {0, 1, 2, 3}
 
 
 class CheckFailure(Exception):
@@ -170,6 +182,12 @@ def check_metrics_file(path):
                         fail(path, line_no,
                              f"scuba_shards must be a positive integer, "
                              f"got {value!r}")
+                if name.startswith(SHARD_HEALTH_PREFIX):
+                    value = entry.get("value")
+                    if value not in SHARD_HEALTH_VALUES:
+                        fail(path, line_no,
+                             f"{name} must be a health-state code "
+                             f"{sorted(SHARD_HEALTH_VALUES)}, got {value!r}")
             elif kind == "histogram":
                 check_keys(path, line_no, entry, HISTOGRAM_KEYS, "histogram")
                 delta_count = entry.get("delta_count")

@@ -270,6 +270,23 @@ Result<ScubaOptions> ScubaOptionsFromFlags(const Flags& flags,
       static_cast<uint32_t>(flags.GetInt("checkpoint-every", 0));
   opt.checkpoint.keep_last_k =
       static_cast<uint32_t>(flags.GetInt("keep-last", 2));
+  // Shard fault isolation (docs/ARCHITECTURE.md §13). Non-semantic like the
+  // thread counts — a clean run is bit-identical under every setting — so the
+  // snapshot options fingerprint excludes all of these too.
+  Result<ShardFailurePolicy> on_shard_failure = ParseShardFailurePolicy(
+      flags.GetString("on-shard-failure", "fail"));
+  if (!on_shard_failure.ok()) return on_shard_failure.status();
+  opt.supervision.on_failure = *on_shard_failure;
+  opt.supervision.max_recovery_attempts = static_cast<uint32_t>(
+      flags.GetInt("shard-max-recovery-attempts", 3));
+  opt.supervision.backoff_base_rounds =
+      static_cast<uint32_t>(flags.GetInt("shard-backoff-rounds", 1));
+  opt.supervision.round_deadline_seconds =
+      flags.GetDouble("shard-round-deadline", 0.0);
+  opt.supervision.fault_seed =
+      static_cast<uint64_t>(flags.GetInt("shard-fault-seed", 0x5C0BA));
+  opt.supervision.fault_rate = flags.GetDouble("shard-fault-rate", 0.0);
+  opt.supervision.fault_spec = flags.GetString("shard-fault-spec", "");
   const double eta = flags.GetDouble("eta", 0.0);
   if (eta > 0.0) {
     opt.shedding.mode = LoadSheddingMode::kFixed;
@@ -389,6 +406,7 @@ int CmdRun(const Flags& flags) {
   }
 
   std::unique_ptr<DurabilitySink> durability;
+  ShardedDurabilityManager* sharded_durability = nullptr;
   if (!durable_dir.empty()) {
     if (sharded_engine != nullptr) {
       Result<std::unique_ptr<ShardedDurabilityManager>> d =
@@ -396,6 +414,7 @@ int CmdRun(const Flags& flags) {
                                          sharded_engine, screen,
                                          /*rng=*/nullptr, &*crash);
       if (!d.ok()) return Fail(d.status());
+      sharded_durability = d->get();
       durability = std::move(d).value();
     } else if (scuba_engine != nullptr) {
       Result<std::unique_ptr<DurabilityManager>> d = DurabilityManager::Open(
@@ -408,6 +427,22 @@ int CmdRun(const Flags& flags) {
           "--durable-dir requires --engine scuba (snapshots cover SCUBA "
           "engine state)"));
     }
+  }
+  // A supervised durable sharded run can heal a failed stripe online: the
+  // recovery hook rebuilds it from the durable root between rounds, and a
+  // reassign eviction realigns the WAL chains with the reduced layout.
+  if (sharded_engine != nullptr && sharded_engine->supervisor() != nullptr &&
+      sharded_durability != nullptr) {
+    // The durable root carries validator state only when the run screens
+    // (screen was passed to Open above); the twin must mirror that.
+    const bool has_validator = screen != nullptr;
+    sharded_engine->set_stripe_recovery(
+        [durable_dir, vconfig, has_validator](ShardedEngine* e, uint32_t s) {
+          return RecoverShardStripe(durable_dir, e, s,
+                                    has_validator ? &vconfig : nullptr);
+        });
+    sharded_engine->set_on_layout_changed(
+        [sharded_durability] { return sharded_durability->OnLayoutChanged(); });
   }
 
   std::ofstream csv;
@@ -459,6 +494,9 @@ int CmdRun(const Flags& flags) {
     std::printf("state-hash: %016llx\n",
                 static_cast<unsigned long long>(
                     EngineStateHash(*sharded_engine)));
+    if (sharded_engine->supervisor() != nullptr) {
+      std::printf("%s\n", sharded_engine->supervisor()->HealthDump().c_str());
+    }
   }
   if (screen != nullptr) {
     std::printf("validator: %s\n", screen->FormatStats().c_str());
@@ -832,14 +870,16 @@ int CmdFsck(int argc, char** argv) {
   Result<Flags> flags = Flags::Parse(argc, argv, first);
   if (!flags.ok()) return Fail(flags.status());
   if (dir.empty()) dir = flags->GetString("dir", "");
+  const bool json = flags->GetBool("json", false);
   Status consumed = flags->CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
   if (dir.empty()) {
-    return Fail(Status::InvalidArgument("usage: scuba_cli fsck <dir>"));
+    return Fail(Status::InvalidArgument("usage: scuba_cli fsck <dir> [--json]"));
   }
   Result<FsckReport> report = FsckDurableDir(dir);
   if (!report.ok()) return Fail(report.status());
-  std::printf("%s\n", report->ToString().c_str());
+  std::printf("%s\n",
+              json ? report->ToJson().c_str() : report->ToString().c_str());
   return report->exit_code;
 }
 
@@ -862,12 +902,18 @@ int Usage() {
       "                  --audit-every N --durable-dir DIR\n"
       "                  --checkpoint-every N --keep-last K\n"
       "                  --crash-at POINT --crash-after N\n"
-      "                  --metrics-out FILE.jsonl --trace-out FILE.jsonl]\n"
+      "                  --metrics-out FILE.jsonl --trace-out FILE.jsonl\n"
+      "                  --on-shard-failure fail|degrade|reassign\n"
+      "                  --shard-max-recovery-attempts N\n"
+      "                  --shard-backoff-rounds N --shard-round-deadline F\n"
+      "                  --shard-fault-seed N --shard-fault-rate F\n"
+      "                  --shard-fault-spec ROUND:SHARD:CLASS[,...]]\n"
       "  checkpoint      --trace FILE --durable-dir DIR [run options]\n"
       "  restore         --trace FILE --durable-dir DIR [run options]\n"
       "  recover         --trace FILE --durable-dir DIR [--json]\n"
       "                  [run options]\n"
-      "  fsck            DIR (read-only; exit 0 clean, 20-25 per damage class)\n"
+      "  fsck            DIR [--json] (read-only; exit 0 clean, 20-25 per\n"
+      "                  damage class)\n"
       "  compare         --trace FILE [--delta N --eta F --threads N\n"
       "                  --ingest-threads N]\n"
       "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n"
@@ -889,7 +935,14 @@ int Usage() {
       "bit-identical results; --rebalance observe logs stripe-split\n"
       "recommendations on skew. Sharded durable runs keep one WAL chain per\n"
       "shard under manifest-committed checkpoint generations; a directory\n"
-      "written at one shard count recovers into any other.\n");
+      "written at one shard count recovers into any other.\n"
+      "--on-shard-failure degrade|reassign isolates a failing shard instead\n"
+      "of failing the round: the round completes degraded (the failed shard\n"
+      "serves its last published results), online recovery rebuilds the\n"
+      "stripe from --durable-dir between rounds with exponential backoff,\n"
+      "and reassign re-stripes an unrecoverable shard away. --shard-fault-*\n"
+      "arm the deterministic fault injector (classes: task-failure\n"
+      "corrupt-state stall recovery-failure) for chaos drills.\n");
   return 1;
 }
 
