@@ -6,11 +6,12 @@
 
 #include <cinttypes>
 #include <memory>
+#include <string>
 
-#include "baseline/naive_join_engine.h"
 #include "baseline/query_index_engine.h"
 #include "bench/bench_common.h"
 #include "common/memory_usage.h"
+#include "shard/engine_factory.h"
 
 namespace scuba::bench {
 namespace {
@@ -32,35 +33,23 @@ void Run() {
   std::printf("%-14s %12s %12s %14s %16s %14s\n", "engine", "join(s)",
               "maint(s)", "results", "comparisons", "peak memory");
 
-  {
-    ScubaOptions opt;
-    opt.region = data.region;
-    Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
+  // scuba / grid / naive all come from the one option-to-engine mapping the
+  // CLI uses; only the query-index comparator is assembled by hand (the
+  // factory deliberately covers just the CLI's engine names).
+  ScubaOptions opt;
+  opt.region = data.region;
+  for (const char* name : {"scuba", "grid", "naive"}) {
+    Result<EngineHandle> engine = MakeEngine(opt, name);
     SCUBA_CHECK(engine.ok());
-    Result<EngineRunResult> run = RunOnTrace(engine->get(), data.trace, 2);
+    Result<EngineRunResult> run = RunOnTrace(engine->engine.get(), data.trace, 2);
     SCUBA_CHECK(run.ok());
-    Row("scuba", *run);
-  }
-  {
-    GridJoinOptions opt;
-    opt.region = data.region;
-    Result<std::unique_ptr<GridJoinEngine>> engine = GridJoinEngine::Create(opt);
-    SCUBA_CHECK(engine.ok());
-    Result<EngineRunResult> run = RunOnTrace(engine->get(), data.trace, 2);
-    SCUBA_CHECK(run.ok());
-    Row("regular-grid", *run);
+    Row(std::string(engine->engine->name()).c_str(), *run);
   }
   {
     QueryIndexEngine engine;
     Result<EngineRunResult> run = RunOnTrace(&engine, data.trace, 2);
     SCUBA_CHECK(run.ok());
     Row("query-index", *run);
-  }
-  {
-    NaiveJoinEngine engine;
-    Result<EngineRunResult> run = RunOnTrace(&engine, data.trace, 2);
-    SCUBA_CHECK(run.ok());
-    Row("naive", *run);
   }
   std::printf("\n(all engines replay the identical trace; result counts must "
               "match — none of these shed load)\n");

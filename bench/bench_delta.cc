@@ -24,17 +24,16 @@ void Run() {
     SCUBA_CHECK(engine.ok());
 
     IncrementalResultTracker tracker;
-    uint64_t rounds = 0;
     uint64_t total_matches = 0;
     uint64_t total_churn = 0;
     Status s = ReplayTrace(data.trace, engine->get(), delta,
-                           [&](Timestamp, const ResultSet& r) {
-                             ResultDelta d = tracker.Observe(r);
-                             ++rounds;
+                           [&](Timestamp now, const ResultSet& r) {
+                             ResultDelta d = tracker.Observe(r, now);
                              total_matches += r.size();
-                             if (rounds > 1) total_churn += d.size();
+                             if (d.round > 1) total_churn += d.size();
                            });
     SCUBA_CHECK_MSG(s.ok(), s.ToString().c_str());
+    const uint64_t rounds = tracker.rounds();
     double avg_matches =
         rounds ? static_cast<double>(total_matches) / static_cast<double>(rounds)
                : 0.0;

@@ -1,4 +1,4 @@
-#include "persist/serializer.h"
+#include "common/serializer.h"
 
 #include <array>
 

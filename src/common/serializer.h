@@ -1,4 +1,5 @@
-// Byte-level serialization primitives for the durability subsystem
+// Byte-level serialization primitives shared by the durability subsystem and
+// the serving front-end wire protocol
 // (docs/ARCHITECTURE.md §8).
 //
 // Everything durable — snapshots and WAL records — is built from the same
@@ -8,8 +9,8 @@
 // patterns, which is what makes a restored engine *bit-identical* to the one
 // that was checkpointed (the same guarantee the parallel executors give).
 
-#ifndef SCUBA_PERSIST_SERIALIZER_H_
-#define SCUBA_PERSIST_SERIALIZER_H_
+#ifndef SCUBA_COMMON_SERIALIZER_H_
+#define SCUBA_COMMON_SERIALIZER_H_
 
 #include <cstdint>
 #include <cstring>
@@ -118,4 +119,4 @@ class ByteReader {
 
 }  // namespace scuba
 
-#endif  // SCUBA_PERSIST_SERIALIZER_H_
+#endif  // SCUBA_COMMON_SERIALIZER_H_

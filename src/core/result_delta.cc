@@ -3,9 +3,96 @@
 #include <algorithm>
 
 namespace scuba {
+namespace {
+
+/// Ascending + duplicate-free: the ordering contract both delta vectors and
+/// the wire decoder enforce.
+bool StrictlyAscending(const std::vector<Match>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (!(v[i - 1] < v[i])) return false;
+  }
+  return true;
+}
+
+void SaveMatches(const std::vector<Match>& v, ByteWriter* writer) {
+  writer->PutU64(v.size());
+  for (const Match& m : v) {
+    writer->PutU32(m.qid);
+    writer->PutU32(m.oid);
+  }
+}
+
+Status LoadMatches(ByteReader* reader, const char* what,
+                   std::vector<Match>* v) {
+  uint64_t n = 0;
+  SCUBA_RETURN_IF_ERROR(reader->GetU64(&n));
+  // Each match costs 8 payload bytes; a count the remaining bytes cannot
+  // cover is truncation (and guards the reserve below against hostile
+  // lengths).
+  if (n > reader->Remaining() / 8) {
+    return Status::DataLoss(std::string(what) + " count " + std::to_string(n) +
+                            " overruns the remaining payload");
+  }
+  v->clear();
+  v->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Match m;
+    SCUBA_RETURN_IF_ERROR(reader->GetU32(&m.qid));
+    SCUBA_RETURN_IF_ERROR(reader->GetU32(&m.oid));
+    v->push_back(m);
+  }
+  if (!StrictlyAscending(*v)) {
+    return Status::Corruption(std::string(what) +
+                              " vector is not ascending/duplicate-free");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void ResultDelta::Save(ByteWriter* writer) const {
+  writer->PutU64(round);
+  writer->PutI64(time);
+  writer->PutU64(degraded_shards.size());
+  for (uint32_t s : degraded_shards) writer->PutU32(s);
+  SaveMatches(added, writer);
+  SaveMatches(removed, writer);
+}
+
+Status ResultDelta::Load(ByteReader* reader, ResultDelta* delta) {
+  *delta = ResultDelta{};
+  SCUBA_RETURN_IF_ERROR(reader->GetU64(&delta->round));
+  SCUBA_RETURN_IF_ERROR(reader->GetI64(&delta->time));
+  uint64_t shards = 0;
+  SCUBA_RETURN_IF_ERROR(reader->GetU64(&shards));
+  if (shards > reader->Remaining() / 4) {
+    return Status::DataLoss("degraded-shard count " + std::to_string(shards) +
+                            " overruns the remaining payload");
+  }
+  delta->degraded_shards.reserve(static_cast<size_t>(shards));
+  for (uint64_t i = 0; i < shards; ++i) {
+    uint32_t s = 0;
+    SCUBA_RETURN_IF_ERROR(reader->GetU32(&s));
+    delta->degraded_shards.push_back(s);
+  }
+  SCUBA_RETURN_IF_ERROR(LoadMatches(reader, "added", &delta->added));
+  SCUBA_RETURN_IF_ERROR(LoadMatches(reader, "removed", &delta->removed));
+  // added ∩ removed = ∅ by construction (an element cannot enter and leave in
+  // the same round); enforce it so ApplyDelta stays well-defined on decoded
+  // bytes.
+  std::vector<Match> overlap;
+  std::set_intersection(delta->added.begin(), delta->added.end(),
+                        delta->removed.begin(), delta->removed.end(),
+                        std::back_inserter(overlap));
+  if (!overlap.empty()) {
+    return Status::Corruption("added and removed sets overlap");
+  }
+  return Status::OK();
+}
 
 ResultDelta DiffResults(const ResultSet& previous, const ResultSet& current) {
   ResultDelta delta;
+  delta.degraded_shards = current.degraded_shards();
   const std::vector<Match>& p = previous.matches();
   const std::vector<Match>& c = current.matches();
   size_t i = 0;
@@ -48,14 +135,32 @@ ResultSet ApplyDelta(const ResultSet& base, const ResultDelta& delta) {
   for (; ai < delta.added.size(); ++ai) {
     out.Add(delta.added[ai].qid, delta.added[ai].oid);
   }
+  for (uint32_t s : delta.degraded_shards) out.MarkDegraded(s);
   return out;
 }
 
-ResultDelta IncrementalResultTracker::Observe(const ResultSet& current) {
-  ResultDelta delta = DiffResults(previous_, current);
-  previous_ = current;
+ResultDelta IncrementalResultTracker::Observe(const ResultSet& current,
+                                              Timestamp now) {
+  ResultDelta delta = DiffResults(current_, current);
+  current_ = current;
   ++rounds_;
+  time_ = now;
+  delta.round = rounds_;
+  delta.time = now;
   return delta;
+}
+
+ResultDelta IncrementalResultTracker::DeltaSince(const ResultSet& base) const {
+  ResultDelta delta = DiffResults(base, current_);
+  delta.round = rounds_;
+  delta.time = time_;
+  return delta;
+}
+
+void IncrementalResultTracker::Reset() {
+  current_ = ResultSet{};
+  rounds_ = 0;
+  time_ = 0;
 }
 
 }  // namespace scuba

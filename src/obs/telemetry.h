@@ -38,6 +38,14 @@
 // tools/check_telemetry.py now validates them (and rejects unknown span
 // names).
 //
+// v3 -> v4 migration: line shapes once more unchanged; v4 adds the serving
+// front-end surface (docs/ARCHITECTURE.md §14) — the scuba_serve_* metric
+// family (sessions/rounds/batches/deltas/snapshots/coalesces/disconnects/
+// errors counters, sessions_active and queue_bytes gauges, and the
+// scuba_serve_push_latency_ms histogram), registered on the engine's
+// registry when `scuba_cli serve` runs with telemetry enabled so serve
+// counters ride the same per-round JSONL stream. No span changes.
+//
 // Counters with a zero round delta and histograms with no new observations
 // are omitted from the round line; gauges are always present. Content is
 // deterministic for a fixed workload and thread count except timing fields
@@ -61,7 +69,7 @@
 
 namespace scuba {
 
-inline constexpr int kTelemetrySchemaVersion = 3;
+inline constexpr int kTelemetrySchemaVersion = 4;
 
 /// ScubaOptions::telemetry. Purely observational: never changes what the
 /// engine computes, and is excluded from the snapshot options fingerprint.

@@ -10,7 +10,7 @@
 #include <utility>
 
 #include "persist/manifest.h"
-#include "persist/serializer.h"
+#include "common/serializer.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
 

@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "persist/fsio.h"
-#include "persist/serializer.h"
+#include "common/serializer.h"
 
 namespace scuba {
 

@@ -34,7 +34,7 @@
 #include "common/status.h"
 #include "core/scuba_engine.h"
 #include "persist/crash.h"
-#include "persist/serializer.h"
+#include "common/serializer.h"
 #include "stream/update_validator.h"
 
 namespace scuba {

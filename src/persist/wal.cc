@@ -11,7 +11,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "persist/serializer.h"
+#include "common/serializer.h"
 
 namespace scuba {
 

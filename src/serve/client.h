@@ -1,0 +1,129 @@
+// ScubaClient: the in-repo client library for the serving front-end
+// (docs/ARCHITECTURE.md §14). Used by the loopback e2e tests, the
+// `scuba_cli serve-replay` driver and bench_serve.
+//
+// Blocking, single-threaded, one TCP connection. Two usage shapes:
+//
+//  *Driver*: Register/SendBatch/Tick push updates and pace rounds; calls that
+//  close a round block until the server's kTickAck arrives (folding any
+//  pushed deltas for this session on the way).
+//
+//  *Subscriber*: Subscribe/SubscribeAll then PumpRound()/PumpUntilRound()
+//  block until the next result push arrives. Every kDelta folds into
+//  `folded()` via ApplyDelta; a kSnapshot (slow-consumer coalescing) replaces
+//  the fold base. Round continuity is enforced: a delta that skips a round
+//  without an intervening coalesced snapshot is kDataLoss.
+
+#ifndef SCUBA_SERVE_CLIENT_H_
+#define SCUBA_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace scuba::serve {
+
+class ScubaClient {
+ public:
+  struct Options {
+    std::string name = "client";
+    /// Receive timeout per blocking wait; 0 disables (wait forever).
+    int recv_timeout_ms = 30'000;
+    /// SO_RCVBUF, set before connecting; 0 keeps the kernel default.
+    /// Shrinking it (with ServeOptions::socket_send_buffer_bytes) bounds
+    /// kernel-side buffering so server-side slow-consumer policies engage.
+    size_t recv_buffer_bytes = 0;
+  };
+
+  /// Connects to 127.0.0.1:port and completes the hello handshake.
+  static Result<ScubaClient> Connect(uint16_t port, const Options& options);
+  static Result<ScubaClient> Connect(uint16_t port) {
+    return Connect(port, Options());
+  }
+
+  ScubaClient(ScubaClient&& other) noexcept;
+  ScubaClient& operator=(ScubaClient&& other) noexcept;
+  ScubaClient(const ScubaClient&) = delete;
+  ScubaClient& operator=(const ScubaClient&) = delete;
+  ~ScubaClient();
+
+  uint32_t session_id() const { return session_id_; }
+  const std::string& server_name() const { return server_name_; }
+
+  /// Registers one continuous query (ingested server-side and auto-subscribed
+  /// for this session). Fire-and-forget: errors surface on the next wait.
+  Status Register(const QueryUpdate& query);
+  Status Cancel(QueryId qid);
+  /// Subscribing blocks until the server acks with a snapshot of this
+  /// session's cursor state (the fold base) — after it returns, every
+  /// subsequent round is guaranteed to push here, even when another session
+  /// closes it immediately.
+  Status SubscribeAll();
+  Status Subscribe(const std::vector<QueryId>& qids);
+
+  /// Sends one tick batch. When `batch.evaluate` is set this blocks until the
+  /// round's kTickAck, folding any deltas pushed to this session on the way;
+  /// otherwise it returns immediately with a zero ack.
+  Result<TickAckMsg> SendBatch(const UpdateBatchMsg& batch);
+  /// Evaluate-only heartbeat; always blocks for the ack.
+  Result<TickAckMsg> Tick(Timestamp time);
+
+  /// Blocks until the next result push (delta or snapshot) is folded.
+  /// Returns the round it brought the fold up to.
+  Result<uint64_t> PumpRound();
+  /// Pumps until the fold reaches at least `round` (coalesced snapshots may
+  /// jump past intermediate rounds).
+  Status PumpUntilRound(uint64_t round);
+
+  /// Clean disconnect / remote server stop (loopback tooling).
+  Status Bye();
+  Status Shutdown();
+
+  /// The folded result view: base snapshot + every delta applied, i.e. this
+  /// session's subscription slice of the server's last pushed round.
+  const ResultSet& folded() const { return folded_; }
+  uint64_t last_round() const { return last_round_; }
+  Timestamp last_time() const { return last_time_; }
+
+  uint64_t deltas_received() const { return deltas_received_; }
+  uint64_t snapshots_received() const { return snapshots_received_; }
+  uint64_t coalesced_snapshots() const { return coalesced_snapshots_; }
+  uint64_t result_bytes_received() const { return result_bytes_received_; }
+  uint64_t delta_matches_received() const { return delta_matches_received_; }
+
+ private:
+  ScubaClient() = default;
+
+  Status SendFrame(std::string frame);
+  /// Sends a subscribe and blocks for its ack snapshot.
+  Status SendSubscribe(const SubscribeMsg& msg);
+  /// Blocks for the next complete frame payload.
+  Status ReadFrame(std::string* payload);
+  /// Handles one asynchronous server push (delta/snapshot/error). Sets
+  /// `*handled_result` when it was a result frame.
+  Status HandlePush(std::string_view payload, MessageType type,
+                    bool* handled_result);
+  Status FoldDelta(std::string_view payload);
+  Status FoldSnapshot(std::string_view payload);
+
+  int fd_ = -1;
+  uint32_t session_id_ = 0;
+  std::string server_name_;
+  FrameDecoder decoder_;
+
+  ResultSet folded_;
+  uint64_t last_round_ = 0;
+  Timestamp last_time_ = 0;
+
+  uint64_t deltas_received_ = 0;
+  uint64_t snapshots_received_ = 0;
+  uint64_t coalesced_snapshots_ = 0;
+  uint64_t result_bytes_received_ = 0;
+  uint64_t delta_matches_received_ = 0;
+};
+
+}  // namespace scuba::serve
+
+#endif  // SCUBA_SERVE_CLIENT_H_

@@ -16,7 +16,7 @@
 
 #include "common/rng.h"
 #include "core/scuba_engine.h"
-#include "persist/serializer.h"
+#include "common/serializer.h"
 #include "persist/snapshot.h"
 #include "persist/durability.h"
 #include "persist/wal.h"

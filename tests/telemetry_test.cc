@@ -331,7 +331,7 @@ TEST(TelemetryTest, MetricsAndTraceFilesValidateAgainstSchema) {
     const std::string kind = FieldValue(lines[i], "kind");
     if (i == 0) {
       EXPECT_EQ(kind, "meta");
-      EXPECT_EQ(FieldValue(lines[i], "schema_version"), "3");
+      EXPECT_EQ(FieldValue(lines[i], "schema_version"), "4");
       EXPECT_EQ(FieldValue(lines[i], "stream"), "metrics");
     } else if (i + 1 == lines.size()) {
       EXPECT_EQ(kind, "exposition");

@@ -20,7 +20,13 @@ isolation surface — the scuba_shard_failures_total /
 scuba_shard_recoveries_total / scuba_shard_evictions_total /
 scuba_degraded_rounds_total counters, per-stripe scuba_shard_health_<s>
 gauges (validated to hold one of the health-state codes 0-3), and a
-root-level "recovery" span covering online stripe rebuilds. Files from
+root-level "recovery" span covering online stripe rebuilds.
+
+v3 -> v4 migration: line shapes once more unchanged; v4 adds the serving
+front-end surface — the scuba_serve_* metric family (session/round/batch/
+delta/snapshot/coalesce/disconnect/error counters, sessions_active and
+queue_bytes gauges, the scuba_serve_push_latency_ms histogram) registered
+on the engine registry by `scuba_cli serve`. No span changes. Files from
 older engines fail only on their schema_version field.
 
 Exit code 0 = all checks passed, 1 = validation failure.
@@ -31,7 +37,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 META_KEYS = {"schema_version", "kind", "stream", "engine"}
 ROUND_METRICS_KEYS = {"schema_version", "kind", "round", "metrics"}

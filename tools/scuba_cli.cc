@@ -36,6 +36,7 @@
 // success only.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -43,9 +44,9 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "baseline/grid_join_engine.h"
 #include "baseline/naive_join_engine.h"
 #include "common/memory_usage.h"
 #include "core/scuba_engine.h"
@@ -60,6 +61,9 @@
 #include "persist/durability.h"
 #include "persist/fsck.h"
 #include "persist/snapshot.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "shard/engine_factory.h"
 #include "shard/shard_durability.h"
 #include "shard/sharded_engine.h"
 #include "stream/fault_injector.h"
@@ -328,14 +332,8 @@ Result<CrashInjector> CrashInjectorFromFlags(const Flags& flags) {
   return CrashInjector(*point, after);
 }
 
-void PrintStateHash(const ScubaEngine& engine) {
-  std::printf("state-hash: %016llx\n",
-              static_cast<unsigned long long>(EngineStateHash(engine)));
-}
-
-void PrintStateHash(const ShardedEngine& engine) {
-  std::printf("state-hash: %016llx\n",
-              static_cast<unsigned long long>(EngineStateHash(engine)));
+void PrintStateHash(uint64_t hash) {
+  std::printf("state-hash: %016llx\n", static_cast<unsigned long long>(hash));
 }
 
 int CmdRun(const Flags& flags) {
@@ -378,72 +376,15 @@ int CmdRun(const Flags& flags) {
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
-  std::unique_ptr<QueryProcessor> engine;
-  ScubaEngine* scuba_engine = nullptr;
-  ShardedEngine* sharded_engine = nullptr;
-  if (engine_name == "scuba" && scuba_opt.shards > 1) {
-    Result<std::unique_ptr<ShardedEngine>> e = ShardedEngine::Create(scuba_opt);
-    if (!e.ok()) return Fail(e.status());
-    sharded_engine = e->get();
-    engine = std::move(e).value();
-  } else if (engine_name == "scuba") {
-    Result<std::unique_ptr<ScubaEngine>> e = ScubaEngine::Create(scuba_opt);
-    if (!e.ok()) return Fail(e.status());
-    scuba_engine = e->get();
-    engine = std::move(e).value();
-  } else if (engine_name == "grid") {
-    GridJoinOptions opt;
-    opt.region = region;
-    opt.grid_cells = scuba_opt.grid_cells;
-    Result<std::unique_ptr<GridJoinEngine>> e = GridJoinEngine::Create(opt);
-    if (!e.ok()) return Fail(e.status());
-    engine = std::move(e).value();
-  } else if (engine_name == "naive") {
-    engine = std::make_unique<NaiveJoinEngine>();
-  } else {
-    return Fail(Status::InvalidArgument("unknown engine: " + engine_name +
-                                        " (scuba|grid|naive)"));
-  }
+  Result<EngineHandle> handle = MakeEngine(scuba_opt, engine_name);
+  if (!handle.ok()) return Fail(handle.status());
+  QueryProcessor* engine = handle->engine.get();
+  ScubaEngine* scuba_engine = handle->scuba;
+  ShardedEngine* sharded_engine = handle->sharded;
 
-  std::unique_ptr<DurabilitySink> durability;
-  ShardedDurabilityManager* sharded_durability = nullptr;
-  if (!durable_dir.empty()) {
-    if (sharded_engine != nullptr) {
-      Result<std::unique_ptr<ShardedDurabilityManager>> d =
-          ShardedDurabilityManager::Open(durable_dir, scuba_opt.checkpoint,
-                                         sharded_engine, screen,
-                                         /*rng=*/nullptr, &*crash);
-      if (!d.ok()) return Fail(d.status());
-      sharded_durability = d->get();
-      durability = std::move(d).value();
-    } else if (scuba_engine != nullptr) {
-      Result<std::unique_ptr<DurabilityManager>> d = DurabilityManager::Open(
-          durable_dir, scuba_opt.checkpoint, scuba_engine, screen,
-          /*rng=*/nullptr, &*crash);
-      if (!d.ok()) return Fail(d.status());
-      durability = std::move(d).value();
-    } else {
-      return Fail(Status::InvalidArgument(
-          "--durable-dir requires --engine scuba (snapshots cover SCUBA "
-          "engine state)"));
-    }
-  }
-  // A supervised durable sharded run can heal a failed stripe online: the
-  // recovery hook rebuilds it from the durable root between rounds, and a
-  // reassign eviction realigns the WAL chains with the reduced layout.
-  if (sharded_engine != nullptr && sharded_engine->supervisor() != nullptr &&
-      sharded_durability != nullptr) {
-    // The durable root carries validator state only when the run screens
-    // (screen was passed to Open above); the twin must mirror that.
-    const bool has_validator = screen != nullptr;
-    sharded_engine->set_stripe_recovery(
-        [durable_dir, vconfig, has_validator](ShardedEngine* e, uint32_t s) {
-          return RecoverShardStripe(durable_dir, e, s,
-                                    has_validator ? &vconfig : nullptr);
-        });
-    sharded_engine->set_on_layout_changed(
-        [sharded_durability] { return sharded_durability->OnLayoutChanged(); });
-  }
+  Result<DurabilityHandle> durability = OpenDurability(
+      durable_dir, scuba_opt, &*handle, screen, vconfig, &*crash);
+  if (!durability.ok()) return Fail(durability.status());
 
   std::ofstream csv;
   if (!csv_path.empty()) {
@@ -452,7 +393,7 @@ int CmdRun(const Flags& flags) {
     csv << "tick,matches,join_seconds,maintenance_seconds,memory_bytes\n";
   }
   if (!quiet) std::printf("%8s %10s\n", "tick", "matches");
-  Status s = ReplayTrace(*trace, engine.get(), delta,
+  Status s = ReplayTrace(*trace, engine, delta,
                          [&](Timestamp now, const ResultSet& r) {
                            if (!quiet) {
                              std::printf("%8lld %10zu\n",
@@ -465,20 +406,15 @@ int CmdRun(const Flags& flags) {
                                  << ',' << engine->EstimateMemoryUsage() << '\n';
                            }
                          },
-                         screen, durability.get());
+                         screen, durability->sink.get());
   if (!s.ok()) return Fail(s);
   if (csv.is_open() && !csv.good()) {
     return Fail(Status::IoError("csv write failed: " + csv_path));
   }
-  if (scuba_engine != nullptr) {
-    if (Status ft = scuba_engine->FlushTelemetry(); !ft.ok()) return Fail(ft);
-  }
-  if (sharded_engine != nullptr) {
-    if (Status ft = sharded_engine->FlushTelemetry(); !ft.ok()) return Fail(ft);
-  }
+  if (Status ft = handle->FlushTelemetry(); !ft.ok()) return Fail(ft);
   std::printf("%s\n", FormatStats(engine->name(), engine->stats()).c_str());
   std::printf("memory: %s\n", FormatBytes(engine->EstimateMemoryUsage()).c_str());
-  if (scuba_engine != nullptr) PrintStateHash(*scuba_engine);
+  if (scuba_engine != nullptr) PrintStateHash(handle->StateHash());
   if (sharded_engine != nullptr) {
     std::printf("shards: %u  handoffs: %llu  ghosts: %llu\n",
                 sharded_engine->shard_count(),
@@ -491,9 +427,7 @@ int CmdRun(const Flags& flags) {
                       sharded_engine->rebalance_recommendations()),
                   sharded_engine->last_recommendation().c_str());
     }
-    std::printf("state-hash: %016llx\n",
-                static_cast<unsigned long long>(
-                    EngineStateHash(*sharded_engine)));
+    PrintStateHash(handle->StateHash());
     if (sharded_engine->supervisor() != nullptr) {
       std::printf("%s\n", sharded_engine->supervisor()->HealthDump().c_str());
     }
@@ -545,39 +479,32 @@ int CmdCheckpoint(const Flags& flags) {
   UpdateValidator validator(vconfig);
   UpdateValidator* screen =
       *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
-  if (opt.shards > 1) {
-    Result<std::unique_ptr<ShardedEngine>> engine = ShardedEngine::Create(opt);
-    if (!engine.ok()) return Fail(engine.status());
-    Status s = ReplayTrace(*trace, engine->get(), delta, nullptr, screen);
-    if (!s.ok()) return Fail(s);
-    s = (*engine)->Checkpoint(durable_dir);
-    if (!s.ok()) return Fail(s);
-    if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
-    const EngineSnapshotStats snapshot = (*engine)->StatsSnapshot();
+  Result<EngineHandle> handle = MakeEngine(opt);
+  if (!handle.ok()) return Fail(handle.status());
+  Status s = ReplayTrace(*trace, handle->engine.get(), delta, nullptr, screen);
+  if (!s.ok()) return Fail(s);
+  s = handle->sharded != nullptr ? handle->sharded->Checkpoint(durable_dir)
+                                 : handle->scuba->Checkpoint(durable_dir);
+  if (!s.ok()) return Fail(s);
+  if (Status ft = handle->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  if (handle->sharded != nullptr) {
+    const EngineSnapshotStats snapshot = handle->sharded->StatsSnapshot();
     std::printf(
         "checkpointed %zu clusters after %llu rounds to %s (%s; %u shards)\n",
-        (*engine)->ClusterCount(),
+        handle->sharded->ClusterCount(),
         static_cast<unsigned long long>(snapshot.eval.evaluations),
         durable_dir.c_str(),
         FormatBytes(snapshot.eval.last_checkpoint_bytes).c_str(),
-        (*engine)->shard_count());
-    PrintStateHash(**engine);
-    return 0;
+        handle->sharded->shard_count());
+  } else {
+    const EngineSnapshotStats snapshot = handle->scuba->StatsSnapshot();
+    std::printf("checkpointed %zu clusters after %llu rounds to %s (%s)\n",
+                handle->scuba->ClusterCount(),
+                static_cast<unsigned long long>(snapshot.eval.evaluations),
+                durable_dir.c_str(),
+                FormatBytes(snapshot.eval.last_checkpoint_bytes).c_str());
   }
-  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
-  if (!engine.ok()) return Fail(engine.status());
-  Status s = ReplayTrace(*trace, engine->get(), delta, nullptr, screen);
-  if (!s.ok()) return Fail(s);
-  s = (*engine)->Checkpoint(durable_dir);
-  if (!s.ok()) return Fail(s);
-  if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
-  const EngineSnapshotStats snapshot = (*engine)->StatsSnapshot();
-  std::printf("checkpointed %zu clusters after %llu rounds to %s (%s)\n",
-              (*engine)->ClusterCount(),
-              static_cast<unsigned long long>(snapshot.eval.evaluations),
-              durable_dir.c_str(),
-              FormatBytes(snapshot.eval.last_checkpoint_bytes).c_str());
-  PrintStateHash(**engine);
+  PrintStateHash(handle->StateHash());
   return 0;
 }
 
@@ -608,32 +535,30 @@ int CmdRestore(const Flags& flags) {
   Status consumed = flags.CheckAllConsumed();
   if (!consumed.ok()) return Fail(consumed);
 
-  if (opt.shards > 1) {
+  Result<EngineHandle> handle = MakeEngine(opt);
+  if (!handle.ok()) return Fail(handle.status());
+  if (handle->sharded != nullptr) {
     // A sharded restore reads the NEWEST manifest only and re-partitions the
     // saved clusters into this engine's stripe layout.
-    Result<std::unique_ptr<ShardedEngine>> engine = ShardedEngine::Create(opt);
-    if (!engine.ok()) return Fail(engine.status());
-    Status s = (*engine)->Restore(durable_dir);
+    Status s = handle->sharded->Restore(durable_dir);
     if (!s.ok()) return Fail(s);
     std::printf("restored %zu clusters (%llu rounds) from %s into %u shards\n",
-                (*engine)->ClusterCount(),
+                handle->sharded->ClusterCount(),
                 static_cast<unsigned long long>(
-                    (*engine)->StatsSnapshot().eval.evaluations),
-                durable_dir.c_str(), (*engine)->shard_count());
-    PrintStateHash(**engine);
+                    handle->sharded->StatsSnapshot().eval.evaluations),
+                durable_dir.c_str(), handle->sharded->shard_count());
+    PrintStateHash(handle->StateHash());
     return 0;
   }
-  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
-  if (!engine.ok()) return Fail(engine.status());
-  Status s = (*engine)->Restore(durable_dir);
+  Status s = handle->scuba->Restore(durable_dir);
   if (!s.ok()) return Fail(s);
-  InvariantAuditReport audit = (*engine)->AuditInvariants();
+  InvariantAuditReport audit = handle->scuba->AuditInvariants();
   std::printf("restored %zu clusters (%llu rounds) from %s; audit: %s\n",
-              (*engine)->ClusterCount(),
+              handle->scuba->ClusterCount(),
               static_cast<unsigned long long>(
-                  (*engine)->StatsSnapshot().eval.evaluations),
+                  handle->scuba->StatsSnapshot().eval.evaluations),
               durable_dir.c_str(), audit.clean() ? "clean" : "DIRTY");
-  PrintStateHash(**engine);
+  PrintStateHash(handle->StateHash());
   return audit.clean() ? 0 : Fail(Status::Corruption(audit.ToString()));
 }
 
@@ -678,59 +603,45 @@ int CmdRecover(const Flags& flags) {
     }
   };
 
-  if (opt.shards > 1) {
-    // Sharded recovery: newest manifest whose artifacts all verify, with
-    // generation-by-generation fallback, then cross-chain WAL merge. A
-    // directory written at any shard count recovers into --shards N.
-    Result<std::unique_ptr<ShardedEngine>> engine = ShardedEngine::Create(opt);
-    if (!engine.ok()) return Fail(engine.status());
-    Result<ShardedRecoveryReport> report = RecoverShardedEngine(
-        durable_dir, engine->get(), screen, /*rng=*/nullptr, sink);
-    if (!report.ok()) return Fail(report.status());
-    std::printf("%s\n",
-                json ? report->ToJson().c_str() : report->ToString().c_str());
-    if (report->next_seq < trace->TickCount()) {
-      Result<std::unique_ptr<ShardedDurabilityManager>> durability =
-          ShardedDurabilityManager::Open(durable_dir, opt.checkpoint,
-                                         engine->get(), screen,
-                                         /*rng=*/nullptr, &*crash);
-      if (!durability.ok()) return Fail(durability.status());
-      Status s = ReplayTrace(*trace, engine->get(), delta, sink, screen,
-                             durability->get(),
-                             static_cast<size_t>(report->next_seq));
-      if (!s.ok()) return Fail(s);
-    }
-    if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
-    std::printf(
-        "%s\n", (*engine)->StatsSnapshot().Format((*engine)->name()).c_str());
-    PrintStateHash(**engine);
-    return 0;
-  }
-
-  Result<std::unique_ptr<ScubaEngine>> engine = ScubaEngine::Create(opt);
-  if (!engine.ok()) return Fail(engine.status());
-  Result<RecoveryReport> report =
-      RecoverEngine(durable_dir, engine->get(), screen, /*rng=*/nullptr, sink);
-  if (!report.ok()) return Fail(report.status());
-  std::printf("%s\n",
-              json ? report->ToJson().c_str() : report->ToString().c_str());
+  Result<EngineHandle> handle = MakeEngine(opt);
+  if (!handle.ok()) return Fail(handle.status());
 
   // WAL sequence numbers are global batch indices (seq 0 = trace batch 0),
   // so the replayed log tells us exactly where to resume the trace.
-  if (report->next_seq < trace->TickCount()) {
-    Result<std::unique_ptr<DurabilityManager>> durability =
-        DurabilityManager::Open(durable_dir, opt.checkpoint, engine->get(),
-                                screen, /*rng=*/nullptr, &*crash);
+  uint64_t next_seq = 0;
+  if (handle->sharded != nullptr) {
+    // Sharded recovery: newest manifest whose artifacts all verify, with
+    // generation-by-generation fallback, then cross-chain WAL merge. A
+    // directory written at any shard count recovers into --shards N.
+    Result<ShardedRecoveryReport> report = RecoverShardedEngine(
+        durable_dir, handle->sharded, screen, /*rng=*/nullptr, sink);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s\n",
+                json ? report->ToJson().c_str() : report->ToString().c_str());
+    next_seq = report->next_seq;
+  } else {
+    Result<RecoveryReport> report = RecoverEngine(
+        durable_dir, handle->scuba, screen, /*rng=*/nullptr, sink);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s\n",
+                json ? report->ToJson().c_str() : report->ToString().c_str());
+    next_seq = report->next_seq;
+  }
+  if (next_seq < trace->TickCount()) {
+    Result<DurabilityHandle> durability = OpenDurability(
+        durable_dir, opt, &*handle, screen, vconfig, &*crash);
     if (!durability.ok()) return Fail(durability.status());
-    Status s = ReplayTrace(*trace, engine->get(), delta, sink, screen,
-                           durability->get(),
-                           static_cast<size_t>(report->next_seq));
+    Status s = ReplayTrace(*trace, handle->engine.get(), delta, sink, screen,
+                           durability->sink.get(),
+                           static_cast<size_t>(next_seq));
     if (!s.ok()) return Fail(s);
   }
-  if (Status ft = (*engine)->FlushTelemetry(); !ft.ok()) return Fail(ft);
-  std::printf(
-      "%s\n", (*engine)->StatsSnapshot().Format((*engine)->name()).c_str());
-  PrintStateHash(**engine);
+  if (Status ft = handle->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  const EngineSnapshotStats snapshot = handle->sharded != nullptr
+                                           ? handle->sharded->StatsSnapshot()
+                                           : handle->scuba->StatsSnapshot();
+  std::printf("%s\n", snapshot.Format(handle->engine->name()).c_str());
+  PrintStateHash(handle->StateHash());
   return 0;
 }
 
@@ -883,6 +794,268 @@ int CmdFsck(int argc, char** argv) {
   return report->exit_code;
 }
 
+/// Region for the serving commands: --region "minx,miny,maxx,maxy" wins,
+/// else the road network's bounds (arming the validator's map checks), else
+/// the RegionFromTrace default box. The server and any offline comparison
+/// replay MUST resolve the same region or their engines diverge.
+Result<Rect> ResolveServeRegion(const std::string& map_path,
+                                const std::string& region_spec,
+                                ValidatorConfig* vconfig) {
+  if (!region_spec.empty()) {
+    Rect r{};
+    if (std::sscanf(region_spec.c_str(), "%lf,%lf,%lf,%lf", &r.min_x,
+                    &r.min_y, &r.max_x, &r.max_y) != 4 ||
+        r.min_x >= r.max_x || r.min_y >= r.max_y) {
+      return Status::InvalidArgument(
+          "--region wants minx,miny,maxx,maxy with min < max: " + region_spec);
+    }
+    return r;
+  }
+  if (!map_path.empty()) {
+    Trace empty;
+    return ResolveRegion(map_path, empty, vconfig);
+  }
+  return Rect{0, 0, 1000, 1000};
+}
+
+/// Long-lived subscription server (docs/ARCHITECTURE.md §14): clients
+/// register continuous queries and stream update batches; every evaluation
+/// round pushes per-session result deltas. Runs until a client sends
+/// shutdown (or a fatal engine/durability error), then prints serve stats
+/// and the final state hash — comparable against an offline `run` of the
+/// same stream.
+int CmdServe(const Flags& flags) {
+  std::string engine_name = flags.GetString("engine", "scuba");
+  std::string map_path = flags.GetString("map", "");
+  std::string region_spec = flags.GetString("region", "");
+  std::string policy_name = flags.GetString("on-bad-update", "strict");
+  std::string durable_dir = flags.GetString("durable-dir", "");
+  std::string port_file = flags.GetString("port-file", "");
+  serve::ServeOptions serve_opt;
+  serve_opt.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  serve_opt.max_sessions =
+      static_cast<uint32_t>(flags.GetInt("max-sessions", 64));
+  serve_opt.max_queue_bytes =
+      static_cast<size_t>(flags.GetInt("max-queue-bytes", 1 << 20));
+  serve_opt.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("serve-memory-budget", 0));
+  Result<serve::SlowConsumerPolicy> slow = serve::ParseSlowConsumerPolicy(
+      flags.GetString("slow-consumer", "coalesce"));
+  if (!slow.ok()) return Fail(slow.status());
+  serve_opt.slow_consumer = *slow;
+  Result<CrashInjector> crash = CrashInjectorFromFlags(flags);
+  if (!crash.ok()) return Fail(crash.status());
+  Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
+  if (!policy.ok()) return Fail(policy.status());
+
+  ValidatorConfig vconfig;
+  vconfig.policy = *policy;
+  Result<Rect> region = ResolveServeRegion(map_path, region_spec, &vconfig);
+  if (!region.ok()) return Fail(region.status());
+  UpdateValidator validator(vconfig);
+  UpdateValidator* screen =
+      *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
+
+  Result<ScubaOptions> opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  if (!opt.ok()) return Fail(opt.status());
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  Result<EngineHandle> handle = MakeEngine(*opt, engine_name);
+  if (!handle.ok()) return Fail(handle.status());
+  Result<DurabilityHandle> durability = OpenDurability(
+      durable_dir, *opt, &*handle, screen, vconfig, &*crash);
+  if (!durability.ok()) return Fail(durability.status());
+
+  // With telemetry on, serve metrics register on the engine registry so the
+  // scuba_serve_* family rides the per-round JSONL stream (schema v4).
+  EngineTelemetry* telemetry =
+      handle->scuba != nullptr     ? handle->scuba->telemetry()
+      : handle->sharded != nullptr ? handle->sharded->telemetry()
+                                   : nullptr;
+  serve::ServerDeps deps;
+  deps.engine = handle->engine.get();
+  deps.screen = screen;
+  deps.durability = durability->sink.get();
+  deps.registry = telemetry != nullptr ? &telemetry->registry() : nullptr;
+  Result<std::unique_ptr<serve::ScubaServer>> server =
+      serve::ScubaServer::Create(serve_opt, deps);
+  if (!server.ok()) return Fail(server.status());
+  if (Status s = (*server)->Start(); !s.ok()) return Fail(s);
+  std::printf("serving %s on 127.0.0.1:%u (protocol v%u, slow-consumer=%s)\n",
+              std::string(handle->engine->name()).c_str(), (*server)->port(),
+              serve::kProtocolVersion,
+              std::string(serve::SlowConsumerPolicyName(serve_opt.slow_consumer))
+                  .c_str());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Written after listen(), so a reader that sees the file can connect.
+    Status s = WriteFile(port_file, std::to_string((*server)->port()));
+    if (!s.ok()) {
+      (*server)->RequestStop();
+      return Fail(s);
+    }
+  }
+  Status s = (*server)->Wait();
+  if (!s.ok()) return Fail(s);
+  const serve::ServerStats st = (*server)->stats();
+  if (Status ft = handle->FlushTelemetry(); !ft.ok()) return Fail(ft);
+  std::printf(
+      "serve: sessions=%llu batches=%llu rounds=%llu deltas=%llu "
+      "coalesces=%llu disconnects=%llu last-round-matches=%llu%s\n",
+      static_cast<unsigned long long>(st.sessions_accepted),
+      static_cast<unsigned long long>(st.batches),
+      static_cast<unsigned long long>(st.rounds),
+      static_cast<unsigned long long>(st.deltas_pushed),
+      static_cast<unsigned long long>(st.coalesces),
+      static_cast<unsigned long long>(st.disconnects),
+      static_cast<unsigned long long>(st.last_round_matches),
+      st.last_round_degraded ? " (degraded)" : "");
+  if (screen != nullptr) {
+    std::printf("validator: %s\n", screen->FormatStats().c_str());
+  }
+  PrintStateHash(handle->StateHash());
+  return 0;
+}
+
+/// Drives a running server with a recorded trace over the client library:
+/// one update batch per trace tick, evaluating at the same --delta
+/// boundaries ReplayTrace uses, folding every pushed delta. With
+/// --compare-offline (default) the folded stream is then checked round by
+/// round against an in-process offline replay of the same trace — the
+/// loopback determinism contract — and the offline engine's state hash is
+/// printed for comparison with the server's. --shutdown stops the server
+/// afterwards (it then prints ITS state hash).
+int CmdServeReplay(const Flags& flags) {
+  std::string trace_path = flags.GetString("trace", "run.trace");
+  std::string map_path = flags.GetString("map", "");
+  std::string policy_name = flags.GetString("on-bad-update", "strict");
+  Timestamp delta = flags.GetInt("delta", 2);
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  std::string port_file = flags.GetString("port-file", "");
+  const bool shutdown = flags.GetBool("shutdown", false);
+  const bool compare = flags.GetBool("compare-offline", true);
+  if (delta <= 0) {
+    return Fail(Status::InvalidArgument("delta must be positive"));
+  }
+
+  Result<BadUpdatePolicy> policy = ParseBadUpdatePolicy(policy_name);
+  if (!policy.ok()) return Fail(policy.status());
+  Result<Trace> trace = LoadTrace(trace_path);
+  if (!trace.ok()) return Fail(trace.status());
+  ValidatorConfig vconfig;
+  vconfig.policy = *policy;
+  Result<Rect> region = ResolveRegion(map_path, *trace, &vconfig);
+  if (!region.ok()) return Fail(region.status());
+  Result<ScubaOptions> opt = ScubaOptionsFromFlags(flags, *region, *policy);
+  if (!opt.ok()) return Fail(opt.status());
+  Status consumed = flags.CheckAllConsumed();
+  if (!consumed.ok()) return Fail(consumed);
+
+  if (port == 0) {
+    if (port_file.empty()) {
+      return Fail(Status::InvalidArgument("need --port or --port-file"));
+    }
+    // The server writes the file only once it is listening; poll for it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (true) {
+      Result<std::string> text = ReadFile(port_file);
+      if (text.ok() && !text->empty()) {
+        port = std::atoi(text->c_str());
+        if (port > 0) break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Fail(Status::IoError("timed out waiting for " + port_file));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  serve::ScubaClient::Options copt;
+  copt.name = "serve-replay";
+  Result<serve::ScubaClient> client =
+      serve::ScubaClient::Connect(static_cast<uint16_t>(port), copt);
+  if (!client.ok()) return Fail(client.status());
+  if (Status s = client->SubscribeAll(); !s.ok()) return Fail(s);
+
+  // Replay: one kUpdateBatch per trace tick; the client owns the evaluate
+  // flag, so rounds close at exactly the offline ReplayTrace boundaries.
+  std::vector<ResultSet> served;
+  for (size_t i = 0; i < trace->TickCount(); ++i) {
+    const TickBatch& batch = trace->batch(i);
+    serve::UpdateBatchMsg msg;
+    msg.time = batch.time;
+    msg.evaluate = (i + 1) % static_cast<size_t>(delta) == 0;
+    msg.objects = batch.object_updates;
+    msg.queries = batch.query_updates;
+    Result<serve::TickAckMsg> ack = client->SendBatch(msg);
+    if (!ack.ok()) return Fail(ack.status());
+    if (msg.evaluate) served.push_back(client->folded());
+  }
+  std::printf(
+      "serve-replay: %zu batches, %zu rounds, %llu deltas "
+      "(%llu coalesced snapshots), %llu result bytes, final fold %zu "
+      "matches\n",
+      trace->TickCount(), served.size(),
+      static_cast<unsigned long long>(client->deltas_received()),
+      static_cast<unsigned long long>(client->coalesced_snapshots()),
+      static_cast<unsigned long long>(client->result_bytes_received()),
+      client->folded().size());
+
+  int exit_code = 0;
+  if (compare) {
+    UpdateValidator validator(vconfig);
+    UpdateValidator* screen =
+        *policy == BadUpdatePolicy::kStrict ? nullptr : &validator;
+    Result<EngineHandle> offline = MakeEngine(*opt, "scuba");
+    if (!offline.ok()) return Fail(offline.status());
+    size_t round = 0;
+    size_t mismatched_round = 0;
+    ResultSet last_offline;
+    Status s = ReplayTrace(
+        *trace, offline->engine.get(), delta,
+        [&](Timestamp, const ResultSet& r) {
+          if (round < served.size() && mismatched_round == 0 &&
+              !(served[round] == r)) {
+            mismatched_round = round + 1;
+          }
+          last_offline = r;
+          ++round;
+        },
+        screen, nullptr);
+    if (!s.ok()) return Fail(s);
+    // A coalesced snapshot legally skips rounds, so per-round comparison
+    // only binds when the delta stream arrived whole; the final fold must
+    // match either way.
+    const bool whole_stream = client->coalesced_snapshots() == 0;
+    if (round != served.size() && whole_stream) {
+      std::fprintf(stderr, "offline replay ran %zu rounds, server %zu\n",
+                   round, served.size());
+      exit_code = static_cast<int>(StatusCode::kInternal);
+    } else if (whole_stream && mismatched_round != 0) {
+      std::fprintf(stderr,
+                   "served delta stream diverges from offline replay at "
+                   "round %zu\n",
+                   mismatched_round);
+      exit_code = static_cast<int>(StatusCode::kInternal);
+    } else if (!(client->folded() == last_offline)) {
+      std::fprintf(stderr, "final fold diverges from offline replay\n");
+      exit_code = static_cast<int>(StatusCode::kInternal);
+    } else {
+      std::printf(
+          "serve-replay: folded delta stream matches offline replay "
+          "(%zu rounds%s)\n",
+          round, whole_stream ? "" : ", final fold only after coalesce");
+    }
+    PrintStateHash(offline->StateHash());
+  }
+
+  Status s = shutdown ? client->Shutdown() : client->Bye();
+  if (!s.ok()) return Fail(s);
+  return exit_code;
+}
+
 int Usage() {
   std::printf(
       "scuba_cli — continuous spatio-temporal query engine toolbox\n\n"
@@ -914,6 +1087,14 @@ int Usage() {
       "                  [run options]\n"
       "  fsck            DIR [--json] (read-only; exit 0 clean, 20-25 per\n"
       "                  damage class)\n"
+      "  serve           [--port N (0 = ephemeral) --port-file FILE\n"
+      "                  --map FILE | --region X0,Y0,X1,Y1\n"
+      "                  --max-sessions N --max-queue-bytes N\n"
+      "                  --slow-consumer coalesce|disconnect\n"
+      "                  --serve-memory-budget BYTES + run options]\n"
+      "  serve-replay    --trace FILE (--port N | --port-file FILE)\n"
+      "                  [--delta N --map FILE --shutdown\n"
+      "                  --compare-offline BOOL + run options]\n"
       "  compare         --trace FILE [--delta N --eta F --threads N\n"
       "                  --ingest-threads N]\n"
       "  render          --trace FILE --out FILE.svg [--delta N --width PX]\n"
@@ -942,7 +1123,15 @@ int Usage() {
       "stripe from --durable-dir between rounds with exponential backoff,\n"
       "and reassign re-stripes an unrecoverable shard away. --shard-fault-*\n"
       "arm the deterministic fault injector (classes: task-failure\n"
-      "corrupt-state stall recovery-failure) for chaos drills.\n");
+      "corrupt-state stall recovery-failure) for chaos drills.\n"
+      "serve runs the subscription front-end (protocol v1, length+CRC framed\n"
+      "binary over loopback TCP): sessions register/cancel continuous\n"
+      "queries, stream update batches and receive per-round result deltas;\n"
+      "slow consumers are coalesced to one snapshot or disconnected under a\n"
+      "bounded per-session queue. serve-replay drives a server with a trace\n"
+      "through the client library and verifies the folded delta stream\n"
+      "against an in-process offline replay; with --shutdown the server\n"
+      "exits and prints its state hash for comparison.\n");
   return 1;
 }
 
@@ -958,6 +1147,8 @@ int Main(int argc, char** argv) {
   if (command == "checkpoint") return CmdCheckpoint(*flags);
   if (command == "restore") return CmdRestore(*flags);
   if (command == "recover") return CmdRecover(*flags);
+  if (command == "serve") return CmdServe(*flags);
+  if (command == "serve-replay") return CmdServeReplay(*flags);
   if (command == "compare") return CmdCompare(*flags);
   if (command == "render") return CmdRender(*flags);
   if (command == "corrupt-trace") return CmdCorruptTrace(*flags);
