@@ -39,7 +39,6 @@ using serve::ServerStats;
 using serve::SlowConsumerPolicy;
 using serve::UpdateBatchMsg;
 using serve::TickAckMsg;
-using serve::EncodeFrame;
 using serve::EncodeSnapshot;
 using serve::SnapshotMsg;
 
@@ -195,7 +194,8 @@ SweepOutcome RunSweep(const std::vector<TickBatch>& ticks, uint32_t sessions,
     full.round = out.rounds;
     full.time = batch.time;
     full.matches = subs.front().folded().matches();
-    out.full_wire_bytes += EncodeFrame(EncodeSnapshot(full)).size();
+    out.full_wire_bytes +=
+        serve::kFrameHeaderBytes + EncodeSnapshot(full).size();
   }
   out.wall_seconds = Seconds(start, std::chrono::steady_clock::now());
 

@@ -51,7 +51,7 @@ Result<ScubaClient> ScubaClient::Connect(uint16_t port,
   client.fd_ = fd;
   HelloMsg hello;
   hello.client_name = options.name;
-  Status st = client.SendFrame(EncodeFrame(EncodeHello(hello)));
+  Status st = client.SendMessage(EncodeHello(hello));
   if (!st.ok()) return st;
   // The handshake reply must be the hello-ack — but the very first frame can
   // legally be an error (admission refused, version mismatch).
@@ -106,6 +106,12 @@ ScubaClient& ScubaClient::operator=(ScubaClient&& other) noexcept {
 
 ScubaClient::~ScubaClient() {
   if (fd_ >= 0) close(fd_);
+}
+
+Status ScubaClient::SendMessage(std::string_view payload) {
+  Result<std::string> frame = EncodeFrame(payload);
+  SCUBA_RETURN_IF_ERROR(frame.status());
+  return SendFrame(std::move(*frame));
 }
 
 Status ScubaClient::SendFrame(std::string frame) {
@@ -203,13 +209,13 @@ Status ScubaClient::HandlePush(std::string_view payload, MessageType type,
 Status ScubaClient::Register(const QueryUpdate& query) {
   RegisterMsg msg;
   msg.query = query;
-  return SendFrame(EncodeFrame(EncodeRegister(msg)));
+  return SendMessage(EncodeRegister(msg));
 }
 
 Status ScubaClient::Cancel(QueryId qid) {
   CancelMsg msg;
   msg.qid = qid;
-  return SendFrame(EncodeFrame(EncodeCancel(msg)));
+  return SendMessage(EncodeCancel(msg));
 }
 
 Status ScubaClient::SubscribeAll() {
@@ -225,7 +231,7 @@ Status ScubaClient::Subscribe(const std::vector<QueryId>& qids) {
 }
 
 Status ScubaClient::SendSubscribe(const SubscribeMsg& msg) {
-  SCUBA_RETURN_IF_ERROR(SendFrame(EncodeFrame(EncodeSubscribe(msg))));
+  SCUBA_RETURN_IF_ERROR(SendMessage(EncodeSubscribe(msg)));
   // Block for the subscribe-ack snapshot (the session's cursor state, our
   // fold base). Once it arrives the server has installed the subscription,
   // so no round closed by another session can slip past unobserved. Earlier
@@ -242,7 +248,7 @@ Status ScubaClient::SendSubscribe(const SubscribeMsg& msg) {
 }
 
 Result<TickAckMsg> ScubaClient::SendBatch(const UpdateBatchMsg& batch) {
-  SCUBA_RETURN_IF_ERROR(SendFrame(EncodeFrame(EncodeUpdateBatch(batch))));
+  SCUBA_RETURN_IF_ERROR(SendMessage(EncodeUpdateBatch(batch)));
   if (!batch.evaluate) return TickAckMsg{};
   // Block for the round's ack; our own delta (if subscribed) arrives first
   // and folds on the way.
@@ -287,10 +293,8 @@ Status ScubaClient::PumpUntilRound(uint64_t round) {
   return Status::OK();
 }
 
-Status ScubaClient::Bye() { return SendFrame(EncodeFrame(EncodeBye())); }
+Status ScubaClient::Bye() { return SendMessage(EncodeBye()); }
 
-Status ScubaClient::Shutdown() {
-  return SendFrame(EncodeFrame(EncodeShutdown()));
-}
+Status ScubaClient::Shutdown() { return SendMessage(EncodeShutdown()); }
 
 }  // namespace scuba::serve

@@ -97,6 +97,8 @@ class ScubaClient {
   ScubaClient() = default;
 
   Status SendFrame(std::string frame);
+  /// Frames `payload` (send-side kMaxFramePayload check) and sends it.
+  Status SendMessage(std::string_view payload);
   /// Sends a subscribe and blocks for its ack snapshot.
   Status SendSubscribe(const SubscribeMsg& msg);
   /// Blocks for the next complete frame payload.

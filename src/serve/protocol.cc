@@ -153,7 +153,16 @@ std::string_view MessageTypeName(MessageType type) {
   return "unknown";
 }
 
-std::string EncodeFrame(std::string_view payload) {
+Result<std::string> EncodeFrame(std::string_view payload) {
+  // Checked before the u32 cast: an oversized payload would both truncate the
+  // length prefix and (if sent) poison the receiving decoder, which treats a
+  // too-large prefix as a sticky fatal error.
+  if (payload.size() > kMaxFramePayload) {
+    return Status::ResourceExhausted(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte frame cap");
+  }
   ByteWriter w;
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU32(Crc32(payload));

@@ -79,8 +79,11 @@ std::string_view MessageTypeName(MessageType type);
 // ---------------------------------------------------------------------------
 // Frame layer
 
-/// Wraps `payload` in the length + CRC header.
-std::string EncodeFrame(std::string_view payload);
+/// Wraps `payload` in the length + CRC header. kResourceExhausted when the
+/// payload exceeds kMaxFramePayload: the peer's FrameDecoder would reject the
+/// length prefix and poison its stream, so such a frame must never be sent
+/// (senders degrade — the server disconnects the session with a typed error).
+Result<std::string> EncodeFrame(std::string_view payload);
 
 /// Incremental frame reassembly over an arbitrary byte stream (reads from a
 /// socket arrive torn at any boundary). Feed bytes in, pull frames out. Any

@@ -212,13 +212,22 @@ void ScubaServer::Loop() {
   }
   if (!terminal_.ok()) {
     // Serving aborted (engine/durability failure). One best-effort farewell so
-    // clients see WHY instead of a bare hangup.
-    for (auto& [fd, session] : sessions_.sessions()) {
-      (void)fd;
+    // clients see WHY instead of a bare hangup. WriteSession closes (erases) a
+    // session whose client already hung up, so never iterate the map across
+    // it: snapshot the fds, then re-find each one.
+    std::vector<int> farewell_fds;
+    farewell_fds.reserve(sessions_.sessions().size());
+    for (const auto& [fd, session] : sessions_.sessions()) {
+      (void)session;
+      farewell_fds.push_back(fd);
+    }
+    for (int fd : farewell_fds) {
+      Session* session = sessions_.Find(fd);
+      if (session == nullptr) continue;
       if (!session->doomed()) {
-        SendError(session.get(), terminal_, /*fatal=*/true);
+        SendError(session, terminal_, /*fatal=*/true);
       }
-      WriteSession(session.get());
+      WriteSession(session);
     }
   }
   while (!sessions_.sessions().empty()) {
@@ -250,9 +259,11 @@ void ScubaServer::AcceptPending() {
       err.code = static_cast<uint32_t>(session.status().code());
       err.message = session.status().message();
       err.fatal = true;
-      std::string frame = EncodeFrame(EncodeError(err));
-      [[maybe_unused]] ssize_t n =
-          send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      Result<std::string> frame = EncodeFrame(EncodeError(err));
+      if (frame.ok()) {
+        [[maybe_unused]] ssize_t n =
+            send(fd, frame->data(), frame->size(), MSG_NOSIGNAL);
+      }
       close(fd);
       continue;
     }
@@ -332,8 +343,8 @@ void ScubaServer::HandleMessage(Session* session, std::string_view payload) {
       HelloAckMsg ack;
       ack.server_name = options_.server_name;
       ack.session_id = session->id();
-      sessions_.EnqueueFrame(session, MessageType::kHelloAck,
-                             EncodeFrame(EncodeHelloAck(ack)));
+      sessions_.EnqueueMessage(session, MessageType::kHelloAck,
+                               EncodeHelloAck(ack));
       return;
     }
     case MessageType::kRegister: {
@@ -415,8 +426,8 @@ void ScubaServer::HandleMessage(Session* session, std::string_view payload) {
       const ResultSet& current = session->tracker().Current();
       snap.matches = current.matches();
       snap.degraded_shards = current.degraded_shards();
-      sessions_.EnqueueFrame(session, MessageType::kSnapshot,
-                             EncodeFrame(EncodeSnapshot(snap)));
+      sessions_.EnqueueMessage(session, MessageType::kSnapshot,
+                               EncodeSnapshot(snap));
       return;
     }
     case MessageType::kUpdateBatch: {
@@ -530,8 +541,7 @@ Status ScubaServer::RunRound(Session* driver, Timestamp now) {
   ack.time = now;
   ack.matches = results_.size();
   ack.degraded = results_.degraded();
-  sessions_.EnqueueFrame(driver, MessageType::kTickAck,
-                         EncodeFrame(EncodeTickAck(ack)));
+  sessions_.EnqueueMessage(driver, MessageType::kTickAck, EncodeTickAck(ack));
   if (deps_.durability != nullptr) {
     SCUBA_RETURN_IF_ERROR(deps_.durability->OnRoundComplete());
   }
@@ -570,8 +580,7 @@ void ScubaServer::SendError(Session* session, const Status& error,
   msg.code = static_cast<uint32_t>(error.code());
   msg.message = error.message();
   msg.fatal = fatal;
-  sessions_.EnqueueFrame(session, MessageType::kError,
-                         EncodeFrame(EncodeError(msg)));
+  sessions_.EnqueueMessage(session, MessageType::kError, EncodeError(msg));
   if (fatal) session->set_doomed();
 }
 

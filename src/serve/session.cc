@@ -127,28 +127,59 @@ void SessionManager::Close(int fd) {
   metrics_.queue_bytes.Set(static_cast<double>(total_queued_bytes_));
 }
 
+void SessionManager::EnqueueMessage(Session* session, MessageType type,
+                                    std::string_view payload) {
+  Result<std::string> frame = EncodeFrame(payload);
+  if (!frame.ok()) {
+    FailSession(session, frame.status());
+    return;
+  }
+  EnqueueFrame(session, type, std::move(*frame));
+}
+
+void SessionManager::FailSession(Session* session, const Status& error) {
+  // Drop everything pending (keeping a partially-written head frame so the
+  // stream is not torn); the only frame worth sending after it is the
+  // explanation.
+  CoalesceQueue(session);
+  session->set_doomed();
+  ++disconnects_;
+  metrics_.disconnects_total.Increment();
+  ErrorMsg err;
+  err.code = static_cast<uint32_t>(error.code());
+  err.message = error.message();
+  err.fatal = true;
+  // Error payloads are a short status string — always within the frame cap.
+  Result<std::string> frame = EncodeFrame(EncodeError(err));
+  if (frame.ok()) EnqueueFrame(session, MessageType::kError, std::move(*frame));
+}
+
 void SessionManager::EnqueueFrame(Session* session, MessageType type,
                                   std::string frame) {
   const bool is_result =
       type == MessageType::kDelta || type == MessageType::kSnapshot;
-  if (session->doomed() && is_result) return;  // only the farewell error goes
+  // A doomed session takes only its farewell error: results are undeliverable
+  // and further control frames would grow the flush queue past the doom point.
+  if (session->doomed() && type != MessageType::kError) return;
+  if (!session->doomed() && !is_result &&
+      session->queued_control_frames_ >= options_.max_queued_control_frames) {
+    // A client that streams batches/ticks without ever reading accumulates
+    // acks; coalescing frees only result frames, so the sole bound on control
+    // frames is a disconnect.
+    FailSession(session,
+                Status::ResourceExhausted(
+                    "slow consumer: " +
+                    std::to_string(session->queued_control_frames_) +
+                    " unread control frames queued"));
+    return;
+  }
   if (is_result &&
       session->queued_bytes_ + frame.size() > options_.max_queue_bytes) {
     if (options_.slow_consumer == SlowConsumerPolicy::kDisconnect) {
-      // Drop everything pending (keeping a partially-written head frame so
-      // the stream is not torn); the only frame worth sending after it is the
-      // explanation.
-      CoalesceQueue(session);
-      session->set_doomed();
-      ++disconnects_;
-      metrics_.disconnects_total.Increment();
-      ErrorMsg err;
-      err.code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
-      err.message = "slow consumer: outbound queue exceeded " +
-                    std::to_string(options_.max_queue_bytes) + " bytes";
-      err.fatal = true;
-      EnqueueFrame(session, MessageType::kError,
-                   EncodeFrame(EncodeError(err)));
+      FailSession(session,
+                  Status::ResourceExhausted(
+                      "slow consumer: outbound queue exceeded " +
+                      std::to_string(options_.max_queue_bytes) + " bytes"));
       return;
     }
     // Coalesce: throw away queued result frames, then enqueue one snapshot of
@@ -169,15 +200,23 @@ void SessionManager::EnqueueFrame(Session* session, MessageType type,
       snap.coalesced = true;
       snap.degraded_shards = session->tracker_.Current().degraded_shards();
       snap.matches = session->tracker_.Current().matches();
-      std::string snap_frame = EncodeFrame(EncodeSnapshot(snap));
+      Result<std::string> snap_frame = EncodeFrame(EncodeSnapshot(snap));
+      if (!snap_frame.ok()) {
+        // Even one full-set snapshot no longer fits a frame; nothing smaller
+        // can stand in for the dropped backlog, so the session cannot be
+        // caught up — disconnect it with the typed error.
+        FailSession(session, snap_frame.status());
+        return;
+      }
       metrics_.snapshots_pushed_total.Increment();
-      metrics_.snapshot_bytes_total.Increment(snap_frame.size());
-      EnqueueFrame(session, MessageType::kSnapshot, std::move(snap_frame));
+      metrics_.snapshot_bytes_total.Increment(snap_frame->size());
+      EnqueueFrame(session, MessageType::kSnapshot, std::move(*snap_frame));
       return;
     }
   }
   session->queued_bytes_ += frame.size();
   total_queued_bytes_ += frame.size();
+  if (!is_result) ++session->queued_control_frames_;
   metrics_.queue_bytes.Set(static_cast<double>(total_queued_bytes_));
   if (type == MessageType::kError) metrics_.errors_total.Increment();
   session->queue_.push_back(
@@ -221,12 +260,19 @@ void SessionManager::PushRound(uint64_t round, Timestamp now,
     ResultDelta delta = session->tracker_.Observe(filtered, now);
     // One delta frame per round per session, even when empty: subscribers use
     // the round stamps to align with ticks and detect gaps.
-    std::string frame = EncodeFrame(EncodeDelta(delta));
+    Result<std::string> frame = EncodeFrame(EncodeDelta(delta));
+    if (!frame.ok()) {
+      // A delta too large for one frame would poison the peer's decoder;
+      // disconnect this session with the typed error instead (the cursor has
+      // already advanced, but a doomed session never folds again).
+      FailSession(session.get(), frame.status());
+      continue;
+    }
     ++session->deltas_pushed;
     ++deltas_pushed_;
     metrics_.deltas_pushed_total.Increment();
-    metrics_.delta_bytes_total.Increment(frame.size());
-    EnqueueFrame(session.get(), MessageType::kDelta, std::move(frame));
+    metrics_.delta_bytes_total.Increment(frame->size());
+    EnqueueFrame(session.get(), MessageType::kDelta, std::move(*frame));
   }
 }
 
@@ -246,6 +292,8 @@ bool SessionManager::ConsumeWritten(Session* session, size_t n) {
   if (head.type == MessageType::kDelta ||
       head.type == MessageType::kSnapshot) {
     metrics_.push_latency_ms.Observe(elapsed.count());
+  } else {
+    --session->queued_control_frames_;
   }
   session->queue_.pop_front();
   session->write_offset = 0;

@@ -56,6 +56,11 @@ struct ServeOptions {
   /// slow_consumer.
   size_t max_queue_bytes = 1u << 20;
   SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kCoalesce;
+  /// Cap on queued control frames (hello-ack, tick-ack, error) per session.
+  /// Control frames are small and exempt from max_queue_bytes, but a client
+  /// that streams batches without ever reading accumulates acks without
+  /// bound; coalescing cannot shrink them, so crossing this cap disconnects.
+  size_t max_queued_control_frames = 1024;
   /// Adaptive admission budget (engine memory + queued bytes). 0 disables
   /// load-shedder-based admission control.
   size_t memory_budget_bytes = 0;
@@ -136,6 +141,7 @@ class Session {
 
   std::deque<OutFrame>& queue() { return queue_; }
   size_t queued_bytes() const { return queued_bytes_; }
+  size_t queued_control_frames() const { return queued_control_frames_; }
   /// Bytes of the head frame already handed to the kernel (partial write).
   size_t write_offset = 0;
 
@@ -155,6 +161,7 @@ class Session {
   FrameDecoder decoder_;
   std::deque<OutFrame> queue_;
   size_t queued_bytes_ = 0;
+  size_t queued_control_frames_ = 0;
 };
 
 class SessionManager {
@@ -168,10 +175,20 @@ class SessionManager {
   Session* Find(int fd);
   void Close(int fd);
 
-  /// Appends a frame to `session`'s queue under the bounded-queue policy.
-  /// Control frames (hello-ack, tick-ack, error) always fit; result frames
-  /// (delta, snapshot) crossing max_queue_bytes fire the slow-consumer
-  /// policy. Frames for a doomed session other than the pending error are
+  /// Frames `payload` and appends it to `session`'s queue under the
+  /// bounded-queue policy (see EnqueueFrame). A payload too large for one
+  /// frame (kMaxFramePayload) can never reach the peer — its decoder would
+  /// reject the length prefix and poison the stream — so the session is
+  /// disconnected with a fatal typed error instead.
+  void EnqueueMessage(Session* session, MessageType type,
+                      std::string_view payload);
+
+  /// Appends an already-framed message to `session`'s queue under the
+  /// bounded-queue policy. Result frames (delta, snapshot) crossing
+  /// max_queue_bytes fire the slow-consumer policy; control frames
+  /// (hello-ack, tick-ack, error) are bounded by max_queued_control_frames
+  /// and disconnect past it (coalescing cannot shrink them). A doomed
+  /// session accepts only error frames (its farewell); everything else is
   /// dropped.
   void EnqueueFrame(Session* session, MessageType type, std::string frame);
 
@@ -203,6 +220,10 @@ class SessionManager {
 
  private:
   void CoalesceQueue(Session* session);
+  /// Disconnect degrade: drops the session's queued result frames (keeping a
+  /// partially-written head), dooms it, and queues one fatal error frame
+  /// explaining `error`. Counts as a disconnect.
+  void FailSession(Session* session, const Status& error);
 
   ServeOptions options_;
   ServeMetrics metrics_;

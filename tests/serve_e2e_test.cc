@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "core/query_processor.h"
 #include "core/result_set.h"
 #include "core/scuba_options.h"
 #include "serve/client.h"
@@ -263,6 +267,92 @@ TEST(ServeE2eTest, DegradedRoundPropagatesToSubscribers) {
   ASSERT_TRUE(driver->Shutdown().ok());
   EXPECT_TRUE(sut.server->Wait().ok());
   EXPECT_EQ(sut.engine.StateHash(), offline_hash);
+}
+
+/// Delegating engine that fails Evaluate at a chosen round — drives the
+/// server into its terminal-abort path with sessions still connected.
+class ExplodingEngine : public QueryProcessor {
+ public:
+  ExplodingEngine(QueryProcessor* inner, int fail_at_round)
+      : inner_(inner), fail_at_(fail_at_round) {}
+  std::string_view name() const override { return inner_->name(); }
+  Status IngestObjectUpdate(const LocationUpdate& u) override {
+    return inner_->IngestObjectUpdate(u);
+  }
+  Status IngestQueryUpdate(const QueryUpdate& u) override {
+    return inner_->IngestQueryUpdate(u);
+  }
+  Status IngestBatch(std::span<const LocationUpdate> objects,
+                     std::span<const QueryUpdate> queries) override {
+    return inner_->IngestBatch(objects, queries);
+  }
+  Status Evaluate(Timestamp now, ResultSet* results) override {
+    if (++rounds_ >= fail_at_) {
+      return Status::Internal("injected engine failure");
+    }
+    return inner_->Evaluate(now, results);
+  }
+  size_t EstimateMemoryUsage() const override {
+    return inner_->EstimateMemoryUsage();
+  }
+  const EvalStats& stats() const override { return inner_->stats(); }
+
+ private:
+  QueryProcessor* inner_;
+  int fail_at_;
+  int rounds_ = 0;
+};
+
+TEST(ServeE2eTest, TerminalAbortWithHungUpSubscriberSendsFarewell) {
+  // Serving aborts (engine failure) while one subscriber has already hung up
+  // without reading its last push. The terminal farewell broadcast must not
+  // trip over the dead session (writing to it fails and closes it mid-loop)
+  // and the surviving driver still learns WHY serving stopped.
+  ScubaOptions opt;
+  Result<EngineHandle> handle = MakeEngine(opt);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  ExplodingEngine engine(handle->engine.get(), /*fail_at_round=*/2);
+  ServerDeps deps;
+  deps.engine = &engine;
+  Result<std::unique_ptr<ScubaServer>> server =
+      ScubaServer::Create(ServeOptions{}, deps);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_TRUE((*server)->Start().ok());
+
+  const std::vector<TickBatch> ticks = MakeTicks(2);
+  Result<ScubaClient> driver = ScubaClient::Connect((*server)->port());
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  Result<ScubaClient> sub_conn = ScubaClient::Connect((*server)->port());
+  ASSERT_TRUE(sub_conn.ok()) << sub_conn.status().ToString();
+  std::optional<ScubaClient> sub(std::move(sub_conn).value());
+  ASSERT_TRUE(sub->SubscribeAll().ok());
+
+  // Round 1 succeeds and pushes a delta the subscriber never reads.
+  UpdateBatchMsg batch;
+  batch.time = 1;
+  batch.evaluate = true;
+  batch.objects = ticks[0].objects;
+  batch.queries = ticks[0].queries;
+  ASSERT_TRUE(driver->SendBatch(batch).ok());
+  // Let the push reach the subscriber's socket, then hang up abruptly — the
+  // unread bytes make the close an immediate reset, so the server's farewell
+  // write to this session fails mid-broadcast.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sub.reset();
+
+  // Round 2 trips the injected engine failure: serving is now terminal.
+  batch.time = 2;
+  batch.objects = ticks[1].objects;
+  batch.queries = ticks[1].queries;
+  Result<TickAckMsg> nack = driver->SendBatch(batch);
+  ASSERT_FALSE(nack.ok());
+  EXPECT_EQ(nack.status().code(), StatusCode::kInternal);
+  EXPECT_NE(nack.status().message().find("injected engine failure"),
+            std::string::npos);
+
+  Status terminal = (*server)->Wait();
+  ASSERT_FALSE(terminal.ok());
+  EXPECT_EQ(terminal.code(), StatusCode::kInternal);
 }
 
 TEST(ServeE2eTest, RegressedBatchIsRejectedWithoutPoisoningTheRound) {

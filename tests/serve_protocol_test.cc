@@ -53,7 +53,7 @@ UpdateBatchMsg SampleBatch() {
 
 TEST(FrameTest, RoundTripsThroughDecoder) {
   const std::string payload = EncodeHello(HelloMsg{kProtocolVersion, "cli"});
-  const std::string frame = EncodeFrame(payload);
+  const std::string frame = *EncodeFrame(payload);
   EXPECT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
   FrameDecoder decoder;
   decoder.Append(frame);
@@ -71,9 +71,9 @@ TEST(FrameTest, RoundTripsThroughDecoder) {
 TEST(FrameTest, TornDeliveryReassembles) {
   // Socket reads tear at arbitrary boundaries: feeding one byte at a time
   // must yield exactly the original frames, in order.
-  std::string stream = EncodeFrame(EncodeBye()) +
-                       EncodeFrame(EncodeTick(TickMsg{9})) +
-                       EncodeFrame(EncodeShutdown());
+  std::string stream = *EncodeFrame(EncodeBye()) +
+                       *EncodeFrame(EncodeTick(TickMsg{9})) +
+                       *EncodeFrame(EncodeShutdown());
   FrameDecoder decoder;
   std::vector<std::string> frames;
   std::string out;
@@ -93,7 +93,7 @@ TEST(FrameTest, TornDeliveryReassembles) {
 }
 
 TEST(FrameTest, IncompleteFrameWaits) {
-  const std::string frame = EncodeFrame(EncodeBye());
+  const std::string frame = *EncodeFrame(EncodeBye());
   FrameDecoder decoder;
   decoder.Append(std::string_view(frame).substr(0, frame.size() - 1));
   std::string out;
@@ -105,7 +105,7 @@ TEST(FrameTest, IncompleteFrameWaits) {
 }
 
 TEST(FrameTest, BadCrcIsStickyCorruption) {
-  std::string frame = EncodeFrame(EncodeTick(TickMsg{5}));
+  std::string frame = *EncodeFrame(EncodeTick(TickMsg{5}));
   frame.back() ^= 0x40;  // flip a payload bit
   FrameDecoder decoder;
   decoder.Append(frame);
@@ -115,7 +115,7 @@ TEST(FrameTest, BadCrcIsStickyCorruption) {
   EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
   EXPECT_TRUE(decoder.poisoned());
   // No resync: later appends are ignored and the error repeats.
-  decoder.Append(EncodeFrame(EncodeBye()));
+  decoder.Append(*EncodeFrame(EncodeBye()));
   got = decoder.Next(&out);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
@@ -134,6 +134,27 @@ TEST(FrameTest, OversizedLengthPrefixIsResourceExhausted) {
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
   EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameTest, EncodeFrameEnforcesTheCapOnTheSendSide) {
+  // A frame the decoder would reject must be impossible to produce: an
+  // oversized payload is refused at encode time with the same typed error,
+  // instead of poisoning the peer's stream (or truncating the u32 prefix).
+  std::string payload(kMaxFramePayload + 1, 'x');
+  Result<std::string> frame = EncodeFrame(payload);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kResourceExhausted);
+
+  // Exactly at the cap still encodes and round-trips.
+  payload.resize(64);
+  frame = EncodeFrame(payload);
+  ASSERT_TRUE(frame.ok());
+  FrameDecoder decoder;
+  decoder.Append(*frame);
+  std::string out;
+  Result<bool> got = decoder.Next(&out);
+  ASSERT_TRUE(got.ok() && *got);
+  EXPECT_EQ(out, payload);
 }
 
 TEST(MessageTest, PeekTypeRejectsEmptyAndUnknown) {
@@ -397,7 +418,7 @@ TEST(FuzzTest, RandomPayloadsDecodeToTypedErrors) {
       std::string payload(rng.NextBounded(96) + 1, '\0');
       for (char& c : payload) c = static_cast<char>(rng.NextBounded(256));
       FrameDecoder decoder;
-      decoder.Append(EncodeFrame(payload));
+      decoder.Append(*EncodeFrame(payload));
       std::string out;
       Result<bool> got = decoder.Next(&out);
       ASSERT_TRUE(got.ok());

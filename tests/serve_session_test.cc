@@ -213,6 +213,59 @@ TEST(SessionManagerTest, DisconnectDoomsSlowConsumerWithFatalError) {
   EXPECT_EQ(slow->queue().size(), 1u);
 }
 
+TEST(SessionManagerTest, ControlFrameFloodDisconnects) {
+  // A client that streams batches/ticks but never reads a byte accumulates
+  // ack frames, which the byte cap does not cover and coalescing cannot
+  // shrink; the control-frame bound must disconnect it instead of letting the
+  // queue grow without limit.
+  ServeOptions options;
+  options.max_queued_control_frames = 16;
+  SessionManager manager(options, nullptr);
+  Session* s = *manager.Accept(1);
+  s->set_ready("s");
+
+  for (uint32_t i = 0; i < 64 && !s->doomed(); ++i) {
+    manager.EnqueueMessage(s, MessageType::kTickAck,
+                           EncodeTickAck(TickAckMsg{i, Timestamp(i), 0, false}));
+  }
+  EXPECT_TRUE(s->doomed());
+  EXPECT_EQ(manager.disconnects(), 1u);
+  // The queue holds exactly the acks up to the bound plus the fatal farewell.
+  ASSERT_EQ(s->queue().size(), options.max_queued_control_frames + 1);
+  ASSERT_EQ(s->queue().back().type, MessageType::kError);
+  ErrorMsg err;
+  ASSERT_TRUE(DecodeError(Payload(s->queue().back()), &err).ok());
+  EXPECT_TRUE(err.fatal);
+  EXPECT_EQ(err.code, static_cast<uint32_t>(StatusCode::kResourceExhausted));
+  // Doomed sessions accept no further control frames.
+  const size_t at_doom = s->queue().size();
+  manager.EnqueueMessage(s, MessageType::kTickAck,
+                         EncodeTickAck(TickAckMsg{99, 99, 0, false}));
+  EXPECT_EQ(s->queue().size(), at_doom);
+}
+
+TEST(SessionManagerTest, OversizedPayloadDisconnectsInsteadOfPoisoning) {
+  // A payload beyond kMaxFramePayload can never reach the peer — its decoder
+  // would treat the length prefix as a sticky fatal error. The manager must
+  // fail the session with a typed error instead of emitting the frame.
+  ServeOptions options;
+  SessionManager manager(options, nullptr);
+  Session* s = *manager.Accept(1);
+  s->set_ready("s");
+  s->SubscribeAll();
+
+  const std::string huge(kMaxFramePayload + 1, 'x');
+  manager.EnqueueMessage(s, MessageType::kDelta, huge);
+  EXPECT_TRUE(s->doomed());
+  EXPECT_EQ(manager.disconnects(), 1u);
+  ASSERT_EQ(s->queue().size(), 1u);
+  ASSERT_EQ(s->queue().front().type, MessageType::kError);
+  ErrorMsg err;
+  ASSERT_TRUE(DecodeError(Payload(s->queue().front()), &err).ok());
+  EXPECT_TRUE(err.fatal);
+  EXPECT_EQ(err.code, static_cast<uint32_t>(StatusCode::kResourceExhausted));
+}
+
 TEST(SessionManagerTest, CoalesceKeepsPartiallyWrittenHeadFrame) {
   // Dropping a frame the kernel already has half of would tear the client's
   // byte stream and poison its decoder; the head frame must survive.
@@ -269,7 +322,7 @@ TEST(SessionManagerTest, ConsumeWrittenTracksPartialWrites) {
   SessionManager manager(options, nullptr);
   Session* s = *manager.Accept(1);
   s->set_ready("s");
-  std::string frame = EncodeFrame(EncodeError(ErrorMsg{1, "hi", false}));
+  std::string frame = *EncodeFrame(EncodeError(ErrorMsg{1, "hi", false}));
   const size_t total = frame.size();
   manager.EnqueueFrame(s, MessageType::kError, std::move(frame));
   EXPECT_EQ(manager.total_queued_bytes(), total);
